@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/metrics"
+	"terrainhsr/internal/workload"
+)
+
+// expCheck is the automated reproduction gate: it re-derives each headline
+// claim on small-but-meaningful inputs and asserts the *shape* (who wins,
+// how ratios move), printing PASS/FAIL per claim. This is what a CI job
+// runs to certify the reproduction still holds.
+func expCheck(quick bool) {
+	_ = quick
+	type check struct {
+		name string
+		ok   bool
+		note string
+	}
+	var checks []check
+	add := func(name string, ok bool, note string, args ...any) {
+		checks = append(checks, check{name, ok, fmt.Sprintf(note, args...)})
+	}
+
+	// --- Claim 1: polylog depth growth (T1).
+	small := gen(workload.Params{Kind: workload.Fractal, Rows: 16, Cols: 16, Seed: 1, Amplitude: 5})
+	large := gen(workload.Params{Kind: workload.Fractal, Rows: 64, Cols: 64, Seed: 1, Amplitude: 5})
+	rs, rl := mustOS(small, 0, false), mustOS(large, 0, false)
+	nGrowth := float64(large.NumEdges()) / float64(small.NumEdges())
+	dGrowth := float64(rl.Acct.Depth()) / float64(rs.Acct.Depth())
+	// Theorem 3.1 allows depth O(log^4 n): depth growth must stay within
+	// the growth of log^4 (with a 1.5x constant margin).
+	logGrowth4 := math.Pow(math.Log2(float64(large.NumEdges()))/math.Log2(float64(small.NumEdges())), 4)
+	add("T1 depth polylog", dGrowth < 1.5*logGrowth4,
+		"n grew %.1fx, depth grew %.1fx, log^4 bound allows %.1fx", nGrowth, dGrowth, logGrowth4)
+
+	// --- Claim 2: work near-linear in n+k (T2).
+	wGrowth := float64(rl.Work()) / float64(rs.Work())
+	nkGrowth := float64(large.NumEdges()+rl.K()) / float64(small.NumEdges()+rs.K())
+	add("T2 work ~ (n+k) polylog", wGrowth < nkGrowth*3,
+		"(n+k) grew %.1fx, work grew %.1fx (must stay within a small polylog factor)", nkGrowth, wGrowth)
+
+	// --- Claim 3: output sensitivity (T3).
+	open := gen(workload.Params{Kind: workload.Ridge, Rows: 24, Cols: 24, Seed: 3, Amplitude: 4, RidgeHeight: 0.5})
+	wall := gen(workload.Params{Kind: workload.Ridge, Rows: 24, Cols: 24, Seed: 3, Amplitude: 4, RidgeHeight: 32})
+	ro, rw := mustOS(open, 0, false), mustOS(wall, 0, false)
+	add("T3 work tracks k", rw.K() < ro.K()/2 && rw.Work() < ro.Work(),
+		"occlusion: k %d->%d, work %d->%d (both must drop)", ro.K(), rw.K(), ro.Work(), rw.Work())
+	apO, err := hsr.AllPairs(wall)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	add("T3 beats I-sensitive baseline", apO.Work() > 5*rw.Work(),
+		"AllPairs %d vs OS %d on occluded scene (>=5x expected)", apO.Work(), rw.Work())
+
+	// --- Claim 4: Brent speedup (T4/Lemma 2.1).
+	t16 := rl.Acct.TimeOn(16)
+	t1 := rl.Acct.TimeOn(1)
+	add("T4 PRAM speedup", t1/t16 > 8,
+		"model speedup at p=16 is %.1fx (>=8x expected)", t1/t16)
+
+	// --- Claim 5: within polylog of efficient sequential (T5).
+	st, err := hsr.SequentialTree(large, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ratio := float64(rl.Work()) / float64(st.Work())
+	logN := math.Log2(float64(large.NumEdges()))
+	add("T5 within polylog of sequential", ratio < 2*logN,
+		"parallel/sequential-tree work ratio %.1f vs log2(n)=%.1f", ratio, logN)
+
+	// --- Claim 6: results identical across all solvers.
+	seq, err := hsr.Sequential(wall)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eqErr := hsr.Equivalent(seq, rw, 1e-7, 1e-5)
+	add("Correctness: solvers agree", eqErr == nil, "%v", eqErr)
+
+	// --- Claim 7: persistence sharing (F1/F3).
+	var held, alloc int64
+	for _, stx := range rl.Phase2 {
+		held += stx.PrefixPiecesHeld
+		alloc += stx.PrefixPiecesAllocated
+	}
+	share := float64(held) / math.Max(float64(alloc), 1)
+	add("F1/F3 persistence sharing", share > 5,
+		"layer sharing factor %.1fx (>=5x expected)", share)
+
+	simple, err := hsr.ParallelSimple(large, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var copied int64
+	for _, stx := range simple.Phase2 {
+		copied += stx.PrefixPiecesAllocated
+	}
+	add("A1 copying costs more storage", copied > 3*rl.Counters.TreeAllocs,
+		"copying pieces %d vs persistent allocs %d", copied, rl.Counters.TreeAllocs)
+
+	tb := metrics.NewTable("claim", "status", "evidence")
+	failed := 0
+	for _, c := range checks {
+		status := "PASS"
+		if !c.ok {
+			status = "FAIL"
+			failed++
+		}
+		tb.AddRow(c.name, status, c.note)
+	}
+	tb.Render(os.Stdout)
+	if failed > 0 {
+		fmt.Printf("\n%d of %d reproduction checks FAILED\n", failed, len(checks))
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d reproduction checks passed\n", len(checks))
+}

@@ -1,0 +1,65 @@
+// Command hsrbench regenerates every experiment table of the reproduction
+// (see DESIGN.md section 4 and EXPERIMENTS.md): the Theorem 3.1 time and
+// work bounds (T1, T2), output sensitivity against the intersection count
+// (T3), Brent speedup (T4), comparison with the sequential algorithm (T5),
+// the lemma-level costs (L1, L6), the structural figure analogues (F1, F2,
+// F3) and the design ablations (A1, A2).
+//
+// Usage:
+//
+//	hsrbench [-exp all|T1|T2|T3|T4|T5|L1|L6|F1|F2|F3|A1|A2] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name  string
+	title string
+	run   func(quick bool)
+}
+
+var experiments = []experiment{
+	{"T1", "Theorem 3.1 — parallel time (PRAM depth) is polylogarithmic", expT1},
+	{"T2", "Theorem 3.1 — work is O((n+k) polylog n)", expT2},
+	{"T3", "Output sensitivity — work tracks k, not the crossing count I", expT3},
+	{"T4", "Lemma 2.1 — Brent speedup with p processors", expT4},
+	{"T5", "Remark — parallel work within a polylog factor of sequential", expT5},
+	{"L1", "Lemma 3.1 — profile construction cost", expL1},
+	{"L6", "Lemmas 3.2/3.6 — intersection query cost", expL6},
+	{"F1", "Figure 1 — profile sharing across PCT layers", expF1},
+	{"F2", "Figure 2 — CG search structure shape", expF2},
+	{"F3", "Figure 3 — persistence vs copying storage", expF3},
+	{"A1", "Ablation — persistent splicing vs profile copying", expA1},
+	{"A2", "Ablation — hull-augmented (ACG) vs summary pruning", expA2},
+	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment id (T1..T5, L1, L6, F1..F3, A1, A2, CHECK) or 'all'")
+	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
+	flag.Parse()
+
+	want := strings.ToUpper(*expFlag)
+	names := make([]string, 0, len(experiments))
+	ran := false
+	for _, e := range experiments {
+		names = append(names, e.name)
+		if want == "ALL" || want == e.name {
+			fmt.Printf("== %s: %s ==\n", e.name, e.title)
+			e.run(*quick)
+			fmt.Println()
+			ran = true
+		}
+	}
+	if !ran {
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n", *expFlag, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,68 @@
+package terrainhsr_test
+
+import (
+	"fmt"
+	"log"
+
+	terrainhsr "terrainhsr"
+)
+
+// ExampleSolve builds a tiny deterministic terrain and solves visibility
+// with the paper's parallel algorithm.
+func ExampleSolve() {
+	// A 2x2 grid rising away from the viewer: everything is visible.
+	tr, err := terrainhsr.NewGridTerrain(2, 2, 1, 1, func(i, j int) float64 {
+		return float64(i) + 0.01*float64(j)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := terrainhsr.Solve(tr, terrainhsr.Options{Algorithm: terrainhsr.Sequential})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("edges:", res.N())
+	fmt.Println("all visible:", res.K() >= res.N()-2)
+	// Output:
+	// edges: 16
+	// all visible: true
+}
+
+// ExampleSolver demonstrates reusing the cached depth order for several
+// algorithms on the same terrain.
+func ExampleSolver() {
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{Kind: "sinusoid", Rows: 8, Cols: 8, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := terrainhsr.NewSolver(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, _ := s.Solve(terrainhsr.Options{Algorithm: terrainhsr.Parallel})
+	seq, _ := s.Solve(terrainhsr.Options{Algorithm: terrainhsr.Sequential})
+	fmt.Println("agree:", par.K() == seq.K())
+	// Output:
+	// agree: true
+}
+
+// ExampleResult_EdgeVisibility computes a per-edge viewshed summary.
+func ExampleResult_EdgeVisibility() {
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{Kind: "ridge", Rows: 12, Cols: 12, Seed: 7, RidgeHeight: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := terrainhsr.Solve(tr, terrainhsr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hidden := 0
+	for _, ev := range res.EdgeVisibility(tr) {
+		if ev.Fraction == 0 {
+			hidden++
+		}
+	}
+	fmt.Println("most edges hidden behind the ridge:", hidden > tr.NumEdges()/2)
+	// Output:
+	// most edges hidden behind the ridge: true
+}

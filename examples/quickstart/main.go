@@ -1,0 +1,50 @@
+// Quickstart: generate a small fractal terrain, run the paper's parallel
+// hidden-surface-removal algorithm, and print what the viewer sees.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	terrainhsr "terrainhsr"
+)
+
+func main() {
+	// A 48x48-cell fractal terrain (diamond-square relief), ~7k edges.
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{
+		Kind: "fractal", Rows: 48, Cols: 48, Seed: 42, Amplitude: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Solve with the output-sensitive parallel algorithm (the default).
+	res, err := terrainhsr.Solve(tr, terrainhsr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := res.Stats()
+	fmt.Printf("terrain: %d vertices, %d triangles, %d edges\n",
+		tr.NumVertices(), tr.NumTriangles(), tr.NumEdges())
+	fmt.Printf("visible scene: %d pieces over %d edges, %d image vertices\n",
+		st.Pieces, st.EdgesWithVisibility, st.Vertices)
+	fmt.Printf("output size k = %d for input size n = %d (k/n = %.3f)\n",
+		res.K(), res.N(), float64(res.K())/float64(res.N()))
+	fmt.Printf("charged work  = %d ops, PRAM depth = %d\n", res.Work(), res.Depth())
+	fmt.Printf("Brent time on p=16 PRAM processors: %.0f ops\n", res.TimeOnPRAM(16))
+
+	// Cross-check against the sequential Reif-Sen baseline.
+	seq, err := terrainhsr.Solve(tr, terrainhsr.Options{Algorithm: terrainhsr.Sequential})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential agrees: k=%d, visible length %.2f vs %.2f\n",
+		seq.K(), seq.VisibleLength(), res.VisibleLength())
+
+	fmt.Println("\nthe scene, as terminal art:")
+	if err := terrainhsr.RenderASCII(os.Stdout, res, 100, 22); err != nil {
+		log.Fatal(err)
+	}
+}

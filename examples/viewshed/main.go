@@ -1,0 +1,81 @@
+// Viewshed: a GIS-flavoured scenario. Build a mountain terrain, compute the
+// exact visible surface from a sideways viewpoint, report per-edge
+// visibility statistics (which parts of the landscape a ground observer can
+// see), and render the scene to SVG.
+//
+// Output: viewshed.svg in the working directory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	terrainhsr "terrainhsr"
+)
+
+func main() {
+	// A ridge landscape: a mountain wall partially occluding the valleys
+	// behind it — the classic viewshed situation.
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{
+		Kind: "ridge", Rows: 64, Cols: 64, Seed: 7,
+		Amplitude: 4, RidgeHeight: 14,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := terrainhsr.Solve(tr, terrainhsr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats()
+
+	fmt.Printf("landscape: %d edges\n", tr.NumEdges())
+	fmt.Printf("visible from the viewpoint: %d of %d edges (%.1f%%)\n",
+		st.EdgesWithVisibility, tr.NumEdges(),
+		100*float64(st.EdgesWithVisibility)/float64(tr.NumEdges()))
+	fmt.Printf("visible image: %d pieces, %d vertices, total length %.1f\n",
+		st.Pieces, st.Vertices, st.VisibleLength)
+
+	// Per-edge viewshed summary: how much of each terrain feature is seen.
+	buckets := [4]int{}
+	for _, ev := range res.EdgeVisibility(tr) {
+		switch {
+		case ev.Fraction == 0:
+			buckets[0]++
+		case ev.Fraction < 0.5:
+			buckets[1]++
+		case ev.Fraction < 0.999:
+			buckets[2]++
+		default:
+			buckets[3]++
+		}
+	}
+	fmt.Printf("viewshed histogram: hidden=%d partial<50%%=%d partial>=50%%=%d full=%d\n",
+		buckets[0], buckets[1], buckets[2], buckets[3])
+
+	// The skyline the observer sees.
+	sil := res.Silhouette()
+	if len(sil) > 0 {
+		zMax, at := sil[0][1], sil[0][0]
+		for _, p := range sil {
+			if p[1] > zMax {
+				zMax, at = p[1], p[0]
+			}
+		}
+		fmt.Printf("skyline peak: z=%.2f at image x=%.2f\n", zMax, at)
+	}
+
+	f, err := os.Create("viewshed.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := terrainhsr.RenderSVG(f, tr, res, terrainhsr.RenderOptions{
+		Width: 1000, ShowHidden: true, Title: "viewshed: visible surface over hidden wireframe",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote viewshed.svg (visible surface in green, occluded wireframe in grey)")
+}

@@ -1,0 +1,222 @@
+// Package cg implements the intersection-detection queries of the paper's
+// Chazelle-Guibas-based ACG structure (Lemmas 3.2 and 3.6): given a
+// persistent profile tree and a query segment, report how the segment
+// relates to the profile — the maximal intervals where it is strictly above
+// (visible) or not — discovering only O(polylog) structure per reported
+// transition.
+//
+// The descent prunes subtrees whose relation to the segment is provably
+// constant. With hulls enabled the test is the paper's tangent test: the
+// segment (slope m) clears a sub-chain iff the chain's extreme values of
+// (z - m*x) stay on one side of the segment's intercept; the extremes come
+// from O(log) tangent searches on the subtree's convex chains. Without
+// hulls the test falls back to z-interval summaries (conservative but
+// O(1) per node).
+package cg
+
+import (
+	"terrainhsr/internal/envelope"
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/profiletree"
+)
+
+// Relation is one maximal x-interval with a constant visibility relation.
+type Relation struct {
+	X1, X2 float64
+	// Above is true where the segment is strictly above the profile or the
+	// profile is absent (a gap).
+	Above bool
+}
+
+// Stats counts the charged operations of a query.
+type Stats struct {
+	// Steps is the number of tree nodes visited.
+	Steps int64
+	// Pruned is the number of subtrees resolved wholesale.
+	Pruned int64
+	// HullQueries counts tangent searches performed.
+	HullQueries int64
+	// Crossings is the number of proper segment/profile crossings found.
+	Crossings int64
+	// MaxDepth tracks the deepest recursion (the query's critical path).
+	MaxDepth int
+}
+
+// QueryRelations computes the ordered relations of segment s against the
+// profile tree over s's span. The segment must not be vertical in the
+// image; callers handle vertical segments via profiletree.Eval.
+func QueryRelations(o *profiletree.Ops, t profiletree.Tree, s geom.Seg2) ([]Relation, Stats) {
+	s = s.Canon()
+	var st Stats
+	if s.IsVerticalImage() {
+		return nil, st
+	}
+	q := &query{o: o, s: s, sp: envelope.Piece{X1: s.A.X, Z1: s.A.Z, X2: s.B.X, Z2: s.B.Z}}
+	q.visit(t.Root, 1)
+	st = q.st
+	rels := stitch(q.rels, s.A.X, s.B.X)
+	// Every flip between consecutive relations is one vertex event of the
+	// image: a proper crossing or a T-vertex at a jump/gap boundary.
+	for i := 1; i < len(rels); i++ {
+		if rels[i].Above != rels[i-1].Above {
+			st.Crossings++
+		}
+	}
+	return rels, st
+}
+
+type query struct {
+	o            *profiletree.Ops
+	s            geom.Seg2
+	sp           envelope.Piece
+	rels         []Relation
+	st           Stats
+	properSplits int64
+}
+
+// visit performs the pruned in-order traversal.
+func (q *query) visit(n *profiletree.Node, depth int) {
+	if n == nil {
+		return
+	}
+	a, b := n.Agg.X1, n.Agg.X2
+	qlo := geom.Max(a, q.s.A.X)
+	qhi := geom.Min(b, q.s.B.X)
+	if qhi <= qlo+geom.Eps {
+		return
+	}
+	q.st.Steps++
+	if depth > q.st.MaxDepth {
+		q.st.MaxDepth = depth
+	}
+	if above, below, ok := q.resolve(n, qlo, qhi); ok {
+		q.st.Pruned++
+		_ = below
+		q.rels = append(q.rels, Relation{X1: qlo, X2: qhi, Above: above})
+		return
+	}
+	q.visit(n.L, depth+1)
+	q.ownPiece(n.Val)
+	q.visit(n.R, depth+1)
+}
+
+// resolve attempts to classify the whole subtree against the segment.
+// Returns (above, below, decidable).
+func (q *query) resolve(n *profiletree.Node, qlo, qhi float64) (bool, bool, bool) {
+	m := q.s.Slope()
+	c0 := q.s.A.Z - m*q.s.A.X
+	if q.o.WithHulls && n.Agg.Upper.T != nil {
+		q.st.HullQueries += 2
+		maxH := n.Agg.Upper.ExtremeValue(m) - c0 // max of P - s over vertices
+		minH := n.Agg.Lower.ExtremeValue(m) - c0
+		if maxH < -geom.Eps {
+			// Every profile vertex strictly below the segment's line: the
+			// segment clears the subtree (gaps only help).
+			return true, false, true
+		}
+		if minH >= -geom.Eps && !n.Agg.HasGap && qlo >= n.Agg.X1-geom.Eps && qhi <= n.Agg.X2+geom.Eps {
+			// The profile is everywhere at or above the segment and covers
+			// the whole query window: occluded throughout.
+			return false, true, true
+		}
+		return false, false, false
+	}
+	// Summary-only mode: z-interval tests.
+	sLo, sHi := q.sp.ZAt(qlo), q.sp.ZAt(qhi)
+	sMin, sMax := geom.Min(sLo, sHi), geom.Max(sLo, sHi)
+	if sMin > n.Agg.ZMax+geom.Eps {
+		return true, false, true
+	}
+	if sMax < n.Agg.ZMin-geom.Eps && !n.Agg.HasGap && qlo >= n.Agg.X1-geom.Eps && qhi <= n.Agg.X2+geom.Eps {
+		return false, true, true
+	}
+	return false, false, false
+}
+
+// ownPiece classifies the segment against one profile piece directly,
+// splitting at a proper crossing.
+func (q *query) ownPiece(pc envelope.Piece) {
+	lo := geom.Max(pc.X1, q.s.A.X)
+	hi := geom.Min(pc.X2, q.s.B.X)
+	if hi <= lo+geom.Eps {
+		return
+	}
+	q.st.Steps++
+	da := q.sp.ZAt(lo) - pc.ZAt(lo)
+	db := q.sp.ZAt(hi) - pc.ZAt(hi)
+	above, aboveEnd := da > geom.Eps, db > geom.Eps
+	if above == aboveEnd {
+		q.rels = append(q.rels, Relation{X1: lo, X2: hi, Above: above})
+		return
+	}
+	xs, ok := geom.LineIntersectX(q.sp.Seg(), pc.Seg())
+	if !ok {
+		xs = (lo + hi) / 2
+	}
+	xs = geom.Min(geom.Max(xs, lo), hi)
+	q.properSplits++
+	q.rels = append(q.rels, Relation{X1: lo, X2: xs, Above: above}, Relation{X1: xs, X2: hi, Above: aboveEnd})
+}
+
+// stitch fills coverage holes (profile gaps, where the segment is visible),
+// clips to [lo, hi] and merges adjacent relations with equal flags.
+func stitch(rels []Relation, lo, hi float64) []Relation {
+	out := make([]Relation, 0, len(rels)+2)
+	x := lo
+	push := func(r Relation) {
+		if r.X2-r.X1 <= geom.Eps {
+			return
+		}
+		if n := len(out); n > 0 && out[n-1].Above == r.Above && r.X1 <= out[n-1].X2+geom.Eps {
+			out[n-1].X2 = r.X2
+			return
+		}
+		out = append(out, r)
+	}
+	for _, r := range rels {
+		if r.X1 > x+geom.Eps {
+			push(Relation{X1: x, X2: r.X1, Above: true}) // gap: visible
+		}
+		push(r)
+		if r.X2 > x {
+			x = r.X2
+		}
+	}
+	if hi > x+geom.Eps {
+		push(Relation{X1: x, X2: hi, Above: true})
+	}
+	return out
+}
+
+// VisibleSpans converts the relations of segment s into the visible spans
+// (the ClipAbove analogue over the persistent tree).
+func VisibleSpans(rels []Relation, s geom.Seg2) []envelope.Span {
+	s = s.Canon()
+	sp := envelope.Piece{X1: s.A.X, Z1: s.A.Z, X2: s.B.X, Z2: s.B.Z}
+	var out []envelope.Span
+	for _, r := range rels {
+		if !r.Above {
+			continue
+		}
+		out = append(out, envelope.Span{X1: r.X1, Z1: sp.ZAt(r.X1), X2: r.X2, Z2: sp.ZAt(r.X2)})
+	}
+	return out
+}
+
+// VisibleRuns converts the relations into splice runs carrying the visible
+// fragments of s attributed to edge id.
+func VisibleRuns(rels []Relation, s geom.Seg2, edge int32) []profiletree.Run {
+	s = s.Canon()
+	sp := envelope.Piece{X1: s.A.X, Z1: s.A.Z, X2: s.B.X, Z2: s.B.Z}
+	var out []profiletree.Run
+	for _, r := range rels {
+		if !r.Above {
+			continue
+		}
+		out = append(out, profiletree.Run{
+			X1: r.X1, X2: r.X2,
+			Pieces: []envelope.Piece{{X1: r.X1, Z1: sp.ZAt(r.X1), X2: r.X2, Z2: sp.ZAt(r.X2), Edge: edge}},
+		})
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+// Package envelope implements upper profiles of line segments in the image
+// plane: y-monotone, piecewise-linear partial functions with explicit gaps
+// and jump discontinuities. Profiles are the central object of the paper —
+// the "intermediate profiles" of PCT phase 1 and the "actual profiles" P_i
+// of phase 2 are both upper envelopes in this sense.
+//
+// A profile is stored as a sorted slice of non-overlapping Pieces. Between
+// consecutive pieces the profile is undefined (a gap, value -inf); where two
+// pieces abut at the same x with different z the profile has a jump
+// discontinuity, which genuinely occurs in envelopes of segments (a front
+// segment can end mid-air above a back one).
+//
+// Merging two profiles (the pointwise maximum) is a linear-time sweep over
+// the union of their breakpoints; this is the work step of Lemma 3.1's
+// divide-and-conquer profile construction.
+package envelope
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"terrainhsr/internal/geom"
+)
+
+// NoEdge marks a piece with no owning input edge (used by synthetic tests).
+const NoEdge = int32(-1)
+
+// Piece is one maximal linear run of a profile: the graph of a linear
+// function over [X1, X2] owned by input edge Edge.
+type Piece struct {
+	X1, Z1 float64
+	X2, Z2 float64
+	Edge   int32
+}
+
+// Seg returns the piece as an image segment.
+func (p Piece) Seg() geom.Seg2 {
+	return geom.Seg2{A: geom.Pt2{X: p.X1, Z: p.Z1}, B: geom.Pt2{X: p.X2, Z: p.Z2}}
+}
+
+// ZAt evaluates the piece's supporting line at x.
+func (p Piece) ZAt(x float64) float64 {
+	if p.X2 == p.X1 {
+		return p.Z1
+	}
+	t := (x - p.X1) / (p.X2 - p.X1)
+	return p.Z1 + t*(p.Z2-p.Z1)
+}
+
+// Width is the horizontal extent of the piece.
+func (p Piece) Width() float64 { return p.X2 - p.X1 }
+
+// Profile is an upper envelope: pieces sorted by X1 with disjoint interiors.
+type Profile []Piece
+
+// FromSegment returns the profile consisting of the single segment s
+// attributed to edge. Segments that are vertical in the image contribute
+// nothing to an upper envelope and yield an empty profile.
+func FromSegment(s geom.Seg2, edge int32) Profile {
+	s = s.Canon()
+	if s.IsVerticalImage() {
+		return nil
+	}
+	return Profile{{X1: s.A.X, Z1: s.A.Z, X2: s.B.X, Z2: s.B.Z, Edge: edge}}
+}
+
+// Size returns the number of pieces.
+func (p Profile) Size() int { return len(p) }
+
+// XRange returns the horizontal extent covered (possibly with gaps inside).
+func (p Profile) XRange() (lo, hi float64, ok bool) {
+	if len(p) == 0 {
+		return 0, 0, false
+	}
+	return p[0].X1, p[len(p)-1].X2, true
+}
+
+// Eval returns the profile value at x and whether x is covered by a piece.
+// At a breakpoint shared by two pieces the right piece wins (right-continuous
+// convention), except at the global right end where the last piece's value
+// is returned.
+func (p Profile) Eval(x float64) (z float64, covered bool) {
+	i := sort.Search(len(p), func(i int) bool { return p[i].X2 >= x })
+	if i == len(p) {
+		return 0, false
+	}
+	// Prefer the right piece at an internal shared breakpoint.
+	if i+1 < len(p) && p[i+1].X1 <= x {
+		i++
+	}
+	pc := p[i]
+	if x < pc.X1 || x > pc.X2 {
+		return 0, false
+	}
+	return pc.ZAt(x), true
+}
+
+// Validate checks the structural invariants: positive-width pieces sorted by
+// X1 with non-overlapping interiors, and finite coordinates.
+func (p Profile) Validate() error {
+	for i, pc := range p {
+		if !(pc.X2 > pc.X1) {
+			return fmt.Errorf("piece %d has non-positive width: [%v,%v]", i, pc.X1, pc.X2)
+		}
+		if math.IsNaN(pc.Z1) || math.IsNaN(pc.Z2) || math.IsInf(pc.Z1, 0) || math.IsInf(pc.Z2, 0) {
+			return fmt.Errorf("piece %d has non-finite z", i)
+		}
+		if i > 0 && pc.X1 < p[i-1].X2-geom.Eps {
+			return fmt.Errorf("piece %d overlaps previous: %v < %v", i, pc.X1, p[i-1].X2)
+		}
+	}
+	return nil
+}
+
+// appendPiece appends a piece to dst, coalescing it with the previous piece
+// when they form one maximal linear run of the same edge.
+func appendPiece(dst Profile, pc Piece) Profile {
+	if pc.Width() <= geom.Eps {
+		return dst
+	}
+	if n := len(dst); n > 0 {
+		last := &dst[n-1]
+		if last.Edge == pc.Edge &&
+			math.Abs(last.X2-pc.X1) <= geom.Eps &&
+			math.Abs(last.Z2-pc.Z1) <= geom.Eps {
+			// Same slope within tolerance: extend the run.
+			s1 := (last.Z2 - last.Z1) / (last.X2 - last.X1)
+			s2 := (pc.Z2 - pc.Z1) / (pc.X2 - pc.X1)
+			if math.Abs(s1-s2) <= 1e-7*(1+math.Abs(s1)+math.Abs(s2)) {
+				last.X2, last.Z2 = pc.X2, pc.Z2
+				return dst
+			}
+		}
+	}
+	return append(dst, pc)
+}
+
+// Stats summarizes a merge for the PRAM cost accounting and for the
+// output-sensitivity experiments.
+type Stats struct {
+	// Crossings is the number of proper crossings between the two inputs
+	// discovered during the merge. In phase 2 these are exactly the new
+	// vertices of the visible image.
+	Crossings int
+	// Steps is the number of elementary sweep intervals processed
+	// (the merge's work, up to a constant).
+	Steps int
+	// MaxChunk is the largest per-chunk step count of a parallel merge:
+	// its critical path with unbounded processors (zero for sequential
+	// merges).
+	MaxChunk int
+}
+
+// Merge returns the upper envelope (pointwise maximum) of a and b.
+// Where the two profiles tie, a wins: callers pass the front profile first
+// so that touching does not count as the back profile becoming visible.
+func Merge(a, b Profile) Profile {
+	out, _ := MergeStats(a, b)
+	return out
+}
+
+// MergeStats is Merge with sweep statistics.
+func MergeStats(a, b Profile) (Profile, Stats) {
+	var st Stats
+	if len(a) == 0 {
+		return append(Profile(nil), b...), st
+	}
+	if len(b) == 0 {
+		return append(Profile(nil), a...), st
+	}
+	out := make(Profile, 0, len(a)+len(b))
+	var i, j int
+	// Sweep over elementary intervals delimited by the union of breakpoints.
+	x := math.Min(a[0].X1, b[0].X1)
+	for i < len(a) || j < len(b) {
+		st.Steps++
+		// Advance past pieces that end at or before x.
+		if i < len(a) && a[i].X2 <= x+geom.Eps {
+			i++
+			continue
+		}
+		if j < len(b) && b[j].X2 <= x+geom.Eps {
+			j++
+			continue
+		}
+		if i >= len(a) && j >= len(b) {
+			break
+		}
+		// Determine the current active pieces (if their span contains x).
+		var pa, pb *Piece
+		if i < len(a) && a[i].X1 <= x+geom.Eps {
+			pa = &a[i]
+		}
+		if j < len(b) && b[j].X1 <= x+geom.Eps {
+			pb = &b[j]
+		}
+		// Next breakpoint: nearest piece start or end strictly right of x.
+		next := math.Inf(1)
+		if i < len(a) {
+			if a[i].X1 > x+geom.Eps {
+				next = math.Min(next, a[i].X1)
+			} else {
+				next = math.Min(next, a[i].X2)
+			}
+		}
+		if j < len(b) {
+			if b[j].X1 > x+geom.Eps {
+				next = math.Min(next, b[j].X1)
+			} else {
+				next = math.Min(next, b[j].X2)
+			}
+		}
+		if math.IsInf(next, 1) {
+			break
+		}
+		lo, hi := x, next
+		switch {
+		case pa == nil && pb == nil:
+			// Gap on both: skip forward.
+		case pa != nil && pb == nil:
+			out = appendPiece(out, Piece{X1: lo, Z1: pa.ZAt(lo), X2: hi, Z2: pa.ZAt(hi), Edge: pa.Edge})
+		case pa == nil && pb != nil:
+			out = appendPiece(out, Piece{X1: lo, Z1: pb.ZAt(lo), X2: hi, Z2: pb.ZAt(hi), Edge: pb.Edge})
+		default:
+			out = emitMax(out, *pa, *pb, lo, hi, &st)
+		}
+		x = next
+	}
+	return out, st
+}
+
+// emitMax appends the pointwise maximum of pieces pa (front, wins ties) and
+// pb over [lo, hi], splitting at a crossing if the order changes.
+func emitMax(out Profile, pa, pb Piece, lo, hi float64, st *Stats) Profile {
+	da := pa.ZAt(lo) - pb.ZAt(lo)
+	db := pa.ZAt(hi) - pb.ZAt(hi)
+	aAtLo := da >= -geom.Eps // front wins ties
+	aAtHi := db >= -geom.Eps
+	if aAtLo == aAtHi {
+		top, other := pa, pb
+		if !aAtLo {
+			top, other = pb, pa
+		}
+		// The tops may still cross and come back within the interval only if
+		// they cross twice, impossible for two lines. Emit the single top.
+		_ = other
+		return appendPiece(out, Piece{X1: lo, Z1: top.ZAt(lo), X2: hi, Z2: top.ZAt(hi), Edge: top.Edge})
+	}
+	// Order changes: find the crossing x*. A sign change of the linear
+	// difference implies the crossing lies within [lo, hi] mathematically,
+	// so an xs outside the interval is pure roundoff — clamp it (a clamped
+	// crossing at an endpoint yields a zero-width piece that appendPiece
+	// drops, leaving the whole interval to the other side).
+	xs, ok := geom.LineIntersectX(pa.Seg(), pb.Seg())
+	if !ok {
+		// Numerically parallel yet signs flipped within Eps: give the whole
+		// interval to whichever piece is on top at the endpoint where the
+		// separation is widest.
+		top := pa
+		if math.Abs(da) >= math.Abs(db) {
+			if da < 0 {
+				top = pb
+			}
+		} else if db < 0 {
+			top = pb
+		}
+		return appendPiece(out, Piece{X1: lo, Z1: top.ZAt(lo), X2: hi, Z2: top.ZAt(hi), Edge: top.Edge})
+	}
+	xs = math.Min(math.Max(xs, lo), hi)
+	st.Crossings++
+	first, second := pa, pb
+	if !aAtLo {
+		first, second = pb, pa
+	}
+	zc := first.ZAt(xs)
+	out = appendPiece(out, Piece{X1: lo, Z1: first.ZAt(lo), X2: xs, Z2: zc, Edge: first.Edge})
+	out = appendPiece(out, Piece{X1: xs, Z1: zc, X2: hi, Z2: second.ZAt(hi), Edge: second.Edge})
+	return out
+}
+
+// BuildUpperEnvelope computes the upper envelope of a set of image segments
+// by divide-and-conquer merging (the sequential realization of Lemma 3.1).
+// Edge attribution uses the segment indices offset by base.
+func BuildUpperEnvelope(segs []geom.Seg2, base int32) Profile {
+	switch len(segs) {
+	case 0:
+		return nil
+	case 1:
+		return FromSegment(segs[0], base)
+	}
+	mid := len(segs) / 2
+	l := BuildUpperEnvelope(segs[:mid], base)
+	r := BuildUpperEnvelope(segs[mid:], base+int32(mid))
+	return Merge(l, r)
+}

@@ -1,0 +1,120 @@
+package envelope
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"terrainhsr/internal/geom"
+)
+
+// decodeSegs turns fuzz bytes into a bounded set of well-formed segments.
+func decodeSegs(data []byte) []geom.Seg2 {
+	var segs []geom.Seg2
+	for len(data) >= 8 && len(segs) < 64 {
+		x1 := float64(binary.LittleEndian.Uint16(data[0:2])) / 64
+		z1 := float64(int16(binary.LittleEndian.Uint16(data[2:4]))) / 64
+		dx := 0.25 + float64(binary.LittleEndian.Uint16(data[4:6]))/256
+		z2 := float64(int16(binary.LittleEndian.Uint16(data[6:8]))) / 64
+		segs = append(segs, geom.S2(x1, z1, x1+dx, z2))
+		data = data[8:]
+	}
+	return segs
+}
+
+// FuzzEnvelopeMerge checks, for arbitrary segment sets, that the balanced
+// divide-and-conquer envelope (a) validates structurally and (b) agrees
+// with the brute-force pointwise maximum away from breakpoints.
+func FuzzEnvelopeMerge(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 10, 0, 0, 1, 2, 0, 5, 0, 20, 0, 255, 0})
+	f.Add(make([]byte, 64))
+	f.Add([]byte{0xff, 0xff, 0x00, 0x80, 0x10, 0x00, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		segs := decodeSegs(data)
+		env := BuildUpperEnvelope(segs, 0)
+		if err := env.Validate(); err != nil {
+			t.Fatalf("invalid envelope: %v", err)
+		}
+		lo, hi, ok := env.XRange()
+		if !ok {
+			return
+		}
+		for i := 0; i < 32; i++ {
+			x := lo + (hi-lo)*float64(i)/32
+			want, wantCov := bruteMax(segs, x)
+			got, gotCov := env.Eval(x)
+			if nearAnyBreakOrEnd(env, segs, x, 1e-6) {
+				continue
+			}
+			if wantCov != gotCov {
+				t.Fatalf("coverage mismatch at %v: got %v want %v", x, gotCov, wantCov)
+			}
+			if wantCov && math.Abs(want-got) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("value mismatch at %v: got %v want %v", x, got, want)
+			}
+		}
+	})
+}
+
+// FuzzClipAbove checks clipping consistency: visible spans lie within the
+// query segment and agree with sampling.
+func FuzzClipAbove(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 10, 0, 0, 1, 2, 0, 5, 0, 20, 0, 255, 0, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 16 {
+			return
+		}
+		segs := decodeSegs(data[8:])
+		q := decodeSegs(data[:8])
+		if len(q) == 0 {
+			return
+		}
+		p := BuildUpperEnvelope(segs, 0)
+		res := ClipAbove(q[0], p)
+		s := q[0].Canon()
+		for _, sp := range res.Spans {
+			if sp.X1 < s.A.X-1e-9 || sp.X2 > s.B.X+1e-9 {
+				t.Fatalf("span %+v outside query segment %+v", sp, s)
+			}
+			if sp.X2 < sp.X1 {
+				t.Fatalf("inverted span %+v", sp)
+			}
+		}
+		// Spans must be disjoint and ordered.
+		for i := 1; i < len(res.Spans); i++ {
+			if res.Spans[i].X1 < res.Spans[i-1].X2-1e-9 {
+				t.Fatalf("overlapping spans %+v %+v", res.Spans[i-1], res.Spans[i])
+			}
+		}
+	})
+}
+
+func bruteMax(segs []geom.Seg2, x float64) (float64, bool) {
+	best, ok := math.Inf(-1), false
+	for _, s := range segs {
+		s = s.Canon()
+		if s.IsVerticalImage() {
+			continue
+		}
+		if x >= s.A.X && x <= s.B.X {
+			if z := s.ZAt(x); z > best {
+				best, ok = z, true
+			}
+		}
+	}
+	return best, ok
+}
+
+func nearAnyBreakOrEnd(p Profile, segs []geom.Seg2, x, tol float64) bool {
+	for _, pc := range p {
+		if math.Abs(pc.X1-x) < tol || math.Abs(pc.X2-x) < tol {
+			return true
+		}
+	}
+	for _, s := range segs {
+		if math.Abs(s.A.X-x) < tol || math.Abs(s.B.X-x) < tol {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+// Package geom provides the planar and spatial primitives used throughout
+// the terrain hidden-surface-removal pipeline: points, segments, orientation
+// and intersection predicates, and the projective transform that reduces
+// perspective views to the canonical orthographic case.
+//
+// Conventions. The viewer sits at x = -inf looking in the +x direction, so
+// "in front" means smaller x. The image plane is the y-z plane: a world point
+// (x, y, z) projects orthographically to the image point (y, z). Profiles
+// (upper envelopes) are functions of y with values in z.
+package geom
+
+import "math"
+
+// Eps is the tolerance used by the floating-point predicates. Inputs are
+// expected to be scaled so that meaningful feature sizes are well above Eps.
+const Eps = 1e-9
+
+// Pt2 is a point in the image plane: X is the horizontal (world y) axis and
+// Z the vertical (world z) axis. The field is named X rather than Y to keep
+// image-plane code readable independently of world coordinates.
+type Pt2 struct {
+	X, Z float64
+}
+
+// Pt3 is a point in world space with Z = f(X, Y) on the terrain surface.
+type Pt3 struct {
+	X, Y, Z float64
+}
+
+// ImagePoint is the orthographic projection of p onto the y-z plane.
+func (p Pt3) ImagePoint() Pt2 { return Pt2{X: p.Y, Z: p.Z} }
+
+// PlanPoint is the projection of p onto the x-y plane (the "plan view" used
+// to order edges front to back).
+func (p Pt3) PlanPoint() Pt2 { return Pt2{X: p.X, Z: p.Y} }
+
+// Seg2 is a closed segment in the image plane. Callers that require
+// y-monotone segments should normalize with Canon so that A.X <= B.X.
+type Seg2 struct {
+	A, B Pt2
+}
+
+// Seg3 is a segment in world space (a terrain edge).
+type Seg3 struct {
+	A, B Pt3
+}
+
+// ImageSeg is the orthographic projection of s onto the image plane,
+// normalized so the left endpoint comes first.
+func (s Seg3) ImageSeg() Seg2 {
+	return Seg2{s.A.ImagePoint(), s.B.ImagePoint()}.Canon()
+}
+
+// Canon returns s with endpoints ordered by X (ties broken by Z).
+func (s Seg2) Canon() Seg2 {
+	if s.B.X < s.A.X || (s.B.X == s.A.X && s.B.Z < s.A.Z) {
+		return Seg2{s.B, s.A}
+	}
+	return s
+}
+
+// IsVerticalImage reports whether the segment projects to a single x
+// coordinate in the image plane (zero horizontal extent). Such segments
+// contribute nothing to an upper envelope's interior.
+func (s Seg2) IsVerticalImage() bool { return math.Abs(s.B.X-s.A.X) <= Eps }
+
+// ZAt evaluates the segment's supporting line at horizontal coordinate x.
+// The segment must not be vertical.
+func (s Seg2) ZAt(x float64) float64 {
+	t := (x - s.A.X) / (s.B.X - s.A.X)
+	return s.A.Z + t*(s.B.Z-s.A.Z)
+}
+
+// Slope returns dZ/dX of the supporting line. The segment must not be
+// vertical.
+func (s Seg2) Slope() float64 { return (s.B.Z - s.A.Z) / (s.B.X - s.A.X) }
+
+// Cross returns the 2D cross product (b-a) x (c-a). Positive means c lies to
+// the left of the directed line a->b (counterclockwise turn).
+func Cross(a, b, c Pt2) float64 {
+	return (b.X-a.X)*(c.Z-a.Z) - (b.Z-a.Z)*(c.X-a.X)
+}
+
+// Orient classifies c against the directed line a->b: +1 left (CCW),
+// -1 right (CW), 0 within Eps of collinear. The test is normalized by the
+// magnitude of the inputs so that Eps acts as a relative tolerance.
+func Orient(a, b, c Pt2) int {
+	cr := Cross(a, b, c)
+	scale := math.Abs(b.X-a.X) + math.Abs(b.Z-a.Z) + math.Abs(c.X-a.X) + math.Abs(c.Z-a.Z)
+	if scale < 1 {
+		scale = 1
+	}
+	switch {
+	case cr > Eps*scale:
+		return 1
+	case cr < -Eps*scale:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// LineIntersectX returns the x coordinate at which the supporting lines of a
+// and b intersect, and ok=false if they are parallel within tolerance.
+// Neither segment may be vertical.
+func LineIntersectX(a, b Seg2) (x float64, ok bool) {
+	sa, sb := a.Slope(), b.Slope()
+	denom := sa - sb
+	scale := math.Abs(sa) + math.Abs(sb)
+	if scale < 1 {
+		scale = 1
+	}
+	if math.Abs(denom) <= Eps*scale {
+		return 0, false
+	}
+	// a.A.Z + sa*(x - a.A.X) = b.A.Z + sb*(x - b.A.X)
+	x = (b.A.Z - a.A.Z + sa*a.A.X - sb*b.A.X) / denom
+	return x, true
+}
+
+// SegCrossOnOverlap returns the crossing point of the two non-vertical
+// segments restricted to their common x-interval, with ok=false if they do
+// not cross there. Touching within Eps is reported as a crossing so callers
+// can apply consistent tie-breaking.
+func SegCrossOnOverlap(a, b Seg2) (Pt2, bool) {
+	lo := math.Max(a.A.X, b.A.X)
+	hi := math.Min(a.B.X, b.B.X)
+	if hi < lo {
+		return Pt2{}, false
+	}
+	da := a.ZAt(lo) - b.ZAt(lo)
+	db := a.ZAt(hi) - b.ZAt(hi)
+	if (da > 0 && db > 0) || (da < 0 && db < 0) {
+		return Pt2{}, false
+	}
+	x, ok := LineIntersectX(a, b)
+	if !ok {
+		// Parallel and touching throughout the overlap: report the left end.
+		if math.Abs(da) <= Eps {
+			return Pt2{X: lo, Z: a.ZAt(lo)}, true
+		}
+		return Pt2{}, false
+	}
+	if x < lo-Eps || x > hi+Eps {
+		return Pt2{}, false
+	}
+	x = math.Min(math.Max(x, lo), hi)
+	return Pt2{X: x, Z: a.ZAt(x)}, true
+}
+
+// Lerp returns a + t*(b-a).
+func Lerp(a, b Pt2, t float64) Pt2 {
+	return Pt2{X: a.X + t*(b.X-a.X), Z: a.Z + t*(b.Z-a.Z)}
+}
+
+// Min and Max helpers for float64 pairs used pervasively by envelope code.
+func Min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// P2, P3 and S2 are terse constructors used pervasively by tests and
+// examples (they also keep cross-package composite literals keyed, which
+// `go vet` insists on).
+func P2(x, z float64) Pt2 { return Pt2{X: x, Z: z} }
+
+// P3 constructs a world point.
+func P3(x, y, z float64) Pt3 { return Pt3{X: x, Y: y, Z: z} }
+
+// S2 constructs an image segment from endpoint coordinates.
+func S2(ax, az, bx, bz float64) Seg2 { return Seg2{A: Pt2{X: ax, Z: az}, B: Pt2{X: bx, Z: bz}} }
+
+// S3 constructs a world segment.
+func S3(a, b Pt3) Seg3 { return Seg3{A: a, B: b} }

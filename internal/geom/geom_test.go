@@ -1,0 +1,267 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonOrdersByX(t *testing.T) {
+	s := Seg2{Pt2{3, 1}, Pt2{1, 2}}.Canon()
+	if s.A.X != 1 || s.B.X != 3 {
+		t.Fatalf("Canon failed: %+v", s)
+	}
+	// Already ordered stays put.
+	s2 := Seg2{Pt2{1, 2}, Pt2{3, 1}}.Canon()
+	if s2 != (Seg2{Pt2{1, 2}, Pt2{3, 1}}) {
+		t.Fatalf("Canon changed ordered segment: %+v", s2)
+	}
+}
+
+func TestCanonVerticalTieBreak(t *testing.T) {
+	s := Seg2{Pt2{1, 5}, Pt2{1, 2}}.Canon()
+	if s.A.Z != 2 || s.B.Z != 5 {
+		t.Fatalf("vertical Canon should order by Z: %+v", s)
+	}
+	if !s.IsVerticalImage() {
+		t.Fatal("expected vertical segment")
+	}
+}
+
+func TestZAtEndpointsAndMid(t *testing.T) {
+	s := Seg2{Pt2{0, 0}, Pt2{4, 8}}
+	if got := s.ZAt(0); got != 0 {
+		t.Fatalf("ZAt(0)=%v", got)
+	}
+	if got := s.ZAt(4); got != 8 {
+		t.Fatalf("ZAt(4)=%v", got)
+	}
+	if got := s.ZAt(1); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ZAt(1)=%v", got)
+	}
+}
+
+func TestOrientBasic(t *testing.T) {
+	a, b := Pt2{0, 0}, Pt2{1, 0}
+	if Orient(a, b, Pt2{0.5, 1}) != 1 {
+		t.Fatal("expected left")
+	}
+	if Orient(a, b, Pt2{0.5, -1}) != -1 {
+		t.Fatal("expected right")
+	}
+	if Orient(a, b, Pt2{2, 0}) != 0 {
+		t.Fatal("expected collinear")
+	}
+}
+
+func TestLineIntersectX(t *testing.T) {
+	a := Seg2{Pt2{0, 0}, Pt2{2, 2}} // z = x
+	b := Seg2{Pt2{0, 2}, Pt2{2, 0}} // z = 2 - x
+	x, ok := LineIntersectX(a, b)
+	if !ok || math.Abs(x-1) > 1e-12 {
+		t.Fatalf("got x=%v ok=%v", x, ok)
+	}
+	// Parallel lines.
+	c := Seg2{Pt2{0, 1}, Pt2{2, 3}} // z = x + 1
+	if _, ok := LineIntersectX(a, c); ok {
+		t.Fatal("parallel lines should not intersect")
+	}
+}
+
+func TestSegCrossOnOverlap(t *testing.T) {
+	a := Seg2{Pt2{0, 0}, Pt2{4, 4}}
+	b := Seg2{Pt2{0, 4}, Pt2{4, 0}}
+	p, ok := SegCrossOnOverlap(a, b)
+	if !ok || math.Abs(p.X-2) > 1e-12 || math.Abs(p.Z-2) > 1e-12 {
+		t.Fatalf("got %+v ok=%v", p, ok)
+	}
+	// Disjoint x-ranges.
+	c := Seg2{Pt2{5, 0}, Pt2{6, 1}}
+	if _, ok := SegCrossOnOverlap(a, c); ok {
+		t.Fatal("disjoint ranges should not cross")
+	}
+	// Same side everywhere.
+	d := Seg2{Pt2{0, 10}, Pt2{4, 11}}
+	if _, ok := SegCrossOnOverlap(a, d); ok {
+		t.Fatal("non-crossing segments reported as crossing")
+	}
+}
+
+func TestSegCrossEndpointTouch(t *testing.T) {
+	// b starts exactly on a.
+	a := Seg2{Pt2{0, 0}, Pt2{4, 4}}
+	b := Seg2{Pt2{2, 2}, Pt2{4, 0}}
+	p, ok := SegCrossOnOverlap(a, b)
+	if !ok {
+		t.Fatal("touching segments should report a crossing")
+	}
+	if math.Abs(p.X-2) > 1e-9 {
+		t.Fatalf("touch point wrong: %+v", p)
+	}
+}
+
+// Property: a reported crossing point lies on both supporting lines.
+func TestSegCrossProperty(t *testing.T) {
+	f := func(ax, az, bx, bz, cx, cz, dx, dz float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 100) }
+		a := Seg2{Pt2{norm(ax), norm(az)}, Pt2{norm(ax) + 1 + norm(bx), norm(bz)}}
+		b := Seg2{Pt2{norm(cx), norm(cz)}, Pt2{norm(cx) + 1 + norm(dx), norm(dz)}}
+		p, ok := SegCrossOnOverlap(a, b)
+		if !ok {
+			return true
+		}
+		da := math.Abs(p.Z - a.ZAt(p.X))
+		db := math.Abs(p.Z - b.ZAt(p.X))
+		return da < 1e-6 && db < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImageProjection(t *testing.T) {
+	p := Pt3{X: 7, Y: 2, Z: 3}
+	img := p.ImagePoint()
+	if img.X != 2 || img.Z != 3 {
+		t.Fatalf("image point %+v", img)
+	}
+	plan := p.PlanPoint()
+	if plan.X != 7 || plan.Z != 2 {
+		t.Fatalf("plan point %+v", plan)
+	}
+	s := Seg3{Pt3{1, 5, 0}, Pt3{2, 3, 1}}.ImageSeg()
+	if s.A.X != 3 || s.B.X != 5 {
+		t.Fatalf("image segment not canonical: %+v", s)
+	}
+}
+
+func TestPerspectiveRejectsBehindEye(t *testing.T) {
+	tr := PerspectiveTransform{Eye: Pt3{0, 0, 10}, MinDepth: 0.5}
+	if _, err := tr.Apply(Pt3{X: 0.2, Y: 0, Z: 0}); err == nil {
+		t.Fatal("expected ErrBehindEye")
+	}
+	if _, err := tr.Apply(Pt3{X: -3, Y: 0, Z: 0}); err == nil {
+		t.Fatal("expected ErrBehindEye for point behind eye")
+	}
+}
+
+func TestPerspectivePreservesDepthOrder(t *testing.T) {
+	tr := PerspectiveTransform{Eye: Pt3{0, 0, 5}, MinDepth: 0.1}
+	a, err := tr.Apply(Pt3{X: 1, Y: 0, Z: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Apply(Pt3{X: 2, Y: 0, Z: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(a.X < b.X) {
+		t.Fatalf("depth order not preserved: %v >= %v", a.X, b.X)
+	}
+}
+
+func TestPerspectiveLinesStayLines(t *testing.T) {
+	// Three collinear world points on a line with x > eye must map to three
+	// collinear points (projective maps preserve lines).
+	tr := PerspectiveTransform{Eye: Pt3{-1, 0, 2}, MinDepth: 0.1}
+	p0 := Pt3{1, 2, 3}
+	p1 := Pt3{3, 5, 4}
+	mid := Pt3{2, 3.5, 3.5}
+	q0, _ := tr.Apply(p0)
+	q1, _ := tr.Apply(p1)
+	qm, _ := tr.Apply(mid)
+	// Collinearity in 3D: (q1-q0) x (qm-q0) ~ 0.
+	ux, uy, uz := q1.X-q0.X, q1.Y-q0.Y, q1.Z-q0.Z
+	vx, vy, vz := qm.X-q0.X, qm.Y-q0.Y, qm.Z-q0.Z
+	cx := uy*vz - uz*vy
+	cy := uz*vx - ux*vz
+	cz := ux*vy - uy*vx
+	if math.Abs(cx)+math.Abs(cy)+math.Abs(cz) > 1e-9 {
+		t.Fatalf("projective image of collinear points not collinear: %v %v %v", cx, cy, cz)
+	}
+}
+
+func TestImageToWorldRayRoundTrip(t *testing.T) {
+	tr := PerspectiveTransform{Eye: Pt3{2, -1, 4}, MinDepth: 0.1}
+	orig := Pt3{5, 3, 7}
+	q, err := tr.Apply(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := tr.ImageToWorldRay(Pt2{X: q.Y, Z: q.Z}, q.X)
+	if math.Abs(back.X-orig.X) > 1e-9 || math.Abs(back.Y-orig.Y) > 1e-9 || math.Abs(back.Z-orig.Z) > 1e-9 {
+		t.Fatalf("round trip failed: %+v vs %+v", back, orig)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p := Lerp(Pt2{0, 0}, Pt2{10, 20}, 0.25)
+	if p.X != 2.5 || p.Z != 5 {
+		t.Fatalf("lerp %+v", p)
+	}
+}
+
+func TestHelpersAndConstructors(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 || Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Min/Max wrong")
+	}
+	if P2(1, 2) != (Pt2{X: 1, Z: 2}) {
+		t.Fatal("P2 wrong")
+	}
+	if P3(1, 2, 3) != (Pt3{X: 1, Y: 2, Z: 3}) {
+		t.Fatal("P3 wrong")
+	}
+	if S2(1, 2, 3, 4) != (Seg2{A: Pt2{X: 1, Z: 2}, B: Pt2{X: 3, Z: 4}}) {
+		t.Fatal("S2 wrong")
+	}
+	a, b := P3(0, 0, 0), P3(1, 1, 1)
+	if S3(a, b) != (Seg3{A: a, B: b}) {
+		t.Fatal("S3 wrong")
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	tr := PerspectiveTransform{Eye: P3(-5, 0, 2), MinDepth: 0.5}
+	pts := []Pt3{P3(1, 2, 3), P3(4, 5, 6)}
+	out, err := tr.ApplyAll(pts)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("ApplyAll: %v %v", out, err)
+	}
+	// One bad point fails the batch.
+	if _, err := tr.ApplyAll([]Pt3{P3(1, 0, 0), P3(-10, 0, 0)}); err == nil {
+		t.Fatal("ApplyAll accepted behind-eye point")
+	}
+}
+
+func TestApplyDefaultMinDepth(t *testing.T) {
+	tr := PerspectiveTransform{Eye: P3(0, 0, 0)} // MinDepth zero -> default
+	if _, err := tr.Apply(P3(1e-9, 0, 0)); err == nil {
+		t.Fatal("point at eye plane accepted with default MinDepth")
+	}
+	if _, err := tr.Apply(P3(1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegCrossParallelNoTouch(t *testing.T) {
+	// Parallel, overlapping in x, never touching.
+	a := S2(0, 0, 4, 4)
+	b := S2(0, 2, 4, 6)
+	if _, ok := SegCrossOnOverlap(a, b); ok {
+		t.Fatal("parallel separated segments reported crossing")
+	}
+	// Parallel and collinear-touching.
+	c := S2(1, 1, 3, 3)
+	if _, ok := SegCrossOnOverlap(a, c); !ok {
+		t.Fatal("collinear overlap should report a touch")
+	}
+}
+
+func TestInFrontOrderHelper(t *testing.T) {
+	tr := PerspectiveTransform{Eye: P3(0, 0, 0), MinDepth: 0.1}
+	if !tr.InFrontOrder(1, 2) {
+		t.Fatal("depth order helper wrong")
+	}
+}

@@ -1,0 +1,83 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// PerspectiveTransform maps world points so that a perspective view from a
+// finite eye point becomes the canonical orthographic view from x = -inf.
+//
+// For an eye at E looking in +x, the projective map
+//
+//	x' = -1/(x - E.X)   y' = (y - E.Y)/(x - E.X)   z' = (z - E.Z)/(x - E.X)
+//
+// sends the eye to x' = -inf, preserves straight lines and incidence, and
+// preserves the front-to-back order of points along each viewing ray (x' is
+// increasing in x for x > E.X). A terrain restricted to the half-space
+// x > E.X + MinDepth therefore maps to a scene that the orthographic
+// pipeline handles directly, and visibility answers carry back verbatim.
+//
+// The paper notes its algorithm "works for perspective projection as well";
+// this transform is how the library realizes that claim.
+type PerspectiveTransform struct {
+	Eye Pt3
+	// MinDepth is the minimum allowed x-distance between the eye and any
+	// terrain vertex; points closer than this (or behind the eye) are
+	// rejected to keep the map well-conditioned.
+	MinDepth float64
+}
+
+// ErrBehindEye is returned when a vertex is at or behind the eye plane.
+var ErrBehindEye = errors.New("geom: terrain vertex at or behind the eye plane")
+
+// Apply maps a world point. It returns ErrBehindEye if the point violates
+// the MinDepth constraint.
+func (t PerspectiveTransform) Apply(p Pt3) (Pt3, error) {
+	d := p.X - t.Eye.X
+	minD := t.MinDepth
+	if minD <= 0 {
+		minD = 1e-6
+	}
+	if d < minD {
+		return Pt3{}, ErrBehindEye
+	}
+	return Pt3{
+		X: -1 / d,
+		Y: (p.Y - t.Eye.Y) / d,
+		Z: (p.Z - t.Eye.Z) / d,
+	}, nil
+}
+
+// ApplyAll maps a slice of points, failing on the first invalid one.
+func (t PerspectiveTransform) ApplyAll(pts []Pt3) ([]Pt3, error) {
+	out := make([]Pt3, len(pts))
+	for i, p := range pts {
+		q, err := t.Apply(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// ImageToWorldRay inverts the image coordinates of the transformed scene
+// back into a world-space direction from the eye: image point (y', z') at
+// transformed depth x' corresponds to the world point
+// E + (d, y'*d, z'*d) with d = -1/x'.
+func (t PerspectiveTransform) ImageToWorldRay(img Pt2, xPrime float64) Pt3 {
+	d := -1 / xPrime
+	return Pt3{
+		X: t.Eye.X + d,
+		Y: t.Eye.Y + img.X*d,
+		Z: t.Eye.Z + img.Z*d,
+	}
+}
+
+// InFrontOrder reports whether transformed depths preserve order: for any
+// two depths da < db (both >= MinDepth), the transform yields xa' < xb'.
+// Exposed as a helper for tests and documentation.
+func (t PerspectiveTransform) InFrontOrder(da, db float64) bool {
+	return -1/da < -1/db == (da < db) || math.IsInf(da, 0)
+}

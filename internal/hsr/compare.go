@@ -1,0 +1,103 @@
+package hsr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// interval is a normalized 1-D extent used for comparing results: the X
+// extent for ordinary pieces, the Z extent for vertical-image pieces.
+type interval struct{ lo, hi float64 }
+
+// edgeIntervals normalizes a result's pieces for one edge into maximal
+// intervals, merging pieces that abut within tol (different algorithms may
+// split the same visible run at different internal points).
+func edgeIntervals(pieces []VisiblePiece, tol float64) map[int32][]interval {
+	m := make(map[int32][]interval)
+	for _, p := range pieces {
+		var iv interval
+		if p.Span.X2-p.Span.X1 <= tol { // vertical piece: compare z-extents
+			iv = interval{lo: p.Span.Z1, hi: p.Span.Z2}
+		} else {
+			iv = interval{lo: p.Span.X1, hi: p.Span.X2}
+		}
+		m[p.Edge] = append(m[p.Edge], iv)
+	}
+	for e, ivs := range m {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+		merged := ivs[:0]
+		for _, iv := range ivs {
+			if n := len(merged); n > 0 && iv.lo <= merged[n-1].hi+tol {
+				if iv.hi > merged[n-1].hi {
+					merged[n-1].hi = iv.hi
+				}
+				continue
+			}
+			merged = append(merged, iv)
+		}
+		m[e] = merged
+	}
+	return m
+}
+
+// Equivalent checks that two results describe the same visible scene up to
+// tolerance: for every edge, the same set of maximal visible intervals.
+// Intervals shorter than minLen are ignored on both sides (algorithms may
+// legitimately disagree about slivers within numeric tolerance of a
+// crossing).
+func Equivalent(a, b *Result, tol, minLen float64) error {
+	ai := edgeIntervals(a.Pieces, tol)
+	bi := edgeIntervals(b.Pieces, tol)
+	edges := make(map[int32]bool)
+	for e := range ai {
+		edges[e] = true
+	}
+	for e := range bi {
+		edges[e] = true
+	}
+	var keys []int32
+	for e := range edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, e := range keys {
+		av := filterShort(ai[e], minLen)
+		bv := filterShort(bi[e], minLen)
+		if len(av) != len(bv) {
+			return fmt.Errorf("hsr: edge %d: %d vs %d visible intervals (%v vs %v)", e, len(av), len(bv), av, bv)
+		}
+		for i := range av {
+			if math.Abs(av[i].lo-bv[i].lo) > 20*tol+minLen || math.Abs(av[i].hi-bv[i].hi) > 20*tol+minLen {
+				return fmt.Errorf("hsr: edge %d interval %d differs: [%v,%v] vs [%v,%v]",
+					e, i, av[i].lo, av[i].hi, bv[i].lo, bv[i].hi)
+			}
+		}
+	}
+	return nil
+}
+
+func filterShort(ivs []interval, minLen float64) []interval {
+	out := ivs[:0:0]
+	for _, iv := range ivs {
+		if iv.hi-iv.lo > minLen {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// SimilarLength is a weaker comparison: total visible length within a
+// relative tolerance. Used as a fast smoke check on large inputs where the
+// exact interval comparison would dominate test time.
+func SimilarLength(a, b *Result, relTol float64) error {
+	la, lb := a.VisibleLength(), b.VisibleLength()
+	scale := math.Max(math.Abs(la), math.Abs(lb))
+	if scale == 0 {
+		return nil
+	}
+	if math.Abs(la-lb) > relTol*scale {
+		return fmt.Errorf("hsr: visible length differs: %v vs %v (rel %v)", la, lb, math.Abs(la-lb)/scale)
+	}
+	return nil
+}

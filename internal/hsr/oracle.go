@@ -1,0 +1,94 @@
+package hsr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"terrainhsr/internal/envelope"
+	"terrainhsr/internal/terrain"
+)
+
+// The visibility oracle checks a Result against first principles, using
+// only raw geometry — no envelopes, no ordering, no shared code paths with
+// the solvers. For a sampled image column x (a world-y value), the edges
+// whose plan projections cross the viewing ray at that y are enumerated
+// with their ray-crossing depth; an edge is visible at that column iff no
+// strictly nearer edge passes strictly above it. The oracle then demands
+// that the Result reports exactly the visible edges at that column.
+//
+// This is the strongest correctness instrument in the test suite: any
+// systematic error shared by all solvers (ordering, clipping, merging)
+// breaks against it.
+
+// columnHit is one edge crossing the sampled viewing ray.
+type columnHit struct {
+	edge  int32
+	depth float64 // x coordinate of the plan crossing (distance from viewer)
+	z     float64 // surface height at the crossing
+}
+
+// columnHits enumerates the edges crossing the viewing ray at world y,
+// nearest first, skipping crossings within tol of an edge endpoint (where
+// visibility is a measure-zero tie).
+func columnHits(t *terrain.Terrain, y float64, tol float64) []columnHit {
+	var hits []columnHit
+	for ei, e := range t.Edges {
+		p, q := t.PlanPt(e.V0), t.PlanPt(e.V1)
+		dy := q.Z - p.Z
+		if math.Abs(dy) <= tol {
+			continue
+		}
+		u := (y - p.Z) / dy
+		if u <= tol || u >= 1-tol {
+			continue
+		}
+		a, b := t.Verts[e.V0], t.Verts[e.V1]
+		hits = append(hits, columnHit{
+			edge:  int32(ei),
+			depth: p.X + u*(q.X-p.X),
+			z:     a.Z + u*(b.Z-a.Z),
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].depth < hits[j].depth })
+	return hits
+}
+
+// OracleCheck verifies res against the first-principles oracle on the
+// given sample of world-y columns. tol guards against samples landing on
+// breakpoints (ties); columns where any two hits are within tol in z are
+// skipped as degenerate.
+func OracleCheck(t *terrain.Terrain, res *Result, ys []float64, tol float64) error {
+	byEdge := make(map[int32][]envelope.Span)
+	for _, p := range res.Pieces {
+		byEdge[p.Edge] = append(byEdge[p.Edge], p.Span)
+	}
+	inSpan := func(edge int32, x float64) bool {
+		for _, sp := range byEdge[edge] {
+			if x >= sp.X1-tol && x <= sp.X2+tol {
+				return true
+			}
+		}
+		return false
+	}
+	for _, y := range ys {
+		hits := columnHits(t, y, 1e-7)
+		running := math.Inf(-1)
+		for i, h := range hits {
+			visible := h.z > running+tol
+			borderline := math.Abs(h.z-running) <= 10*tol
+			if h.z > running {
+				running = h.z
+			}
+			if borderline {
+				continue
+			}
+			got := inSpan(h.edge, y)
+			if got != visible {
+				return fmt.Errorf("hsr: oracle mismatch at column y=%v, hit %d (edge %d, depth %v, z %v): oracle says visible=%v, result says %v",
+					y, i, h.edge, h.depth, h.z, visible, got)
+			}
+		}
+	}
+	return nil
+}

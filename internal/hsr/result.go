@@ -1,0 +1,146 @@
+// Package hsr assembles the hidden-surface-removal algorithms: the
+// brute-force reference, the sequential algorithm of Reif and Sen, the
+// simple (copying) parallelization, the intersection-insensitive baseline,
+// and the paper's output-sensitive parallel algorithm.
+//
+// All algorithms produce the same object-space answer: for every terrain
+// edge, the maximal portions of its image-plane projection visible from the
+// viewer at x = -inf. The portions, together with their endpoints and the
+// crossings discovered on the way, form the combinatorial description of
+// the visible scene whose size is the paper's k.
+package hsr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"terrainhsr/internal/envelope"
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/metrics"
+	"terrainhsr/internal/order"
+	"terrainhsr/internal/pct"
+	"terrainhsr/internal/pram"
+	"terrainhsr/internal/terrain"
+)
+
+// VisiblePiece is one maximal visible portion of a terrain edge in the
+// image plane. For edges projecting vertically, X1 == X2 and [Z1, Z2] is
+// the visible height range.
+type VisiblePiece struct {
+	Edge int32
+	Span envelope.Span
+}
+
+// Result is the outcome of a hidden-surface-removal run.
+type Result struct {
+	// N is the number of input edges (the paper's n).
+	N int
+	// Pieces lists the visible portions, sorted by (Edge, Span.X1, Span.Z1).
+	Pieces []VisiblePiece
+	// Crossings counts the crossings between edges and prefix profiles
+	// discovered during the run; each is a vertex of the displayed image.
+	Crossings int64
+	// IntersectionsI is the count of all pairwise image-plane crossings,
+	// populated only by the AllPairs baseline (the quantity I that
+	// intersection-sensitive algorithms pay for).
+	IntersectionsI int64
+	// Counters are the charged elementary operations.
+	Counters metrics.Counters
+	// Acct is the PRAM phase accounting (nil for algorithms that bypass it).
+	Acct *pram.Accounting
+	// Order is the depth order used.
+	Order *order.Result
+	// Phase1 and Phase2 hold per-layer statistics when the algorithm runs
+	// through the PCT.
+	Phase1 []pct.Phase1Stats
+	Phase2 []pct.Phase2Stats
+}
+
+// K returns the output-size measure: the number of visible pieces. The
+// displayed image has Theta(K) vertices and edges (each piece is an edge of
+// the image graph; vertices are piece endpoints, at most 2K).
+func (r *Result) K() int { return len(r.Pieces) }
+
+// Work returns the total charged operations (the paper's work measure).
+func (r *Result) Work() int64 { return r.Counters.Total() }
+
+// VisibleLength is the summed image-plane length of all visible pieces —
+// a robust scalar for cross-algorithm comparisons.
+func (r *Result) VisibleLength() float64 {
+	sum := 0.0
+	for _, p := range r.Pieces {
+		dx := p.Span.X2 - p.Span.X1
+		dz := p.Span.Z2 - p.Span.Z1
+		sum += math.Hypot(dx, dz)
+	}
+	return sum
+}
+
+// sortPieces normalizes piece order for deterministic output and comparison.
+func sortPieces(ps []VisiblePiece) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Edge != b.Edge {
+			return a.Edge < b.Edge
+		}
+		if a.Span.X1 != b.Span.X1 {
+			return a.Span.X1 < b.Span.X1
+		}
+		return a.Span.Z1 < b.Span.Z1
+	})
+}
+
+// Prepared bundles the view-dependent preprocessing shared by all
+// algorithms: the depth order (the separator-tree step) and the ordered
+// image segments. A Prepared value is immutable and safe for concurrent
+// reuse across solves.
+type Prepared struct {
+	t    *terrain.Terrain
+	ord  *order.Result
+	segs []geom.Seg2
+}
+
+// Prepare computes the depth order for a terrain once, for repeated solves.
+func Prepare(t *terrain.Terrain) (*Prepared, error) {
+	if t == nil || t.NumEdges() == 0 {
+		return nil, fmt.Errorf("hsr: empty terrain")
+	}
+	ord, err := order.Compute(t)
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]geom.Seg2, len(ord.EdgeOrder))
+	for i, e := range ord.EdgeOrder {
+		segs[i] = t.EdgeImageSeg(int(e))
+	}
+	return &Prepared{t: t, ord: ord, segs: segs}, nil
+}
+
+// Order exposes the cached depth order.
+func (p *Prepared) Order() *order.Result { return p.ord }
+
+// clipOne computes the visible spans of segment s against profile p,
+// handling vertical-image segments, and reports the crossing count.
+func clipOne(s geom.Seg2, p envelope.Profile) ([]envelope.Span, int, int) {
+	s = s.Canon()
+	if s.IsVerticalImage() {
+		x := s.A.X
+		zLo, zHi := s.A.Z, s.B.Z
+		z, covered := p.Eval(x)
+		switch {
+		case !covered:
+			return []envelope.Span{{X1: x, Z1: zLo, X2: x, Z2: zHi}}, 0, 1
+		case zHi > z+geom.Eps:
+			cross := 0
+			if zLo < z {
+				cross = 1
+			}
+			return []envelope.Span{{X1: x, Z1: geom.Max(zLo, z), X2: x, Z2: zHi}}, cross, 1
+		default:
+			return nil, 0, 1
+		}
+	}
+	res := envelope.ClipAbove(s, p)
+	return res.Spans, res.Crossings, res.Steps
+}

@@ -1,0 +1,90 @@
+package hsr
+
+import (
+	"terrainhsr/internal/cg"
+	"terrainhsr/internal/envelope"
+	"terrainhsr/internal/metrics"
+	"terrainhsr/internal/persist"
+	"terrainhsr/internal/pram"
+	"terrainhsr/internal/profiletree"
+	"terrainhsr/internal/terrain"
+)
+
+// SequentialTree runs the Reif-Sen sequential algorithm with the efficient
+// structures of their paper (and of this one): the evolving profile lives
+// in the balanced search structure with crossing queries, so each edge
+// costs O((1 + k_e) polylog) instead of O(|profile|). This is the
+// O((n + k) log^2 n)-style sequential bound the parallel algorithm is
+// measured against in experiment T5.
+//
+// Options mirror ParallelOS: summary pruning by default, the exact
+// hull-augmented ACG with withHulls.
+func SequentialTree(t *terrain.Terrain, withHulls bool) (*Result, error) {
+	prep, err := Prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	return prep.SequentialTree(withHulls)
+}
+
+// SequentialTree runs the tree-backed sequential sweep on the prepared
+// order.
+func (prep *Prepared) SequentialTree(withHulls bool) (*Result, error) {
+	res := &Result{N: prep.t.NumEdges(), Order: prep.ord, Acct: &pram.Accounting{}}
+	o := profiletree.NewOps(persist.NewArena(0xfeed), withHulls)
+	var profile profiletree.Tree
+	var ctr metrics.Counters
+	var maxTask, total int64
+
+	for pos, seg := range prep.segs {
+		var cost int64
+		s := seg.Canon()
+		if s.IsVerticalImage() {
+			x := s.A.X
+			zLo, zHi := s.A.Z, s.B.Z
+			z, covered := profiletree.Eval(profile, x)
+			ctr.QuerySteps++
+			cost++
+			switch {
+			case !covered:
+				res.Pieces = append(res.Pieces, VisiblePiece{Edge: prep.ord.EdgeOrder[pos],
+					Span: envelope.Span{X1: x, Z1: zLo, X2: x, Z2: zHi}})
+			case zHi > z+1e-9:
+				z1 := zLo
+				if z > z1 {
+					z1 = z
+					res.Crossings++
+					ctr.Crossings++
+				}
+				res.Pieces = append(res.Pieces, VisiblePiece{Edge: prep.ord.EdgeOrder[pos],
+					Span: envelope.Span{X1: x, Z1: z1, X2: x, Z2: zHi}})
+			}
+		} else {
+			rels, st := cg.QueryRelations(o, profile, s)
+			ctr.QuerySteps += st.Steps
+			ctr.HullOps += st.HullQueries
+			ctr.Crossings += st.Crossings
+			res.Crossings += st.Crossings
+			cost += st.Steps + st.HullQueries
+			for _, sp := range cg.VisibleSpans(rels, s) {
+				res.Pieces = append(res.Pieces, VisiblePiece{Edge: prep.ord.EdgeOrder[pos], Span: sp})
+			}
+			runs := cg.VisibleRuns(rels, s, int32(pos))
+			allocBefore := o.Arena.Allocs
+			profile = o.Splice(profile, runs)
+			delta := o.Arena.Allocs - allocBefore
+			ctr.TreeOps += delta
+			cost += delta
+		}
+		total += cost
+		if cost > maxTask {
+			maxTask = cost
+		}
+	}
+	ctr.Spans = int64(len(res.Pieces))
+	res.Counters = ctr
+	res.Counters.TreeAllocs = o.Arena.Allocs
+	res.Acct.AddPhase("sequential-tree", len(prep.segs), maxTask, total)
+	sortPieces(res.Pieces)
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package hsr
+
+import (
+	"testing"
+
+	"terrainhsr/internal/workload"
+)
+
+func TestSequentialTreeMatchesSequential(t *testing.T) {
+	for _, kind := range workload.Kinds {
+		for _, hulls := range []bool{false, true} {
+			tr := genT(t, kind, 8, 7, 11)
+			slow, err := Sequential(tr)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			fast, err := SequentialTree(tr, hulls)
+			if err != nil {
+				t.Fatalf("%s hulls=%v: %v", kind, hulls, err)
+			}
+			if err := Equivalent(slow, fast, 1e-7, 1e-5); err != nil {
+				t.Fatalf("%s hulls=%v: %v", kind, hulls, err)
+			}
+		}
+	}
+}
+
+func TestSequentialTreeOutputSensitiveWork(t *testing.T) {
+	// On a larger terrain the tree-backed sweep must beat the flat sweep's
+	// charged work (O((n+k) polylog) vs O(n * profile)).
+	tr := genT(t, workload.Fractal, 40, 40, 3)
+	slow, err := Sequential(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := SequentialTree(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(slow, fast, 1e-7, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Work() >= slow.Work() {
+		t.Fatalf("tree-backed sequential work %d not below flat %d", fast.Work(), slow.Work())
+	}
+}
+
+func TestSequentialTreeOracle(t *testing.T) {
+	tr := genT(t, workload.Steps, 9, 9, 21)
+	res, err := SequentialTree(tr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := []float64{1.3, 2.7, 4.1, 5.9, 7.35, 8.2}
+	if err := OracleCheck(tr, res, ys, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialTreeEmpty(t *testing.T) {
+	if _, err := SequentialTree(nil, false); err == nil {
+		t.Fatal("nil terrain accepted")
+	}
+}

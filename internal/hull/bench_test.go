@@ -1,0 +1,45 @@
+package hull
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"terrainhsr/internal/persist"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1 << 8, 1 << 12} {
+		pts := sortedRandPts(r, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			o := NewOps(persist.NewArena(1))
+			for i := 0; i < b.N; i++ {
+				Build(o, pts, true)
+			}
+		})
+	}
+}
+
+func BenchmarkMergeDisjoint(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	all := sortedRandPts(r, 1<<12)
+	o := NewOps(persist.NewArena(2))
+	left := Build(o, all[:1<<11], true)
+	right := Build(o, all[1<<11:], true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.MergeDisjoint(left, right)
+	}
+}
+
+func BenchmarkExtreme(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	pts := sortedRandPts(r, 1<<14)
+	o := NewOps(persist.NewArena(3))
+	c := Build(o, pts, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Extreme(float64(i%41) - 20)
+	}
+}

@@ -1,0 +1,288 @@
+// Package hull implements the convex-chain machinery of the paper's ACG
+// structure (Lemmas 3.3-3.5): lower and upper convex hulls of profile
+// vertices stored in persistent trees, merged across subtrees by
+// Overmars-van Leeuwen style bridge (common tangent) searches, and queried
+// for extreme points in a direction.
+//
+// The augmented-CG test "does segment s cross the profile sub-chain between
+// two diagonals" reduces to extreme-point queries: s crosses iff the maximum
+// of (z - m*x) over the sub-chain's vertices (an upper-hull query, m = s's
+// slope) and the minimum (a lower-hull query) straddle s's intercept. The
+// paper stores lower chains and derives the rest from context; we store
+// both chains for exactness.
+//
+// Chains are persistent: merging two chains shares all untouched structure
+// with its inputs, so the profiles of one PCT layer hold their hulls in
+// O(new material * polylog) extra space — the paper's Figure 3.
+package hull
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/persist"
+)
+
+// endpoints is the subtree aggregate: the chain's extreme points, giving
+// O(1) access to in-order neighbours during descents.
+type endpoints struct {
+	first, last geom.Pt2
+}
+
+// Node is a persistent hull-chain node.
+type Node = persist.Node[geom.Pt2, endpoints]
+
+// Ops carries the arena-bound persistent-tree operations for hull chains.
+type Ops struct {
+	P *persist.Ops[geom.Pt2, endpoints]
+}
+
+// NewOps creates hull operations allocating from the given arena.
+func NewOps(arena *persist.Arena) *Ops {
+	return &Ops{P: &persist.Ops[geom.Pt2, endpoints]{
+		Arena: arena,
+		Agg: func(v geom.Pt2, l, r *Node) endpoints {
+			e := endpoints{first: v, last: v}
+			if l != nil {
+				e.first = l.Agg.first
+			}
+			if r != nil {
+				e.last = r.Agg.last
+			}
+			return e
+		},
+	}}
+}
+
+// Chain is a convex chain over points with strictly increasing X.
+// Lower chains turn left (the boundary of the hull from below); upper
+// chains turn right. The zero Chain is empty.
+type Chain struct {
+	T     *Node
+	Lower bool
+}
+
+// Size returns the number of hull points.
+func (c Chain) Size() int { return persist.Size(c.T) }
+
+// Points materializes the chain (test/debug helper).
+func (c Chain) Points() []geom.Pt2 { return persist.Slice(c.T) }
+
+// sign returns +1 for lower chains and -1 for upper ones; multiplying Z by
+// sign maps every upper-hull predicate onto the lower-hull case.
+func (c Chain) sign() float64 {
+	if c.Lower {
+		return 1
+	}
+	return -1
+}
+
+// cross3 is the orientation of (a,b,c) with Z negated for upper chains, so
+// "above" uniformly means "on the kept side".
+func cross3(s float64, a, b, c geom.Pt2) float64 {
+	return (b.X-a.X)*(s*c.Z-s*a.Z) - (s*b.Z-s*a.Z)*(c.X-a.X)
+}
+
+// Build constructs the chain of the given hull type over points sorted by
+// X (ties on X resolved by keeping the extreme Z for the chain type).
+// The scan is Andrew's monotone chain; collinear middle points are dropped.
+func Build(o *Ops, pts []geom.Pt2, lower bool) Chain {
+	c := Chain{Lower: lower}
+	s := c.sign()
+	var hull []geom.Pt2
+	for _, p := range pts {
+		// Resolve X-ties: keep the point extreme in the kept direction
+		// (drop the dominated one; the survivor goes through the pop loop).
+		if n := len(hull); n > 0 && p.X-hull[n-1].X <= geom.Eps {
+			if s*p.Z < s*hull[n-1].Z {
+				hull = hull[:n-1]
+			} else {
+				continue
+			}
+		}
+		for len(hull) >= 2 && cross3(s, hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	c.T = o.P.Build(hull)
+	return c
+}
+
+// Extreme returns the hull point optimizing (Z - m*X): the maximum for an
+// upper chain, the minimum for a lower chain. This is the tangent query the
+// crossing test needs. The chain must be non-empty.
+//
+// Along a chain of the kept type, g(p) = sign*(Z - m*X) is convex, so the
+// minimizer is found by binary search comparing adjacent elements.
+func (c Chain) Extreme(m float64) geom.Pt2 {
+	if c.T == nil {
+		panic("hull: Extreme on empty chain")
+	}
+	s := c.sign()
+	g := func(p geom.Pt2) float64 { return s * (p.Z - m*p.X) }
+	lo, hi := 0, c.Size()-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g(persist.At(c.T, mid+1)) < g(persist.At(c.T, mid)) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return persist.At(c.T, lo)
+}
+
+// ExtremeValue returns (Z - m*X) at the extreme point.
+func (c Chain) ExtremeValue(m float64) float64 {
+	p := c.Extreme(m)
+	return p.Z - m*p.X
+}
+
+// tangentFrom returns the rank and point t of the chain such that the line
+// p->t supports the chain (all chain points on the kept side), where p lies
+// left of the chain. The slope sequence from p to the chain points is
+// convex, so the minimizer is found by binary search comparing adjacent
+// elements ("slope(p->a) < slope(p->b)" is cross3(s,p,b,a) < 0).
+func (c Chain) tangentFrom(p geom.Pt2) (int, geom.Pt2) {
+	if c.T == nil {
+		panic("hull: tangentFrom on empty chain")
+	}
+	s := c.sign()
+	lo, hi := 0, c.Size()-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		a, b := persist.At(c.T, mid), persist.At(c.T, mid+1)
+		if cross3(s, p, a, b) < 0 { // slope(p->b) < slope(p->a): keep going right
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, persist.At(c.T, lo)
+}
+
+// MergeDisjoint merges chain a (strictly left of b in X, except possibly a
+// shared boundary column) with chain b into the convex chain of the union,
+// sharing structure with both inputs. Cost O(log^3): O(log) bridge probes,
+// each with an O(log^2) tangent search (rank-based binary search with
+// O(log) element access). The classic Overmars-van Leeuwen descent achieves
+// O(log^2); we trade one log factor for a simpler, verifiable search with a
+// guaranteed-correct rebuild fallback.
+func (o *Ops) MergeDisjoint(a, b Chain) Chain {
+	if a.Lower != b.Lower {
+		panic("hull: merging chains of different types")
+	}
+	if a.T == nil {
+		return b
+	}
+	if b.T == nil {
+		return a
+	}
+	// Abutting chains may share a boundary column (equal X at the
+	// junction); a chain with duplicate X would no longer be strictly
+	// monotone, so drop the dominated junction point first.
+	s := a.sign()
+	for a.T != nil && b.T != nil {
+		la := a.T.Agg.last
+		fb := b.T.Agg.first
+		if fb.X-la.X > geom.Eps {
+			break
+		}
+		if s*fb.Z <= s*la.Z {
+			t, _ := o.P.SplitRank(a.T, persist.Size(a.T)-1)
+			a.T = t
+		} else {
+			_, t := o.P.SplitRank(b.T, 1)
+			b.T = t
+		}
+	}
+	if a.T == nil {
+		return b
+	}
+	if b.T == nil {
+		return a
+	}
+	if i, j, ok := o.bridge(a, b); ok {
+		left, _ := o.P.SplitRank(a.T, i+1)
+		_, right := o.P.SplitRank(b.T, j)
+		m := Chain{T: o.P.Join(left, right), Lower: a.Lower}
+		if m.junctionConvex(i + 1) {
+			return m
+		}
+	}
+	// Degenerate case: rebuild from scratch (correct, loses sharing).
+	atomic.AddInt64(&fallbackMerges, 1)
+	pts := append(a.Points(), b.Points()...)
+	return Build(o, pts, a.Lower)
+}
+
+// junctionConvex verifies convexity in a window around the bridge junction
+// (rank j = first point taken from the right chain) in O(log): the two
+// source chains are convex, so only turns involving the bridge edge can be
+// wrong.
+func (c Chain) junctionConvex(j int) bool {
+	s := c.sign()
+	n := c.Size()
+	for i := j - 2; i <= j; i++ {
+		if i < 0 || i+2 >= n {
+			continue
+		}
+		if cross3(s, persist.At(c.T, i), persist.At(c.T, i+1), persist.At(c.T, i+2)) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fallbackMerges counts how often the bridge search fell back to a full
+// rebuild.
+var fallbackMerges int64
+
+// FallbackMerges returns the number of bridge-search fallbacks so far
+// (tests assert the fast path dominates).
+func FallbackMerges() int64 { return atomic.LoadInt64(&fallbackMerges) }
+
+// bridge finds ranks (i, j) such that a[0..i] ++ b[j..] is the hull of the
+// union (the common tangent), by binary search over a with an exact tangent
+// query into b per probe. Returns ok=false when the search cannot verify a
+// bridge (degenerate collinearities); the caller then rebuilds.
+func (o *Ops) bridge(a, b Chain) (int, int, bool) {
+	s := a.sign()
+	sz := a.Size()
+	lo, hi := 0, sz-1
+	for lo <= hi {
+		i := (lo + hi) / 2
+		av := persist.At(a.T, i)
+		j, bv := b.tangentFrom(av)
+		succBelow := i+1 < sz && cross3(s, av, bv, persist.At(a.T, i+1)) < 0
+		predBelow := i > 0 && cross3(s, av, bv, persist.At(a.T, i-1)) < 0
+		switch {
+		case succBelow:
+			lo = i + 1
+		case predBelow:
+			hi = i - 1
+		default:
+			return i, j, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Validate checks convexity and X-monotonicity (test helper).
+func (c Chain) Validate() error {
+	pts := c.Points()
+	s := c.sign()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			return fmt.Errorf("hull: X not increasing at %d", i)
+		}
+	}
+	for i := 2; i < len(pts); i++ {
+		if cross3(s, pts[i-2], pts[i-1], pts[i]) <= 0 {
+			return fmt.Errorf("hull: not strictly convex at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/persist"
+)
+
+func newOps() *Ops { return NewOps(persist.NewArena(1)) }
+
+// bruteHull computes the lower (or upper) hull of pts by definition: the
+// points p such that no line through two other points dominates p from the
+// kept side. We use the O(n^2) Andrew check instead: run the scan on a copy.
+func bruteExtreme(pts []geom.Pt2, m float64, lower bool) float64 {
+	best := math.Inf(1)
+	if !lower {
+		best = math.Inf(-1)
+	}
+	for _, p := range pts {
+		v := p.Z - m*p.X
+		if lower && v < best {
+			best = v
+		}
+		if !lower && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func sortedRandPts(r *rand.Rand, n int) []geom.Pt2 {
+	pts := make([]geom.Pt2, n)
+	used := map[float64]bool{}
+	for i := range pts {
+		x := math.Round(r.Float64()*1e6) / 1e3 // well-separated xs
+		for used[x] {
+			x = math.Round(r.Float64()*1e6) / 1e3
+		}
+		used[x] = true
+		pts[i] = geom.P2(x, r.Float64()*100-50)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	return pts
+}
+
+func TestBuildValidates(t *testing.T) {
+	o := newOps()
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		pts := sortedRandPts(r, 2+r.Intn(60))
+		for _, lower := range []bool{true, false} {
+			c := Build(o, pts, lower)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("trial %d lower=%v: %v", trial, lower, err)
+			}
+			if c.Size() < 2 {
+				t.Fatalf("hull of %d points has %d vertices", len(pts), c.Size())
+			}
+			// First and last input points always on the hull.
+			hp := c.Points()
+			if hp[0] != pts[0] || hp[len(hp)-1] != pts[len(pts)-1] {
+				t.Fatalf("hull endpoints wrong")
+			}
+		}
+	}
+}
+
+func TestExtremeMatchesBruteForce(t *testing.T) {
+	o := newOps()
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		pts := sortedRandPts(r, 2+r.Intn(80))
+		for _, lower := range []bool{true, false} {
+			c := Build(o, pts, lower)
+			for q := 0; q < 20; q++ {
+				m := (r.Float64()*2 - 1) * 10
+				want := bruteExtreme(pts, m, lower)
+				got := c.ExtremeValue(m)
+				if math.Abs(want-got) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("trial %d lower=%v m=%v: got %v want %v", trial, lower, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeDisjointMatchesFullBuild(t *testing.T) {
+	o := newOps()
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 80; trial++ {
+		na, nb := 1+r.Intn(40), 1+r.Intn(40)
+		all := sortedRandPts(r, na+nb)
+		left, right := all[:na], all[na:]
+		for _, lower := range []bool{true, false} {
+			a := Build(o, left, lower)
+			b := Build(o, right, lower)
+			m := o.MergeDisjoint(a, b)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("trial %d lower=%v: merged invalid: %v", trial, lower, err)
+			}
+			want := Build(o, all, lower)
+			wp, mp := want.Points(), m.Points()
+			if len(wp) != len(mp) {
+				t.Fatalf("trial %d lower=%v: merged hull size %d want %d\nmerged: %v\nwant: %v",
+					trial, lower, len(mp), len(wp), mp, wp)
+			}
+			for i := range wp {
+				if wp[i] != mp[i] {
+					t.Fatalf("trial %d lower=%v: point %d differs: %v vs %v", trial, lower, i, mp[i], wp[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMergePreservesInputs(t *testing.T) {
+	o := newOps()
+	r := rand.New(rand.NewSource(4))
+	all := sortedRandPts(r, 30)
+	a := Build(o, all[:15], true)
+	b := Build(o, all[15:], true)
+	ap := a.Points()
+	bp := b.Points()
+	o.MergeDisjoint(a, b)
+	// Persistence: inputs unchanged.
+	ap2, bp2 := a.Points(), b.Points()
+	if len(ap) != len(ap2) || len(bp) != len(bp2) {
+		t.Fatal("merge mutated inputs")
+	}
+	for i := range ap {
+		if ap[i] != ap2[i] {
+			t.Fatal("merge mutated left input")
+		}
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	o := newOps()
+	pts := []geom.Pt2{geom.P2(0, 0), geom.P2(1, 1)}
+	c := Build(o, pts, true)
+	if m := o.MergeDisjoint(Chain{Lower: true}, c); m.Size() != 2 {
+		t.Fatal("merge with empty left failed")
+	}
+	if m := o.MergeDisjoint(c, Chain{Lower: true}); m.Size() != 2 {
+		t.Fatal("merge with empty right failed")
+	}
+}
+
+func TestXTieKeepsExtreme(t *testing.T) {
+	o := newOps()
+	pts := []geom.Pt2{geom.P2(0, 5), geom.P2(1, 3), geom.P2(1, -2), geom.P2(2, 4)}
+	lower := Build(o, pts, true)
+	// Lower hull must use z=-2 at x=1.
+	found := false
+	for _, p := range lower.Points() {
+		if p.X == 1 && p.Z == -2 {
+			found = true
+		}
+		if p.X == 1 && p.Z == 3 {
+			t.Fatal("lower hull kept dominated tie point")
+		}
+	}
+	if !found {
+		t.Fatal("lower hull lost the extreme tie point")
+	}
+	upper := Build(o, pts, false)
+	for _, p := range upper.Points() {
+		if p.X == 1 && p.Z == -2 {
+			t.Fatal("upper hull kept dominated tie point")
+		}
+	}
+}
+
+func TestMergeSharedBoundaryColumn(t *testing.T) {
+	// Right chain starts at the same X where the left one ends (abutting
+	// profile pieces share a column).
+	o := newOps()
+	left := []geom.Pt2{geom.P2(0, 0), geom.P2(2, 1)}
+	right := []geom.Pt2{geom.P2(2, 3), geom.P2(4, 0)}
+	a := Build(o, left, true)
+	b := Build(o, right, true)
+	m := o.MergeDisjoint(a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged invalid: %v", err)
+	}
+	all := append(append([]geom.Pt2{}, left...), right...)
+	want := Build(o, all, true)
+	if len(want.Points()) != len(m.Points()) {
+		t.Fatalf("merged %v want %v", m.Points(), want.Points())
+	}
+}
+
+func TestExtremeSinglePoint(t *testing.T) {
+	o := newOps()
+	c := Build(o, []geom.Pt2{geom.P2(3, 7)}, true)
+	if p := c.Extreme(2); p != geom.P2(3, 7) {
+		t.Fatalf("extreme of singleton: %v", p)
+	}
+}
+
+func TestLargeMergeChain(t *testing.T) {
+	// Build a big hull by merging many small pieces left to right; verify
+	// against one-shot construction.
+	o := newOps()
+	r := rand.New(rand.NewSource(9))
+	all := sortedRandPts(r, 500)
+	for _, lower := range []bool{true, false} {
+		acc := Chain{Lower: lower}
+		for i := 0; i < len(all); i += 25 {
+			end := i + 25
+			if end > len(all) {
+				end = len(all)
+			}
+			acc = o.MergeDisjoint(acc, Build(o, all[i:end], lower))
+		}
+		want := Build(o, all, lower)
+		if len(acc.Points()) != len(want.Points()) {
+			t.Fatalf("lower=%v: chained merge %d points, want %d", lower, len(acc.Points()), len(want.Points()))
+		}
+		for i, p := range want.Points() {
+			if acc.Points()[i] != p {
+				t.Fatalf("lower=%v point %d differs", lower, i)
+			}
+		}
+	}
+}
+
+func TestBridgeFastPathDominates(t *testing.T) {
+	before := FallbackMerges()
+	o := newOps()
+	r := rand.New(rand.NewSource(77))
+	merges := 0
+	for trial := 0; trial < 200; trial++ {
+		all := sortedRandPts(r, 4+r.Intn(60))
+		cut := 1 + r.Intn(len(all)-2)
+		for _, lower := range []bool{true, false} {
+			a := Build(o, all[:cut], lower)
+			b := Build(o, all[cut:], lower)
+			o.MergeDisjoint(a, b)
+			merges++
+		}
+	}
+	fb := FallbackMerges() - before
+	if fb*10 > int64(merges) {
+		t.Fatalf("bridge fallback rate too high: %d of %d merges", fb, merges)
+	}
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersAddTotal(t *testing.T) {
+	a := Counters{MergeSteps: 1, ClipSteps: 2, Crossings: 3, TreeOps: 4, TreeAllocs: 100, HullOps: 5, QuerySteps: 6, Spans: 7}
+	var c Counters
+	c.Add(a)
+	c.Add(a)
+	if c.MergeSteps != 2 || c.Spans != 14 || c.TreeAllocs != 200 {
+		t.Fatalf("add failed: %+v", c)
+	}
+	// TreeAllocs is memory, not work: excluded from Total.
+	if got, want := c.Total(), int64(2*(1+2+3+4+5+6+7)); got != want {
+		t.Fatalf("total %d want %d", got, want)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("n", "work", "ratio")
+	tb.AddRow(1000, int64(123456), 1.5)
+	tb.AddRow(2000, int64(654321), 0.75)
+	s := tb.String()
+	if !strings.Contains(s, "ratio") || !strings.Contains(s, "123456") {
+		t.Fatalf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), s)
+	}
+	// All rows the same width (alignment).
+	for _, ln := range lines[1:] {
+		if len(ln) != len(lines[0]) {
+			t.Fatalf("misaligned table:\n%s", s)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{{1.5, "1.5"}, {2.0, "2"}, {0.125, "0.125"}, {0.0, "0"}} {
+		if got := trimFloat(tc.in); got != tc.want {
+			t.Fatalf("trimFloat(%v)=%q want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package order
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"terrainhsr/internal/terrain"
+)
+
+// This file realizes the structural content of the paper's Fact 1
+// (Tamassia-Vitter): a triangulated planar subdivision decomposes into
+// y-monotone separator chains, ordered front to back, such that every
+// viewing ray crosses the chains in order. Our pipeline derives the edge
+// order from the in-front DAG instead (see package comment), but the chain
+// decomposition is exposed both as a fidelity check — the chains exist and
+// are crossed in order, exactly as the separator tree requires — and for
+// callers that want the separator structure itself (e.g. for balanced
+// spatial divide and conquer).
+//
+// Construction: the Kahn layers of the in-front DAG partition the
+// triangles into fronts; the boundary between the triangles of layers
+// <= L and the rest is a set of edges forming, for a terrain over a convex
+// plan domain, y-monotone chains. We extract, for each layer boundary, the
+// crossed edges sorted by their plan-y extent.
+
+// Chain is one y-monotone separator: edge indices ordered by increasing
+// plan y.
+type Chain struct {
+	// Level is the Kahn layer whose downstream boundary this chain is.
+	Level int
+	// Edges lists the edge indices along the chain, sorted by plan y.
+	Edges []int32
+}
+
+// YSpan returns the chain's plan-y extent.
+func (c Chain) YSpan(t *terrain.Terrain) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, ei := range c.Edges {
+		e := t.Edges[ei]
+		p, q := t.PlanPt(e.V0), t.PlanPt(e.V1)
+		lo = math.Min(lo, math.Min(p.Z, q.Z))
+		hi = math.Max(hi, math.Max(p.Z, q.Z))
+	}
+	return lo, hi
+}
+
+// Separators decomposes the terrain's projection into the layer-boundary
+// chains. The result res must come from Compute on the same terrain.
+// Edges parallel to the viewing direction (crossed by no ray) belong to no
+// chain.
+func Separators(t *terrain.Terrain, res *Result) []Chain {
+	if res.TriLayer == nil || res.FrontTri == nil {
+		return nil
+	}
+	nLayers := res.Layers
+	// An edge separates layers frontLayer..behindLayer-1, where the outer
+	// face counts as "before the first layer" on the viewer side and
+	// "after the last" on the far side.
+	chains := make([]Chain, 0, nLayers)
+	for level := 0; level < nLayers; level++ {
+		var edges []int32
+		for ei := range t.Edges {
+			front, behind := res.FrontTri[ei], res.BehindTri[ei]
+			if front == terrain.NoTri && behind == terrain.NoTri {
+				continue // view-parallel edge
+			}
+			fl, bl := -1, nLayers
+			if front != terrain.NoTri {
+				fl = int(res.TriLayer[front])
+			}
+			if behind != terrain.NoTri {
+				bl = int(res.TriLayer[behind])
+			}
+			if fl <= level && level < bl {
+				edges = append(edges, int32(ei))
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		sortEdgesByY(t, edges)
+		chains = append(chains, Chain{Level: level, Edges: edges})
+	}
+	return chains
+}
+
+func sortEdgesByY(t *terrain.Terrain, edges []int32) {
+	key := func(ei int32) (float64, float64) {
+		e := t.Edges[ei]
+		p, q := t.PlanPt(e.V0), t.PlanPt(e.V1)
+		lo, hi := p.Z, q.Z
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return lo, hi
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		li, hi_ := key(edges[i])
+		lj, hj := key(edges[j])
+		if li != lj {
+			return li < lj
+		}
+		return hi_ < hj
+	})
+}
+
+// VerifyChainMonotone checks that a chain's edges tile a y-interval without
+// overlapping by more than tolerance: consecutive edges abut in y. This is
+// the monotonicity property the separator tree relies on.
+func VerifyChainMonotone(t *terrain.Terrain, c Chain, tol float64) error {
+	if len(c.Edges) == 0 {
+		return fmt.Errorf("order: empty chain")
+	}
+	prevHi := math.Inf(-1)
+	for i, ei := range c.Edges {
+		e := t.Edges[ei]
+		p, q := t.PlanPt(e.V0), t.PlanPt(e.V1)
+		lo, hi := p.Z, q.Z
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if i > 0 {
+			if lo < prevHi-tol {
+				return fmt.Errorf("order: chain level %d: edge %d overlaps previous in y (%v < %v)", c.Level, ei, lo, prevHi)
+			}
+			if lo > prevHi+tol {
+				return fmt.Errorf("order: chain level %d: gap before edge %d (%v > %v)", c.Level, ei, lo, prevHi)
+			}
+		}
+		prevHi = hi
+	}
+	return nil
+}
+
+// VerifySeparatorOrder checks that every sampled viewing ray crosses the
+// chains in increasing level order — the property that lets the separator
+// tree answer "which side of the chain" queries consistently.
+func VerifySeparatorOrder(t *terrain.Terrain, res *Result, chains []Chain, ys []float64) error {
+	levelOf := make(map[int32]int)
+	for _, c := range chains {
+		for _, ei := range c.Edges {
+			// An edge can separate several consecutive levels; remember the
+			// first.
+			if _, ok := levelOf[ei]; !ok {
+				levelOf[ei] = c.Level
+			}
+		}
+	}
+	for _, y := range ys {
+		prev := -1
+		for _, ei := range RayCrossings(t, y, 1e-7) {
+			lvl, ok := levelOf[ei]
+			if !ok {
+				continue
+			}
+			if lvl < prev {
+				return fmt.Errorf("order: ray y=%v crosses chain level %d after level %d", y, lvl, prev)
+			}
+			prev = lvl
+		}
+	}
+	return nil
+}

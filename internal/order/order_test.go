@@ -1,0 +1,229 @@
+package order
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"terrainhsr/internal/terrain"
+)
+
+func buildGrid(t *testing.T, rows, cols int, h terrain.HeightFn) *terrain.Terrain {
+	t.Helper()
+	tr, err := terrain.Grid{Rows: rows, Cols: cols, Dx: 1, Dy: 1, H: h}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestComputeBasicInvariants(t *testing.T) {
+	tr := buildGrid(t, 4, 5, func(i, j int) float64 { return float64(i * j) })
+	res, err := Compute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EdgeOrder) != tr.NumEdges() {
+		t.Fatalf("order has %d edges, terrain has %d", len(res.EdgeOrder), tr.NumEdges())
+	}
+	seen := make(map[int32]bool)
+	for _, e := range res.EdgeOrder {
+		if seen[e] {
+			t.Fatalf("edge %d appears twice", e)
+		}
+		seen[e] = true
+	}
+	for i, e := range res.EdgeOrder {
+		if res.PosOf[e] != int32(i) {
+			t.Fatalf("PosOf inconsistent at %d", i)
+		}
+	}
+	if res.Layers < 1 || res.Layers > len(tr.Tris) {
+		t.Fatalf("implausible layer count %d", res.Layers)
+	}
+}
+
+func TestOrderIsLinearExtensionFlat(t *testing.T) {
+	tr := buildGrid(t, 6, 6, func(i, j int) float64 { return 0 })
+	res, err := Compute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := []float64{0.37, 1.21, 2.55, 3.83, 4.46, 5.71}
+	if err := VerifyLinearExtension(tr, res, ys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderIsLinearExtensionRandomTerrains(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		rows, cols := 3+r.Intn(8), 3+r.Intn(8)
+		tr := buildGrid(t, rows, cols, func(i, j int) float64 { return r.Float64() * 10 })
+		res, err := Compute(tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var ys []float64
+		for k := 0; k < 40; k++ {
+			ys = append(ys, r.Float64()*float64(cols))
+		}
+		if err := VerifyLinearExtension(tr, res, ys); err != nil {
+			t.Fatalf("trial %d (%dx%d): %v", trial, rows, cols, err)
+		}
+	}
+}
+
+func TestOrderAlternatingDiagonals(t *testing.T) {
+	tr, err := terrain.Grid{Rows: 5, Cols: 7, Dx: 1, Dy: 1, AlternateDiagonals: true,
+		H: func(i, j int) float64 { return math.Sin(float64(i)) * math.Cos(float64(j)) }}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	var ys []float64
+	for k := 0; k < 60; k++ {
+		ys = append(ys, r.Float64()*7)
+	}
+	if err := VerifyLinearExtension(tr, res, ys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontRowComesEarly(t *testing.T) {
+	// The front boundary edges (smallest x) must appear before the back
+	// boundary edges (largest x) since rays cross front to back.
+	tr := buildGrid(t, 5, 3, func(i, j int) float64 { return 0 })
+	res, err := Compute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frontMax, backMin int32 = -1, int32(len(res.EdgeOrder))
+	for ei, e := range tr.Edges {
+		p, q := tr.PlanPt(e.V0), tr.PlanPt(e.V1)
+		if p.X == 0 && q.X == 0 { // front wall edges (x=0, varying y)
+			if res.PosOf[ei] > frontMax {
+				frontMax = res.PosOf[ei]
+			}
+		}
+		if p.X == 5 && q.X == 5 { // back wall
+			if res.PosOf[ei] < backMin {
+				backMin = res.PosOf[ei]
+			}
+		}
+	}
+	if frontMax >= backMin {
+		t.Fatalf("front wall edge at pos %d not before back wall edge at pos %d", frontMax, backMin)
+	}
+}
+
+func TestRayCrossingsSorted(t *testing.T) {
+	tr := buildGrid(t, 4, 4, func(i, j int) float64 { return float64(i) })
+	edges := RayCrossings(tr, 1.5, 1e-9)
+	if len(edges) == 0 {
+		t.Fatal("ray should cross some edges")
+	}
+	// A ray through the middle of a 4x4 grid crosses 4 verticals + diagonals.
+	if len(edges) < 5 {
+		t.Fatalf("expected several crossings, got %d", len(edges))
+	}
+}
+
+func TestLayersBoundedByTriangleRows(t *testing.T) {
+	// For a grid, the in-front DAG is layered along x: the Kahn layer count
+	// must be O(rows), not O(triangles).
+	tr := buildGrid(t, 10, 10, func(i, j int) float64 { return 0 })
+	res, err := Compute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layers > 2*10+2 {
+		t.Fatalf("layer count %d too large for 10 rows", res.Layers)
+	}
+}
+
+func TestSeparatorTreeShape(t *testing.T) {
+	st := NewSeparatorTree(5)
+	if !st.Live(1) || st.Lo[1] != 0 || st.Hi[1] != 5 {
+		t.Fatalf("root wrong: [%d,%d)", st.Lo[1], st.Hi[1])
+	}
+	// Children must partition the parent.
+	var walk func(node int)
+	leaves := 0
+	walk = func(node int) {
+		if !st.Live(node) {
+			return
+		}
+		if st.IsLeaf(node) {
+			leaves++
+			return
+		}
+		l, r := 2*node, 2*node+1
+		if !st.Live(l) || !st.Live(r) {
+			t.Fatalf("internal node %d missing child", node)
+		}
+		if st.Lo[l] != st.Lo[node] || st.Hi[r] != st.Hi[node] || st.Hi[l] != st.Lo[r] {
+			t.Fatalf("children of %d don't partition: [%d,%d) [%d,%d) vs [%d,%d)",
+				node, st.Lo[l], st.Hi[l], st.Lo[r], st.Hi[r], st.Lo[node], st.Hi[node])
+		}
+		walk(l)
+		walk(r)
+	}
+	walk(1)
+	if leaves != 5 {
+		t.Fatalf("expected 5 leaves, got %d", leaves)
+	}
+}
+
+func TestSeparatorTreeSingle(t *testing.T) {
+	st := NewSeparatorTree(1)
+	if !st.IsLeaf(1) {
+		t.Fatal("n=1 root should be a leaf")
+	}
+	if nodes := st.NodesAtDepth(0); len(nodes) != 1 || nodes[0] != 1 {
+		t.Fatalf("NodesAtDepth(0) = %v", nodes)
+	}
+}
+
+func TestSeparatorTreeEmpty(t *testing.T) {
+	st := NewSeparatorTree(0)
+	if st.Live(1) {
+		t.Fatal("empty tree should have no live nodes")
+	}
+	if nodes := st.NodesAtDepth(0); nodes != nil {
+		t.Fatalf("NodesAtDepth on empty tree = %v", nodes)
+	}
+}
+
+func TestSeparatorTreeDepthCover(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 8, 9, 100} {
+		st := NewSeparatorTree(n)
+		covered := make([]bool, n)
+		leafCount := 0
+		for d := 0; d <= st.Height; d++ {
+			for _, node := range st.NodesAtDepth(d) {
+				if st.IsLeaf(node) {
+					for i := st.Lo[node]; i < st.Hi[node]; i++ {
+						if covered[i] {
+							t.Fatalf("n=%d leaf overlap at %d", n, i)
+						}
+						covered[i] = true
+					}
+					leafCount++
+				}
+			}
+		}
+		if leafCount != n {
+			t.Fatalf("n=%d: %d leaves", n, leafCount)
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("n=%d: leaf %d uncovered", n, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package order
+
+// SeparatorTree is the balanced binary tree over the depth-ordered edges
+// that phase 1 and phase 2 of the algorithm traverse (the skeleton of the
+// Profile Computation Tree). Leaves are edges e_1..e_n in front-to-back
+// order; an internal node covers the contiguous run of its subtree's leaves.
+//
+// In the paper this tree arises from the Tamassia-Vitter separator-tree
+// construction; here it is built directly over the linear extension computed
+// by Compute, which yields the same PCT shape (see DESIGN.md section 2).
+type SeparatorTree struct {
+	// N is the number of leaves (edges).
+	N int
+	// Node i (1-based heap indexing) covers leaves [Lo[i], Hi[i]).
+	Lo, Hi []int32
+	// Height is the number of internal layers (root layer = 0).
+	Height int
+}
+
+// NewSeparatorTree builds the tree skeleton over n ordered leaves.
+// The layout is a standard heap-shaped balanced tree: node 1 is the root and
+// node i has children 2i and 2i+1. Nodes covering fewer than one leaf are
+// marked with Lo > Hi and never visited.
+func NewSeparatorTree(n int) *SeparatorTree {
+	if n <= 0 {
+		return &SeparatorTree{}
+	}
+	size := 1
+	height := 0
+	for size < n {
+		size *= 2
+		height++
+	}
+	t := &SeparatorTree{
+		N:      n,
+		Lo:     make([]int32, 2*size),
+		Hi:     make([]int32, 2*size),
+		Height: height,
+	}
+	var build func(node int, lo, hi int32)
+	build = func(node int, lo, hi int32) {
+		t.Lo[node], t.Hi[node] = lo, hi
+		if hi-lo <= 1 {
+			return
+		}
+		mid := lo + (hi-lo+1)/2
+		build(2*node, lo, mid)
+		build(2*node+1, mid, hi)
+	}
+	// Mark all as empty, then fill the live subtree.
+	for i := range t.Lo {
+		t.Lo[i], t.Hi[i] = 1, 0
+	}
+	build(1, 0, int32(n))
+	return t
+}
+
+// IsLeaf reports whether node covers exactly one edge.
+func (t *SeparatorTree) IsLeaf(node int) bool {
+	return t.Hi[node]-t.Lo[node] == 1
+}
+
+// Live reports whether node covers at least one edge.
+func (t *SeparatorTree) Live(node int) bool {
+	return node < len(t.Lo) && t.Hi[node] > t.Lo[node]
+}
+
+// NodesAtDepth returns the live node indices at the given depth (root=0),
+// left to right. These are the units processed concurrently in one layer of
+// phase 2.
+func (t *SeparatorTree) NodesAtDepth(d int) []int {
+	if t.N == 0 {
+		return nil
+	}
+	lo, hi := 1<<d, 1<<(d+1)
+	var out []int
+	for i := lo; i < hi && i < len(t.Lo); i++ {
+		if t.Live(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

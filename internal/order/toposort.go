@@ -1,0 +1,65 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+)
+
+// topoResult is the outcome of a layered Kahn topological sort.
+type topoResult struct {
+	// TopoIndex[v] is the position of v in a valid linear extension.
+	TopoIndex []int32
+	// LayerOf[v] is the Kahn layer of v (the parallel round in which it is
+	// removed); layers are the depth of the parallel sort.
+	LayerOf []int32
+	// Layers is the number of layers.
+	Layers int
+}
+
+// layeredTopoSort orders the vertices of the DAG given by adjacency lists
+// adj (arcs u -> v meaning u before v) using layered Kahn elimination.
+// Within a layer, vertices are processed in ascending index order for
+// determinism. Returns an error naming the strongly-connected remainder
+// size if the graph has a cycle.
+func layeredTopoSort(n int, adj [][]int32) (*topoResult, error) {
+	indeg := make([]int32, n)
+	for _, out := range adj {
+		for _, v := range out {
+			indeg[v]++
+		}
+	}
+	res := &topoResult{
+		TopoIndex: make([]int32, n),
+		LayerOf:   make([]int32, n),
+	}
+	frontier := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			frontier = append(frontier, int32(v))
+		}
+	}
+	next := make([]int32, 0, n)
+	processed := 0
+	topo := int32(0)
+	for len(frontier) > 0 {
+		layer := int32(res.Layers)
+		res.Layers++
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		for _, v := range frontier {
+			res.TopoIndex[v] = topo
+			res.LayerOf[v] = layer
+			topo++
+			processed++
+			for _, w := range adj[v] {
+				if indeg[w]--; indeg[w] == 0 {
+					next = append(next, w)
+				}
+			}
+		}
+		frontier, next = next, frontier[:0]
+	}
+	if processed != n {
+		return nil, fmt.Errorf("order: cycle detected (%d of %d vertices unsorted)", n-processed, n)
+	}
+	return res, nil
+}

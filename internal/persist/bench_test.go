@@ -1,0 +1,37 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16} {
+		vals := seq(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ops := intOps(NewArena(1))
+			for i := 0; i < b.N; i++ {
+				ops.Build(vals)
+			}
+		})
+	}
+}
+
+func BenchmarkSplitJoin(b *testing.B) {
+	ops := intOps(NewArena(2))
+	tr := ops.Build(seq(1 << 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, r := ops.SplitRank(tr, i%(1<<16))
+		ops.Join(l, r)
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	ops := intOps(NewArena(3))
+	tr := ops.Build(seq(1 << 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		At(tr, i%(1<<16))
+	}
+}

@@ -1,0 +1,242 @@
+// Package persist implements the path-copying persistent balanced tree the
+// paper takes from Driscoll, Sarnak, Sleator and Tarjan ("Make the
+// data-structures persistent", ref [6]) and uses to share the convex chains
+// and visible portions of profiles across nodes of a PCT layer.
+//
+// The tree is a persistent treap over a sequence: nodes are immutable, every
+// update (split/join) copies the O(log n) nodes along the affected path, and
+// all older versions remain valid. Each node carries a user-defined subtree
+// aggregate recomputed only for newly created nodes, which is how the
+// profile tree maintains bounding summaries and convex hulls per subtree.
+//
+// Allocation is tracked per Arena. Arenas are confined to one goroutine
+// (one per worker); nodes, once created, are immutable and may be shared
+// freely across goroutines.
+package persist
+
+import "fmt"
+
+// Arena supplies treap priorities and counts node allocations. Each worker
+// goroutine owns its own Arena; the zero value is NOT ready to use — call
+// NewArena with a distinct seed per worker.
+type Arena struct {
+	rng    uint64
+	Allocs int64
+}
+
+// NewArena creates an arena with the given seed (must differ across
+// concurrent workers only for balance, not correctness).
+func NewArena(seed uint64) *Arena {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Arena{rng: seed}
+}
+
+func (a *Arena) nextPrio() uint64 {
+	// xorshift64*
+	x := a.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	a.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Node is an immutable treap node over values of type T with subtree
+// aggregate A.
+type Node[T, A any] struct {
+	Val  T
+	Agg  A
+	L, R *Node[T, A]
+	prio uint64
+	size int32
+}
+
+// Size returns the number of values in the subtree (0 for nil).
+func Size[T, A any](n *Node[T, A]) int {
+	if n == nil {
+		return 0
+	}
+	return int(n.size)
+}
+
+// Ops bundles the aggregate recomputation used on node creation. Aggregates
+// may allocate through the same arena (e.g. hull chains).
+type Ops[T, A any] struct {
+	Arena *Arena
+	// Agg computes the subtree aggregate for a node with value v and
+	// children l, r (either may be nil).
+	Agg func(v T, l, r *Node[T, A]) A
+}
+
+// NewNode creates a node with a fresh priority.
+func (o *Ops[T, A]) NewNode(v T, l, r *Node[T, A]) *Node[T, A] {
+	return o.make(v, l, r, o.Arena.nextPrio())
+}
+
+func (o *Ops[T, A]) make(v T, l, r *Node[T, A], prio uint64) *Node[T, A] {
+	o.Arena.Allocs++
+	n := &Node[T, A]{Val: v, L: l, R: r, prio: prio, size: int32(1 + Size(l) + Size(r))}
+	n.Agg = o.Agg(v, l, r)
+	return n
+}
+
+// Join concatenates two sequences (all of l before all of r), copying the
+// merge path.
+func (o *Ops[T, A]) Join(l, r *Node[T, A]) *Node[T, A] {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio >= r.prio:
+		return o.make(l.Val, l.L, o.Join(l.R, r), l.prio)
+	default:
+		return o.make(r.Val, o.Join(l, r.L), r.R, r.prio)
+	}
+}
+
+// SplitRank splits the sequence into the first k values and the rest.
+func (o *Ops[T, A]) SplitRank(t *Node[T, A], k int) (l, r *Node[T, A]) {
+	if t == nil {
+		return nil, nil
+	}
+	if k <= 0 {
+		return nil, t
+	}
+	if k >= Size(t) {
+		return t, nil
+	}
+	ls := Size(t.L)
+	if k <= ls {
+		a, b := o.SplitRank(t.L, k)
+		return a, o.make(t.Val, b, t.R, t.prio)
+	}
+	a, b := o.SplitRank(t.R, k-ls-1)
+	return o.make(t.Val, t.L, a, t.prio), b
+}
+
+// SplitBy splits by a monotone predicate: values v with pred(v) true form
+// the left result (pred must be true on a prefix of the sequence).
+func (o *Ops[T, A]) SplitBy(t *Node[T, A], pred func(T) bool) (l, r *Node[T, A]) {
+	if t == nil {
+		return nil, nil
+	}
+	if pred(t.Val) {
+		a, b := o.SplitBy(t.R, pred)
+		return o.make(t.Val, t.L, a, t.prio), b
+	}
+	a, b := o.SplitBy(t.L, pred)
+	return a, o.make(t.Val, b, t.R, t.prio)
+}
+
+// Build constructs a treap from a sequence in O(n) using the monotonic
+// stack cartesian-tree construction (aggregates computed bottom-up once).
+func (o *Ops[T, A]) Build(vals []T) *Node[T, A] {
+	if len(vals) == 0 {
+		return nil
+	}
+	type item struct {
+		val  T
+		prio uint64
+		l, r *Node[T, A] // children fixed so far (not yet aggregated)
+	}
+	stack := make([]item, 0, 32)
+	// finalize converts an item (and its already-finalized children) into a node.
+	finalize := func(it item) *Node[T, A] {
+		return o.make(it.val, it.l, it.r, it.prio)
+	}
+	for _, v := range vals {
+		it := item{val: v, prio: o.Arena.nextPrio()}
+		var last *Node[T, A]
+		for len(stack) > 0 && stack[len(stack)-1].prio < it.prio {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			top.r = last
+			last = finalize(top)
+		}
+		it.l = last
+		stack = append(stack, it)
+	}
+	var last *Node[T, A]
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		top.r = last
+		last = finalize(top)
+	}
+	return last
+}
+
+// At returns the value at rank i (0-based).
+func At[T, A any](t *Node[T, A], i int) T {
+	if t == nil || i < 0 || i >= Size(t) {
+		panic(fmt.Sprintf("persist: rank %d out of range (size %d)", i, Size(t)))
+	}
+	for {
+		ls := Size(t.L)
+		switch {
+		case i < ls:
+			t = t.L
+		case i == ls:
+			return t.Val
+		default:
+			i -= ls + 1
+			t = t.R
+		}
+	}
+}
+
+// First and Last return the extreme values of a non-empty subtree.
+func First[T, A any](t *Node[T, A]) T {
+	for t.L != nil {
+		t = t.L
+	}
+	return t.Val
+}
+
+// Last returns the final value of a non-empty subtree.
+func Last[T, A any](t *Node[T, A]) T {
+	for t.R != nil {
+		t = t.R
+	}
+	return t.Val
+}
+
+// ForEach visits the sequence in order.
+func ForEach[T, A any](t *Node[T, A], fn func(T)) {
+	if t == nil {
+		return
+	}
+	ForEach(t.L, fn)
+	fn(t.Val)
+	ForEach(t.R, fn)
+}
+
+// Slice materializes the sequence.
+func Slice[T, A any](t *Node[T, A]) []T {
+	out := make([]T, 0, Size(t))
+	ForEach(t, func(v T) { out = append(out, v) })
+	return out
+}
+
+// CheckHeap validates the treap invariants (test helper).
+func CheckHeap[T, A any](t *Node[T, A]) error {
+	if t == nil {
+		return nil
+	}
+	if t.L != nil && t.L.prio > t.prio {
+		return fmt.Errorf("persist: heap violation at left child")
+	}
+	if t.R != nil && t.R.prio > t.prio {
+		return fmt.Errorf("persist: heap violation at right child")
+	}
+	if Size(t) != 1+Size(t.L)+Size(t.R) {
+		return fmt.Errorf("persist: size mismatch")
+	}
+	if err := CheckHeap(t.L); err != nil {
+		return err
+	}
+	return CheckHeap(t.R)
+}

@@ -1,0 +1,146 @@
+package pram
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWorkDepth(t *testing.T) {
+	var a Accounting
+	a.AddPhase("p1", 10, 5, 50)
+	a.AddPhase("p2", 4, 20, 60)
+	if w := a.Work(); w != 110 {
+		t.Fatalf("work %d", w)
+	}
+	if d := a.Depth(); d != 25 {
+		t.Fatalf("depth %d", d)
+	}
+	if n := a.NumPhases(); n != 2 {
+		t.Fatalf("phases %d", n)
+	}
+}
+
+func TestAddPhaseIgnoresEmpty(t *testing.T) {
+	var a Accounting
+	a.AddPhase("empty", 0, 0, 0)
+	if a.NumPhases() != 0 {
+		t.Fatal("empty phase recorded")
+	}
+}
+
+func TestTimeOnMonotone(t *testing.T) {
+	var a Accounting
+	a.AddPhase("p1", 1000, 10, 10000)
+	prev := math.Inf(1)
+	for _, p := range []int{1, 2, 4, 8, 16, 256} {
+		tm := a.TimeOn(p)
+		if tm > prev+1e-9 {
+			t.Fatalf("TimeOn not non-increasing at p=%d: %v > %v", p, tm, prev)
+		}
+		prev = tm
+	}
+	// With many processors, time approaches the critical path.
+	if tm := a.TimeOn(1 << 20); tm < 10 {
+		t.Fatalf("TimeOn below depth: %v", tm)
+	}
+}
+
+func TestTimeOnBrentBound(t *testing.T) {
+	var a Accounting
+	a.AddPhase("p", 100, 7, 700)
+	// Brent: T_p >= W/p and T_p >= t.
+	for _, p := range []int{1, 3, 10} {
+		tm := a.TimeOn(p)
+		if tm < 700/float64(p) || tm < 7 {
+			t.Fatalf("Brent bound violated at p=%d: %v", p, tm)
+		}
+	}
+}
+
+func TestAllocCharge(t *testing.T) {
+	if AllocCharge(1, 4) != 0 {
+		t.Fatal("alloc of single task should be free")
+	}
+	if AllocCharge(0, 4) != 0 || AllocCharge(16, 0) != 0 {
+		t.Fatal("degenerate alloc should be 0")
+	}
+	got := AllocCharge(16, 4)
+	if math.Abs(got-16*4/4.0) > 1e-9 {
+		t.Fatalf("AllocCharge(16,4)=%v want 16", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Accounting
+	a.AddPhase("a", 1, 1, 1)
+	b.AddPhase("b", 2, 2, 4)
+	a.Merge(&b)
+	if a.NumPhases() != 2 || a.Work() != 5 {
+		t.Fatalf("merge failed: %d phases, work %d", a.NumPhases(), a.Work())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestPhaseRecorderConcurrent(t *testing.T) {
+	var a Accounting
+	rec := a.NewPhase("concurrent")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rec.Task(int64(w + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	rec.Close()
+	ph := a.Phases()
+	if len(ph) != 1 {
+		t.Fatalf("phases %d", len(ph))
+	}
+	if ph[0].Tasks != 800 {
+		t.Fatalf("tasks %d", ph[0].Tasks)
+	}
+	if ph[0].MaxTaskCost != 8 {
+		t.Fatalf("max cost %d", ph[0].MaxTaskCost)
+	}
+	var want int64
+	for w := 1; w <= 8; w++ {
+		want += int64(w) * 100
+	}
+	if ph[0].TotalCost != want {
+		t.Fatalf("total %d want %d", ph[0].TotalCost, want)
+	}
+}
+
+func TestPhaseRecorderBatchAndEmpty(t *testing.T) {
+	var a Accounting
+	rec := a.NewPhase("batch")
+	rec.TaskBatch(10, 9, 55)
+	rec.TaskBatch(0, 100, 100) // ignored
+	rec.Close()
+	ph := a.Phases()
+	if len(ph) != 1 || ph[0].Tasks != 10 || ph[0].MaxTaskCost != 9 || ph[0].TotalCost != 55 {
+		t.Fatalf("batch phase wrong: %+v", ph)
+	}
+
+	var b Accounting
+	empty := b.NewPhase("nothing")
+	empty.Close()
+	if b.NumPhases() != 0 {
+		t.Fatal("empty recorder produced a phase")
+	}
+}
+
+func TestSummaryContainsPhases(t *testing.T) {
+	var a Accounting
+	a.AddPhase("order-edges", 5, 2, 10)
+	s := a.Summary()
+	if !strings.Contains(s, "order-edges") {
+		t.Fatalf("summary missing phase name:\n%s", s)
+	}
+}

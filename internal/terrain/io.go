@@ -1,0 +1,130 @@
+package terrain
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"terrainhsr/internal/geom"
+)
+
+// jsonTerrain is the interchange representation used by the CLI tools:
+// vertex coordinate triples plus triangle index triples.
+type jsonTerrain struct {
+	Vertices  [][3]float64 `json:"vertices"`
+	Triangles [][3]int32   `json:"triangles"`
+}
+
+// WriteJSON serializes the terrain.
+func (t *Terrain) WriteJSON(w io.Writer) error {
+	jt := jsonTerrain{
+		Vertices:  make([][3]float64, len(t.Verts)),
+		Triangles: t.Tris,
+	}
+	for i, v := range t.Verts {
+		jt.Vertices[i] = [3]float64{v.X, v.Y, v.Z}
+	}
+	return json.NewEncoder(w).Encode(jt)
+}
+
+// ReadJSON parses a terrain written by WriteJSON (or by hand), rebuilding
+// the adjacency structure and validating the terrain properties.
+func ReadJSON(r io.Reader) (*Terrain, error) {
+	var jt jsonTerrain
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("terrain: parse JSON: %w", err)
+	}
+	verts := make([]geom.Pt3, len(jt.Vertices))
+	for i, v := range jt.Vertices {
+		verts[i] = geom.Pt3{X: v[0], Y: v[1], Z: v[2]}
+	}
+	t, err := New(verts, jt.Triangles)
+	if err != nil {
+		return nil, err
+	}
+	return t, t.Validate()
+}
+
+// WriteOBJ emits the terrain as a Wavefront OBJ mesh (1-based indices),
+// importable by standard 3D tooling. Only geometry is written.
+func (t *Terrain) WriteOBJ(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# terrainhsr TIN export")
+	for _, v := range t.Verts {
+		fmt.Fprintf(bw, "v %g %g %g\n", v.X, v.Y, v.Z)
+	}
+	for _, tr := range t.Tris {
+		fmt.Fprintf(bw, "f %d %d %d\n", tr[0]+1, tr[1]+1, tr[2]+1)
+	}
+	return bw.Flush()
+}
+
+// ReadOBJ parses a Wavefront OBJ mesh into a terrain. Faces with more than
+// three vertices are fan-triangulated; texture/normal references and
+// unsupported directives are ignored.
+func ReadOBJ(r io.Reader) (*Terrain, error) {
+	var verts []geom.Pt3
+	var faces [][]int32
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "v":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("terrain: OBJ line %d: vertex needs 3 coordinates", lineNo)
+			}
+			var c [3]float64
+			for i := 0; i < 3; i++ {
+				f, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("terrain: OBJ line %d: %w", lineNo, err)
+				}
+				c[i] = f
+			}
+			verts = append(verts, geom.Pt3{X: c[0], Y: c[1], Z: c[2]})
+		case "f":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("terrain: OBJ line %d: face needs >= 3 vertices", lineNo)
+			}
+			face := make([]int32, 0, len(fields)-1)
+			for _, tok := range fields[1:] {
+				// "v", "v/vt", "v//vn", "v/vt/vn" forms.
+				if i := strings.IndexByte(tok, '/'); i >= 0 {
+					tok = tok[:i]
+				}
+				idx, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("terrain: OBJ line %d: %w", lineNo, err)
+				}
+				if idx < 0 { // negative = relative to end
+					idx = len(verts) + idx + 1
+				}
+				if idx < 1 || idx > len(verts) {
+					return nil, fmt.Errorf("terrain: OBJ line %d: vertex index %d out of range", lineNo, idx)
+				}
+				face = append(face, int32(idx-1))
+			}
+			faces = append(faces, face)
+		default:
+			// vt, vn, o, g, s, usemtl, mtllib ... ignored.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("terrain: OBJ read: %w", err)
+	}
+	t, err := TriangulateMesh(verts, faces)
+	if err != nil {
+		return nil, err
+	}
+	return t, t.Validate()
+}

@@ -1,0 +1,135 @@
+package terrain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := Grid{Rows: 4, Cols: 5, Dx: 1, Dy: 1,
+		H: func(i, j int) float64 { return float64(i*j) * 0.5 }}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Verts) != len(orig.Verts) || len(back.Tris) != len(orig.Tris) {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			len(back.Verts), len(back.Tris), len(orig.Verts), len(orig.Tris))
+	}
+	for i := range orig.Verts {
+		if orig.Verts[i] != back.Verts[i] {
+			t.Fatalf("vertex %d differs", i)
+		}
+	}
+	if back.NumEdges() != orig.NumEdges() {
+		t.Fatalf("edges differ: %d vs %d", back.NumEdges(), orig.NumEdges())
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"vertices":[[0,0,0]],"triangles":[[0,1,2]]}`)); err == nil {
+		t.Fatal("out-of-range triangle accepted")
+	}
+}
+
+func TestOBJRoundTrip(t *testing.T) {
+	orig, err := Grid{Rows: 3, Cols: 3, Dx: 1, Dy: 1,
+		H: func(i, j int) float64 { return float64(i + j) }}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteOBJ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "v 0 0 0") {
+		t.Fatalf("OBJ missing vertex line:\n%s", buf.String()[:100])
+	}
+	back, err := ReadOBJ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Verts) != len(orig.Verts) || len(back.Tris) != len(orig.Tris) {
+		t.Fatal("OBJ round trip changed sizes")
+	}
+}
+
+func TestReadOBJQuadFaces(t *testing.T) {
+	obj := `
+# quad strip
+v 0 0 0
+v 1 0 1
+v 2 0 0
+v 0 1 0
+v 1 1 2
+v 2 1 0
+f 1 2 5 4
+f 2 3 6 5
+`
+	tr, err := ReadOBJ(strings.NewReader(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tris) != 4 {
+		t.Fatalf("quad triangulation gave %d triangles", len(tr.Tris))
+	}
+}
+
+func TestReadOBJSlashForms(t *testing.T) {
+	obj := `
+v 0 0 0
+v 1 0 0
+v 0 1 0
+vt 0 0
+vn 0 0 1
+f 1/1/1 2/1/1 3/1/1
+`
+	tr, err := ReadOBJ(strings.NewReader(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tris) != 1 {
+		t.Fatalf("got %d triangles", len(tr.Tris))
+	}
+}
+
+func TestReadOBJNegativeIndices(t *testing.T) {
+	obj := `
+v 0 0 0
+v 1 0 0
+v 0 1 0
+f -3 -2 -1
+`
+	tr, err := ReadOBJ(strings.NewReader(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tris) != 1 {
+		t.Fatal("negative indices not handled")
+	}
+}
+
+func TestReadOBJErrors(t *testing.T) {
+	cases := []string{
+		"v 1 2",            // short vertex
+		"v a b c",          // non-numeric
+		"v 0 0 0\nf 1 2",   // short face
+		"v 0 0 0\nf 1 2 9", // out of range
+	}
+	for _, c := range cases {
+		if _, err := ReadOBJ(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted bad OBJ: %q", c)
+		}
+	}
+}

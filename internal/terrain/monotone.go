@@ -1,0 +1,140 @@
+package terrain
+
+import (
+	"fmt"
+	"sort"
+
+	"terrainhsr/internal/geom"
+)
+
+// Monotone-polygon triangulation (the textbook stack sweep): O(n log n) for
+// the sort plus O(n) for the sweep, versus O(n^2) ear clipping. Terrain
+// faces are y-monotone in the plan projection whenever they come from
+// contour or grid data, so this is the fast path the paper's
+// Atallah-Cole-Goodrich triangulation step reduces to for our inputs.
+
+// isYMonotoneLoop reports whether the CCW loop is monotone with respect to
+// the plan y axis: walking from its top vertex to its bottom vertex along
+// either side, y never increases.
+func isYMonotoneLoop(verts []geom.Pt3, loop []int32) bool {
+	n := len(loop)
+	planY := func(i int) float64 { return verts[loop[i]].PlanPoint().Z }
+	top, bot := 0, 0
+	for i := 1; i < n; i++ {
+		if planY(i) > planY(top) {
+			top = i
+		}
+		if planY(i) < planY(bot) {
+			bot = i
+		}
+	}
+	// Walk top -> bot forwards: y must be non-increasing.
+	for i := top; i != bot; i = (i + 1) % n {
+		if planY((i+1)%n) > planY(i)+geom.Eps {
+			return false
+		}
+	}
+	// Walk top -> bot backwards likewise.
+	for i := top; i != bot; i = (i - 1 + n) % n {
+		if planY((i-1+n)%n) > planY(i)+geom.Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// triangulateYMonotone triangulates a CCW y-monotone loop with the stack
+// sweep. The loop must have distinct plan-y values up to ties broken by x.
+func triangulateYMonotone(verts []geom.Pt3, loop []int32) ([][3]int32, error) {
+	n := len(loop)
+	if n < 3 {
+		return nil, fmt.Errorf("terrain: monotone triangulation needs >= 3 vertices")
+	}
+	plan := func(i int) geom.Pt2 { return verts[loop[i]].PlanPoint() }
+	planY := func(i int) float64 { return plan(i).Z }
+	planX := func(i int) float64 { return plan(i).X }
+
+	top, bot := 0, 0
+	for i := 1; i < n; i++ {
+		if planY(i) > planY(top) || (planY(i) == planY(top) && planX(i) < planX(top)) {
+			top = i
+		}
+		if planY(i) < planY(bot) || (planY(i) == planY(bot) && planX(i) > planX(bot)) {
+			bot = i
+		}
+	}
+	// Chain membership: walking CCW from top to bot is one side; mark it.
+	onA := make([]bool, n)
+	for i := top; i != bot; i = (i + 1) % n {
+		onA[i] = true
+	}
+	onA[bot] = false
+
+	// Sort vertices by descending y (ties: ascending x).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if planY(ia) != planY(ib) {
+			return planY(ia) > planY(ib)
+		}
+		return planX(ia) < planX(ib)
+	})
+
+	var out [][3]int32
+	emit := func(a, b, c int) {
+		pa, pb, pc := plan(a), plan(b), plan(c)
+		cr := geom.Cross(pa, pb, pc)
+		if cr > geom.Eps {
+			out = append(out, [3]int32{loop[a], loop[b], loop[c]})
+		} else if cr < -geom.Eps {
+			out = append(out, [3]int32{loop[a], loop[c], loop[b]})
+		}
+		// Degenerate (collinear) triangles are dropped; they carry no area.
+	}
+
+	stack := []int{order[0], order[1]}
+	for j := 2; j < n-1; j++ {
+		uj := order[j]
+		if onA[uj] != onA[stack[len(stack)-1]] {
+			// Opposite chains: fan to every stacked vertex.
+			for len(stack) > 1 {
+				v1 := stack[len(stack)-1]
+				v2 := stack[len(stack)-2]
+				emit(uj, v1, v2)
+				stack = stack[:len(stack)-1]
+			}
+			stack = []int{order[j-1], uj}
+			continue
+		}
+		// Same chain: cut off convex corners.
+		last := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for len(stack) > 0 {
+			nxt := stack[len(stack)-1]
+			cr := geom.Cross(plan(uj), plan(last), plan(nxt))
+			inside := (onA[uj] && cr < -geom.Eps) || (!onA[uj] && cr > geom.Eps)
+			if !inside {
+				break
+			}
+			emit(uj, last, nxt)
+			last = nxt
+			stack = stack[:len(stack)-1]
+		}
+		stack = append(stack, last, uj)
+	}
+	// Connect the bottom vertex to everything left on the stack.
+	ub := order[n-1]
+	for len(stack) > 1 {
+		v1 := stack[len(stack)-1]
+		v2 := stack[len(stack)-2]
+		emit(ub, v1, v2)
+		stack = stack[:len(stack)-1]
+	}
+	if len(out) > n-2 {
+		return nil, fmt.Errorf("terrain: monotone sweep emitted %d triangles for %d vertices", len(out), n)
+	}
+	return out, nil
+}

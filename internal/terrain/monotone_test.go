@@ -1,0 +1,175 @@
+package terrain
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"terrainhsr/internal/geom"
+)
+
+// randMonotonePolygon builds a random simple y-monotone (in plan) CCW
+// polygon: two x-separated chains over a shared descending y sequence.
+func randMonotonePolygon(r *rand.Rand, n int) []geom.Pt3 {
+	ys := make([]float64, n)
+	seen := map[float64]bool{}
+	for i := range ys {
+		v := math.Round(r.Float64()*1e4) / 100
+		for seen[v] {
+			v = math.Round(r.Float64()*1e4) / 100
+		}
+		seen[v] = true
+		ys[i] = v
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ys)))
+	// Split interior ys between the two chains; extremes belong to both.
+	var left, right []geom.Pt2
+	for i, y := range ys {
+		if i == 0 || i == n-1 {
+			continue
+		}
+		if r.Float64() < 0.5 {
+			left = append(left, geom.P2(-1-r.Float64()*5, y))
+		} else {
+			right = append(right, geom.P2(1+r.Float64()*5, y))
+		}
+	}
+	topPt := geom.P2(0, ys[0])
+	botPt := geom.P2(0.3, ys[n-1])
+	// CCW: start at top, go down the LEFT (west) chain, then up the right.
+	var loopPts []geom.Pt2
+	loopPts = append(loopPts, topPt)
+	loopPts = append(loopPts, left...)
+	loopPts = append(loopPts, botPt)
+	for i := len(right) - 1; i >= 0; i-- {
+		loopPts = append(loopPts, right[i])
+	}
+	out := make([]geom.Pt3, len(loopPts))
+	for i, p := range loopPts {
+		out[i] = geom.P3(p.X, p.Z, r.Float64())
+	}
+	return out
+}
+
+func polyArea(verts []geom.Pt3, loop []int32) float64 {
+	a := 0.0
+	for i := range loop {
+		p := verts[loop[i]].PlanPoint()
+		q := verts[loop[(i+1)%len(loop)]].PlanPoint()
+		a += p.X*q.Z - q.X*p.Z
+	}
+	return math.Abs(a) / 2
+}
+
+func trisArea(verts []geom.Pt3, tris [][3]int32) float64 {
+	a := 0.0
+	for _, t := range tris {
+		p, q, s := verts[t[0]].PlanPoint(), verts[t[1]].PlanPoint(), verts[t[2]].PlanPoint()
+		a += math.Abs(geom.Cross(p, q, s)) / 2
+	}
+	return a
+}
+
+func TestYMonotoneDetection(t *testing.T) {
+	// A convex quad is monotone.
+	quad := []geom.Pt3{geom.P3(0, 0, 0), geom.P3(2, 0, 0), geom.P3(2, 2, 0), geom.P3(0, 2, 0)}
+	if !isYMonotoneLoop(quad, []int32{0, 1, 2, 3}) {
+		t.Fatal("convex quad not detected as monotone")
+	}
+	// A plus-sign-like polygon is not y-monotone.
+	// Shape with a notch from the top: y goes down, up, down along one side.
+	notched := []geom.Pt3{
+		geom.P3(0, 0, 0), geom.P3(4, 0, 0), geom.P3(4, 3, 0),
+		geom.P3(3, 3, 0), geom.P3(2, 1, 0), geom.P3(1, 3, 0), geom.P3(0, 3, 0),
+	}
+	if isYMonotoneLoop(notched, []int32{0, 1, 2, 3, 4, 5, 6}) {
+		t.Fatal("notched polygon wrongly detected as y-monotone")
+	}
+}
+
+func TestTriangulateYMonotoneRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + r.Intn(40)
+		verts := randMonotonePolygon(r, n)
+		loop := make([]int32, len(verts))
+		for i := range loop {
+			loop[i] = int32(i)
+		}
+		if !isYMonotoneLoop(verts, loop) {
+			t.Fatalf("trial %d: generator produced non-monotone polygon", trial)
+		}
+		tris, err := triangulateYMonotone(verts, loop)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := polyArea(verts, loop)
+		got := trisArea(verts, tris)
+		if math.Abs(want-got) > 1e-6*(1+want) {
+			t.Fatalf("trial %d (n=%d): area %v want %v (%d triangles)", trial, len(loop), got, want, len(tris))
+		}
+		if len(tris) > len(loop)-2 {
+			t.Fatalf("trial %d: %d triangles for %d vertices", trial, len(tris), len(loop))
+		}
+		// All emitted triangles CCW.
+		for _, tr := range tris {
+			p, q, s := verts[tr[0]].PlanPoint(), verts[tr[1]].PlanPoint(), verts[tr[2]].PlanPoint()
+			if geom.Cross(p, q, s) <= 0 {
+				t.Fatalf("trial %d: non-CCW triangle", trial)
+			}
+		}
+	}
+}
+
+func TestTriangulateFaceUsesMonotonePath(t *testing.T) {
+	// A non-convex but y-monotone polygon: TriangulateFace must still
+	// produce a full-area triangulation (whichever path it takes).
+	verts := []geom.Pt3{
+		geom.P3(0, 4, 0), geom.P3(-2, 3, 0), geom.P3(-0.5, 2, 0),
+		geom.P3(-2.5, 1, 0), geom.P3(0, 0, 0), geom.P3(2, 2.5, 0),
+	}
+	loop := []int32{0, 1, 2, 3, 4, 5}
+	// Orientation: ensure CCW by area sign (reverse if needed).
+	area := 0.0
+	for i := range loop {
+		p := verts[loop[i]].PlanPoint()
+		q := verts[loop[(i+1)%len(loop)]].PlanPoint()
+		area += p.X*q.Z - q.X*p.Z
+	}
+	if area < 0 {
+		for i, j := 0, len(loop)-1; i < j; i, j = i+1, j-1 {
+			loop[i], loop[j] = loop[j], loop[i]
+		}
+	}
+	tris, err := TriangulateFace(verts, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := polyArea(verts, loop)
+	if math.Abs(trisArea(verts, tris)-want) > 1e-9*(1+want) {
+		t.Fatalf("area mismatch: %v vs %v", trisArea(verts, tris), want)
+	}
+}
+
+func TestMonotoneAgreesWithEarClip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		verts := randMonotonePolygon(r, 5+r.Intn(20))
+		loop := make([]int32, len(verts))
+		for i := range loop {
+			loop[i] = int32(i)
+		}
+		mono, err := triangulateYMonotone(verts, loop)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ear, err := earClip(verts, loop)
+		if err != nil {
+			t.Fatalf("trial %d: ear clip: %v", trial, err)
+		}
+		if math.Abs(trisArea(verts, mono)-trisArea(verts, ear)) > 1e-6 {
+			t.Fatalf("trial %d: monotone %v vs ear %v area", trial, trisArea(verts, mono), trisArea(verts, ear))
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package terrain represents polyhedral terrains as triangulated irregular
+// networks (TINs): piecewise-linear surfaces z = f(x, y) given by a planar
+// triangulation in the x-y plane with a height per vertex. It also provides
+// the triangulation substrate the paper assumes (Atallah-Cole-Goodrich in
+// the paper; fan/monotone triangulation here, see DESIGN.md).
+package terrain
+
+import (
+	"fmt"
+	"math"
+
+	"terrainhsr/internal/geom"
+)
+
+// NoTri marks a missing triangle adjacency (boundary edge).
+const NoTri = int32(-1)
+
+// Edge is an undirected terrain edge with its (up to two) incident
+// triangles. V0 < V1 always. Left is the triangle lying to the left of the
+// directed plan-view segment V0->V1, Right the one to its right; either may
+// be NoTri on the boundary.
+type Edge struct {
+	V0, V1      int32
+	Left, Right int32
+}
+
+// Terrain is a TIN. Triangles are triples of vertex indices, counter-
+// clockwise in the x-y (plan) projection.
+type Terrain struct {
+	Verts []geom.Pt3
+	Tris  [][3]int32
+	Edges []Edge
+}
+
+// NumEdges returns the number of distinct edges (the paper's n).
+func (t *Terrain) NumEdges() int { return len(t.Edges) }
+
+// EdgeSeg3 returns edge e as a world-space segment.
+func (t *Terrain) EdgeSeg3(e int) geom.Seg3 {
+	ed := t.Edges[e]
+	return geom.Seg3{A: t.Verts[ed.V0], B: t.Verts[ed.V1]}
+}
+
+// EdgeImageSeg returns the image-plane projection of edge e.
+func (t *Terrain) EdgeImageSeg(e int) geom.Seg2 { return t.EdgeSeg3(e).ImageSeg() }
+
+// PlanPt returns the plan-view (x-y) projection of vertex v.
+func (t *Terrain) PlanPt(v int32) geom.Pt2 { return t.Verts[v].PlanPoint() }
+
+// Centroid2 returns the plan-view centroid of triangle ti.
+func (t *Terrain) Centroid2(ti int32) geom.Pt2 {
+	tr := t.Tris[ti]
+	a, b, c := t.PlanPt(tr[0]), t.PlanPt(tr[1]), t.PlanPt(tr[2])
+	return geom.Pt2{X: (a.X + b.X + c.X) / 3, Z: (a.Z + b.Z + c.Z) / 3}
+}
+
+// New builds a Terrain from vertices and triangles, orienting every triangle
+// counter-clockwise in plan view and deriving the edge/adjacency table.
+func New(verts []geom.Pt3, tris [][3]int32) (*Terrain, error) {
+	t := &Terrain{Verts: verts, Tris: make([][3]int32, len(tris))}
+	copy(t.Tris, tris)
+	for i, tr := range t.Tris {
+		for _, v := range tr {
+			if int(v) >= len(verts) || v < 0 {
+				return nil, fmt.Errorf("terrain: triangle %d references vertex %d out of range", i, v)
+			}
+		}
+		a, b, c := t.PlanPt(tr[0]), t.PlanPt(tr[1]), t.PlanPt(tr[2])
+		cr := geom.Cross(a, b, c)
+		if math.Abs(cr) <= geom.Eps {
+			return nil, fmt.Errorf("terrain: triangle %d degenerate in plan view", i)
+		}
+		if cr < 0 {
+			t.Tris[i][1], t.Tris[i][2] = t.Tris[i][2], t.Tris[i][1]
+		}
+	}
+	if err := t.buildEdges(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type edgeKey struct{ a, b int32 }
+
+func mkEdgeKey(u, v int32) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
+}
+
+func (t *Terrain) buildEdges() error {
+	idx := make(map[edgeKey]int32, 3*len(t.Tris)/2)
+	for ti, tr := range t.Tris {
+		for k := 0; k < 3; k++ {
+			u, v := tr[k], tr[(k+1)%3]
+			key := mkEdgeKey(u, v)
+			ei, ok := idx[key]
+			if !ok {
+				ei = int32(len(t.Edges))
+				idx[key] = ei
+				t.Edges = append(t.Edges, Edge{V0: key.a, V1: key.b, Left: NoTri, Right: NoTri})
+			}
+			e := &t.Edges[ei]
+			// The triangle is CCW; the directed edge u->v has the triangle on
+			// its left. Record relative to the canonical direction V0->V1.
+			if u == e.V0 {
+				if e.Left != NoTri {
+					return fmt.Errorf("terrain: edge (%d,%d) has more than one left triangle", u, v)
+				}
+				e.Left = int32(ti)
+			} else {
+				if e.Right != NoTri {
+					return fmt.Errorf("terrain: edge (%d,%d) has more than one right triangle", u, v)
+				}
+				e.Right = int32(ti)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks the terrain properties the paper requires: distinct plan
+// positions (z is a function of (x, y)), non-degenerate CCW triangles, and
+// a consistent adjacency table.
+func (t *Terrain) Validate() error {
+	seen := make(map[[2]float64]int32, len(t.Verts))
+	for i, v := range t.Verts {
+		key := [2]float64{v.X, v.Y}
+		if j, dup := seen[key]; dup {
+			return fmt.Errorf("terrain: vertices %d and %d share plan position (%v,%v)", j, i, v.X, v.Y)
+		}
+		seen[key] = int32(i)
+		if math.IsNaN(v.Z) || math.IsInf(v.Z, 0) {
+			return fmt.Errorf("terrain: vertex %d has invalid height", i)
+		}
+	}
+	for i, tr := range t.Tris {
+		a, b, c := t.PlanPt(tr[0]), t.PlanPt(tr[1]), t.PlanPt(tr[2])
+		if geom.Cross(a, b, c) <= 0 {
+			return fmt.Errorf("terrain: triangle %d not CCW in plan view", i)
+		}
+	}
+	for i, e := range t.Edges {
+		if e.Left == NoTri && e.Right == NoTri {
+			return fmt.Errorf("terrain: edge %d has no incident triangle", i)
+		}
+	}
+	return nil
+}
+
+// HeightAt evaluates the terrain surface at plan position (x, y) by locating
+// the containing triangle with a linear scan (test/debug helper, not a fast
+// path).
+func (t *Terrain) HeightAt(x, y float64) (float64, bool) {
+	p := geom.Pt2{X: x, Z: y}
+	for _, tr := range t.Tris {
+		a, b, c := t.PlanPt(tr[0]), t.PlanPt(tr[1]), t.PlanPt(tr[2])
+		if geom.Cross(a, b, p) >= -geom.Eps &&
+			geom.Cross(b, c, p) >= -geom.Eps &&
+			geom.Cross(c, a, p) >= -geom.Eps {
+			// Barycentric interpolation.
+			area := geom.Cross(a, b, c)
+			wa := geom.Cross(b, c, p) / area
+			wb := geom.Cross(c, a, p) / area
+			wc := 1 - wa - wb
+			va, vb, vc := t.Verts[tr[0]], t.Verts[tr[1]], t.Verts[tr[2]]
+			return wa*va.Z + wb*vb.Z + wc*vc.Z, true
+		}
+	}
+	return 0, false
+}
+
+// Transform returns a copy of the terrain with every vertex mapped by f.
+// The triangulation is rebuilt so orientations and adjacency stay valid.
+func (t *Terrain) Transform(f func(geom.Pt3) (geom.Pt3, error)) (*Terrain, error) {
+	verts := make([]geom.Pt3, len(t.Verts))
+	for i, v := range t.Verts {
+		q, err := f(v)
+		if err != nil {
+			return nil, fmt.Errorf("terrain: transform vertex %d: %w", i, err)
+		}
+		verts[i] = q
+	}
+	return New(verts, t.Tris)
+}

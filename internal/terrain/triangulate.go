@@ -1,0 +1,130 @@
+package terrain
+
+import (
+	"fmt"
+
+	"terrainhsr/internal/geom"
+)
+
+// The paper assumes the input surface graph is triangulated, invoking the
+// parallel triangulation of Atallah, Cole and Goodrich when it is not. This
+// file provides that substrate: per-face triangulation of a polygonal
+// terrain mesh. Faces are independent, so the step parallelizes trivially
+// over faces (the PRAM accounting charges it at O(log n) depth); per face we
+// use a convex fan when possible and ear clipping otherwise.
+
+// TriangulateFace triangulates the simple polygon given by loop (vertex
+// indices, CCW in plan view) into triangles. It returns an error for
+// degenerate loops.
+func TriangulateFace(verts []geom.Pt3, loop []int32) ([][3]int32, error) {
+	if len(loop) < 3 {
+		return nil, fmt.Errorf("terrain: face with %d vertices", len(loop))
+	}
+	if len(loop) == 3 {
+		return [][3]int32{{loop[0], loop[1], loop[2]}}, nil
+	}
+	plan := func(v int32) geom.Pt2 { return verts[v].PlanPoint() }
+
+	// Ensure CCW orientation (signed area).
+	area := 0.0
+	for i := range loop {
+		p, q := plan(loop[i]), plan(loop[(i+1)%len(loop)])
+		area += p.X*q.Z - q.X*p.Z
+	}
+	work := append([]int32(nil), loop...)
+	if area < 0 {
+		for i, j := 0, len(work)-1; i < j; i, j = i+1, j-1 {
+			work[i], work[j] = work[j], work[i]
+		}
+	}
+
+	if isConvexLoop(verts, work) {
+		out := make([][3]int32, 0, len(work)-2)
+		for i := 1; i+1 < len(work); i++ {
+			out = append(out, [3]int32{work[0], work[i], work[i+1]})
+		}
+		return out, nil
+	}
+	if isYMonotoneLoop(verts, work) {
+		if out, err := triangulateYMonotone(verts, work); err == nil {
+			return out, nil
+		}
+		// Fall through to ear clipping on numerical trouble.
+	}
+	return earClip(verts, work)
+}
+
+func isConvexLoop(verts []geom.Pt3, loop []int32) bool {
+	n := len(loop)
+	for i := 0; i < n; i++ {
+		a := verts[loop[i]].PlanPoint()
+		b := verts[loop[(i+1)%n]].PlanPoint()
+		c := verts[loop[(i+2)%n]].PlanPoint()
+		if geom.Orient(a, b, c) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// earClip triangulates a CCW simple polygon by repeatedly cutting ears.
+func earClip(verts []geom.Pt3, loop []int32) ([][3]int32, error) {
+	idx := append([]int32(nil), loop...)
+	plan := func(v int32) geom.Pt2 { return verts[v].PlanPoint() }
+	var out [][3]int32
+	guard := len(idx) * len(idx) * 4
+	for len(idx) > 3 {
+		if guard--; guard < 0 {
+			return nil, fmt.Errorf("terrain: ear clipping failed (non-simple polygon?)")
+		}
+		clipped := false
+		for i := 0; i < len(idx); i++ {
+			n := len(idx)
+			pi, ci, ni := idx[(i+n-1)%n], idx[i], idx[(i+1)%n]
+			a, b, c := plan(pi), plan(ci), plan(ni)
+			if geom.Orient(a, b, c) <= 0 {
+				continue // reflex or degenerate corner
+			}
+			// No other polygon vertex may lie inside triangle (a, b, c).
+			inside := false
+			for j := 0; j < n; j++ {
+				v := idx[j]
+				if v == pi || v == ci || v == ni {
+					continue
+				}
+				p := plan(v)
+				if geom.Orient(a, b, p) >= 0 && geom.Orient(b, c, p) >= 0 && geom.Orient(c, a, p) >= 0 {
+					inside = true
+					break
+				}
+			}
+			if inside {
+				continue
+			}
+			out = append(out, [3]int32{pi, ci, ni})
+			idx = append(idx[:i], idx[i+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			return nil, fmt.Errorf("terrain: no ear found (non-simple polygon?)")
+		}
+	}
+	out = append(out, [3]int32{idx[0], idx[1], idx[2]})
+	return out, nil
+}
+
+// TriangulateMesh triangulates every face of a polygonal terrain mesh and
+// assembles the result into a TIN. This is the entry point matching step
+// "triangulate the graph" of the paper's algorithm.
+func TriangulateMesh(verts []geom.Pt3, faces [][]int32) (*Terrain, error) {
+	var tris [][3]int32
+	for fi, face := range faces {
+		ts, err := TriangulateFace(verts, face)
+		if err != nil {
+			return nil, fmt.Errorf("terrain: face %d: %w", fi, err)
+		}
+		tris = append(tris, ts...)
+	}
+	return New(verts, tris)
+}

@@ -1,0 +1,59 @@
+package vis
+
+import (
+	"io"
+	"math"
+	"strings"
+
+	"terrainhsr/internal/hsr"
+)
+
+// RenderASCII draws the visible scene as terminal text art: each visible
+// piece is rasterized into a character grid ('#' above, fading by height).
+// It is deliberately crude — the point of an object-space algorithm is that
+// rendering to any device, even a terminal, is a trivial post-pass.
+func RenderASCII(w io.Writer, res *hsr.Result, cols, rows int) error {
+	if cols < 4 {
+		cols = 64
+	}
+	if rows < 4 {
+		rows = 20
+	}
+	st := Stats(res)
+	x1, z1, x2, z2 := st.Bounds[0], st.Bounds[1], st.Bounds[2], st.Bounds[3]
+	if x2-x1 < 1e-12 || st.Pieces == 0 {
+		_, err := io.WriteString(w, "(empty scene)\n")
+		return err
+	}
+	if z2-z1 < 1e-12 {
+		z2 = z1 + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	shades := []byte(".:-=+*#%@")
+	plot := func(x, z float64) {
+		c := int((x - x1) / (x2 - x1) * float64(cols-1))
+		r := rows - 1 - int((z-z1)/(z2-z1)*float64(rows-1))
+		if c < 0 || c >= cols || r < 0 || r >= rows {
+			return
+		}
+		shade := shades[int(float64(len(shades)-1)*(z-z1)/(z2-z1))]
+		grid[r][c] = shade
+	}
+	for _, p := range res.Pieces {
+		steps := int(math.Max(2, (p.Span.X2-p.Span.X1)/(x2-x1)*float64(cols)*2))
+		for i := 0; i <= steps; i++ {
+			t := float64(i) / float64(steps)
+			plot(p.Span.X1+t*(p.Span.X2-p.Span.X1), p.Span.Z1+t*(p.Span.Z2-p.Span.Z1))
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

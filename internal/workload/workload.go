@@ -1,0 +1,267 @@
+// Package workload generates synthetic terrains whose visible-output size k,
+// input size n, and image-plane intersection count I can be controlled
+// independently. The paper's bounds are stated in terms of n and k (and
+// implicitly contrasted with algorithms whose work grows with I), so the
+// experiment harness needs terrain families that sweep k/n from near 0
+// (a front ridge occluding everything) to near 1 (a surface tilted toward
+// the sky, fully visible) while I varies freely.
+//
+// This package substitutes for the geographic datasets the paper alludes to
+// ("most geographical features can be represented in this manner") — see
+// DESIGN.md section 2.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/terrain"
+)
+
+// Kind selects a terrain family.
+type Kind string
+
+const (
+	// Fractal is diamond-square fractional Brownian relief: the "natural
+	// terrain" workload. Moderate k/n, irregular profiles.
+	Fractal Kind = "fractal"
+	// Sinusoid is a smooth sum of sinusoids: few crossings, well conditioned.
+	Sinusoid Kind = "sinusoid"
+	// Ridge places a tall wall near the viewer occluding a controllable
+	// fraction of the terrain behind it: k << n while I stays large.
+	Ridge Kind = "ridge"
+	// TiltedUp rises away from the viewer: essentially everything is
+	// visible, k = Theta(n).
+	TiltedUp Kind = "tilted-up"
+	// TiltedDown falls away from the viewer: the front rows hide the rest,
+	// k is near the minimum.
+	TiltedDown Kind = "tilted-down"
+	// Rough is independent random heights: maximizes crossings I relative
+	// to n; stress test for robustness.
+	Rough Kind = "rough"
+	// Steps is a staircase rising away from the viewer with occasional
+	// drops; piecewise-flat profiles exercise tie handling.
+	Steps Kind = "steps"
+)
+
+// Kinds lists all generator families.
+var Kinds = []Kind{Fractal, Sinusoid, Ridge, TiltedUp, TiltedDown, Rough, Steps}
+
+// Params configures a generator.
+type Params struct {
+	Kind Kind
+	// Rows and Cols are grid cell counts (n_edges ~ 3*Rows*Cols).
+	Rows, Cols int
+	Seed       int64
+	// Amplitude scales relief height relative to the unit grid spacing.
+	Amplitude float64
+	// RidgeHeight (Ridge only) is the wall height; taller walls occlude
+	// more, driving k down.
+	RidgeHeight float64
+	// RidgeRow (Ridge only) is the row index of the wall; defaults to 1.
+	RidgeRow int
+	// Slope (TiltedUp/TiltedDown only) is the tilt per row.
+	Slope float64
+	// Shear tilts the plan grid by adding Shear*x to every y coordinate.
+	// The paper implicitly assumes general position: no terrain edge
+	// parallel to the viewing direction (such an edge projects to a single
+	// image column, where visibility degenerates to a limit computation).
+	// A small shear removes the degeneracy without changing the character
+	// of the terrain. Zero selects the default 0.07; negative disables.
+	Shear float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Amplitude == 0 {
+		p.Amplitude = 3
+	}
+	if p.RidgeHeight == 0 {
+		p.RidgeHeight = 10
+	}
+	if p.RidgeRow == 0 {
+		p.RidgeRow = 1
+	}
+	if p.Slope == 0 {
+		p.Slope = 0.5
+	}
+	if p.Shear == 0 {
+		p.Shear = 0.07
+	}
+	return p
+}
+
+// Generate builds the terrain for the given parameters.
+func Generate(p Params) (*terrain.Terrain, error) {
+	p = p.withDefaults()
+	if p.Rows < 1 || p.Cols < 1 {
+		return nil, fmt.Errorf("workload: need at least one cell, got %dx%d", p.Rows, p.Cols)
+	}
+	var h terrain.HeightFn
+	r := rand.New(rand.NewSource(p.Seed))
+	switch p.Kind {
+	case Fractal:
+		f := diamondSquare(maxInt(p.Rows, p.Cols), p.Amplitude, r)
+		h = func(i, j int) float64 { return f[i][j] }
+	case Sinusoid:
+		fx := 0.5 + r.Float64()
+		fy := 0.5 + r.Float64()
+		ph := r.Float64() * math.Pi
+		h = func(i, j int) float64 {
+			return p.Amplitude * (math.Sin(fx*float64(i)+ph) * math.Cos(fy*float64(j)))
+		}
+	case Ridge:
+		base := diamondSquare(maxInt(p.Rows, p.Cols), p.Amplitude, r)
+		h = func(i, j int) float64 {
+			if i == p.RidgeRow {
+				return p.RidgeHeight
+			}
+			return base[i][j]
+		}
+	case TiltedUp:
+		jit := jitterTable(p.Rows+1, p.Cols+1, 0.05*p.Amplitude, r)
+		h = func(i, j int) float64 { return p.Slope*float64(i) + jit[i][j] }
+	case TiltedDown:
+		jit := jitterTable(p.Rows+1, p.Cols+1, 0.05*p.Amplitude, r)
+		h = func(i, j int) float64 { return -p.Slope*float64(i) + jit[i][j] }
+	case Rough:
+		jit := jitterTable(p.Rows+1, p.Cols+1, p.Amplitude, r)
+		h = func(i, j int) float64 { return jit[i][j] }
+	case Steps:
+		drops := make([]bool, p.Rows+1)
+		for i := range drops {
+			drops[i] = r.Float64() < 0.25
+		}
+		h = func(i, j int) float64 {
+			z := 0.0
+			for k := 1; k <= i; k++ {
+				if drops[k] {
+					z -= 0.7 * p.Slope
+				} else {
+					z += p.Slope
+				}
+			}
+			return z
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %q", p.Kind)
+	}
+	t, err := terrain.Grid{Rows: p.Rows, Cols: p.Cols, Dx: 1, Dy: 1, H: h}.Build()
+	if err != nil {
+		return nil, err
+	}
+	if p.Shear > 0 {
+		shear := p.Shear
+		t, err = t.Transform(func(q geom.Pt3) (geom.Pt3, error) {
+			q.Y += shear * q.X
+			return q, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func jitterTable(nr, nc int, amp float64, r *rand.Rand) [][]float64 {
+	t := make([][]float64, nr)
+	for i := range t {
+		t[i] = make([]float64, nc)
+		for j := range t[i] {
+			t[i][j] = (r.Float64()*2 - 1) * amp
+		}
+	}
+	return t
+}
+
+// diamondSquare generates fractional Brownian relief on a grid covering at
+// least (side+1)x(side+1) samples.
+func diamondSquare(side int, amp float64, r *rand.Rand) [][]float64 {
+	size := 1
+	for size < side {
+		size *= 2
+	}
+	n := size + 1
+	g := make([][]float64, n)
+	for i := range g {
+		g[i] = make([]float64, n)
+	}
+	g[0][0] = r.Float64() * amp
+	g[0][size] = r.Float64() * amp
+	g[size][0] = r.Float64() * amp
+	g[size][size] = r.Float64() * amp
+	scale := amp
+	for step := size; step > 1; step /= 2 {
+		half := step / 2
+		// Diamond step.
+		for i := half; i < n; i += step {
+			for j := half; j < n; j += step {
+				avg := (g[i-half][j-half] + g[i-half][j+half] + g[i+half][j-half] + g[i+half][j+half]) / 4
+				g[i][j] = avg + (r.Float64()*2-1)*scale
+			}
+		}
+		// Square step.
+		for i := 0; i < n; i += half {
+			start := half
+			if (i/half)%2 == 1 {
+				start = 0
+			}
+			for j := start; j < n; j += step {
+				sum, cnt := 0.0, 0
+				if i >= half {
+					sum += g[i-half][j]
+					cnt++
+				}
+				if i+half < n {
+					sum += g[i+half][j]
+					cnt++
+				}
+				if j >= half {
+					sum += g[i][j-half]
+					cnt++
+				}
+				if j+half < n {
+					sum += g[i][j+half]
+					cnt++
+				}
+				g[i][j] = sum/float64(cnt) + (r.Float64()*2-1)*scale
+			}
+		}
+		scale *= 0.55
+	}
+	return g
+}
+
+// CountImageCrossings counts I: the pairwise proper crossings of the
+// projected edges in the image plane, by brute force. This is the quantity
+// intersection-sensitive algorithms pay for; quadratic in n, so callers
+// should restrict it to moderate sizes.
+func CountImageCrossings(t *terrain.Terrain) int {
+	segs := make([]geom.Seg2, t.NumEdges())
+	for e := range segs {
+		segs[e] = t.EdgeImageSeg(e)
+	}
+	count := 0
+	for i := 0; i < len(segs); i++ {
+		if segs[i].IsVerticalImage() {
+			continue
+		}
+		for j := i + 1; j < len(segs); j++ {
+			if segs[j].IsVerticalImage() {
+				continue
+			}
+			if _, ok := geom.SegCrossOnOverlap(segs[i], segs[j]); ok {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, k := range Kinds {
+		tr, err := Generate(Params{Kind: k, Rows: 8, Cols: 8, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid terrain: %v", k, err)
+		}
+		if tr.NumEdges() == 0 {
+			t.Fatalf("%s: no edges", k)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Params{Kind: Fractal, Rows: 8, Cols: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Params{Kind: Fractal, Rows: 8, Cols: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Verts {
+		if a.Verts[i] != b.Verts[i] {
+			t.Fatalf("vertex %d differs across runs with same seed", i)
+		}
+	}
+	c, err := Generate(Params{Kind: Fractal, Rows: 8, Cols: 8, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Verts {
+		if a.Verts[i] != c.Verts[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical terrain")
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	if _, err := Generate(Params{Kind: "volcano", Rows: 4, Cols: 4}); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestGenerateBadDims(t *testing.T) {
+	if _, err := Generate(Params{Kind: Fractal, Rows: 0, Cols: 4}); err == nil {
+		t.Fatal("expected error for zero rows")
+	}
+}
+
+func TestRidgeWallPresent(t *testing.T) {
+	tr, err := Generate(Params{Kind: Ridge, Rows: 6, Cols: 6, Seed: 5, RidgeHeight: 50, RidgeRow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All vertices on row 1 must be at the ridge height.
+	found := 0
+	for _, v := range tr.Verts {
+		if v.X == 1 {
+			if v.Z != 50 {
+				t.Fatalf("ridge vertex at height %v, want 50", v.Z)
+			}
+			found++
+		}
+	}
+	if found != 7 {
+		t.Fatalf("expected 7 ridge vertices, found %d", found)
+	}
+}
+
+func TestTiltedDirections(t *testing.T) {
+	up, err := Generate(Params{Kind: TiltedUp, Rows: 10, Cols: 4, Seed: 2, Slope: 1, Amplitude: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := Generate(Params{Kind: TiltedDown, Rows: 10, Cols: 4, Seed: 2, Slope: 1, Amplitude: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean height of back row must exceed front row for TiltedUp, and
+	// vice versa for TiltedDown.
+	rowMean := func(tr interface {
+		HeightAt(x, y float64) (float64, bool)
+	}, x float64) float64 {
+		sum, cnt := 0.0, 0
+		// Sample inside the sheared domain: y in [shear*x, 4+shear*x].
+		for y := 0.07*x + 0.5; y < 0.07*x+4; y++ {
+			if z, ok := tr.HeightAt(x, y); ok {
+				sum += z
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+	if !(rowMean(up, 9.5) > rowMean(up, 0.5)) {
+		t.Fatal("TiltedUp does not rise away from viewer")
+	}
+	if !(rowMean(down, 9.5) < rowMean(down, 0.5)) {
+		t.Fatal("TiltedDown does not fall away from viewer")
+	}
+}
+
+func TestCountImageCrossings(t *testing.T) {
+	// A rough terrain must have many crossings; a tiny flat one, few.
+	rough, err := Generate(Params{Kind: Rough, Rows: 5, Cols: 5, Seed: 9, Amplitude: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatish, err := Generate(Params{Kind: Sinusoid, Rows: 5, Cols: 5, Seed: 9, Amplitude: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := CountImageCrossings(rough)
+	if_ := CountImageCrossings(flatish)
+	if ir <= if_ {
+		t.Fatalf("rough terrain crossings (%d) not above near-flat (%d)", ir, if_)
+	}
+}
+
+func TestFractalLooksFractal(t *testing.T) {
+	tr, err := Generate(Params{Kind: Fractal, Rows: 16, Cols: 16, Seed: 7, Amplitude: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Height variance must be nonzero and heights bounded by a few amplitudes.
+	var mn, mx float64
+	for i, v := range tr.Verts {
+		if i == 0 {
+			mn, mx = v.Z, v.Z
+		}
+		if v.Z < mn {
+			mn = v.Z
+		}
+		if v.Z > mx {
+			mx = v.Z
+		}
+	}
+	if mx-mn < 0.1 {
+		t.Fatal("fractal terrain is flat")
+	}
+	if mx-mn > 100 {
+		t.Fatalf("fractal terrain implausibly tall: %v", mx-mn)
+	}
+}

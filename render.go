@@ -1,0 +1,94 @@
+package terrainhsr
+
+import (
+	"io"
+
+	"terrainhsr/internal/vis"
+)
+
+// RenderOptions controls SVG rendering of a visible scene.
+type RenderOptions struct {
+	// Width is the pixel width (default 800); height follows the scene's
+	// aspect ratio.
+	Width int
+	// ShowHidden draws the full terrain wireframe faintly underneath.
+	ShowHidden bool
+	// Title is embedded in the SVG document.
+	Title string
+}
+
+// RenderSVG writes the visible scene as an SVG drawing: the paper's
+// device-independent scene description materialized for one display.
+func RenderSVG(w io.Writer, t *Terrain, r *Result, opt RenderOptions) error {
+	return vis.RenderSVG(w, t.internalTerrain(), r.internalResult(), vis.SVGOptions{
+		Width:      opt.Width,
+		ShowHidden: opt.ShowHidden,
+		Title:      opt.Title,
+	})
+}
+
+// SceneStats summarizes the displayed image as a planar graph.
+type SceneStats struct {
+	// Pieces is the number of visible edge portions (image edges).
+	Pieces int
+	// Vertices is the number of distinct piece endpoints.
+	Vertices int
+	// VisibleLength is the total image-plane length of the scene.
+	VisibleLength float64
+	// EdgesWithVisibility counts input edges at least partly visible.
+	EdgesWithVisibility int
+}
+
+// Stats computes scene statistics for a result.
+func (r *Result) Stats() SceneStats {
+	st := vis.Stats(r.res)
+	return SceneStats{
+		Pieces:              st.Pieces,
+		Vertices:            st.Vertices,
+		VisibleLength:       st.VisibleLength,
+		EdgesWithVisibility: st.EdgesWithVisibility,
+	}
+}
+
+// Silhouette returns the upper silhouette (skyline) of the visible scene as
+// a polyline of (x, z) image points, gaps omitted.
+func (r *Result) Silhouette() [][2]float64 {
+	prof := vis.Silhouette(r.res)
+	out := make([][2]float64, 0, 2*len(prof))
+	for _, pc := range prof {
+		out = append(out, [2]float64{pc.X1, pc.Z1}, [2]float64{pc.X2, pc.Z2})
+	}
+	return out
+}
+
+// EdgeVisibility summarizes one edge's visibility.
+type EdgeVisibility struct {
+	Edge                       int32
+	VisibleLength, TotalLength float64
+	// Fraction is VisibleLength/TotalLength in [0, 1].
+	Fraction float64
+}
+
+// EdgeVisibility computes, for every edge of the solved terrain, the
+// fraction of its projection that is visible — the per-feature viewshed
+// summary GIS users expect.
+func (r *Result) EdgeVisibility(t *Terrain) []EdgeVisibility {
+	fr := vis.EdgeVisibilityFractions(t.internalTerrain(), r.res)
+	out := make([]EdgeVisibility, len(fr))
+	for i, f := range fr {
+		out[i] = EdgeVisibility{
+			Edge:          f.Edge,
+			VisibleLength: f.VisibleLength,
+			TotalLength:   f.TotalLength,
+			Fraction:      f.Fraction,
+		}
+	}
+	return out
+}
+
+// RenderASCII draws the visible scene as terminal text art (width x height
+// characters) — a second display backend demonstrating the device
+// independence of the object-space output.
+func RenderASCII(w io.Writer, r *Result, width, height int) error {
+	return vis.RenderASCII(w, r.res, width, height)
+}

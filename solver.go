@@ -1,0 +1,71 @@
+package terrainhsr
+
+import (
+	"fmt"
+
+	"terrainhsr/internal/hsr"
+)
+
+// Solver caches the view-dependent preprocessing of one terrain — the
+// front-to-back depth order (the separator-tree step) — so that repeated
+// solves of the same terrain (with different algorithms, worker counts or
+// repeated benchmarking) skip it. The depth order depends only on the plan
+// projection, which is immutable for a Terrain.
+//
+// A Solver is safe for concurrent use: the cached state is read-only after
+// construction and each Solve call owns its working structures.
+type Solver struct {
+	t    *Terrain
+	prep *hsr.Prepared
+}
+
+// NewSolver prepares a terrain for repeated visibility queries.
+func NewSolver(t *Terrain) (*Solver, error) {
+	if t == nil || t.t == nil {
+		return nil, fmt.Errorf("terrainhsr: nil terrain")
+	}
+	prep, err := hsr.Prepare(t.t)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{t: t, prep: prep}, nil
+}
+
+// Terrain returns the terrain this solver was built for.
+func (s *Solver) Terrain() *Terrain { return s.t }
+
+// Solve computes the visible scene reusing the cached depth order.
+// BruteForce and AllPairs are supported for completeness; they recompute
+// from the cached order like the others.
+func (s *Solver) Solve(opt Options) (*Result, error) {
+	algo := opt.Algorithm
+	if algo == "" {
+		algo = Parallel
+	}
+	var (
+		r   *hsr.Result
+		err error
+	)
+	switch algo {
+	case Parallel:
+		r, err = s.prep.ParallelOS(hsr.OSOptions{Workers: opt.Workers})
+	case ParallelHulls:
+		r, err = s.prep.ParallelOS(hsr.OSOptions{Workers: opt.Workers, WithHulls: true})
+	case ParallelCopying:
+		r, err = s.prep.ParallelSimple(opt.Workers)
+	case Sequential:
+		r, err = s.prep.Sequential()
+	case SequentialTree:
+		r, err = s.prep.SequentialTree(false)
+	case BruteForce:
+		r, err = hsr.BruteForce(s.t.t)
+	case AllPairs:
+		r, err = hsr.AllPairs(s.t.t)
+	default:
+		return nil, fmt.Errorf("terrainhsr: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: r, algo: algo}, nil
+}

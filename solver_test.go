@@ -1,0 +1,92 @@
+package terrainhsr
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSolverReuse(t *testing.T) {
+	tr := genTest(t, "fractal", 12, 12, 9)
+	s, err := NewSolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Terrain() != tr {
+		t.Fatal("terrain accessor wrong")
+	}
+	var lengths []float64
+	for _, algo := range Algorithms() {
+		res, err := s.Solve(Options{Algorithm: algo, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		lengths = append(lengths, res.VisibleLength())
+	}
+	for i := 1; i < len(lengths); i++ {
+		if math.Abs(lengths[i]-lengths[0]) > 1e-6*lengths[0] {
+			t.Fatalf("solver algorithms disagree: %v", lengths)
+		}
+	}
+	// Solver result must match one-shot Solve.
+	oneShot, err := Solve(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSolver, err := s.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.K() != viaSolver.K() {
+		t.Fatalf("solver k=%d one-shot k=%d", viaSolver.K(), oneShot.K())
+	}
+}
+
+func TestSolverConcurrentUse(t *testing.T) {
+	tr := genTest(t, "sinusoid", 10, 10, 4)
+	s, err := NewSolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			algo := Parallel
+			if g%2 == 1 {
+				algo = Sequential
+			}
+			res, err := s.Solve(Options{Algorithm: algo, Workers: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.K() == 0 {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSolverErrors(t *testing.T) {
+	if _, err := NewSolver(nil); err == nil {
+		t.Fatal("nil terrain accepted")
+	}
+	tr := genTest(t, "rough", 4, 4, 1)
+	s, err := NewSolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(Options{Algorithm: "zbuffer"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,319 @@
+// Package terrainhsr is an object-space hidden-surface-removal library for
+// polyhedral terrains, reproducing the output-size sensitive parallel
+// algorithm of Gupta and Sen ("An Improved Output-size Sensitive Parallel
+// Algorithm for Hidden-Surface Removal for Terrains", IPPS 1998).
+//
+// Given a terrain — a piecewise-linear surface z = f(x, y) — and a viewer
+// at x = -inf looking in +x (or a finite perspective eye point), the library
+// computes the combinatorial description of the visible scene: for every
+// terrain edge, the maximal portions of its image-plane projection that are
+// visible. The description is device independent and can be rendered at any
+// resolution (see RenderSVG).
+//
+// The flagship solver is the paper's parallel algorithm: edges are ordered
+// front to back, a Profile Computation Tree of upper envelopes is built
+// bottom-up, and prefix envelopes are pushed top-down with Chazelle-Guibas
+// style crossing queries against persistent profile trees, so that total
+// work is proportional to (n + k) polylog n — n input edges, k visible
+// output pieces — rather than to the number of pairwise edge crossings.
+// Sequential and brute-force baselines are included for comparison and
+// verification.
+//
+//	tr, _ := terrainhsr.Generate(terrainhsr.GenParams{Kind: "fractal", Rows: 64, Cols: 64, Seed: 42})
+//	res, _ := terrainhsr.Solve(tr, terrainhsr.Options{})
+//	fmt.Println(res.K(), "visible pieces from", res.N(), "edges")
+package terrainhsr
+
+import (
+	"fmt"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/terrain"
+	"terrainhsr/internal/workload"
+)
+
+// Point is a world-space point with Z = height at plan position (X, Y).
+type Point struct {
+	X, Y, Z float64
+}
+
+// Terrain is a triangulated terrain surface ready for visibility queries.
+type Terrain struct {
+	t *terrain.Terrain
+}
+
+// NumEdges returns the number of terrain edges (the algorithm's n).
+func (t *Terrain) NumEdges() int { return t.t.NumEdges() }
+
+// NumVertices returns the number of terrain vertices.
+func (t *Terrain) NumVertices() int { return len(t.t.Verts) }
+
+// NumTriangles returns the number of terrain faces.
+func (t *Terrain) NumTriangles() int { return len(t.t.Tris) }
+
+// HeightAt samples the surface at plan position (x, y); ok is false outside
+// the terrain's domain.
+func (t *Terrain) HeightAt(x, y float64) (z float64, ok bool) { return t.t.HeightAt(x, y) }
+
+// HeightFunc gives the height of grid vertex (i, j); i runs along the
+// viewing (depth) axis.
+type HeightFunc func(i, j int) float64
+
+// NewGridTerrain builds a regular-grid TIN with (rows+1)x(cols+1) vertices
+// at spacing (dx, dy) and heights from h.
+func NewGridTerrain(rows, cols int, dx, dy float64, h HeightFunc) (*Terrain, error) {
+	tt, err := terrain.Grid{Rows: rows, Cols: cols, Dx: dx, Dy: dy, H: terrain.HeightFn(h)}.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := tt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Terrain{t: tt}, nil
+}
+
+// NewTerrain builds a terrain from explicit vertices and triangles
+// (counter-clockwise or clockwise; orientation is normalized).
+func NewTerrain(verts []Point, tris [][3]int32) (*Terrain, error) {
+	vs := make([]geom.Pt3, len(verts))
+	for i, v := range verts {
+		vs[i] = geom.Pt3{X: v.X, Y: v.Y, Z: v.Z}
+	}
+	tt, err := terrain.New(vs, tris)
+	if err != nil {
+		return nil, err
+	}
+	if err := tt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Terrain{t: tt}, nil
+}
+
+// NewMeshTerrain builds a terrain from polygonal faces, triangulating each
+// face (the paper's optional triangulation step).
+func NewMeshTerrain(verts []Point, faces [][]int32) (*Terrain, error) {
+	vs := make([]geom.Pt3, len(verts))
+	for i, v := range verts {
+		vs[i] = geom.Pt3{X: v.X, Y: v.Y, Z: v.Z}
+	}
+	tt, err := terrain.TriangulateMesh(vs, faces)
+	if err != nil {
+		return nil, err
+	}
+	if err := tt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Terrain{t: tt}, nil
+}
+
+// GenParams selects a synthetic terrain family; see package
+// internal/workload for the catalogue. Kind is one of "fractal",
+// "sinusoid", "ridge", "tilted-up", "tilted-down", "rough", "steps".
+type GenParams struct {
+	Kind        string
+	Rows, Cols  int
+	Seed        int64
+	Amplitude   float64
+	RidgeHeight float64
+	Slope       float64
+	// Shear tilts the plan grid to keep edges off the exact viewing
+	// direction (general position); 0 selects a sensible default,
+	// negative disables.
+	Shear float64
+}
+
+// Generate builds a synthetic terrain.
+func Generate(p GenParams) (*Terrain, error) {
+	tt, err := workload.Generate(workload.Params{
+		Kind: workload.Kind(p.Kind), Rows: p.Rows, Cols: p.Cols, Seed: p.Seed,
+		Amplitude: p.Amplitude, RidgeHeight: p.RidgeHeight, Slope: p.Slope, Shear: p.Shear,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Terrain{t: tt}, nil
+}
+
+// GenerateKinds lists the synthetic terrain families.
+func GenerateKinds() []string {
+	out := make([]string, len(workload.Kinds))
+	for i, k := range workload.Kinds {
+		out[i] = string(k)
+	}
+	return out
+}
+
+// FromPerspective returns the terrain transformed so that a perspective
+// view from the given eye point (looking in +x) becomes the canonical
+// orthographic view solved by this library. Every vertex must be at least
+// minDepth in front of the eye.
+func (t *Terrain) FromPerspective(eye Point, minDepth float64) (*Terrain, error) {
+	pt := geom.PerspectiveTransform{Eye: geom.Pt3{X: eye.X, Y: eye.Y, Z: eye.Z}, MinDepth: minDepth}
+	tt, err := t.t.Transform(pt.Apply)
+	if err != nil {
+		return nil, err
+	}
+	return &Terrain{t: tt}, nil
+}
+
+// Algorithm selects a solver.
+type Algorithm string
+
+const (
+	// Parallel is the paper's output-sensitive parallel algorithm
+	// (persistent profile trees, summary pruning). The default.
+	Parallel Algorithm = "parallel"
+	// ParallelHulls is the same algorithm with the exact hull-augmented
+	// ACG pruning of Lemmas 3.3-3.6.
+	ParallelHulls Algorithm = "parallel-hulls"
+	// ParallelCopying is the non-output-sensitive parallelization that
+	// copies prefix profiles down the PCT (the A1 ablation baseline).
+	ParallelCopying Algorithm = "parallel-copying"
+	// Sequential is the Reif-Sen sequential algorithm with the flat-array
+	// profile (simple, trusted baseline).
+	Sequential Algorithm = "sequential"
+	// SequentialTree is the Reif-Sen sequential algorithm with the
+	// efficient persistent-tree profile and crossing queries — the
+	// O((n+k) polylog n) sequential bound the parallel algorithm is
+	// compared against.
+	SequentialTree Algorithm = "sequential-tree"
+	// BruteForce recomputes each edge's occluder envelope from scratch
+	// (ground truth for tests; quadratic).
+	BruteForce Algorithm = "brute-force"
+	// AllPairs additionally counts every pairwise image crossing (the
+	// intersection-sensitive baseline of experiment T3).
+	AllPairs Algorithm = "all-pairs"
+)
+
+// Algorithms lists all selectable solvers.
+func Algorithms() []Algorithm {
+	return []Algorithm{Parallel, ParallelHulls, ParallelCopying, Sequential, SequentialTree, BruteForce, AllPairs}
+}
+
+// Options configures Solve.
+type Options struct {
+	// Algorithm defaults to Parallel.
+	Algorithm Algorithm
+	// Workers bounds the goroutine count for parallel algorithms
+	// (0 = all CPUs).
+	Workers int
+}
+
+// Piece is one maximal visible portion of a terrain edge, in image-plane
+// coordinates (X = world y, Z = height). For edges seen end-on, X1 == X2
+// and [Z1, Z2] is the visible height range.
+type Piece struct {
+	Edge           int32
+	X1, Z1, X2, Z2 float64
+}
+
+// Result is the visible-scene description plus the cost accounting used by
+// the reproduction experiments.
+type Result struct {
+	res  *hsr.Result
+	algo Algorithm
+}
+
+// Solve computes the visible scene.
+func Solve(t *Terrain, opt Options) (*Result, error) {
+	if t == nil || t.t == nil {
+		return nil, fmt.Errorf("terrainhsr: nil terrain")
+	}
+	algo := opt.Algorithm
+	if algo == "" {
+		algo = Parallel
+	}
+	var (
+		r   *hsr.Result
+		err error
+	)
+	switch algo {
+	case Parallel:
+		r, err = hsr.ParallelOS(t.t, hsr.OSOptions{Workers: opt.Workers})
+	case ParallelHulls:
+		r, err = hsr.ParallelOS(t.t, hsr.OSOptions{Workers: opt.Workers, WithHulls: true})
+	case ParallelCopying:
+		r, err = hsr.ParallelSimple(t.t, opt.Workers)
+	case Sequential:
+		r, err = hsr.Sequential(t.t)
+	case SequentialTree:
+		r, err = hsr.SequentialTree(t.t, false)
+	case BruteForce:
+		r, err = hsr.BruteForce(t.t)
+	case AllPairs:
+		r, err = hsr.AllPairs(t.t)
+	default:
+		return nil, fmt.Errorf("terrainhsr: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: r, algo: algo}, nil
+}
+
+// Algorithm returns the solver that produced this result.
+func (r *Result) Algorithm() Algorithm { return r.algo }
+
+// N returns the input size (terrain edges).
+func (r *Result) N() int { return r.res.N }
+
+// K returns the output size: the number of visible pieces (the displayed
+// image has Theta(K) vertices and edges).
+func (r *Result) K() int { return r.res.K() }
+
+// Pieces returns the visible pieces sorted by edge and position.
+func (r *Result) Pieces() []Piece {
+	out := make([]Piece, len(r.res.Pieces))
+	for i, p := range r.res.Pieces {
+		out[i] = Piece{Edge: p.Edge, X1: p.Span.X1, Z1: p.Span.Z1, X2: p.Span.X2, Z2: p.Span.Z2}
+	}
+	return out
+}
+
+// VisibleLength returns the total image-plane length of the visible scene.
+func (r *Result) VisibleLength() float64 { return r.res.VisibleLength() }
+
+// Work returns the charged elementary operations (the PRAM work measure).
+func (r *Result) Work() int64 { return r.res.Work() }
+
+// Depth returns the PRAM critical path (parallel time with unlimited
+// processors); zero for purely sequential solvers without phase structure.
+func (r *Result) Depth() int64 {
+	if r.res.Acct == nil {
+		return 0
+	}
+	return r.res.Acct.Depth()
+}
+
+// TimeOnPRAM evaluates the Brent slow-down bound for p processors
+// (Lemma 2.1 of the paper), in charged operations.
+func (r *Result) TimeOnPRAM(p int) float64 {
+	if r.res.Acct == nil {
+		return float64(r.Work())
+	}
+	return r.res.Acct.TimeOn(p)
+}
+
+// Crossings returns the number of image vertex events discovered
+// (crossings between edges and their prefix envelopes).
+func (r *Result) Crossings() int64 { return r.res.Crossings }
+
+// IntersectionsI returns the total pairwise image-plane crossing count;
+// populated only by the AllPairs baseline.
+func (r *Result) IntersectionsI() int64 { return r.res.IntersectionsI }
+
+// PhaseSummary renders the PRAM per-phase accounting table.
+func (r *Result) PhaseSummary() string {
+	if r.res.Acct == nil {
+		return ""
+	}
+	return r.res.Acct.Summary()
+}
+
+// internalResult exposes the underlying result to sibling root-package
+// files (rendering) without widening the public surface.
+func (r *Result) internalResult() *hsr.Result { return r.res }
+
+// internalTerrain likewise.
+func (t *Terrain) internalTerrain() *terrain.Terrain { return t.t }
