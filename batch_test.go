@@ -1,0 +1,239 @@
+package terrainhsr
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func testEyes(tr *Terrain, frames int) []Point {
+	// A small flyover approaching the terrain along -x, above the relief.
+	eyes := make([]Point, frames)
+	for i := range eyes {
+		f := 0.0
+		if frames > 1 {
+			f = float64(i) / float64(frames-1)
+		}
+		eyes[i] = Point{X: -30 + 22*f, Y: 7, Z: 18 - 6*f}
+	}
+	return eyes
+}
+
+// solveIndependent runs the per-viewpoint pipeline the batch engine must
+// reproduce byte for byte.
+func solveIndependent(t *testing.T, tr *Terrain, eyes []Point, minDepth float64, opt Options) []*Result {
+	t.Helper()
+	out := make([]*Result, len(eyes))
+	for i, eye := range eyes {
+		persp, err := tr.FromPerspective(eye, minDepth)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		res, err := Solve(persp, opt)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+func piecesEqual(t *testing.T, label string, a, b []Piece) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: piece counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: piece %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+func TestSolveBatchByteIdenticalToSolve(t *testing.T) {
+	tr := genTest(t, "fractal", 12, 12, 5)
+	eyes := testEyes(tr, 6)
+	const minDepth = 0.5
+
+	for _, algo := range []Algorithm{Parallel, ParallelHulls, SequentialTree, Sequential} {
+		want := solveIndependent(t, tr, eyes, minDepth, Options{Algorithm: algo})
+		for _, cfg := range []BatchOptions{
+			{Options: Options{Algorithm: algo, Workers: 1}, MinDepth: minDepth, FrameWorkers: 1},
+			{Options: Options{Algorithm: algo, Workers: 2}, MinDepth: minDepth, FrameWorkers: 2},
+			{Options: Options{Algorithm: algo, Workers: 4}, MinDepth: minDepth, FrameWorkers: 1},
+			{Options: Options{Algorithm: algo}, MinDepth: minDepth},
+		} {
+			got, err := SolveBatch(tr, eyes, cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d frameWorkers=%d: %v", algo, cfg.Workers, cfg.FrameWorkers, err)
+			}
+			if len(got) != len(eyes) {
+				t.Fatalf("%s: got %d results for %d eyes", algo, len(got), len(eyes))
+			}
+			for i := range got {
+				if got[i].Algorithm() != algo {
+					t.Fatalf("%s: frame %d reports algorithm %s", algo, i, got[i].Algorithm())
+				}
+				piecesEqual(t, string(algo), want[i].Pieces(), got[i].Pieces())
+			}
+		}
+	}
+}
+
+func TestBatchSolverReuseAcrossBatches(t *testing.T) {
+	// Arena pools persist across calls; a second batch rewinds the slabs of
+	// the first. Results must not change.
+	tr := genTest(t, "rough", 10, 10, 2)
+	eyes := testEyes(tr, 4)
+	b, err := NewBatchSolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := b.Solve(eyes, BatchOptions{MinDepth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Solve(eyes, BatchOptions{MinDepth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		piecesEqual(t, "repeat batch", first[i].Pieces(), second[i].Pieces())
+	}
+}
+
+func TestBatchSolverConcurrentBatches(t *testing.T) {
+	tr := genTest(t, "sinusoid", 8, 8, 3)
+	eyes := testEyes(tr, 3)
+	b, err := NewBatchSolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := b.Solve(eyes, BatchOptions{MinDepth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := b.Solve(eyes, BatchOptions{MinDepth: 0.5, FrameWorkers: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range got {
+				if len(got[i].Pieces()) != len(want[i].Pieces()) {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverSolveMany(t *testing.T) {
+	tr := genTest(t, "fractal", 10, 10, 7)
+	eyes := testEyes(tr, 4)
+	s, err := NewSolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SolveMany(eyes, BatchOptions{MinDepth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := solveIndependent(t, tr, eyes, 0.5, Options{})
+	for i := range got {
+		piecesEqual(t, "SolveMany", want[i].Pieces(), got[i].Pieces())
+	}
+}
+
+func TestSolveBatchErrors(t *testing.T) {
+	tr := genTest(t, "fractal", 8, 8, 1)
+	if _, err := NewBatchSolver(nil); err == nil {
+		t.Fatal("nil terrain accepted")
+	}
+	// Empty batch is a no-op.
+	res, err := SolveBatch(tr, nil, BatchOptions{})
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: got %v, %v", res, err)
+	}
+	// An eye inside (not in front of) the terrain must fail with the frame
+	// index attached.
+	eyes := []Point{{X: -20, Y: 4, Z: 12}, {X: 4, Y: 4, Z: 1}}
+	if _, err := SolveBatch(tr, eyes, BatchOptions{MinDepth: 0.5}); err == nil {
+		t.Fatal("eye behind terrain accepted")
+	}
+	// Unknown algorithm propagates.
+	if _, err := SolveBatch(tr, eyes[:1], BatchOptions{Options: Options{Algorithm: "zbuffer"}, MinDepth: 0.5}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestViewPaths(t *testing.T) {
+	line := LinePath(Point{X: 0, Y: 0, Z: 0}, Point{X: 10, Y: -2, Z: 4}, 5)
+	pts := line.Viewpoints()
+	if line.Frames() != 5 || len(pts) != 5 {
+		t.Fatalf("line frames: %d", line.Frames())
+	}
+	if pts[0] != (Point{X: 0, Y: 0, Z: 0}) || pts[4] != (Point{X: 10, Y: -2, Z: 4}) {
+		t.Fatalf("line endpoints wrong: %+v %+v", pts[0], pts[4])
+	}
+	if pts[2] != (Point{X: 5, Y: -1, Z: 2}) {
+		t.Fatalf("line midpoint wrong: %+v", pts[2])
+	}
+
+	orbit := OrbitPath(Point{X: 10, Y: 10, Z: 5}, 4, 0, 90, 3)
+	opts := orbit.Viewpoints()
+	if len(opts) != 3 {
+		t.Fatalf("orbit frames: %d", len(opts))
+	}
+	if math.Abs(opts[0].X-6) > 1e-12 || math.Abs(opts[0].Y-10) > 1e-12 || opts[0].Z != 5 {
+		t.Fatalf("orbit start wrong: %+v", opts[0])
+	}
+	if math.Abs(opts[2].X-10) > 1e-12 || math.Abs(opts[2].Y-14) > 1e-12 {
+		t.Fatalf("orbit end wrong: %+v", opts[2])
+	}
+
+	wp := WaypointPath([]Point{{X: 0}, {X: 2}, {X: 2, Y: 2}}, 5)
+	wpts := wp.Viewpoints()
+	if len(wpts) != 5 {
+		t.Fatalf("waypoint frames: %d", len(wpts))
+	}
+	if wpts[0] != (Point{}) || wpts[4] != (Point{X: 2, Y: 2}) {
+		t.Fatalf("waypoint endpoints wrong: %+v %+v", wpts[0], wpts[4])
+	}
+	// Halfway along a length-4 route: at the corner (2,0,0).
+	if math.Abs(wpts[2].X-2) > 1e-12 || math.Abs(wpts[2].Y-0) > 1e-12 {
+		t.Fatalf("waypoint midpoint wrong: %+v", wpts[2])
+	}
+
+	if got := LinePath(Point{}, Point{X: 1}, 1).Viewpoints(); len(got) != 1 || got[0] != (Point{}) {
+		t.Fatalf("single-frame line wrong: %+v", got)
+	}
+}
+
+func TestSolveViewPathFlyover(t *testing.T) {
+	tr := genTest(t, "fractal", 10, 10, 9)
+	path := LinePath(Point{X: -30, Y: 7, Z: 18}, Point{X: -8, Y: 7, Z: 12}, 4)
+	res, err := SolveViewPath(tr, path, BatchOptions{MinDepth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d frames", len(res))
+	}
+	for i, r := range res {
+		if r.K() == 0 {
+			t.Fatalf("frame %d has no visible pieces", i)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	hsrbench [-exp all|T1|T2|T3|T4|T5|L1|L6|F1|F2|F3|A1|A2] [-quick]
+//	hsrbench [-exp all|T1..T5|L1|L6|F1..F3|A1|A2|B1] [-quick]
 package main
 
 import (
@@ -37,11 +37,12 @@ var experiments = []experiment{
 	{"F3", "Figure 3 — persistence vs copying storage", expF3},
 	{"A1", "Ablation — persistent splicing vs profile copying", expA1},
 	{"A2", "Ablation — hull-augmented (ACG) vs summary pruning", expA2},
+	{"B1", "Batch engine — multi-viewpoint flyover throughput and amortization", expB1},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (T1..T5, L1, L6, F1..F3, A1, A2, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (T1..T5, L1, L6, F1..F3, A1, A2, B1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
 	flag.Parse()
 

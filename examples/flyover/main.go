@@ -1,10 +1,13 @@
-// Flyover: perspective projection from a moving eye point. The paper notes
-// its algorithm "works for perspective projection as well"; this example
-// exercises that path. A camera flies toward a mountain range; each frame
-// applies the projective transform that maps the perspective view to the
-// canonical orthographic case, solves visibility, and writes an SVG frame.
+// Flyover: perspective projection from a moving eye point, solved as one
+// batch. The paper notes its algorithm "works for perspective projection as
+// well"; this example exercises that path through the batch engine: a
+// camera path is interpolated with LinePath, every frame is solved by
+// SolveViewPath — which maps the shared terrain through each frame's
+// projective transform, reuses pooled tree arenas across frames, and
+// schedules frames over the worker budget — and each frame is written as an
+// SVG.
 //
-// Output: flyover-0.svg .. flyover-3.svg.
+// Output: flyover-0.svg .. flyover-7.svg.
 package main
 
 import (
@@ -23,26 +26,36 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Eye positions approaching the terrain along -x, slightly elevated.
-	eyes := []terrainhsr.Point{
-		{X: -30, Y: 21, Z: 14},
-		{X: -20, Y: 21, Z: 12},
-		{X: -12, Y: 21, Z: 10},
-		{X: -6, Y: 21, Z: 9},
-	}
-	for i, eye := range eyes {
-		persp, err := tr.FromPerspective(eye, 0.5)
-		if err != nil {
-			log.Fatalf("frame %d: %v", i, err)
-		}
-		res, err := terrainhsr.Solve(persp, terrainhsr.Options{})
-		if err != nil {
-			log.Fatalf("frame %d: %v", i, err)
-		}
-		st := res.Stats()
-		fmt.Printf("frame %d (eye %.0f,%.0f,%.0f): k=%d pieces, %d/%d edges visible\n",
-			i, eye.X, eye.Y, eye.Z, res.K(), st.EdgesWithVisibility, persp.NumEdges())
+	// A camera approaching the terrain along -x, descending from high
+	// altitude; minDepth keeps every vertex safely in front of the eye.
+	const frames = 8
+	const minDepth = 0.5
+	path := terrainhsr.LinePath(
+		terrainhsr.Point{X: -30, Y: 21, Z: 14},
+		terrainhsr.Point{X: -6, Y: 21, Z: 9},
+		frames,
+	)
 
+	results, err := terrainhsr.SolveViewPath(tr, path, terrainhsr.BatchOptions{
+		MinDepth: minDepth,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eyes := path.Viewpoints()
+	for i, res := range results {
+		eye := eyes[i]
+		st := res.Stats()
+		fmt.Printf("frame %d (eye %.1f,%.1f,%.1f): k=%d pieces, %d edges visible\n",
+			i, eye.X, eye.Y, eye.Z, res.K(), st.EdgesWithVisibility)
+
+		// Rendering needs the frame's transformed terrain; the solve already
+		// amortized the topology, so this re-derives only the vertex map.
+		persp, err := tr.FromPerspective(eye, minDepth)
+		if err != nil {
+			log.Fatalf("frame %d: %v", i, err)
+		}
 		name := fmt.Sprintf("flyover-%d.svg", i)
 		f, err := os.Create(name)
 		if err != nil {
@@ -55,5 +68,5 @@ func main() {
 		}
 		f.Close()
 	}
-	fmt.Println("wrote flyover-0.svg .. flyover-3.svg")
+	fmt.Printf("wrote flyover-0.svg .. flyover-%d.svg\n", frames-1)
 }

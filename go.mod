@@ -1,0 +1,3 @@
+module terrainhsr
+
+go 1.21

@@ -1,0 +1,107 @@
+package geom
+
+import "math"
+
+// Viewpoint paths: families of eye points for multi-viewpoint solves. Each
+// generator returns the eye positions a batch engine feeds one by one into
+// PerspectiveTransform; the interpolation conventions (inclusive endpoints,
+// arc-length parameterization for waypoint routes) are shared by every
+// caller so that a path is reproducible from its parameters alone.
+
+// LinePts interpolates frames eye points from a to b, inclusive on both
+// ends. frames == 1 yields just a.
+func LinePts(a, b Pt3, frames int) []Pt3 {
+	if frames <= 0 {
+		return nil
+	}
+	out := make([]Pt3, frames)
+	for i := range out {
+		t := 0.0
+		if frames > 1 {
+			t = float64(i) / float64(frames-1)
+		}
+		out[i] = Pt3{
+			X: a.X + (b.X-a.X)*t,
+			Y: a.Y + (b.Y-a.Y)*t,
+			Z: a.Z + (b.Z-a.Z)*t,
+		}
+	}
+	return out
+}
+
+// OrbitPts places frames eye points on the horizontal circle of the given
+// radius around center, at height center.Z, sweeping from startRad by
+// sweepRad radians (inclusive endpoints; a full circle repeats the first
+// point when sweepRad is 2*pi). Angle 0 lies in the -x direction from the
+// center — the side a canonical-view terrain is observed from — and
+// positive angles turn toward +y.
+func OrbitPts(center Pt3, radius float64, startRad, sweepRad float64, frames int) []Pt3 {
+	if frames <= 0 {
+		return nil
+	}
+	out := make([]Pt3, frames)
+	for i := range out {
+		t := 0.0
+		if frames > 1 {
+			t = float64(i) / float64(frames-1)
+		}
+		a := startRad + sweepRad*t
+		out[i] = Pt3{
+			X: center.X - radius*math.Cos(a),
+			Y: center.Y + radius*math.Sin(a),
+			Z: center.Z,
+		}
+	}
+	return out
+}
+
+// WaypointPts interpolates frames eye points along the piecewise-linear
+// route through the waypoints, parameterized by arc length (inclusive
+// endpoints). Duplicate consecutive waypoints contribute no length and are
+// skipped. A single waypoint yields frames copies of it.
+func WaypointPts(waypoints []Pt3, frames int) []Pt3 {
+	if frames <= 0 || len(waypoints) == 0 {
+		return nil
+	}
+	if len(waypoints) == 1 {
+		out := make([]Pt3, frames)
+		for i := range out {
+			out[i] = waypoints[0]
+		}
+		return out
+	}
+	cum := make([]float64, len(waypoints))
+	for i := 1; i < len(waypoints); i++ {
+		a, b := waypoints[i-1], waypoints[i]
+		dx, dy, dz := b.X-a.X, b.Y-a.Y, b.Z-a.Z
+		cum[i] = cum[i-1] + math.Sqrt(dx*dx+dy*dy+dz*dz)
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return WaypointPts(waypoints[:1], frames)
+	}
+	out := make([]Pt3, frames)
+	seg := 1
+	for i := range out {
+		t := 0.0
+		if frames > 1 {
+			t = float64(i) / float64(frames-1)
+		}
+		want := t * total
+		for seg < len(cum)-1 && cum[seg] < want {
+			seg++
+		}
+		a, b := waypoints[seg-1], waypoints[seg]
+		span := cum[seg] - cum[seg-1]
+		u := 1.0
+		if span > 0 {
+			u = (want - cum[seg-1]) / span
+		}
+		out[i] = Pt3{
+			X: a.X + (b.X-a.X)*u,
+			Y: a.Y + (b.Y-a.Y)*u,
+			Z: a.Z + (b.Z-a.Z)*u,
+		}
+	}
+	return out
+}

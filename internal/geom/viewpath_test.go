@@ -1,0 +1,92 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinePts(t *testing.T) {
+	a := Pt3{X: 1, Y: 2, Z: 3}
+	b := Pt3{X: 5, Y: -2, Z: 7}
+	pts := LinePts(a, b, 5)
+	if len(pts) != 5 {
+		t.Fatalf("len %d", len(pts))
+	}
+	if pts[0] != a || pts[4] != b {
+		t.Fatalf("endpoints: %v %v", pts[0], pts[4])
+	}
+	mid := Pt3{X: 3, Y: 0, Z: 5}
+	if pts[2] != mid {
+		t.Fatalf("midpoint: %v", pts[2])
+	}
+	if one := LinePts(a, b, 1); len(one) != 1 || one[0] != a {
+		t.Fatalf("frames=1: %v", one)
+	}
+	if LinePts(a, b, 0) != nil {
+		t.Fatal("frames=0 should be nil")
+	}
+}
+
+func TestOrbitPts(t *testing.T) {
+	c := Pt3{X: 10, Y: 20, Z: 4}
+	pts := OrbitPts(c, 5, 0, math.Pi/2, 3)
+	if len(pts) != 3 {
+		t.Fatalf("len %d", len(pts))
+	}
+	// Angle 0: -x side of the center.
+	if math.Abs(pts[0].X-5) > 1e-12 || math.Abs(pts[0].Y-20) > 1e-12 || pts[0].Z != 4 {
+		t.Fatalf("start: %v", pts[0])
+	}
+	// Quarter sweep: toward +y.
+	if math.Abs(pts[2].X-10) > 1e-12 || math.Abs(pts[2].Y-25) > 1e-12 {
+		t.Fatalf("end: %v", pts[2])
+	}
+	for _, p := range pts {
+		dx, dy := p.X-c.X, p.Y-c.Y
+		if math.Abs(math.Hypot(dx, dy)-5) > 1e-12 {
+			t.Fatalf("point %v off the orbit radius", p)
+		}
+	}
+}
+
+func TestWaypointPts(t *testing.T) {
+	wps := []Pt3{{X: 0}, {X: 2}, {X: 2, Y: 2}}
+	pts := WaypointPts(wps, 5)
+	if len(pts) != 5 {
+		t.Fatalf("len %d", len(pts))
+	}
+	if pts[0] != wps[0] || pts[4] != wps[2] {
+		t.Fatalf("endpoints: %v %v", pts[0], pts[4])
+	}
+	// Total length 4; halfway lands exactly on the corner.
+	if math.Abs(pts[2].X-2) > 1e-12 || math.Abs(pts[2].Y) > 1e-12 {
+		t.Fatalf("mid: %v", pts[2])
+	}
+	// Quarter point: middle of the first leg.
+	if math.Abs(pts[1].X-1) > 1e-12 || math.Abs(pts[1].Y) > 1e-12 {
+		t.Fatalf("quarter: %v", pts[1])
+	}
+
+	// Duplicate consecutive waypoints contribute no length.
+	dup := WaypointPts([]Pt3{{X: 0}, {X: 0}, {X: 4}}, 3)
+	if math.Abs(dup[1].X-2) > 1e-12 {
+		t.Fatalf("duplicate handling: %v", dup[1])
+	}
+
+	// Degenerate routes.
+	single := WaypointPts([]Pt3{{X: 7, Y: 8, Z: 9}}, 3)
+	for _, p := range single {
+		if p != (Pt3{X: 7, Y: 8, Z: 9}) {
+			t.Fatalf("single waypoint: %v", p)
+		}
+	}
+	allSame := WaypointPts([]Pt3{{X: 1}, {X: 1}}, 2)
+	for _, p := range allSame {
+		if p != (Pt3{X: 1}) {
+			t.Fatalf("zero-length route: %v", p)
+		}
+	}
+	if WaypointPts(nil, 3) != nil {
+		t.Fatal("empty waypoints should be nil")
+	}
+}

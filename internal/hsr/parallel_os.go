@@ -1,6 +1,7 @@
 package hsr
 
 import (
+	"strconv"
 	"sync"
 
 	"terrainhsr/internal/cg"
@@ -24,6 +25,11 @@ type OSOptions struct {
 	// results, cheaper constants, weaker worst-case query bounds (ablation
 	// A2 measures the difference).
 	WithHulls bool
+	// Pool, when non-nil, supplies recycled per-worker tree arenas instead
+	// of freshly allocated ones, amortizing node storage across repeated
+	// solves (the batch engine's main lever). The visible output is
+	// identical with or without a pool.
+	Pool *OpsPool
 }
 
 // ParallelOS runs the paper's output-sensitive parallel hidden-surface
@@ -61,9 +67,17 @@ func (prep *Prepared) ParallelOS(opt OSOptions) (*Result, error) {
 	}
 	// Per-worker arenas and ops: nodes are immutable after creation, so
 	// trees built by one worker may be read by any other in later layers.
-	ops := make([]*profiletree.Ops, workers)
-	for w := range ops {
-		ops[w] = profiletree.NewOps(persist.NewArena(0x5eed+uint64(w)*0x9e37), opt.WithHulls)
+	var ops []*profiletree.Ops
+	if opt.Pool != nil {
+		ops = opt.Pool.acquire(workers, opt.WithHulls)
+		// No tree outlives this solve: pieces are copied into the result,
+		// so the slabs may be rewound by the next acquire.
+		defer opt.Pool.release(ops)
+	} else {
+		ops = make([]*profiletree.Ops, workers)
+		for w := range ops {
+			ops[w] = profiletree.NewOps(persist.NewArena(0x5eed+uint64(w)*0x9e37), opt.WithHulls)
+		}
 	}
 	perWorker := make([]metrics.Counters, workers)
 
@@ -179,11 +193,7 @@ func (prep *Prepared) ParallelOS(opt OSOptions) (*Result, error) {
 }
 
 func phase2Name(d int) string {
-	name := "phase2os/layer-"
-	if d >= 10 {
-		name += string(rune('0' + d/10))
-	}
-	return name + string(rune('0'+d%10))
+	return "phase2os/layer-" + strconv.Itoa(d)
 }
 
 // clipLeafOS computes a leaf's visible spans against its persistent prefix

@@ -1,0 +1,74 @@
+package hsr
+
+import (
+	"sync"
+
+	"terrainhsr/internal/persist"
+	"terrainhsr/internal/profiletree"
+)
+
+// OpsPool recycles per-worker profile-tree operations (treap arenas and node
+// slabs) across solves. A fresh ParallelOS run allocates every persistent
+// tree node individually and drops them all when it returns; for a batch of
+// solves over the same terrain that garbage dominates the running time. An
+// OpsPool instead hands each solve previously used Ops whose slabs are
+// rewound (profiletree.Ops.Reset), so steady-state solves allocate almost
+// nothing.
+//
+// Pooled Ops are keyed by the WithHulls mode, since hull aggregation is
+// baked into an Ops at construction. The pool is safe for concurrent use;
+// the Ops it hands out are each confined to one goroutine for the duration
+// of a solve, as usual.
+type OpsPool struct {
+	mu   sync.Mutex
+	free [2][]*profiletree.Ops
+	seq  uint64
+}
+
+// NewOpsPool creates an empty pool.
+func NewOpsPool() *OpsPool { return &OpsPool{} }
+
+func hullIdx(withHulls bool) int {
+	if withHulls {
+		return 1
+	}
+	return 0
+}
+
+// acquire returns n reset Ops for the given pruning mode, creating any the
+// pool cannot satisfy from its free list.
+func (p *OpsPool) acquire(n int, withHulls bool) []*profiletree.Ops {
+	idx := hullIdx(withHulls)
+	out := make([]*profiletree.Ops, 0, n)
+	p.mu.Lock()
+	free := p.free[idx]
+	for len(out) < n && len(free) > 0 {
+		o := free[len(free)-1]
+		free = free[:len(free)-1]
+		out = append(out, o)
+	}
+	p.free[idx] = free
+	for len(out) < n {
+		p.seq++
+		seed := 0x5eed + p.seq*0x9e37
+		out = append(out, profiletree.NewOps(persist.NewArena(seed), withHulls))
+	}
+	p.mu.Unlock()
+	for _, o := range out {
+		o.Reset()
+	}
+	return out
+}
+
+// release returns Ops to the pool. The caller must have dropped every
+// reference to trees built through them: the next acquire rewinds their
+// slabs and overwrites the nodes.
+func (p *OpsPool) release(ops []*profiletree.Ops) {
+	if len(ops) == 0 {
+		return
+	}
+	idx := hullIdx(ops[0].WithHulls)
+	p.mu.Lock()
+	p.free[idx] = append(p.free[idx], ops...)
+	p.mu.Unlock()
+}

@@ -1,0 +1,135 @@
+package hsr
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"terrainhsr/internal/workload"
+)
+
+var errMismatch = errors.New("piece count mismatch across pooled solves")
+
+func TestPhase2Name(t *testing.T) {
+	cases := map[int]string{
+		0:   "phase2os/layer-0",
+		9:   "phase2os/layer-9",
+		10:  "phase2os/layer-10",
+		99:  "phase2os/layer-99",
+		123: "phase2os/layer-123",
+	}
+	for d, want := range cases {
+		if got := phase2Name(d); got != want {
+			t.Errorf("phase2Name(%d) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func piecesIdentical(t *testing.T, label string, a, b []VisiblePiece) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: piece counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: piece %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+func TestOpsPoolByteIdenticalResults(t *testing.T) {
+	// Pooled arenas change treap shapes (recycled seeds, rewound slabs) but
+	// must never change the computed pieces.
+	tr := genT(t, workload.Fractal, 10, 10, 6)
+	prep, err := Prepare(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hulls := range []bool{false, true} {
+		fresh, err := prep.ParallelOS(OSOptions{Workers: 2, WithHulls: hulls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := NewOpsPool()
+		for round := 0; round < 3; round++ {
+			pooled, err := prep.ParallelOS(OSOptions{Workers: 2, WithHulls: hulls, Pool: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			piecesIdentical(t, "parallel pooled", fresh.Pieces, pooled.Pieces)
+		}
+
+		freshST, err := prep.SequentialTree(hulls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			pooledST, err := prep.SequentialTreePooled(hulls, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			piecesIdentical(t, "seqtree pooled", freshST.Pieces, pooledST.Pieces)
+		}
+	}
+}
+
+func TestOpsPoolRecyclesOps(t *testing.T) {
+	p := NewOpsPool()
+	first := p.acquire(3, false)
+	p.release(first)
+	second := p.acquire(3, false)
+	// LIFO free list: all three must come back (any order).
+	seen := map[any]bool{}
+	for _, o := range first {
+		seen[o] = true
+	}
+	for _, o := range second {
+		if !seen[o] {
+			t.Fatal("acquire after release created a fresh Ops instead of recycling")
+		}
+	}
+	// Hull ops live in a separate free list.
+	hullOps := p.acquire(1, true)
+	if !hullOps[0].WithHulls {
+		t.Fatal("hull acquire returned summary-mode ops")
+	}
+	if seen[hullOps[0]] {
+		t.Fatal("hull acquire recycled a summary-mode ops")
+	}
+	p.release(second)
+	p.release(hullOps)
+}
+
+func TestOpsPoolConcurrentSolves(t *testing.T) {
+	tr := genT(t, workload.Rough, 8, 8, 2)
+	prep, err := Prepare(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prep.ParallelOS(OSOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewOpsPool()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := prep.ParallelOS(OSOptions{Workers: 2, Pool: pool})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(r.Pieces) != len(want.Pieces) {
+				errs <- errMismatch
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

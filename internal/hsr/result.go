@@ -120,6 +120,11 @@ func Prepare(t *terrain.Terrain) (*Prepared, error) {
 // Order exposes the cached depth order.
 func (p *Prepared) Order() *order.Result { return p.ord }
 
+// Terrain exposes the terrain the preparation was computed for, so callers
+// dispatching over a Prepared can also reach the order-free baselines
+// (BruteForce, AllPairs).
+func (p *Prepared) Terrain() *terrain.Terrain { return p.t }
+
 // clipOne computes the visible spans of segment s against profile p,
 // handling vertical-image segments, and reports the crossing count.
 func clipOne(s geom.Seg2, p envelope.Profile) ([]envelope.Span, int, int) {

@@ -30,8 +30,25 @@ func SequentialTree(t *terrain.Terrain, withHulls bool) (*Result, error) {
 // SequentialTree runs the tree-backed sequential sweep on the prepared
 // order.
 func (prep *Prepared) SequentialTree(withHulls bool) (*Result, error) {
+	return prep.sequentialTree(withHulls, nil)
+}
+
+// SequentialTreePooled is SequentialTree drawing its tree arena from a pool,
+// for batched solves.
+func (prep *Prepared) SequentialTreePooled(withHulls bool, pool *OpsPool) (*Result, error) {
+	return prep.sequentialTree(withHulls, pool)
+}
+
+func (prep *Prepared) sequentialTree(withHulls bool, pool *OpsPool) (*Result, error) {
 	res := &Result{N: prep.t.NumEdges(), Order: prep.ord, Acct: &pram.Accounting{}}
-	o := profiletree.NewOps(persist.NewArena(0xfeed), withHulls)
+	var o *profiletree.Ops
+	if pool != nil {
+		ops := pool.acquire(1, withHulls)
+		defer pool.release(ops)
+		o = ops[0]
+	} else {
+		o = profiletree.NewOps(persist.NewArena(0xfeed), withHulls)
+	}
 	var profile profiletree.Tree
 	var ctr metrics.Counters
 	var maxTask, total int64

@@ -110,6 +110,28 @@ func Build(o *Ops, pts []geom.Pt2, lower bool) Chain {
 	return c
 }
 
+// Build2 builds the chain of the two endpoints of a single profile piece —
+// the leaf case of every aggregate merge. It follows Build exactly (same
+// tie handling, same node and priority stream) but keeps the two points in
+// a stack buffer instead of allocating working slices.
+func Build2(o *Ops, a, b geom.Pt2, lower bool) Chain {
+	c := Chain{Lower: lower}
+	var buf [2]geom.Pt2
+	n := 0
+	if b.X-a.X <= geom.Eps {
+		// X-tie: keep the point extreme in the kept direction.
+		p := a
+		if c.sign()*b.Z < c.sign()*a.Z {
+			p = b
+		}
+		buf[0], n = p, 1
+	} else {
+		buf[0], buf[1], n = a, b, 2
+	}
+	c.T = o.P.Build(buf[:n])
+	return c
+}
+
 // Extreme returns the hull point optimizing (Z - m*X): the maximum for an
 // upper chain, the minimum for a lower chain. This is the tangent query the
 // crossing test needs. The chain must be non-empty.

@@ -21,6 +21,7 @@ import "fmt"
 // NewArena with a distinct seed per worker.
 type Arena struct {
 	rng    uint64
+	seed   uint64
 	Allocs int64
 }
 
@@ -30,7 +31,16 @@ func NewArena(seed uint64) *Arena {
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
-	return &Arena{rng: seed}
+	return &Arena{rng: seed, seed: seed}
+}
+
+// Reset rewinds the arena to its initial state: the priority stream starts
+// over from the original seed and the allocation counter returns to zero.
+// Repeated runs of the same build sequence after a Reset therefore produce
+// identically shaped treaps with identical counters.
+func (a *Arena) Reset() {
+	a.rng = a.seed
+	a.Allocs = 0
 }
 
 func (a *Arena) nextPrio() uint64 {
@@ -61,13 +71,26 @@ func Size[T, A any](n *Node[T, A]) int {
 	return int(n.size)
 }
 
+// slabNodes is the chunk size of the slab allocator backing node creation.
+// Chunked allocation turns ~n small mallocs into n/slabNodes large ones and
+// lets an Ops be rewound and reused across solves (see Reset).
+const slabNodes = 1024
+
 // Ops bundles the aggregate recomputation used on node creation. Aggregates
 // may allocate through the same arena (e.g. hull chains).
+//
+// Nodes are carved out of slabs owned by the Ops. Like the Arena, an Ops is
+// confined to one goroutine; the nodes it creates are immutable and may be
+// shared freely.
 type Ops[T, A any] struct {
 	Arena *Arena
 	// Agg computes the subtree aggregate for a node with value v and
 	// children l, r (either may be nil).
 	Agg func(v T, l, r *Node[T, A]) A
+
+	slabs [][]Node[T, A]
+	cur   int // slab currently carved from
+	used  int // nodes handed out of slabs[cur]
 }
 
 // NewNode creates a node with a fresh priority.
@@ -75,9 +98,38 @@ func (o *Ops[T, A]) NewNode(v T, l, r *Node[T, A]) *Node[T, A] {
 	return o.make(v, l, r, o.Arena.nextPrio())
 }
 
+// Reset rewinds the slab allocator so the Ops can be reused for another
+// solve without reallocating: retained slabs are carved from again, from the
+// start. Every node previously created through o is invalidated — the caller
+// must guarantee that no tree from before the Reset is referenced afterwards.
+// Rewound slabs are not zeroed, so memory referenced by stale nodes stays
+// reachable until overwritten; the retained footprint is bounded by the
+// largest solve the Ops has served.
+func (o *Ops[T, A]) Reset() {
+	o.cur, o.used = 0, 0
+}
+
+// alloc hands out the next node slot, growing the slab list on demand.
+func (o *Ops[T, A]) alloc() *Node[T, A] {
+	if o.cur < len(o.slabs) && o.used < slabNodes {
+		n := &o.slabs[o.cur][o.used]
+		o.used++
+		return n
+	}
+	if o.cur+1 < len(o.slabs) {
+		o.cur++
+	} else {
+		o.slabs = append(o.slabs, make([]Node[T, A], slabNodes))
+		o.cur = len(o.slabs) - 1
+	}
+	o.used = 1
+	return &o.slabs[o.cur][0]
+}
+
 func (o *Ops[T, A]) make(v T, l, r *Node[T, A], prio uint64) *Node[T, A] {
 	o.Arena.Allocs++
-	n := &Node[T, A]{Val: v, L: l, R: r, prio: prio, size: int32(1 + Size(l) + Size(r))}
+	n := o.alloc()
+	*n = Node[T, A]{Val: v, L: l, R: r, prio: prio, size: int32(1 + Size(l) + Size(r))}
 	n.Agg = o.Agg(v, l, r)
 	return n
 }

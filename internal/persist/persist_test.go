@@ -200,3 +200,72 @@ func TestFirstLast(t *testing.T) {
 		t.Fatal("First/Last wrong")
 	}
 }
+
+func TestArenaReset(t *testing.T) {
+	a := NewArena(77)
+	p1 := a.nextPrio()
+	p2 := a.nextPrio()
+	a.Allocs = 9
+	a.Reset()
+	if a.Allocs != 0 {
+		t.Fatalf("Allocs after reset: %d", a.Allocs)
+	}
+	if q1, q2 := a.nextPrio(), a.nextPrio(); q1 != p1 || q2 != p2 {
+		t.Fatal("priority stream did not restart from the seed")
+	}
+}
+
+func TestOpsResetReusesSlabs(t *testing.T) {
+	ops := intOps(NewArena(3))
+	const n = 5000 // several slabs worth
+	tr := ops.Build(seq(n))
+	firstVals := Slice(tr)
+	firstRoot := tr
+	slabCount := len(ops.slabs)
+
+	ops.Arena.Reset()
+	ops.Reset()
+	tr2 := ops.Build(seq(n))
+	if len(ops.slabs) != slabCount {
+		t.Fatalf("reset rebuild grew slabs: %d -> %d", slabCount, len(ops.slabs))
+	}
+	if tr2 != firstRoot {
+		// Same arena seed and same build sequence must reuse the very same
+		// slab slots in the same order.
+		t.Fatal("reset rebuild did not reuse the first slab slots")
+	}
+	if err := CheckHeap(tr2); err != nil {
+		t.Fatal(err)
+	}
+	got := Slice(tr2)
+	for i := range got {
+		if got[i] != firstVals[i] {
+			t.Fatalf("value %d differs after reuse: %d vs %d", i, got[i], firstVals[i])
+		}
+	}
+	if ops.Arena.Allocs != int64(n) {
+		t.Fatalf("allocs after reset rebuild: %d, want %d", ops.Arena.Allocs, n)
+	}
+}
+
+func TestOpsSlabGrowthAcrossEpochs(t *testing.T) {
+	// A second epoch larger than the first must extend the slab list, not
+	// corrupt it.
+	ops := intOps(NewArena(4))
+	ops.Build(seq(100))
+	ops.Arena.Reset()
+	ops.Reset()
+	tr := ops.Build(seq(3000))
+	if Size(tr) != 3000 {
+		t.Fatalf("size %d", Size(tr))
+	}
+	if err := CheckHeap(tr); err != nil {
+		t.Fatal(err)
+	}
+	vals := Slice(tr)
+	for i, v := range vals {
+		if v != i {
+			t.Fatalf("vals[%d] = %d", i, v)
+		}
+	}
+}

@@ -68,6 +68,17 @@ func NewOps(arena *persist.Arena, withHulls bool) *Ops {
 	return o
 }
 
+// Reset rewinds the ops for reuse by another solve: the arena restarts its
+// priority stream and counters, and the node slabs (profile and hull) are
+// carved from scratch. Every tree previously built through o is invalidated;
+// callers must drop all references to such trees first. This is what lets a
+// worker pool amortize tree allocation across a batch of solves.
+func (o *Ops) Reset() {
+	o.Arena.Reset()
+	o.P.Reset()
+	o.H.P.Reset()
+}
+
 func (o *Ops) agg(pc envelope.Piece, l, r *Node) Agg {
 	a := Agg{
 		X1:   pc.X1,
@@ -88,10 +99,10 @@ func (o *Ops) agg(pc envelope.Piece, l, r *Node) Agg {
 		a.HasGap = a.HasGap || r.Agg.HasGap || r.Agg.X1 > pc.X2+geom.Eps
 	}
 	if o.WithHulls {
-		own := []geom.Pt2{{X: pc.X1, Z: pc.Z1}, {X: pc.X2, Z: pc.Z2}}
-		ownL := hull.Build(o.H, own, true)
-		ownU := hull.Build(o.H, own, false)
-		a.Lower, a.Upper = ownL, ownU
+		p1 := geom.Pt2{X: pc.X1, Z: pc.Z1}
+		p2 := geom.Pt2{X: pc.X2, Z: pc.Z2}
+		a.Lower = hull.Build2(o.H, p1, p2, true)
+		a.Upper = hull.Build2(o.H, p1, p2, false)
 		if l != nil {
 			a.Lower = o.H.MergeDisjoint(l.Agg.Lower, a.Lower)
 			a.Upper = o.H.MergeDisjoint(l.Agg.Upper, a.Upper)

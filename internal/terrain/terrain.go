@@ -174,6 +174,45 @@ func (t *Terrain) HeightAt(x, y float64) (float64, bool) {
 // Transform returns a copy of the terrain with every vertex mapped by f.
 // The triangulation is rebuilt so orientations and adjacency stay valid.
 func (t *Terrain) Transform(f func(geom.Pt3) (geom.Pt3, error)) (*Terrain, error) {
+	verts, err := t.transformVerts(f)
+	if err != nil {
+		return nil, err
+	}
+	return New(verts, t.Tris)
+}
+
+// TransformShared returns the terrain with every vertex mapped by f, sharing
+// the triangle and edge tables with the receiver instead of rebuilding them.
+// It requires f to preserve plan orientation, which it verifies per triangle
+// (the perspective transform qualifies: its plan Jacobian has determinant
+// 1/depth^3 > 0). The checks mirror New, so a transform that TransformShared
+// accepts yields exactly the Terrain that Transform would have built — at
+// the cost of mapping the vertices only, which is what makes per-viewpoint
+// batch solves cheap.
+//
+// The returned terrain aliases the receiver's Tris and Edges; both values
+// stay valid as long as neither is mutated (Terrain values are treated as
+// immutable throughout the library).
+func (t *Terrain) TransformShared(f func(geom.Pt3) (geom.Pt3, error)) (*Terrain, error) {
+	verts, err := t.transformVerts(f)
+	if err != nil {
+		return nil, err
+	}
+	nt := &Terrain{Verts: verts, Tris: t.Tris, Edges: t.Edges}
+	for i, tr := range nt.Tris {
+		a, b, c := nt.PlanPt(tr[0]), nt.PlanPt(tr[1]), nt.PlanPt(tr[2])
+		cr := geom.Cross(a, b, c)
+		if math.Abs(cr) <= geom.Eps {
+			return nil, fmt.Errorf("terrain: triangle %d degenerate in plan view", i)
+		}
+		if cr < 0 {
+			return nil, fmt.Errorf("terrain: transform flips plan orientation of triangle %d", i)
+		}
+	}
+	return nt, nil
+}
+
+func (t *Terrain) transformVerts(f func(geom.Pt3) (geom.Pt3, error)) ([]geom.Pt3, error) {
 	verts := make([]geom.Pt3, len(t.Verts))
 	for i, v := range t.Verts {
 		q, err := f(v)
@@ -182,5 +221,5 @@ func (t *Terrain) Transform(f func(geom.Pt3) (geom.Pt3, error)) (*Terrain, error
 		}
 		verts[i] = q
 	}
-	return New(verts, t.Tris)
+	return verts, nil
 }

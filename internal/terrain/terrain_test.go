@@ -249,3 +249,76 @@ func TestTriangulateFaceErrors(t *testing.T) {
 		t.Fatal("expected error for 2-vertex face")
 	}
 }
+
+func TestTransformSharedMatchesTransform(t *testing.T) {
+	tr, err := Grid{Rows: 6, Cols: 5, Dx: 1, Dy: 1,
+		H: func(i, j int) float64 { return float64(i*j) * 0.3 }}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := geom.PerspectiveTransform{Eye: geom.Pt3{X: -10, Y: 2, Z: 5}, MinDepth: 0.5}
+	full, err := tr.Transform(pt.Apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := tr.TransformShared(pt.Apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared.Verts) != len(full.Verts) {
+		t.Fatalf("vert counts differ: %d vs %d", len(shared.Verts), len(full.Verts))
+	}
+	for i := range full.Verts {
+		if full.Verts[i] != shared.Verts[i] {
+			t.Fatalf("vert %d differs: %v vs %v", i, full.Verts[i], shared.Verts[i])
+		}
+	}
+	if len(shared.Tris) != len(full.Tris) || len(shared.Edges) != len(full.Edges) {
+		t.Fatalf("topology sizes differ: %d/%d tris, %d/%d edges",
+			len(shared.Tris), len(full.Tris), len(shared.Edges), len(full.Edges))
+	}
+	for i := range full.Tris {
+		if full.Tris[i] != shared.Tris[i] {
+			t.Fatalf("tri %d differs: %v vs %v", i, full.Tris[i], shared.Tris[i])
+		}
+	}
+	for i := range full.Edges {
+		if full.Edges[i] != shared.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, full.Edges[i], shared.Edges[i])
+		}
+	}
+	// The point of TransformShared: tables are aliased, not copied.
+	if &shared.Tris[0] != &tr.Tris[0] || &shared.Edges[0] != &tr.Edges[0] {
+		t.Fatal("TransformShared copied the topology tables")
+	}
+	if err := shared.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformSharedRejectsFlipsAndDegeneracy(t *testing.T) {
+	tr, err := Grid{Rows: 2, Cols: 2, Dx: 1, Dy: 1,
+		H: func(i, j int) float64 { return 0 }}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirroring the plan flips orientation; Transform re-normalizes but
+	// TransformShared cannot (it shares the triangle table) and must refuse.
+	mirror := func(p geom.Pt3) (geom.Pt3, error) { p.Y = -p.Y; return p, nil }
+	if _, err := tr.TransformShared(mirror); err == nil {
+		t.Fatal("orientation flip accepted")
+	}
+	if _, err := tr.Transform(mirror); err != nil {
+		t.Fatalf("Transform should renormalize a mirror: %v", err)
+	}
+	// Collapsing to a line is degenerate for both.
+	collapse := func(p geom.Pt3) (geom.Pt3, error) { p.Y = 0; return p, nil }
+	if _, err := tr.TransformShared(collapse); err == nil {
+		t.Fatal("degenerate transform accepted")
+	}
+	// Vertex errors propagate.
+	pt := geom.PerspectiveTransform{Eye: geom.Pt3{X: 5, Y: 0, Z: 0}, MinDepth: 0.5}
+	if _, err := tr.TransformShared(pt.Apply); err == nil {
+		t.Fatal("behind-eye vertex accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/terrain"
+)
+
+// Viewpoint scenario generators. The library's perspective pipeline views a
+// terrain from eye points with every vertex at least MinDepth in front of
+// the eye (larger x), so these generators derive eyes from the terrain's
+// bounding box: always on the -x side, at altitudes relative to the peak
+// height. They supply the two workloads the multi-viewpoint literature
+// revolves around — a flyover path toward the terrain and a grid of
+// stationary observers — in a reproducible, parameter-only form.
+
+// bounds returns the axis-aligned bounding box of the terrain's vertices.
+func bounds(t *terrain.Terrain) (lo, hi geom.Pt3) {
+	lo, hi = t.Verts[0], t.Verts[0]
+	for _, v := range t.Verts[1:] {
+		if v.X < lo.X {
+			lo.X = v.X
+		}
+		if v.X > hi.X {
+			hi.X = v.X
+		}
+		if v.Y < lo.Y {
+			lo.Y = v.Y
+		}
+		if v.Y > hi.Y {
+			hi.Y = v.Y
+		}
+		if v.Z < lo.Z {
+			lo.Z = v.Z
+		}
+		if v.Z > hi.Z {
+			hi.Z = v.Z
+		}
+	}
+	return lo, hi
+}
+
+// FlyoverParams configures FlyoverPath.
+type FlyoverParams struct {
+	// Frames is the number of eye points (>= 1).
+	Frames int
+	// StartStandoff and EndStandoff are the distances of the first and last
+	// eye in front of the terrain's near face, in units of the terrain's
+	// x-extent. Defaults: 1.0 and 0.15.
+	StartStandoff, EndStandoff float64
+	// StartAltitude and EndAltitude are heights above the terrain's peak,
+	// in units of the terrain's z-extent (or 1 if the terrain is flat).
+	// Defaults: 1.0 and 0.4.
+	StartAltitude, EndAltitude float64
+}
+
+// FlyoverPath returns a camera path approaching the terrain along -x at
+// decreasing altitude — the classic flyover — centered on the terrain's
+// y-midline. All eyes lie strictly in front of every vertex.
+func FlyoverPath(t *terrain.Terrain, p FlyoverParams) ([]geom.Pt3, error) {
+	if t == nil || len(t.Verts) == 0 {
+		return nil, fmt.Errorf("workload: flyover of empty terrain")
+	}
+	if p.Frames < 1 {
+		return nil, fmt.Errorf("workload: flyover needs >= 1 frame, got %d", p.Frames)
+	}
+	if p.StartStandoff == 0 {
+		p.StartStandoff = 1.0
+	}
+	if p.EndStandoff == 0 {
+		p.EndStandoff = 0.15
+	}
+	if p.StartAltitude == 0 {
+		p.StartAltitude = 1.0
+	}
+	if p.EndAltitude == 0 {
+		p.EndAltitude = 0.4
+	}
+	lo, hi := bounds(t)
+	xExt := hi.X - lo.X
+	if xExt <= 0 {
+		xExt = 1
+	}
+	zExt := hi.Z - lo.Z
+	if zExt <= 0 {
+		zExt = 1
+	}
+	yMid := (lo.Y + hi.Y) / 2
+	from := geom.Pt3{X: lo.X - p.StartStandoff*xExt, Y: yMid, Z: hi.Z + p.StartAltitude*zExt}
+	to := geom.Pt3{X: lo.X - p.EndStandoff*xExt, Y: yMid, Z: hi.Z + p.EndAltitude*zExt}
+	return geom.LinePts(from, to, p.Frames), nil
+}
+
+// ObserverGridParams configures ObserverGrid.
+type ObserverGridParams struct {
+	// Rows and Cols are the grid dimensions (rows vary altitude, cols vary
+	// the y position); both >= 1.
+	Rows, Cols int
+	// Standoff is the distance of the observer plane in front of the
+	// terrain's near face, in units of the terrain's x-extent. Default 0.5.
+	Standoff float64
+	// MinAltitude and MaxAltitude are heights above the terrain's peak, in
+	// units of the terrain's z-extent (or 1 if flat). Defaults 0.2 and 1.5.
+	MinAltitude, MaxAltitude float64
+}
+
+// ObserverGrid returns a rows x cols grid of stationary observers on a
+// vertical plane in front of the terrain — the many-viewshed workload:
+// same terrain, many simultaneous eye points.
+func ObserverGrid(t *terrain.Terrain, p ObserverGridParams) ([]geom.Pt3, error) {
+	if t == nil || len(t.Verts) == 0 {
+		return nil, fmt.Errorf("workload: observer grid over empty terrain")
+	}
+	if p.Rows < 1 || p.Cols < 1 {
+		return nil, fmt.Errorf("workload: observer grid needs >= 1x1, got %dx%d", p.Rows, p.Cols)
+	}
+	if p.Standoff == 0 {
+		p.Standoff = 0.5
+	}
+	if p.MinAltitude == 0 {
+		p.MinAltitude = 0.2
+	}
+	if p.MaxAltitude == 0 {
+		p.MaxAltitude = 1.5
+	}
+	lo, hi := bounds(t)
+	xExt := hi.X - lo.X
+	if xExt <= 0 {
+		xExt = 1
+	}
+	zExt := hi.Z - lo.Z
+	if zExt <= 0 {
+		zExt = 1
+	}
+	x := lo.X - p.Standoff*xExt
+	out := make([]geom.Pt3, 0, p.Rows*p.Cols)
+	for r := 0; r < p.Rows; r++ {
+		tz := 0.0
+		if p.Rows > 1 {
+			tz = float64(r) / float64(p.Rows-1)
+		}
+		z := hi.Z + (p.MinAltitude+(p.MaxAltitude-p.MinAltitude)*tz)*zExt
+		for c := 0; c < p.Cols; c++ {
+			ty := 0.5
+			if p.Cols > 1 {
+				ty = float64(c) / float64(p.Cols-1)
+			}
+			out = append(out, geom.Pt3{X: x, Y: lo.Y + (hi.Y-lo.Y)*ty, Z: z})
+		}
+	}
+	return out, nil
+}

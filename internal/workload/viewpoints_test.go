@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+
+	"terrainhsr/internal/geom"
+)
+
+func TestFlyoverPathInFrontOfTerrain(t *testing.T) {
+	tr, err := Generate(Params{Kind: Fractal, Rows: 12, Cols: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eyes, err := FlyoverPath(tr, FlyoverParams{Frames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eyes) != 8 {
+		t.Fatalf("frames: %d", len(eyes))
+	}
+	lo, hi := bounds(tr)
+	for i, e := range eyes {
+		if e.X >= lo.X {
+			t.Fatalf("eye %d at x=%v not in front of terrain (near face %v)", i, e.X, lo.X)
+		}
+		if e.Z <= hi.Z {
+			t.Fatalf("eye %d at z=%v not above the peak %v", i, e.Z, hi.Z)
+		}
+	}
+	// The path approaches: x increases, z decreases.
+	if !(eyes[len(eyes)-1].X > eyes[0].X && eyes[len(eyes)-1].Z < eyes[0].Z) {
+		t.Fatalf("path does not approach: first %v last %v", eyes[0], eyes[len(eyes)-1])
+	}
+	// Every frame must be solvable as a perspective view.
+	pt := geom.PerspectiveTransform{Eye: eyes[len(eyes)-1], MinDepth: 1e-3}
+	if _, err := tr.Transform(pt.Apply); err != nil {
+		t.Fatalf("closest eye not solvable: %v", err)
+	}
+}
+
+func TestObserverGrid(t *testing.T) {
+	tr, err := Generate(Params{Kind: Sinusoid, Rows: 10, Cols: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eyes, err := ObserverGrid(tr, ObserverGridParams{Rows: 3, Cols: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eyes) != 12 {
+		t.Fatalf("count: %d", len(eyes))
+	}
+	lo, hi := bounds(tr)
+	x := eyes[0].X
+	for i, e := range eyes {
+		if e.X != x {
+			t.Fatalf("observer %d off the grid plane: x=%v vs %v", i, e.X, x)
+		}
+		if e.X >= lo.X || e.Z <= hi.Z {
+			t.Fatalf("observer %d not in front and above: %v", i, e)
+		}
+	}
+	// Altitudes vary across rows, y across columns.
+	if eyes[0].Z == eyes[8].Z {
+		t.Fatal("rows do not vary altitude")
+	}
+	if eyes[0].Y == eyes[3].Y {
+		t.Fatal("columns do not vary y")
+	}
+}
+
+func TestViewpointErrors(t *testing.T) {
+	tr, _ := Generate(Params{Kind: Fractal, Rows: 4, Cols: 4, Seed: 1})
+	if _, err := FlyoverPath(nil, FlyoverParams{Frames: 2}); err == nil {
+		t.Fatal("nil terrain accepted")
+	}
+	if _, err := FlyoverPath(tr, FlyoverParams{}); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+	if _, err := ObserverGrid(nil, ObserverGridParams{Rows: 1, Cols: 1}); err == nil {
+		t.Fatal("nil terrain accepted")
+	}
+	if _, err := ObserverGrid(tr, ObserverGridParams{Rows: 0, Cols: 2}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}

@@ -2,6 +2,7 @@ package terrainhsr
 
 import (
 	"fmt"
+	"sync"
 
 	"terrainhsr/internal/hsr"
 )
@@ -17,6 +18,9 @@ import (
 type Solver struct {
 	t    *Terrain
 	prep *hsr.Prepared
+
+	batchOnce sync.Once
+	batch     *BatchSolver
 }
 
 // NewSolver prepares a terrain for repeated visibility queries.
@@ -35,37 +39,16 @@ func NewSolver(t *Terrain) (*Solver, error) {
 func (s *Solver) Terrain() *Terrain { return s.t }
 
 // Solve computes the visible scene reusing the cached depth order.
-// BruteForce and AllPairs are supported for completeness; they recompute
-// from the cached order like the others.
+// BruteForce and AllPairs are supported for completeness; they read the
+// terrain directly and need no order.
 func (s *Solver) Solve(opt Options) (*Result, error) {
-	algo := opt.Algorithm
-	if algo == "" {
-		algo = Parallel
-	}
-	var (
-		r   *hsr.Result
-		err error
-	)
-	switch algo {
-	case Parallel:
-		r, err = s.prep.ParallelOS(hsr.OSOptions{Workers: opt.Workers})
-	case ParallelHulls:
-		r, err = s.prep.ParallelOS(hsr.OSOptions{Workers: opt.Workers, WithHulls: true})
-	case ParallelCopying:
-		r, err = s.prep.ParallelSimple(opt.Workers)
-	case Sequential:
-		r, err = s.prep.Sequential()
-	case SequentialTree:
-		r, err = s.prep.SequentialTree(false)
-	case BruteForce:
-		r, err = hsr.BruteForce(s.t.t)
-	case AllPairs:
-		r, err = hsr.AllPairs(s.t.t)
-	default:
-		return nil, fmt.Errorf("terrainhsr: unknown algorithm %q", algo)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &Result{res: r, algo: algo}, nil
+	return solveDispatch(s.t.t, func() (*hsr.Prepared, error) { return s.prep, nil }, opt, nil)
+}
+
+// SolveMany solves the solver's terrain from many perspective eye points
+// through the batch engine (see SolveBatch), sharing one lazily created
+// BatchSolver across calls so repeated batches reuse the same arena pools.
+func (s *Solver) SolveMany(eyes []Point, opt BatchOptions) ([]*Result, error) {
+	s.batchOnce.Do(func() { s.batch = newBatchSolverFrom(s.t) })
+	return s.batch.Solve(eyes, opt)
 }

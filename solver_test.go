@@ -77,6 +77,51 @@ func TestSolverConcurrentUse(t *testing.T) {
 	}
 }
 
+func TestSolverConcurrentSolvesByteIdentical(t *testing.T) {
+	// "Safe for concurrent use" must mean more than not crashing under the
+	// race detector: concurrent solves must each produce exactly the result
+	// a serial solve produces.
+	tr := genTest(t, "fractal", 10, 10, 21)
+	s, err := NewSolver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Solve(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPieces := want.Pieces()
+	var wg sync.WaitGroup
+	mismatch := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := s.Solve(Options{Workers: 1 + g%3})
+			if err != nil {
+				mismatch <- err.Error()
+				return
+			}
+			got := res.Pieces()
+			if len(got) != len(wantPieces) {
+				mismatch <- "piece count differs"
+				return
+			}
+			for i := range got {
+				if got[i] != wantPieces[i] {
+					mismatch <- "piece value differs"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(mismatch)
+	for msg := range mismatch {
+		t.Fatal(msg)
+	}
+}
+
 func TestSolverErrors(t *testing.T) {
 	if _, err := NewSolver(nil); err == nil {
 		t.Fatal("nil terrain accepted")

@@ -220,36 +220,56 @@ func Solve(t *Terrain, opt Options) (*Result, error) {
 	if t == nil || t.t == nil {
 		return nil, fmt.Errorf("terrainhsr: nil terrain")
 	}
+	return solveDispatch(t.t, func() (*hsr.Prepared, error) { return hsr.Prepare(t.t) }, opt, nil)
+}
+
+// solveDispatch is the single algorithm dispatch every entry point — Solve,
+// Solver.Solve, and the batch engine — routes through, so a new algorithm
+// is added in exactly one place. prepare supplies the depth order lazily:
+// the order-free quadratic baselines never pay for (or fail on) it, and
+// Solver passes its cached preparation. pool, when non-nil, supplies
+// recycled tree arenas to the algorithms that use persistent trees; it
+// never changes the computed pieces.
+func solveDispatch(tt *terrain.Terrain, prepare func() (*hsr.Prepared, error), opt Options, pool *hsr.OpsPool) (*Result, error) {
 	algo := opt.Algorithm
 	if algo == "" {
 		algo = Parallel
 	}
-	var (
-		r   *hsr.Result
-		err error
-	)
 	switch algo {
-	case Parallel:
-		r, err = hsr.ParallelOS(t.t, hsr.OSOptions{Workers: opt.Workers})
-	case ParallelHulls:
-		r, err = hsr.ParallelOS(t.t, hsr.OSOptions{Workers: opt.Workers, WithHulls: true})
-	case ParallelCopying:
-		r, err = hsr.ParallelSimple(t.t, opt.Workers)
-	case Sequential:
-		r, err = hsr.Sequential(t.t)
-	case SequentialTree:
-		r, err = hsr.SequentialTree(t.t, false)
 	case BruteForce:
-		r, err = hsr.BruteForce(t.t)
+		return wrapResult(algo)(hsr.BruteForce(tt))
 	case AllPairs:
-		r, err = hsr.AllPairs(t.t)
+		return wrapResult(algo)(hsr.AllPairs(tt))
+	case Parallel, ParallelHulls, ParallelCopying, Sequential, SequentialTree:
 	default:
 		return nil, fmt.Errorf("terrainhsr: unknown algorithm %q", algo)
 	}
+	prep, err := prepare()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{res: r, algo: algo}, nil
+	switch algo {
+	case Parallel:
+		return wrapResult(algo)(prep.ParallelOS(hsr.OSOptions{Workers: opt.Workers, Pool: pool}))
+	case ParallelHulls:
+		return wrapResult(algo)(prep.ParallelOS(hsr.OSOptions{Workers: opt.Workers, WithHulls: true, Pool: pool}))
+	case ParallelCopying:
+		return wrapResult(algo)(prep.ParallelSimple(opt.Workers))
+	case Sequential:
+		return wrapResult(algo)(prep.Sequential())
+	default: // SequentialTree; the first switch rejected everything else.
+		return wrapResult(algo)(prep.SequentialTreePooled(false, pool))
+	}
+}
+
+// wrapResult tags an internal result with the algorithm that produced it.
+func wrapResult(algo Algorithm) func(*hsr.Result, error) (*Result, error) {
+	return func(r *hsr.Result, err error) (*Result, error) {
+		if err != nil {
+			return nil, err
+		}
+		return &Result{res: r, algo: algo}, nil
+	}
 }
 
 // Algorithm returns the solver that produced this result.
