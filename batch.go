@@ -137,45 +137,68 @@ func (b *BatchSolver) Solve(eyes []Point, opt BatchOptions) ([]*Result, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	frameWorkers, frameOpt := frameBudget(opt, n)
+	results := make([]*Result, n)
+	if err := forFrames(frameWorkers, eyes, func(i int) error {
+		r, err := b.solveFrame(eyes[i], opt.MinDepth, frameOpt)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// frameBudget splits a batch's worker budget for n frames: how many frames
+// run concurrently and the per-frame Options (Workers = the remaining share,
+// at least 1). Both the batch and the tiled engines schedule frames with it,
+// so the oversubscription policy documented on BatchOptions.FrameWorkers
+// lives in exactly one place.
+func frameBudget(opt BatchOptions, n int) (frameWorkers int, frameOpt Options) {
 	totalWorkers := opt.Workers
 	if totalWorkers <= 0 {
 		totalWorkers = parallel.DefaultWorkers()
 	}
-	frameWorkers := opt.FrameWorkers
+	frameWorkers = opt.FrameWorkers
 	if frameWorkers <= 0 {
 		frameWorkers = totalWorkers
 	}
 	if frameWorkers > n {
 		frameWorkers = n
 	}
-	frameOpt := opt.Options
+	frameOpt = opt.Options
 	frameOpt.Workers = totalWorkers / frameWorkers
 	if frameOpt.Workers < 1 {
 		frameOpt.Workers = 1
 	}
+	return frameWorkers, frameOpt
+}
 
-	results := make([]*Result, n)
-	errs := make([]error, n)
+// forFrames runs fn for every frame index on up to workers goroutines. On
+// error the batch stops starting new frames (in-flight frames finish) and
+// the failure with the lowest frame index is reported, tagged with its eye.
+func forFrames(workers int, eyes []Point, fn func(i int) error) error {
+	errs := make([]error, len(eyes))
 	var failed atomic.Bool
-	parallel.ForDynamic(frameWorkers, n, 1, func(_, i int) {
+	parallel.ForDynamic(workers, len(eyes), 1, func(_, i int) {
 		if failed.Load() {
 			return
 		}
-		r, err := b.solveFrame(eyes[i], opt.MinDepth, frameOpt)
-		if err != nil {
+		if err := fn(i); err != nil {
 			errs[i] = err
 			failed.Store(true)
-			return
 		}
-		results[i] = r
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("terrainhsr: batch frame %d (eye %v,%v,%v): %w",
+			return fmt.Errorf("terrainhsr: batch frame %d (eye %v,%v,%v): %w",
 				i, eyes[i].X, eyes[i].Y, eyes[i].Z, err)
 		}
 	}
-	return results, nil
+	return nil
 }
 
 // SolvePath solves every viewpoint of a camera path.

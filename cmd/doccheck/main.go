@@ -1,0 +1,155 @@
+// Command doccheck enforces the repository's documentation contract: every
+// package it inspects must have a package-level doc comment, and every
+// exported identifier — types, functions, methods, and const/var
+// declarations — must carry a doc comment. CI runs it over the root library
+// package and every internal package; undocumented exports fail the build.
+//
+// Usage:
+//
+//	doccheck [package-dir ...]   (default: . and ./internal/*)
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs()
+	}
+	var complaints []string
+	for _, dir := range dirs {
+		complaints = append(complaints, checkDir(dir)...)
+	}
+	if len(complaints) > 0 {
+		sort.Strings(complaints)
+		for _, c := range complaints {
+			fmt.Println(c)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", len(complaints))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d packages clean\n", len(dirs))
+}
+
+// defaultDirs returns the root package and every internal package directory.
+func defaultDirs() []string {
+	dirs := []string{"."}
+	_ = filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDir parses one package directory (tests excluded) and reports every
+// undocumented exported declaration as "file:line: name".
+func checkDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse error: %v", dir, err)}
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			out = append(out, checkFile(fset, f)...)
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package doc comment", dir, pkg.Name))
+		}
+	}
+	return out
+}
+
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	complain := func(pos token.Pos, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s is exported but has no doc comment", p.Filename, p.Line, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				// Methods count when the receiver type is exported.
+				recv := receiverName(d.Recv.List[0].Type)
+				if !ast.IsExported(recv) {
+					continue
+				}
+				name = recv + "." + name
+			}
+			complain(d.Pos(), name)
+		case *ast.GenDecl:
+			// A doc comment on the group covers the whole group; otherwise
+			// every exported spec needs its own.
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						complain(s.Pos(), s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if d.Doc != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() && s.Doc == nil && s.Comment == nil {
+							complain(n.Pos(), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName unwraps a method receiver type expression to its type name.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(t.X)
+	case *ast.Ident:
+		return t.Name
+	}
+	return ""
+}

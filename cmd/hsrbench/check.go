@@ -26,7 +26,7 @@ func expCheck(quick bool) {
 		checks = append(checks, check{name, ok, fmt.Sprintf(note, args...)})
 	}
 
-	// --- Claim 1: polylog depth growth (T1).
+	// --- Claim 1: polylog depth growth (TH1).
 	small := gen(workload.Params{Kind: workload.Fractal, Rows: 16, Cols: 16, Seed: 1, Amplitude: 5})
 	large := gen(workload.Params{Kind: workload.Fractal, Rows: 64, Cols: 64, Seed: 1, Amplitude: 5})
 	rs, rl := mustOS(small, 0, false), mustOS(large, 0, false)
@@ -35,36 +35,36 @@ func expCheck(quick bool) {
 	// Theorem 3.1 allows depth O(log^4 n): depth growth must stay within
 	// the growth of log^4 (with a 1.5x constant margin).
 	logGrowth4 := math.Pow(math.Log2(float64(large.NumEdges()))/math.Log2(float64(small.NumEdges())), 4)
-	add("T1 depth polylog", dGrowth < 1.5*logGrowth4,
+	add("TH1 depth polylog", dGrowth < 1.5*logGrowth4,
 		"n grew %.1fx, depth grew %.1fx, log^4 bound allows %.1fx", nGrowth, dGrowth, logGrowth4)
 
-	// --- Claim 2: work near-linear in n+k (T2).
+	// --- Claim 2: work near-linear in n+k (TH2).
 	wGrowth := float64(rl.Work()) / float64(rs.Work())
 	nkGrowth := float64(large.NumEdges()+rl.K()) / float64(small.NumEdges()+rs.K())
-	add("T2 work ~ (n+k) polylog", wGrowth < nkGrowth*3,
+	add("TH2 work ~ (n+k) polylog", wGrowth < nkGrowth*3,
 		"(n+k) grew %.1fx, work grew %.1fx (must stay within a small polylog factor)", nkGrowth, wGrowth)
 
-	// --- Claim 3: output sensitivity (T3).
+	// --- Claim 3: output sensitivity (TH3).
 	open := gen(workload.Params{Kind: workload.Ridge, Rows: 24, Cols: 24, Seed: 3, Amplitude: 4, RidgeHeight: 0.5})
 	wall := gen(workload.Params{Kind: workload.Ridge, Rows: 24, Cols: 24, Seed: 3, Amplitude: 4, RidgeHeight: 32})
 	ro, rw := mustOS(open, 0, false), mustOS(wall, 0, false)
-	add("T3 work tracks k", rw.K() < ro.K()/2 && rw.Work() < ro.Work(),
+	add("TH3 work tracks k", rw.K() < ro.K()/2 && rw.Work() < ro.Work(),
 		"occlusion: k %d->%d, work %d->%d (both must drop)", ro.K(), rw.K(), ro.Work(), rw.Work())
 	apO, err := hsr.AllPairs(wall)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	add("T3 beats I-sensitive baseline", apO.Work() > 5*rw.Work(),
+	add("TH3 beats I-sensitive baseline", apO.Work() > 5*rw.Work(),
 		"AllPairs %d vs OS %d on occluded scene (>=5x expected)", apO.Work(), rw.Work())
 
-	// --- Claim 4: Brent speedup (T4/Lemma 2.1).
+	// --- Claim 4: Brent speedup (TH4/Lemma 2.1).
 	t16 := rl.Acct.TimeOn(16)
 	t1 := rl.Acct.TimeOn(1)
-	add("T4 PRAM speedup", t1/t16 > 8,
+	add("TH4 PRAM speedup", t1/t16 > 8,
 		"model speedup at p=16 is %.1fx (>=8x expected)", t1/t16)
 
-	// --- Claim 5: within polylog of efficient sequential (T5).
+	// --- Claim 5: within polylog of efficient sequential (TH5).
 	st, err := hsr.SequentialTree(large, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -72,7 +72,7 @@ func expCheck(quick bool) {
 	}
 	ratio := float64(rl.Work()) / float64(st.Work())
 	logN := math.Log2(float64(large.NumEdges()))
-	add("T5 within polylog of sequential", ratio < 2*logN,
+	add("TH5 within polylog of sequential", ratio < 2*logN,
 		"parallel/sequential-tree work ratio %.1f vs log2(n)=%.1f", ratio, logN)
 
 	// --- Claim 6: results identical across all solvers.

@@ -57,11 +57,11 @@ func sizesFor(quick bool) []int {
 	return []int{16, 24, 32, 48, 64, 96, 128}
 }
 
-// expT1: PRAM depth vs n. The paper claims O(log^4 n) time on a CREW PRAM;
+// expTH1: PRAM depth vs n. The paper claims O(log^4 n) time on a CREW PRAM;
 // the measured depth (critical path of charged operations) should grow
 // polylogarithmically — we report depth / log^2(n) and depth / log^3(n)
 // so the reader can see which polylog power the constant settles under.
-func expT1(quick bool) {
+func expTH1(quick bool) {
 	tb := metrics.NewTable("rows", "n", "k", "phases", "depth", "depth/log2(n)^2", "depth/log2(n)^3")
 	for _, rc := range sizesFor(quick) {
 		t := gen(workload.Params{Kind: workload.Fractal, Rows: rc, Cols: rc, Seed: 1, Amplitude: 5})
@@ -74,11 +74,11 @@ func expT1(quick bool) {
 	tb.Render(os.Stdout)
 }
 
-// expT2: work vs (n+k) polylog n. Theorem 3.1's bound with p = n*alpha/log n
+// expTH2: work vs (n+k) polylog n. Theorem 3.1's bound with p = n*alpha/log n
 // processors is O((n+k) log^3 n) work; we report work normalized by
 // (n+k)*log(n) and (n+k)*log^3(n) — a bounded (non-growing) first column
 // already implies output-sensitive near-linear work.
-func expT2(quick bool) {
+func expTH2(quick bool) {
 	tb := metrics.NewTable("rows", "n", "k", "work", "work/(n+k)", "work/((n+k)log2 n)", "work/((n+k)log2^3 n)")
 	for _, rc := range sizesFor(quick) {
 		t := gen(workload.Params{Kind: workload.Fractal, Rows: rc, Cols: rc, Seed: 1, Amplitude: 5})
@@ -91,12 +91,12 @@ func expT2(quick bool) {
 	tb.Render(os.Stdout)
 }
 
-// expT3: output sensitivity. Fix n; sweep the ridge height so that the
+// expTH3: output sensitivity. Fix n; sweep the ridge height so that the
 // visible output k collapses while the pairwise crossing count I stays
 // high. The paper's algorithm's work must track k; the AllPairs baseline
 // (the general-scene, intersection-sensitive approach) pays n^2 + I
 // regardless.
-func expT3(quick bool) {
+func expTH3(quick bool) {
 	rc := 32
 	if quick {
 		rc = 20
@@ -115,10 +115,10 @@ func expT3(quick bool) {
 	tb.Render(os.Stdout)
 }
 
-// expT4: Brent speedup. One fixed terrain; the PRAM model time for
+// expTH4: Brent speedup. One fixed terrain; the PRAM model time for
 // p = 1..1024 (Lemma 2.1 with the paper's allocation charge) plus measured
 // wall-clock for real worker counts.
-func expT4(quick bool) {
+func expTH4(quick bool) {
 	rc := 96
 	if quick {
 		rc = 40
@@ -154,10 +154,10 @@ func expT4(quick bool) {
 	tw.Render(os.Stdout)
 }
 
-// expT5: the remark after Theorem 3.1 — the parallel algorithm's work is
+// expTH5: the remark after Theorem 3.1 — the parallel algorithm's work is
 // within a polylog factor of the sequential algorithm. We report the ratio
 // of charged work (and of wall-clock) over a size sweep.
-func expT5(quick bool) {
+func expTH5(quick bool) {
 	tb := metrics.NewTable("rows", "n", "k", "work-par", "work-seqtree", "par/seqtree", "work-seqflat", "wall-par", "wall-seqtree")
 	for _, rc := range sizesFor(quick) {
 		t := gen(workload.Params{Kind: workload.Fractal, Rows: rc, Cols: rc, Seed: 1, Amplitude: 5})

@@ -1,13 +1,15 @@
 // Command hsrbench regenerates every experiment table of the reproduction
 // (see DESIGN.md section 4 and EXPERIMENTS.md): the Theorem 3.1 time and
-// work bounds (T1, T2), output sensitivity against the intersection count
-// (T3), Brent speedup (T4), comparison with the sequential algorithm (T5),
-// the lemma-level costs (L1, L6), the structural figure analogues (F1, F2,
-// F3) and the design ablations (A1, A2).
+// work bounds (TH1, TH2), output sensitivity against the intersection count
+// (TH3), Brent speedup (TH4), comparison with the sequential algorithm
+// (TH5), the lemma-level costs (L1, L6), the structural figure analogues
+// (F1, F2, F3), the design ablations (A1, A2), and the engine experiments:
+// batched multi-viewpoint solving (B1) and tiled solving of massive
+// terrains (T1).
 //
 // Usage:
 //
-//	hsrbench [-exp all|T1..T5|L1|L6|F1..F3|A1|A2|B1] [-quick]
+//	hsrbench [-exp all|TH1..TH5|L1|L6|F1..F3|A1|A2|B1|T1|CHECK] [-quick]
 package main
 
 import (
@@ -25,11 +27,11 @@ type experiment struct {
 }
 
 var experiments = []experiment{
-	{"T1", "Theorem 3.1 — parallel time (PRAM depth) is polylogarithmic", expT1},
-	{"T2", "Theorem 3.1 — work is O((n+k) polylog n)", expT2},
-	{"T3", "Output sensitivity — work tracks k, not the crossing count I", expT3},
-	{"T4", "Lemma 2.1 — Brent speedup with p processors", expT4},
-	{"T5", "Remark — parallel work within a polylog factor of sequential", expT5},
+	{"TH1", "Theorem 3.1 — parallel time (PRAM depth) is polylogarithmic", expTH1},
+	{"TH2", "Theorem 3.1 — work is O((n+k) polylog n)", expTH2},
+	{"TH3", "Output sensitivity — work tracks k, not the crossing count I", expTH3},
+	{"TH4", "Lemma 2.1 — Brent speedup with p processors", expTH4},
+	{"TH5", "Remark — parallel work within a polylog factor of sequential", expTH5},
 	{"L1", "Lemma 3.1 — profile construction cost", expL1},
 	{"L6", "Lemmas 3.2/3.6 — intersection query cost", expL6},
 	{"F1", "Figure 1 — profile sharing across PCT layers", expF1},
@@ -38,11 +40,12 @@ var experiments = []experiment{
 	{"A1", "Ablation — persistent splicing vs profile copying", expA1},
 	{"A2", "Ablation — hull-augmented (ACG) vs summary pruning", expA2},
 	{"B1", "Batch engine — multi-viewpoint flyover throughput and amortization", expB1},
+	{"T1", "Tiled engine — massive-terrain wall clock, peak memory and equivalence", expT1},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (T1..T5, L1, L6, F1..F3, A1, A2, B1, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (TH1..TH5, L1, L6, F1..F3, A1, A2, B1, T1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
 	flag.Parse()
 
@@ -61,6 +64,10 @@ func main() {
 	if !ran {
 		sort.Strings(names)
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n", *expFlag, strings.Join(names, ", "))
+		switch want {
+		case "T2", "T3", "T4", "T5":
+			fmt.Fprintf(os.Stderr, "note: the Theorem 3.1 experiments were renamed T1..T5 -> TH1..TH5; T1 now runs the tiled engine\n")
+		}
 		os.Exit(2)
 	}
 }

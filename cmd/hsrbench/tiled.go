@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	terrainhsr "terrainhsr"
+	"terrainhsr/internal/envelope"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/metrics"
+)
+
+// expT1: the tiled engine on a massive terrain. The monolithic baseline
+// solves the whole terrain in one piece; the tiled path partitions it into
+// row×col tiles, solves them band by band with silhouette culling, and
+// merges. Both run the same algorithm under the same worker budget.
+// Reported per configuration:
+//
+//   - wall clock for both paths (tiling is allowed to cost some time on a
+//     fully visible terrain; culling earns it back when ranges occlude),
+//   - peak heap during the solve (sampled) — the tiled path's reason to
+//     exist: it scales with one band of tiles, not with the terrain,
+//   - piece-set equivalence of the two answers (same visible intervals per
+//     edge up to float tolerance), and the tile cull rate.
+func expT1(quick bool) {
+	size := 512
+	if quick {
+		size = 192
+	}
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{Kind: "massive", Rows: size, Cols: size, Seed: 17})
+	if err != nil {
+		log.Fatalf("hsrbench: generate: %v", err)
+	}
+	fmt.Printf("massive terrain %dx%d (n=%d edges), algorithm=parallel, workers=%d\n",
+		size, size, tr.NumEdges(), runtime.GOMAXPROCS(0))
+
+	opt := terrainhsr.Options{} // the default parallel algorithm, all CPUs
+
+	var mono *terrainhsr.Result
+	monoPeak, monoWall := peakHeapDuring(func() {
+		var err error
+		mono, err = terrainhsr.Solve(tr, opt)
+		if err != nil {
+			log.Fatalf("hsrbench: monolithic: %v", err)
+		}
+	})
+	// Keep only a compact piece snapshot of the monolithic answer: the full
+	// Result (depth order, accounting, phase stats) must not stay live
+	// while the tiled path's peak heap is sampled, or it would inflate the
+	// tiled number and understate the ratio.
+	monoSnap, monoK := toInternal(mono), mono.K()
+	mono = nil
+
+	ts, err := terrainhsr.NewTiledSolver(tr, terrainhsr.TileOptions{})
+	if err != nil {
+		log.Fatalf("hsrbench: %v", err)
+	}
+	var tiled *terrainhsr.Result
+	var st terrainhsr.TileStats
+	tiledPeak, tiledWall := peakHeapDuring(func() {
+		var err error
+		tiled, st, err = ts.SolveWithStats(opt)
+		if err != nil {
+			log.Fatalf("hsrbench: tiled: %v", err)
+		}
+	})
+
+	equiv := "yes"
+	if err := hsr.Equivalent(monoSnap, toInternal(tiled), 1e-7, 1e-5); err != nil {
+		equiv = fmt.Sprintf("NO: %v", err)
+	}
+
+	bands, cols := ts.TileGrid()
+	tb := metrics.NewTable("path", "wall", "peak heap MB", "K", "tiles", "culled")
+	tb.AddRow("monolithic", monoWall.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.0f", monoPeak), fmt.Sprint(monoK), "1", "-")
+	tb.AddRow(fmt.Sprintf("tiled %dx%d", bands, cols), tiledWall.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.0f", tiledPeak), fmt.Sprint(tiled.K()),
+		fmt.Sprint(st.Tiles), fmt.Sprint(st.TilesCulled))
+	tb.Render(os.Stdout)
+
+	fmt.Printf("\npiece sets equivalent: %s\n", equiv)
+	fmt.Printf("peak memory ratio (mono/tiled): %.2fx; silhouette envelope: %d pieces\n",
+		monoPeak/tiledPeak, st.SilhouetteSize)
+	if tiledPeak >= monoPeak {
+		fmt.Println("WARNING: tiled peak heap not below monolithic — tiling is mis-sized for this input")
+	}
+}
+
+// toInternal rebuilds an internal result from a public one so the exact
+// interval comparator (hsr.Equivalent) can judge equivalence.
+func toInternal(r *terrainhsr.Result) *hsr.Result {
+	pieces := make([]hsr.VisiblePiece, 0, r.K())
+	for _, p := range r.Pieces() {
+		pieces = append(pieces, hsr.VisiblePiece{Edge: p.Edge,
+			Span: envelope.Span{X1: p.X1, Z1: p.Z1, X2: p.X2, Z2: p.Z2}})
+	}
+	return &hsr.Result{N: r.N(), Pieces: pieces}
+}
+
+// peakHeapDuring runs f while sampling the heap every few milliseconds and
+// returns the peak live-heap megabytes observed and f's wall clock. The
+// heap is garbage-collected before f starts so the peak reflects f itself
+// (plus whatever the caller keeps alive, identical for both paths).
+func peakHeapDuring(f func()) (peakMB float64, wall time.Duration) {
+	runtime.GC()
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		var m runtime.MemStats
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak.Load() {
+					peak.Store(m.HeapAlloc)
+				}
+			}
+		}
+	}()
+	t0 := time.Now()
+	f()
+	wall = time.Since(t0)
+	close(done)
+	<-sampled
+	return float64(peak.Load()) / 1e6, wall
+}

@@ -1,0 +1,38 @@
+// Package terrainhsr is an object-space hidden-surface-removal library for
+// polyhedral terrains, reproducing the output-size sensitive parallel
+// algorithm of Gupta and Sen ("An Improved Output-size Sensitive Parallel
+// Algorithm for Hidden-Surface Removal for Terrains", IPPS 1998).
+//
+// Given a terrain — a piecewise-linear surface z = f(x, y) — and a viewer
+// at x = -inf looking in +x (or a finite perspective eye point), the library
+// computes the combinatorial description of the visible scene: for every
+// terrain edge, the maximal portions of its image-plane projection that are
+// visible. The description is device independent and can be rendered at any
+// resolution (see RenderSVG).
+//
+// The flagship solver is the paper's parallel algorithm: edges are ordered
+// front to back, a Profile Computation Tree of upper envelopes is built
+// bottom-up, and prefix envelopes are pushed top-down with Chazelle-Guibas
+// style crossing queries against persistent profile trees, so that total
+// work is proportional to (n + k) polylog n — n input edges, k visible
+// output pieces — rather than to the number of pairwise edge crossings.
+// Sequential and brute-force baselines are included for comparison and
+// verification.
+//
+//	tr, _ := terrainhsr.Generate(terrainhsr.GenParams{Kind: "fractal", Rows: 64, Cols: 64, Seed: 42})
+//	res, _ := terrainhsr.Solve(tr, terrainhsr.Options{})
+//	fmt.Println(res.K(), "visible pieces from", res.N(), "edges")
+//
+// Beyond single solves, two engines scale the algorithm out. BatchSolver
+// (with SolveBatch, SolveViewPath, Solver.SolveMany) solves one terrain
+// from many perspective viewpoints — viewshed grids, flyover paths —
+// amortizing topology, validation and tree-arena storage across frames.
+// TiledSolver (with SolveTiled) partitions a massive grid terrain into
+// row×col tiles, solves them band by band with occlusion culling against
+// the accumulated silhouette, and merges a scene equivalent to the
+// monolithic solve with peak memory proportional to one band of tiles.
+//
+// ALGORITHM.md maps the paper's phases, lemmas and data structures to the
+// internal packages; cmd/hsrbench regenerates the reproduction's
+// experiment tables.
+package terrainhsr

@@ -3,6 +3,12 @@
 // terrain) and compute which building faces a street-level observer sees,
 // plus the city's skyline polyline. Demonstrates NewGridTerrain with a
 // custom height function and the algorithm-comparison API.
+//
+// Run with: go run ./examples/skyline
+//
+// Prints the visible piece counts and charged work of the parallel vs
+// sequential solvers (they must agree on the scene), the skyline polyline
+// size and its tallest point; writes skyline.svg to the working directory.
 package main
 
 import (

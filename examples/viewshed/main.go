@@ -3,7 +3,12 @@
 // visibility statistics (which parts of the landscape a ground observer can
 // see), and render the scene to SVG.
 //
-// Output: viewshed.svg in the working directory.
+// Run with: go run ./examples/viewshed
+//
+// Prints the visible-edge ratio, the piece/vertex counts of the visible
+// image, a per-edge viewshed histogram, and the skyline peak; writes
+// viewshed.svg (visible surface in green over the occluded wireframe) to
+// the working directory.
 package main
 
 import (

@@ -1,0 +1,15 @@
+// Package cg implements the intersection-detection queries of the paper's
+// Chazelle-Guibas-based ACG structure (Lemmas 3.2 and 3.6): given a
+// persistent profile tree and a query segment, report how the segment
+// relates to the profile — the maximal intervals where it is strictly above
+// (visible) or not — discovering only O(polylog) structure per reported
+// transition.
+//
+// The descent prunes subtrees whose relation to the segment is provably
+// constant. With hulls enabled the test is the paper's tangent test: the
+// segment (slope m) clears a sub-chain iff the chain's extreme values of
+// (z - m*x) stay on one side of the segment's intercept; the extremes come
+// from O(log) tangent searches on the subtree's convex chains. Without
+// hulls the test falls back to z-interval summaries (conservative but
+// O(1) per node).
+package cg

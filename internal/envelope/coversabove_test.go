@@ -1,0 +1,36 @@
+package envelope
+
+import "testing"
+
+func TestCoversAbove(t *testing.T) {
+	// Two pieces meeting at x=2, heights 4..6 and 6..3, gap after x=5.
+	p := Profile{
+		{X1: 0, Z1: 4, X2: 2, Z2: 6, Edge: 0},
+		{X1: 2, Z1: 6, X2: 5, Z2: 3, Edge: 1},
+	}
+	cases := []struct {
+		x1, x2, z float64
+		want      bool
+	}{
+		{0, 5, 2.9, true},     // everywhere above 2.9
+		{0, 5, 3.5, false},    // dips to 3 at x=5
+		{0, 2, 3.9, true},     // first piece only
+		{0, 2, 4.1, false},    // first piece starts at 4
+		{1, 1, 100, true},     // empty interval is trivially covered
+		{4, 6, 0, false},      // gap after x=5
+		{-1, 2, 0, false},     // not covered before x=0
+		{2.5, 4.5, 3.5, true}, // interior of the second piece
+	}
+	for _, c := range cases {
+		if got := p.CoversAbove(c.x1, c.x2, c.z); got != c.want {
+			t.Errorf("CoversAbove(%v,%v,%v) = %v, want %v", c.x1, c.x2, c.z, got, c.want)
+		}
+	}
+	var empty Profile
+	if empty.CoversAbove(0, 1, 0) {
+		t.Error("empty profile covers nothing")
+	}
+	if !empty.CoversAbove(1, 1, 0) {
+		t.Error("empty interval is trivially covered")
+	}
+}

@@ -1,0 +1,16 @@
+// Package envelope implements upper profiles of line segments in the image
+// plane: y-monotone, piecewise-linear partial functions with explicit gaps
+// and jump discontinuities. Profiles are the central object of the paper —
+// the "intermediate profiles" of PCT phase 1 and the "actual profiles" P_i
+// of phase 2 are both upper envelopes in this sense.
+//
+// A profile is stored as a sorted slice of non-overlapping Pieces. Between
+// consecutive pieces the profile is undefined (a gap, value -inf); where two
+// pieces abut at the same x with different z the profile has a jump
+// discontinuity, which genuinely occurs in envelopes of segments (a front
+// segment can end mid-air above a back one).
+//
+// Merging two profiles (the pointwise maximum) is a linear-time sweep over
+// the union of their breakpoints; this is the work step of Lemma 3.1's
+// divide-and-conquer profile construction.
+package envelope

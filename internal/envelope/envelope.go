@@ -1,18 +1,3 @@
-// Package envelope implements upper profiles of line segments in the image
-// plane: y-monotone, piecewise-linear partial functions with explicit gaps
-// and jump discontinuities. Profiles are the central object of the paper —
-// the "intermediate profiles" of PCT phase 1 and the "actual profiles" P_i
-// of phase 2 are both upper envelopes in this sense.
-//
-// A profile is stored as a sorted slice of non-overlapping Pieces. Between
-// consecutive pieces the profile is undefined (a gap, value -inf); where two
-// pieces abut at the same x with different z the profile has a jump
-// discontinuity, which genuinely occurs in envelopes of segments (a front
-// segment can end mid-air above a back one).
-//
-// Merging two profiles (the pointwise maximum) is a linear-time sweep over
-// the union of their breakpoints; this is the work step of Lemma 3.1's
-// divide-and-conquer profile construction.
 package envelope
 
 import (
@@ -94,6 +79,34 @@ func (p Profile) Eval(x float64) (z float64, covered bool) {
 		return 0, false
 	}
 	return pc.ZAt(x), true
+}
+
+// CoversAbove reports whether the profile is defined over all of [x1, x2]
+// with no gaps and with value at least z everywhere on it. It is the
+// occlusion test behind tile culling: a tile whose bounding box satisfies
+// CoversAbove against the accumulated front envelope cannot contribute any
+// visible piece and need not be solved at all.
+func (p Profile) CoversAbove(x1, x2, z float64) bool {
+	if x2 <= x1+geom.Eps {
+		return true
+	}
+	i := sort.Search(len(p), func(i int) bool { return p[i].X2 >= x1 })
+	x := x1
+	for ; i < len(p); i++ {
+		pc := p[i]
+		if pc.X1 > x+geom.Eps {
+			return false // gap before the next piece
+		}
+		lo, hi := math.Max(pc.X1, x1), math.Min(pc.X2, x2)
+		if hi > lo && math.Min(pc.ZAt(lo), pc.ZAt(hi)) < z-geom.Eps {
+			return false // the envelope dips below z on [lo, hi]
+		}
+		x = pc.X2
+		if x >= x2-geom.Eps {
+			return true
+		}
+	}
+	return false // ran out of pieces before reaching x2
 }
 
 // Validate checks the structural invariants: positive-width pieces sorted by

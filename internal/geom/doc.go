@@ -1,0 +1,16 @@
+// Package geom provides the planar and spatial primitives used throughout
+// the terrain hidden-surface-removal pipeline: points, segments, orientation
+// and intersection predicates, and the projective transform that reduces
+// perspective views to the canonical orthographic case.
+//
+// Conventions. The viewer sits at x = -inf looking in the +x direction, so
+// "in front" means smaller x. The image plane is the y-z plane: a world point
+// (x, y, z) projects orthographically to the image point (y, z). Profiles
+// (upper envelopes) are functions of y with values in z.
+//
+// Paper correspondence: this is the geometric model of the paper's
+// section 1 — "the viewpoint is located at z = -inf" in its axes, terrain
+// edges projected to the viewing plane — with the perspective-to-
+// orthographic reduction (PerspectiveTransform) realizing the remark that
+// perspective views reduce to the canonical case by a projective map.
+package geom

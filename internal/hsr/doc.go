@@ -1,0 +1,20 @@
+// Package hsr assembles the hidden-surface-removal algorithms: the
+// brute-force reference, the sequential algorithm of Reif and Sen, the
+// simple (copying) parallelization, the intersection-insensitive baseline,
+// and the paper's output-sensitive parallel algorithm.
+//
+// All algorithms produce the same object-space answer: for every terrain
+// edge, the maximal portions of its image-plane projection visible from the
+// viewer at x = -inf. The portions, together with their endpoints and the
+// crossings discovered on the way, form the combinatorial description of
+// the visible scene whose size is the paper's k.
+//
+// Paper correspondence: this package is section 3 end to end. Prepare is
+// the depth-order step (Fact 1, via package order); ParallelOS runs phase 1
+// (Lemma 3.1, PCT intermediate profiles) and the output-sensitive phase 2
+// (Lemmas 3.2–3.6: persistent prefix profiles queried Chazelle–Guibas
+// style), assembling Theorem 3.1's O((n + k) polylog n) work bound;
+// Sequential/SequentialTree are the Reif–Sen baseline the theorem is
+// compared against, and BruteForce/AllPairs are the ground-truth and
+// intersection-sensitive baselines of the experiments.
+package hsr

@@ -1,13 +1,3 @@
-// Package hsr assembles the hidden-surface-removal algorithms: the
-// brute-force reference, the sequential algorithm of Reif and Sen, the
-// simple (copying) parallelization, the intersection-insensitive baseline,
-// and the paper's output-sensitive parallel algorithm.
-//
-// All algorithms produce the same object-space answer: for every terrain
-// edge, the maximal portions of its image-plane projection visible from the
-// viewer at x = -inf. The portions, together with their endpoints and the
-// crossings discovered on the way, form the combinatorial description of
-// the visible scene whose size is the paper's k.
 package hsr
 
 import (

@@ -16,7 +16,7 @@ import (
 // The profile here is the flat slice representation, so a profile update
 // costs O(|profile|); the asymptotic refinement of Reif-Sen (balanced
 // dynamic structures) matters on adversarial inputs but not for the role
-// this function plays as the trusted sequential baseline (T5).
+// this function plays as the trusted sequential baseline (TH5).
 func Sequential(t *terrain.Terrain) (*Result, error) {
 	prep, err := Prepare(t)
 	if err != nil {
@@ -89,7 +89,7 @@ func BruteForce(t *terrain.Terrain) (*Result, error) {
 // scenes) before filtering visibility. Visible pieces are computed exactly
 // as in Sequential; the charged work additionally includes the Theta(n^2)
 // pair tests and the I discovered crossings, which is the quantity the
-// paper's output-sensitive algorithm avoids (experiment T3).
+// paper's output-sensitive algorithm avoids (experiment TH3).
 func AllPairs(t *terrain.Terrain) (*Result, error) {
 	prep, err := Prepare(t)
 	if err != nil {

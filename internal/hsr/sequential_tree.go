@@ -15,7 +15,7 @@ import (
 // in the balanced search structure with crossing queries, so each edge
 // costs O((1 + k_e) polylog) instead of O(|profile|). This is the
 // O((n + k) log^2 n)-style sequential bound the parallel algorithm is
-// measured against in experiment T5.
+// measured against in experiment TH5.
 //
 // Options mirror ParallelOS: summary pruning by default, the exact
 // hull-augmented ACG with withHulls.

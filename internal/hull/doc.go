@@ -1,0 +1,17 @@
+// Package hull implements the convex-chain machinery of the paper's ACG
+// structure (Lemmas 3.3-3.5): lower and upper convex hulls of profile
+// vertices stored in persistent trees, merged across subtrees by
+// Overmars-van Leeuwen style bridge (common tangent) searches, and queried
+// for extreme points in a direction.
+//
+// The augmented-CG test "does segment s cross the profile sub-chain between
+// two diagonals" reduces to extreme-point queries: s crosses iff the maximum
+// of (z - m*x) over the sub-chain's vertices (an upper-hull query, m = s's
+// slope) and the minimum (a lower-hull query) straddle s's intercept. The
+// paper stores lower chains and derives the rest from context; we store
+// both chains for exactness.
+//
+// Chains are persistent: merging two chains shares all untouched structure
+// with its inputs, so the profiles of one PCT layer hold their hulls in
+// O(new material * polylog) extra space — the paper's Figure 3.
+package hull

@@ -1,0 +1,12 @@
+// Package metrics provides the operation counters threaded through the
+// algorithms and the plain-text table writer used by the experiment harness.
+//
+// Counters are deliberately not atomic: each worker goroutine owns its own
+// Counters value and the owners are merged once their phase completes, so
+// the hot paths stay contention-free.
+//
+// Paper correspondence: the counters are the units in which Theorem 3.1's
+// O((n + k) polylog n) work bound is measured by the experiment harness —
+// charged elementary operations (merge steps, tree operations, query
+// visits), not wall-clock time.
+package metrics

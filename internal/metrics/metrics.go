@@ -1,9 +1,3 @@
-// Package metrics provides the operation counters threaded through the
-// algorithms and the plain-text table writer used by the experiment harness.
-//
-// Counters are deliberately not atomic: each worker goroutine owns its own
-// Counters value and the owners are merged once their phase completes, so
-// the hot paths stay contention-free.
 package metrics
 
 import (

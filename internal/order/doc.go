@@ -1,0 +1,27 @@
+// Package order computes the front-to-back depth order of terrain edges
+// that the paper obtains from the separator tree of Tamassia and Vitter
+// (Fact 1). The viewer is at x = -inf looking in +x.
+//
+// The partial order is: edge a precedes edge b (a is "in front") when some
+// viewing ray (a line of constant world y, traversed in increasing x in the
+// plan projection) crosses a before b. Because the plan projections of
+// terrain edges are non-crossing, this relation is acyclic and any linear
+// extension is a valid processing order for the sequential and parallel
+// hidden-surface algorithms.
+//
+// Construction (substitution documented in DESIGN.md): build the "in-front"
+// DAG over the projected triangles — for each interior edge, the adjacent
+// triangle on the smaller-x side must precede the one on the larger-x side —
+// topologically sort it with a layered Kahn sweep (the layers are the
+// parallel rounds), and key every edge by the topological index of the
+// triangle behind it (the triangle a ray enters when crossing the edge).
+//
+// Correctness of the keying: if a ray crosses edge a and later edge b, the
+// triangles it traverses between them form a chain t1 < t2 < ... < tm in the
+// DAG, where t1 is the triangle entered at a; the triangle entered at b is
+// strictly after tm, so key(a) = topo(t1) <= topo(tm) < key(b). Edges whose
+// crossing exits the terrain get key = +inf: for a convex plan domain
+// (standard DEM rectangles) a ray never re-enters, so exit edges may appear
+// last in any order. Edges parallel to the viewing direction are never
+// crossed transversally and are unconstrained.
+package order

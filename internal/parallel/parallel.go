@@ -1,12 +1,3 @@
-// Package parallel provides the goroutine-level execution primitives the
-// algorithms run on: bounded worker pools over index ranges, blocked
-// parallel for, parallel prefix scan and parallel reduction.
-//
-// These are the physical counterpart of the paper's PRAM: the PRAM cost
-// model (package pram) accounts for idealized processors, while this package
-// actually executes phases on up to runtime.NumCPU() cores. Each worker
-// receives a worker id so callers can maintain per-worker state (operation
-// counters, treap arenas) without synchronization.
 package parallel
 
 import (

@@ -1,24 +1,3 @@
-// Package pct implements the Profile Computation Tree of the paper's
-// section 3: a balanced tree over the depth-ordered terrain edges whose
-// nodes carry upper profiles.
-//
-// Phase 1 (Lemma 3.1) computes, for every node, the "intermediate profile":
-// the upper envelope of the edges in the node's subtree, by merging the
-// children's profiles bottom-up one layer at a time; all merges within a
-// layer run in parallel.
-//
-// Phase 2 computes the "actual profiles" (prefix envelopes P_i) top-down in
-// the style of a parallel prefix computation: at node u with children L and
-// R, L inherits P(u) and R inherits P(u) merged with the intermediate
-// profile of L. At a leaf holding edge e_i the inherited profile is exactly
-// P_{i-1}, and clipping e_i against it yields the edge's visible pieces.
-//
-// This file provides the tree and the *simple* phase 2 that copies profiles
-// at every merge — the direct parallelization of Reif-Sen that the paper
-// improves upon. Its work is Theta(n*k) in the worst case because prefix
-// profiles are copied wholesale down the tree; the output-sensitive phase 2
-// (package hsr, using the persistent structures) is the paper's remedy and
-// the A1 ablation contrasts the two.
 package pct
 
 import (

@@ -1,17 +1,3 @@
-// Package persist implements the path-copying persistent balanced tree the
-// paper takes from Driscoll, Sarnak, Sleator and Tarjan ("Make the
-// data-structures persistent", ref [6]) and uses to share the convex chains
-// and visible portions of profiles across nodes of a PCT layer.
-//
-// The tree is a persistent treap over a sequence: nodes are immutable, every
-// update (split/join) copies the O(log n) nodes along the affected path, and
-// all older versions remain valid. Each node carries a user-defined subtree
-// aggregate recomputed only for newly created nodes, which is how the
-// profile tree maintains bounding summaries and convex hulls per subtree.
-//
-// Allocation is tracked per Arena. Arenas are confined to one goroutine
-// (one per worker); nodes, once created, are immutable and may be shared
-// freely across goroutines.
 package persist
 
 import "fmt"

@@ -1,19 +1,3 @@
-// Package pram implements the CREW PRAM cost model of the paper: work and
-// depth accounting for phased parallel algorithms, Brent-style slow-down
-// scheduling (Lemmas 2.1 and 2.2), and the processor-allocation charge
-// t_{p,r} = O(r log r / p) the paper applies before stating Theorem 3.1.
-//
-// The model does not execute anything; the algorithms run on goroutines
-// (package parallel) and report their phases here. A Phase records N tasks
-// of maximum individual cost t and total cost W (all in units of charged
-// elementary operations). The model then answers:
-//
-//   - Depth()   = sum of per-phase critical paths (time with p = inf)
-//   - Work()    = sum of per-phase total costs
-//   - TimeOn(p) = sum over phases of (W_i/p + t_i + alloc(N_i, p))
-//
-// which is exactly Lemma 2.1's O(t_{p,N} + phases*t + N*t/p) bound with the
-// allocation term instantiated as in the paper's final accounting.
 package pram
 
 import (

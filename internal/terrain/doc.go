@@ -1,0 +1,12 @@
+// Package terrain represents polyhedral terrains as triangulated irregular
+// networks (TINs): piecewise-linear surfaces z = f(x, y) given by a planar
+// triangulation in the x-y plane with a height per vertex. It also provides
+// the triangulation substrate the paper assumes (Atallah-Cole-Goodrich in
+// the paper; fan/monotone triangulation here, see DESIGN.md).
+//
+// Paper correspondence: section 1's input model — "a polyhedral terrain is
+// a polyhedral surface such that any vertical line intersects it in at most
+// one point". Grid terrains additionally carry their cell-index layout
+// (Terrain.GridRows/GridCols), which is what package tile partitions for
+// the massive-terrain engine.
+package terrain

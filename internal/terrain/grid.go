@@ -59,7 +59,12 @@ func (g Grid) Build() (*Terrain, error) {
 			}
 		}
 	}
-	return New(verts, tris)
+	t, err := New(verts, tris)
+	if err != nil {
+		return nil, err
+	}
+	t.GridRows, t.GridCols = g.Rows, g.Cols
+	return t, nil
 }
 
 // EdgeCountForGrid predicts the number of edges of a grid TIN, handy for

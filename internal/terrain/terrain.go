@@ -1,8 +1,3 @@
-// Package terrain represents polyhedral terrains as triangulated irregular
-// networks (TINs): piecewise-linear surfaces z = f(x, y) given by a planar
-// triangulation in the x-y plane with a height per vertex. It also provides
-// the triangulation substrate the paper assumes (Atallah-Cole-Goodrich in
-// the paper; fan/monotone triangulation here, see DESIGN.md).
 package terrain
 
 import (
@@ -30,7 +25,20 @@ type Terrain struct {
 	Verts []geom.Pt3
 	Tris  [][3]int32
 	Edges []Edge
+
+	// GridRows and GridCols record the cell dimensions when the terrain was
+	// built by Grid.Build (both zero otherwise). A grid terrain's vertex and
+	// triangle indices follow the canonical layout — vertex (i, j) is
+	// i*(GridCols+1)+j, cell (i, j) owns triangles 2*(i*GridCols+j) and
+	// 2*(i*GridCols+j)+1 — which is what package tile partitions by. The
+	// metadata survives Transform and TransformShared because both preserve
+	// the triangulation's index structure.
+	GridRows, GridCols int
 }
+
+// IsGrid reports whether the terrain carries the canonical grid index layout
+// stamped by Grid.Build (and preserved by transforms).
+func (t *Terrain) IsGrid() bool { return t.GridRows > 0 && t.GridCols > 0 }
 
 // NumEdges returns the number of distinct edges (the paper's n).
 func (t *Terrain) NumEdges() int { return len(t.Edges) }
@@ -178,7 +186,12 @@ func (t *Terrain) Transform(f func(geom.Pt3) (geom.Pt3, error)) (*Terrain, error
 	if err != nil {
 		return nil, err
 	}
-	return New(verts, t.Tris)
+	nt, err := New(verts, t.Tris)
+	if err != nil {
+		return nil, err
+	}
+	nt.GridRows, nt.GridCols = t.GridRows, t.GridCols
+	return nt, nil
 }
 
 // TransformShared returns the terrain with every vertex mapped by f, sharing
@@ -198,7 +211,7 @@ func (t *Terrain) TransformShared(f func(geom.Pt3) (geom.Pt3, error)) (*Terrain,
 	if err != nil {
 		return nil, err
 	}
-	nt := &Terrain{Verts: verts, Tris: t.Tris, Edges: t.Edges}
+	nt := &Terrain{Verts: verts, Tris: t.Tris, Edges: t.Edges, GridRows: t.GridRows, GridCols: t.GridCols}
 	for i, tr := range nt.Tris {
 		a, b, c := nt.PlanPt(tr[0]), nt.PlanPt(tr[1]), nt.PlanPt(tr[2])
 		cr := geom.Cross(a, b, c)

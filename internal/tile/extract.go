@@ -1,0 +1,179 @@
+package tile
+
+import (
+	"fmt"
+	"math"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/terrain"
+)
+
+// This file builds the per-tile sub-terrains. A tile's sub-terrain contains
+// its owned cell rectangle plus a halo: every cell of the same band whose
+// image-x (canonical y) interval intersects the owned rectangle's interval.
+// The halo is what makes per-tile solves exact — within a band, every
+// potential occluder of an owned point lies at the same canonical y, hence
+// in a cell whose y-interval meets the owned interval. Occluders from
+// earlier (front) bands are accounted separately, by clipping against the
+// accumulated silhouette envelope; cells of later bands cannot occlude
+// anything in this band because the viewer-to-point sight segment only
+// crosses terrain at strictly smaller world x.
+//
+// Halo edges participate in the local solve as occluders only: their visible
+// pieces are reported by the one tile that owns them, so seam edges are
+// never emitted twice.
+
+// yiv is a closed interval of canonical y (image x) values.
+type yiv struct{ lo, hi float64 }
+
+func (a yiv) intersects(b yiv, pad float64) bool {
+	return a.lo <= b.hi+pad && b.lo <= a.hi+pad
+}
+
+// cellIntervals computes the canonical-y interval of every cell in rows
+// [r0, r1), indexed [row-r0][col]. It reads the (possibly transformed)
+// vertex table, so it is recomputed per perspective frame.
+func cellIntervals(t *terrain.Terrain, r0, r1 int) [][]yiv {
+	cols := t.GridCols
+	nvc := cols + 1
+	out := make([][]yiv, r1-r0)
+	for i := r0; i < r1; i++ {
+		row := make([]yiv, cols)
+		for j := 0; j < cols; j++ {
+			// The cell's four corner vertices.
+			a := t.Verts[i*nvc+j].Y
+			b := t.Verts[i*nvc+j+1].Y
+			c := t.Verts[(i+1)*nvc+j].Y
+			d := t.Verts[(i+1)*nvc+j+1].Y
+			row[j] = yiv{
+				lo: math.Min(math.Min(a, b), math.Min(c, d)),
+				hi: math.Max(math.Max(a, b), math.Max(c, d)),
+			}
+		}
+		out[i-r0] = row
+	}
+	return out
+}
+
+// ownedExtent returns the canonical-y interval and the maximum height of the
+// owned cell rectangle [r0, r1) × [c0, c1) (vertex rows r0..r1, columns
+// c0..c1). The interval bounds the image-x range any owned piece can occupy;
+// the height bounds its z — together they are the tile's cullable bounding
+// box in the image plane.
+func ownedExtent(t *terrain.Terrain, r0, r1, c0, c1 int) (iv yiv, maxZ float64) {
+	nvc := t.GridCols + 1
+	iv = yiv{lo: math.Inf(1), hi: math.Inf(-1)}
+	maxZ = math.Inf(-1)
+	for i := r0; i <= r1; i++ {
+		for j := c0; j <= c1; j++ {
+			v := t.Verts[i*nvc+j]
+			iv.lo = math.Min(iv.lo, v.Y)
+			iv.hi = math.Max(iv.hi, v.Y)
+			maxZ = math.Max(maxZ, v.Z)
+		}
+	}
+	return iv, maxZ
+}
+
+// haloRanges returns, per band row, the half-open cell-column range that the
+// tile's sub-terrain must include: every band cell whose canonical-y
+// interval intersects the owned interval. Per row the cell intervals are
+// monotone in the column index (canonical y increases with world y at fixed
+// depth under every transform the library applies), so the range is
+// contiguous.
+func haloRanges(ivs [][]yiv, owned yiv) [][2]int {
+	pad := 1e-7 * (1 + math.Abs(owned.lo) + math.Abs(owned.hi))
+	out := make([][2]int, len(ivs))
+	for i, row := range ivs {
+		lo, hi := len(row), len(row)
+		for j, iv := range row {
+			if iv.intersects(owned, pad) {
+				lo = j
+				break
+			}
+		}
+		for j := len(row) - 1; j >= lo; j-- {
+			if row[j].intersects(owned, pad) {
+				hi = j + 1
+				break
+			}
+		}
+		if lo >= len(row) {
+			lo, hi = 0, 0
+		}
+		out[i] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// subTerrain is one tile's solvable terrain patch with the bookkeeping to
+// translate its answers back into the full terrain's vocabulary.
+type subTerrain struct {
+	t *terrain.Terrain
+	// globalEdge[le] is the full-terrain edge id of local edge le.
+	globalEdge []int32
+	// owned[le] reports whether this tile owns local edge le (exactly one
+	// tile owns every global edge, so owned pieces are emitted exactly once).
+	owned []bool
+}
+
+// extract materializes the sub-terrain of the tile in band b, column slot c,
+// whose per-row cell ranges were computed by haloRanges for rows [r0, r1).
+func extract(t *terrain.Terrain, p *Partition, idx *EdgeIndex, b, c int, r0, r1 int, ranges [][2]int) (*subTerrain, error) {
+	or0, or1, oc0, oc1 := p.TileCells(b, c)
+
+	// Gather the triangles of every included cell.
+	var gtris []int32
+	for i := r0; i < r1; i++ {
+		jlo, jhi := ranges[i-r0][0], ranges[i-r0][1]
+		// The owned columns are always included, intersecting by construction.
+		for j := jlo; j < jhi; j++ {
+			base := int32(2 * (i*p.Cols + j))
+			gtris = append(gtris, base, base+1)
+		}
+	}
+	if len(gtris) == 0 {
+		return nil, fmt.Errorf("tile: band %d col %d selected no cells", b, c)
+	}
+
+	// Remap vertices to a compact local numbering.
+	localOf := make(map[int32]int32)
+	var verts []geom.Pt3
+	var gverts []int32
+	localID := func(gv int32) int32 {
+		lv, ok := localOf[gv]
+		if !ok {
+			lv = int32(len(verts))
+			localOf[gv] = lv
+			verts = append(verts, t.Verts[gv])
+			gverts = append(gverts, gv)
+		}
+		return lv
+	}
+	tris := make([][3]int32, len(gtris))
+	for k, gt := range gtris {
+		src := t.Tris[gt]
+		tris[k] = [3]int32{localID(src[0]), localID(src[1]), localID(src[2])}
+	}
+
+	sub, err := terrain.New(verts, tris)
+	if err != nil {
+		return nil, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
+	}
+
+	st := &subTerrain{
+		t:          sub,
+		globalEdge: make([]int32, len(sub.Edges)),
+		owned:      make([]bool, len(sub.Edges)),
+	}
+	for le, ed := range sub.Edges {
+		ge, ok := idx.Global(gverts[ed.V0], gverts[ed.V1])
+		if !ok {
+			return nil, fmt.Errorf("tile: band %d col %d: local edge %d has no global counterpart", b, c, le)
+		}
+		st.globalEdge[le] = ge
+		oi, oj := idx.Owner(ge)
+		st.owned[le] = oi >= or0 && oi < or1 && oj >= oc0 && oj < oc1
+	}
+	return st, nil
+}

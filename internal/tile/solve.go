@@ -1,0 +1,260 @@
+package tile
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"terrainhsr/internal/envelope"
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/metrics"
+	"terrainhsr/internal/parallel"
+	"terrainhsr/internal/terrain"
+)
+
+// SolveFunc solves one tile sub-terrain with the given intra-tile worker
+// budget and returns its visible scene (in the sub-terrain's local edge
+// numbering). The caller supplies it, closing over the algorithm choice and
+// any arena pools; package tile stays agnostic of which hidden-surface
+// algorithm runs inside a tile.
+type SolveFunc func(sub *terrain.Terrain, workers int) (*hsr.Result, error)
+
+// Options configures a tiled solve.
+type Options struct {
+	// Workers is the total worker budget shared by concurrent tiles and the
+	// solves inside them (0 = all CPUs).
+	Workers int
+	// NoCull disables the per-tile occlusion cull against the accumulated
+	// silhouette envelope. Culling never changes results; the switch exists
+	// for tests and measurements.
+	NoCull bool
+}
+
+// Stats reports how a tiled solve spent its effort.
+type Stats struct {
+	// Bands and Tiles describe the partition actually used.
+	Bands, Tiles int
+	// TilesSolved and TilesCulled split the tiles into those that ran a
+	// local solve and those skipped because the accumulated front envelope
+	// already covered their entire bounding box.
+	TilesSolved, TilesCulled int
+	// LocalPieces counts owned visible pieces before clipping against the
+	// front envelope; Pieces-of-result minus LocalPieces is the seam cost.
+	LocalPieces int
+	// EnvelopeSize is the final accumulated silhouette's piece count.
+	EnvelopeSize int
+}
+
+// tileOutcome is one tile's contribution, in global edge numbering.
+type tileOutcome struct {
+	pieces    []hsr.VisiblePiece
+	counters  metrics.Counters
+	crossings int64
+	culled    bool
+}
+
+// Solve computes the visible scene of a grid terrain by solving row×col
+// tiles independently and merging front to back. The result is equivalent
+// to a monolithic solve of the same terrain (same visible pieces up to
+// float tolerance at piece boundaries) while peak memory scales with a
+// band of tiles rather than with the whole terrain.
+//
+// Bands are processed front to back. Within a band, tiles solve
+// concurrently: each extracts its sub-terrain (owned cells plus same-band
+// halo, see extract.go), runs solve on it, and keeps the visible pieces of
+// the edges it owns. The band barrier then clips every kept piece against
+// the accumulated silhouette envelope of all earlier bands — occlusion
+// crossing band seams — and merges the band's own unclipped silhouette into
+// the accumulator for the bands behind it.
+//
+// idx may be nil (it is then derived from t); callers solving many frames
+// of vertex-only transformed terrains should build one EdgeIndex and reuse
+// it, since it depends only on the shared topology.
+func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, opt Options) (*hsr.Result, Stats, error) {
+	var stats Stats
+	if t == nil || !t.IsGrid() {
+		return nil, stats, fmt.Errorf("tile: terrain is not a grid (build it with terrain.Grid or terrainhsr.NewGridTerrain/Generate)")
+	}
+	if t.GridRows != p.Rows || t.GridCols != p.Cols {
+		return nil, stats, fmt.Errorf("tile: partition is %dx%d cells but terrain is %dx%d", p.Rows, p.Cols, t.GridRows, t.GridCols)
+	}
+	if idx == nil {
+		var err error
+		if idx, err = NewEdgeIndex(t); err != nil {
+			return nil, stats, err
+		}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	tileWorkers := workers
+	if tileWorkers > p.NumCols {
+		tileWorkers = p.NumCols
+	}
+	subWorkers := workers / tileWorkers
+	if subWorkers < 1 {
+		subWorkers = 1
+	}
+
+	stats.Bands, stats.Tiles = p.NumBands, p.NumTiles()
+
+	var (
+		front     envelope.Profile // silhouette of all earlier bands
+		out       []hsr.VisiblePiece
+		counters  metrics.Counters
+		crossings int64
+	)
+	for b := 0; b < p.NumBands; b++ {
+		r0, r1 := p.BandRows(b)
+		ivs := cellIntervals(t, r0, r1)
+
+		outcomes := make([]*tileOutcome, p.NumCols)
+		errs := make([]error, p.NumCols)
+		var failed atomic.Bool
+		parallel.ForDynamic(tileWorkers, p.NumCols, 1, func(_, c int) {
+			if failed.Load() {
+				return
+			}
+			oc, err := solveTile(t, p, idx, b, c, r0, r1, ivs, front, solve, subWorkers, opt.NoCull)
+			if err != nil {
+				errs[c] = err
+				failed.Store(true)
+				return
+			}
+			outcomes[c] = oc
+		})
+		for c, err := range errs {
+			if err != nil {
+				return nil, stats, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
+			}
+		}
+
+		// Band barrier: clip each tile's owned pieces against the front
+		// envelope (sequentially, in column order, for determinism), and
+		// collect the band's own silhouette segments.
+		var bandSegs []geom.Seg2
+		for _, oc := range outcomes {
+			if oc.culled {
+				stats.TilesCulled++
+				continue
+			}
+			stats.TilesSolved++
+			counters.Add(oc.counters)
+			crossings += oc.crossings
+			stats.LocalPieces += len(oc.pieces)
+			for _, pc := range oc.pieces {
+				n := int64(0)
+				out, n = appendClipped(out, pc, front)
+				crossings += n
+				if pc.Span.X2-pc.Span.X1 > geom.Eps {
+					bandSegs = append(bandSegs, geom.Seg2{
+						A: geom.Pt2{X: pc.Span.X1, Z: pc.Span.Z1},
+						B: geom.Pt2{X: pc.Span.X2, Z: pc.Span.Z2},
+					})
+				}
+			}
+		}
+		if len(bandSegs) > 0 {
+			// The unclipped band silhouette: locally hidden parts of the band
+			// are below some locally visible piece, so the envelope of the
+			// band's local pieces equals the envelope of all its edges; and
+			// globally hidden pieces lie below the accumulated front profile,
+			// so merging them is harmless. Front is passed first: earlier
+			// bands win ties, matching the depth order of a monolithic solve.
+			front = envelope.Merge(front, envelope.BuildUpperEnvelope(bandSegs, envelope.NoEdge))
+		}
+	}
+	stats.EnvelopeSize = front.Size()
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Edge != b.Edge {
+			return a.Edge < b.Edge
+		}
+		if a.Span.X1 != b.Span.X1 {
+			return a.Span.X1 < b.Span.X1
+		}
+		return a.Span.Z1 < b.Span.Z1
+	})
+	res := &hsr.Result{
+		N:         t.NumEdges(),
+		Pieces:    out,
+		Crossings: crossings,
+		Counters:  counters,
+	}
+	return res, stats, nil
+}
+
+// solveTile runs one tile: cull check, sub-terrain extraction, local solve,
+// and translation of the owned pieces to global edge ids. front is read-only
+// here (it is only rewritten between bands, after the band barrier).
+func solveTile(t *terrain.Terrain, p *Partition, idx *EdgeIndex, b, c, r0, r1 int, ivs [][]yiv, front envelope.Profile, solve SolveFunc, workers int, noCull bool) (*tileOutcome, error) {
+	_, _, c0, c1 := p.TileCells(b, c)
+	owned, maxZ := ownedExtent(t, r0, r1, c0, c1)
+	if !noCull && front.CoversAbove(owned.lo, owned.hi, maxZ) {
+		// Everything the tile could contribute lies on or below the
+		// silhouette of the terrain in front of it: skip the solve entirely.
+		return &tileOutcome{culled: true}, nil
+	}
+	sub, err := extract(t, p, idx, b, c, r0, r1, haloRanges(ivs, owned))
+	if err != nil {
+		return nil, err
+	}
+	res, err := solve(sub.t, workers)
+	if err != nil {
+		return nil, err
+	}
+	oc := &tileOutcome{counters: res.Counters, crossings: res.Crossings}
+	for _, pc := range res.Pieces {
+		if !sub.owned[pc.Edge] {
+			continue // a halo edge: some other tile owns and reports it
+		}
+		pc.Edge = sub.globalEdge[pc.Edge]
+		oc.pieces = append(oc.pieces, pc)
+	}
+	return oc, nil
+}
+
+// appendClipped appends the portions of piece pc that lie strictly above the
+// profile to dst, returning the extended slice and the number of crossings
+// discovered. Ties count as occluded, matching envelope.ClipAbove and the
+// front-wins convention of the monolithic algorithms.
+func appendClipped(dst []hsr.VisiblePiece, pc hsr.VisiblePiece, front envelope.Profile) ([]hsr.VisiblePiece, int64) {
+	if len(front) == 0 {
+		return append(dst, pc), 0
+	}
+	sp := pc.Span
+	if sp.X2-sp.X1 <= geom.Eps {
+		// A vertical-image piece: compare its height range against the
+		// profile value at its column (same rules as the solvers' clipOne).
+		z, covered := front.Eval(sp.X1)
+		switch {
+		case !covered:
+			return append(dst, pc), 0
+		case sp.Z2 > z+geom.Eps:
+			var n int64
+			if sp.Z1 < z {
+				n = 1
+				sp.Z1 = z
+			}
+			pc.Span = sp
+			return append(dst, pc), n
+		default:
+			return dst, 0
+		}
+	}
+	// ClipAbove walks the profile linearly from its first piece; start it at
+	// the first piece that can overlap the span (binary search) so a band
+	// merge costs O(pieces · log |front|) rather than O(pieces · |front|).
+	i := sort.Search(len(front), func(i int) bool { return front[i].X2 > sp.X1+geom.Eps })
+	res := envelope.ClipAbove(geom.Seg2{
+		A: geom.Pt2{X: sp.X1, Z: sp.Z1},
+		B: geom.Pt2{X: sp.X2, Z: sp.Z2},
+	}, front[i:])
+	for _, s := range res.Spans {
+		dst = append(dst, hsr.VisiblePiece{Edge: pc.Edge, Span: s})
+	}
+	return dst, int64(res.Crossings)
+}

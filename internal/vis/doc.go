@@ -1,0 +1,10 @@
+// Package vis assembles and renders the visible scene produced by the
+// hidden-surface algorithms: the object-space planar graph of visible edge
+// portions ("the vertices and edges of the displayed image" in the paper's
+// terms), scene statistics, and an SVG renderer — the paper's promised
+// device-independent output put to work on an actual display format.
+//
+// Paper correspondence: section 1's definition of the output — the visible
+// image as a planar graph whose size k the algorithm's work bound is
+// sensitive to — and the silhouette/viewshed summaries derived from it.
+package vis

@@ -1,8 +1,3 @@
-// Package vis assembles and renders the visible scene produced by the
-// hidden-surface algorithms: the object-space planar graph of visible edge
-// portions ("the vertices and edges of the displayed image" in the paper's
-// terms), scene statistics, and an SVG renderer — the paper's promised
-// device-independent output put to work on an actual display format.
 package vis
 
 import (

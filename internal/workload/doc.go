@@ -1,0 +1,12 @@
+// Package workload generates synthetic terrains whose visible-output size k,
+// input size n, and image-plane intersection count I can be controlled
+// independently. The paper's bounds are stated in terms of n and k (and
+// implicitly contrasted with algorithms whose work grows with I), so the
+// experiment harness needs terrain families that sweep k/n from near 0
+// (a front ridge occluding everything) to near 1 (a surface tilted toward
+// the sky, fully visible) while I varies freely.
+//
+// This package substitutes for the geographic datasets the paper alludes to
+// ("most geographical features can be represented in this manner") — see
+// DESIGN.md section 2.
+package workload

@@ -1,14 +1,3 @@
-// Package workload generates synthetic terrains whose visible-output size k,
-// input size n, and image-plane intersection count I can be controlled
-// independently. The paper's bounds are stated in terms of n and k (and
-// implicitly contrasted with algorithms whose work grows with I), so the
-// experiment harness needs terrain families that sweep k/n from near 0
-// (a front ridge occluding everything) to near 1 (a surface tilted toward
-// the sky, fully visible) while I varies freely.
-//
-// This package substitutes for the geographic datasets the paper alludes to
-// ("most geographical features can be represented in this manner") — see
-// DESIGN.md section 2.
 package workload
 
 import (
@@ -44,10 +33,15 @@ const (
 	// Steps is a staircase rising away from the viewer with occasional
 	// drops; piecewise-flat profiles exercise tie handling.
 	Steps Kind = "steps"
+	// Massive is the production-scale scenario: fractal relief with long
+	// meandering mountain ranges superimposed (see massive.go). Ranges
+	// occlude the basins behind them, so k/n falls as the terrain grows —
+	// the regime the tiled solver and its silhouette culling target.
+	Massive Kind = "massive"
 )
 
 // Kinds lists all generator families.
-var Kinds = []Kind{Fractal, Sinusoid, Ridge, TiltedUp, TiltedDown, Rough, Steps}
+var Kinds = []Kind{Fractal, Sinusoid, Ridge, TiltedUp, TiltedDown, Rough, Steps, Massive}
 
 // Params configures a generator.
 type Params struct {
@@ -144,6 +138,8 @@ func Generate(p Params) (*terrain.Terrain, error) {
 			}
 			return z
 		}
+	case Massive:
+		h = massiveHeight(p, r)
 	default:
 		return nil, fmt.Errorf("workload: unknown kind %q", p.Kind)
 	}

@@ -1,27 +1,3 @@
-// Package terrainhsr is an object-space hidden-surface-removal library for
-// polyhedral terrains, reproducing the output-size sensitive parallel
-// algorithm of Gupta and Sen ("An Improved Output-size Sensitive Parallel
-// Algorithm for Hidden-Surface Removal for Terrains", IPPS 1998).
-//
-// Given a terrain — a piecewise-linear surface z = f(x, y) — and a viewer
-// at x = -inf looking in +x (or a finite perspective eye point), the library
-// computes the combinatorial description of the visible scene: for every
-// terrain edge, the maximal portions of its image-plane projection that are
-// visible. The description is device independent and can be rendered at any
-// resolution (see RenderSVG).
-//
-// The flagship solver is the paper's parallel algorithm: edges are ordered
-// front to back, a Profile Computation Tree of upper envelopes is built
-// bottom-up, and prefix envelopes are pushed top-down with Chazelle-Guibas
-// style crossing queries against persistent profile trees, so that total
-// work is proportional to (n + k) polylog n — n input edges, k visible
-// output pieces — rather than to the number of pairwise edge crossings.
-// Sequential and brute-force baselines are included for comparison and
-// verification.
-//
-//	tr, _ := terrainhsr.Generate(terrainhsr.GenParams{Kind: "fractal", Rows: 64, Cols: 64, Seed: 42})
-//	res, _ := terrainhsr.Solve(tr, terrainhsr.Options{})
-//	fmt.Println(res.K(), "visible pieces from", res.N(), "edges")
 package terrainhsr
 
 import (
@@ -109,7 +85,9 @@ func NewMeshTerrain(verts []Point, faces [][]int32) (*Terrain, error) {
 
 // GenParams selects a synthetic terrain family; see package
 // internal/workload for the catalogue. Kind is one of "fractal",
-// "sinusoid", "ridge", "tilted-up", "tilted-down", "rough", "steps".
+// "sinusoid", "ridge", "tilted-up", "tilted-down", "rough", "steps",
+// "massive" (fractal relief with occluding mountain ranges — the
+// production-scale scenario the tiled solver targets).
 type GenParams struct {
 	Kind        string
 	Rows, Cols  int
@@ -182,7 +160,7 @@ const (
 	// (ground truth for tests; quadratic).
 	BruteForce Algorithm = "brute-force"
 	// AllPairs additionally counts every pairwise image crossing (the
-	// intersection-sensitive baseline of experiment T3).
+	// intersection-sensitive baseline of experiment TH3).
 	AllPairs Algorithm = "all-pairs"
 )
 

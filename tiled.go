@@ -1,0 +1,175 @@
+package terrainhsr
+
+import (
+	"fmt"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/terrain"
+	"terrainhsr/internal/tile"
+)
+
+// This file is the tiled solve engine for massive terrains: the terrain is
+// partitioned into row×col tiles (package internal/tile), every tile is
+// solved independently by the ordinary algorithms, and the per-tile answers
+// are merged front to back through an accumulated silhouette envelope. The
+// visible scene is equivalent to the monolithic solve — same pieces up to
+// float tolerance at piece boundaries — while peak memory scales with one
+// band of tiles instead of the whole terrain, and tiles that are entirely
+// hidden behind nearer terrain are culled without being solved at all.
+// The hsrbench T1 experiment measures the trade.
+
+// TileOptions configures a TiledSolver's partition.
+type TileOptions struct {
+	// TileRows and TileCols are the tile dimensions in grid cells
+	// (0 = automatic: about four tiles per axis, at least 16 cells each).
+	TileRows, TileCols int
+	// DisableCulling turns off the per-tile occlusion cull against the
+	// accumulated silhouette envelope. Culling never changes the result;
+	// the switch exists for measurements and tests.
+	DisableCulling bool
+}
+
+// TileStats reports how a tiled solve spent its effort.
+type TileStats struct {
+	// Bands and Tiles describe the partition (bands are front-to-back rows
+	// of tiles; Tiles = Bands × columns).
+	Bands, Tiles int
+	// TilesSolved and TilesCulled split the tiles into those that ran a
+	// local solve and those skipped because nearer terrain already covered
+	// their entire bounding box.
+	TilesSolved, TilesCulled int
+	// LocalPieces counts owned visible pieces before cross-band clipping.
+	LocalPieces int
+	// SilhouetteSize is the piece count of the final accumulated silhouette.
+	SilhouetteSize int
+}
+
+// TiledSolver solves a grid terrain tile by tile. It is safe for concurrent
+// use; the partition, edge index and arena pool it carries are shared by all
+// solves (and, for SolveMany, by all frames).
+type TiledSolver struct {
+	t    *Terrain
+	part *tile.Partition
+	idx  *tile.EdgeIndex
+	topt TileOptions
+	pool *hsr.OpsPool
+}
+
+// NewTiledSolver plans the tiling of a grid terrain. The terrain must carry
+// grid structure — built by NewGridTerrain or Generate (or transforms of
+// those); arbitrary meshes from NewTerrain cannot be tiled.
+func NewTiledSolver(t *Terrain, topt TileOptions) (*TiledSolver, error) {
+	if t == nil || t.t == nil {
+		return nil, fmt.Errorf("terrainhsr: nil terrain")
+	}
+	if !t.t.IsGrid() {
+		return nil, fmt.Errorf("terrainhsr: tiled solving needs a grid terrain (NewGridTerrain or Generate)")
+	}
+	part, err := tile.NewPartition(t.t.GridRows, t.t.GridCols, tile.Spec{TileRows: topt.TileRows, TileCols: topt.TileCols})
+	if err != nil {
+		return nil, err
+	}
+	idx, err := tile.NewEdgeIndex(t.t)
+	if err != nil {
+		return nil, err
+	}
+	return &TiledSolver{t: t, part: part, idx: idx, topt: topt, pool: hsr.NewOpsPool()}, nil
+}
+
+// Terrain returns the terrain this solver was built for.
+func (ts *TiledSolver) Terrain() *Terrain { return ts.t }
+
+// TileGrid returns the partition's tile-grid dimensions: the number of
+// front-to-back bands and of tile columns per band.
+func (ts *TiledSolver) TileGrid() (bands, cols int) { return ts.part.NumBands, ts.part.NumCols }
+
+// Solve computes the visible scene of the whole terrain through the tiled
+// pipeline. All algorithms of Options are supported; the result is
+// equivalent to Solve on the same terrain with the same Options.
+func (ts *TiledSolver) Solve(opt Options) (*Result, error) {
+	res, _, err := ts.SolveWithStats(opt)
+	return res, err
+}
+
+// SolveWithStats is Solve plus the tiling effort report.
+func (ts *TiledSolver) SolveWithStats(opt Options) (*Result, TileStats, error) {
+	return ts.solveTerrain(ts.t.t, opt)
+}
+
+// solveTerrain runs the tiled pipeline on a (possibly per-frame transformed)
+// terrain sharing the base topology.
+func (ts *TiledSolver) solveTerrain(tt *terrain.Terrain, opt Options) (*Result, TileStats, error) {
+	algo := opt.Algorithm
+	if algo == "" {
+		algo = Parallel
+	}
+	solve := func(sub *terrain.Terrain, workers int) (*hsr.Result, error) {
+		o := Options{Algorithm: algo, Workers: workers}
+		r, err := solveDispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, o, ts.pool)
+		if err != nil {
+			return nil, err
+		}
+		return r.res, nil
+	}
+	hres, st, err := tile.Solve(tt, ts.part, ts.idx, solve, tile.Options{
+		Workers: opt.Workers,
+		NoCull:  ts.topt.DisableCulling,
+	})
+	if err != nil {
+		return nil, TileStats{}, err
+	}
+	stats := TileStats{
+		Bands: st.Bands, Tiles: st.Tiles,
+		TilesSolved: st.TilesSolved, TilesCulled: st.TilesCulled,
+		LocalPieces: st.LocalPieces, SilhouetteSize: st.EnvelopeSize,
+	}
+	return &Result{res: hres, algo: algo}, stats, nil
+}
+
+// SolveMany solves the terrain from many perspective eye points, tiled.
+// Frames and tiles share one worker budget exactly as in BatchSolver.Solve:
+// FrameWorkers frames run concurrently, each splitting its share between
+// concurrent tiles and intra-tile workers; the tree-arena pool is shared by
+// every tile of every frame. Results are in eye order and each equivalent
+// to FromPerspective + Solve with the same Options.
+func (ts *TiledSolver) SolveMany(eyes []Point, opt BatchOptions) ([]*Result, error) {
+	n := len(eyes)
+	if n == 0 {
+		return nil, nil
+	}
+	frameWorkers, frameOpt := frameBudget(opt, n)
+	results := make([]*Result, n)
+	if err := forFrames(frameWorkers, eyes, func(i int) error {
+		pt := geom.PerspectiveTransform{Eye: pt3(eyes[i]), MinDepth: opt.MinDepth}
+		tt, err := ts.t.t.TransformShared(pt.Apply)
+		if err != nil {
+			return err
+		}
+		r, _, err := ts.solveTerrain(tt, frameOpt)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SolvePath solves every viewpoint of a camera path, tiled.
+func (ts *TiledSolver) SolvePath(path ViewPath, opt BatchOptions) ([]*Result, error) {
+	return ts.SolveMany(path.eyes, opt)
+}
+
+// SolveTiled solves a grid terrain through a one-off TiledSolver; see
+// TiledSolver.Solve. Callers issuing repeated solves should keep the
+// TiledSolver so the partition, edge index and arena pool are reused.
+func SolveTiled(t *Terrain, topt TileOptions, opt Options) (*Result, error) {
+	ts, err := NewTiledSolver(t, topt)
+	if err != nil {
+		return nil, err
+	}
+	return ts.Solve(opt)
+}

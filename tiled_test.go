@@ -1,0 +1,161 @@
+package terrainhsr
+
+import (
+	"testing"
+
+	"terrainhsr/internal/hsr"
+)
+
+// equivalent asserts two public results describe the same visible scene up
+// to float tolerance at piece boundaries, via the internal comparator.
+func equivalent(t *testing.T, ctx string, a, b *Result) {
+	t.Helper()
+	if err := hsr.Equivalent(a.res, b.res, 1e-7, 1e-5); err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+}
+
+func TestTiledMatchesMonolithicAcrossAlgorithms(t *testing.T) {
+	algos := []Algorithm{Parallel, ParallelHulls, Sequential, SequentialTree, BruteForce}
+	for _, kind := range []string{"fractal", "ridge"} {
+		tr := genTest(t, kind, 26, 26, 7)
+		for _, algo := range algos {
+			mono, err := Solve(tr, Options{Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The single-tile degenerate case is covered by internal/tile's
+			// tests; the quadratic baselines get one worker count to keep the
+			// race-enabled run fast.
+			workerSets := [][]int{{1, 3}}
+			if algo == BruteForce || algo == ParallelHulls {
+				workerSets = [][]int{{3}}
+			}
+			for _, tsz := range []int{7, 13} {
+				for _, workers := range workerSets[0] {
+					res, err := SolveTiled(tr, TileOptions{TileRows: tsz, TileCols: tsz},
+						Options{Algorithm: algo, Workers: workers})
+					if err != nil {
+						t.Fatalf("%s/%s tsz=%d w=%d: %v", kind, algo, tsz, workers, err)
+					}
+					equivalent(t, kind+"/"+string(algo), mono, res)
+				}
+			}
+		}
+	}
+}
+
+func TestTiledSeamPiecesDoNotOverlap(t *testing.T) {
+	// Edges on tile seams exist in two sub-terrains; exactly one tile owns
+	// each, so no edge may be reported twice over the same extent.
+	tr := genTest(t, "rough", 24, 24, 4)
+	res, err := SolveTiled(tr, TileOptions{TileRows: 6, TileCols: 6}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pieces := res.Pieces()
+	byEdge := make(map[int32][]Piece)
+	for _, p := range pieces {
+		byEdge[p.Edge] = append(byEdge[p.Edge], p)
+	}
+	const tol = 1e-9
+	for e, ps := range byEdge {
+		for i := 1; i < len(ps); i++ { // Pieces() is sorted by (Edge, X1, Z1)
+			prev, cur := ps[i-1], ps[i]
+			if cur.X1 == cur.X2 && prev.X1 == prev.X2 {
+				if cur.Z1 < prev.Z2-tol {
+					t.Fatalf("edge %d: vertical pieces overlap: %+v then %+v", e, prev, cur)
+				}
+			} else if cur.X1 < prev.X2-tol {
+				t.Fatalf("edge %d: pieces overlap: %+v then %+v", e, prev, cur)
+			}
+		}
+	}
+}
+
+func TestTiledSolverStatsAndCulling(t *testing.T) {
+	tr := genTest(t, "ridge", 32, 32, 11)
+	ts, err := NewTiledSolver(tr, TileOptions{TileRows: 8, TileCols: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bands, cols := ts.TileGrid(); bands != 4 || cols != 4 {
+		t.Fatalf("TileGrid = %dx%d, want 4x4", bands, cols)
+	}
+	res, st, err := ts.SolveWithStats(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TilesCulled == 0 {
+		t.Fatalf("ridge terrain should cull hidden back tiles: %+v", st)
+	}
+	if st.TilesSolved+st.TilesCulled != st.Tiles || st.Tiles != 16 {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+	// Culling must not change the answer.
+	noCull, err := SolveTiled(tr, TileOptions{TileRows: 8, TileCols: 8, DisableCulling: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, "cull vs no-cull", noCull, res)
+	if ts.Terrain() != tr {
+		t.Fatal("Terrain() identity lost")
+	}
+}
+
+func TestTiledSolveManyMatchesBatch(t *testing.T) {
+	tr := genTest(t, "fractal", 20, 20, 3)
+	eyes := testEyes(tr, 4)
+	mono, err := SolveBatch(tr, eyes, BatchOptions{MinDepth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTiledSolver(tr, TileOptions{TileRows: 6, TileCols: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fw := range []int{1, 2} {
+		tiled, err := ts.SolveMany(eyes, BatchOptions{MinDepth: 0.5, FrameWorkers: fw,
+			Options: Options{Workers: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tiled) != len(mono) {
+			t.Fatalf("fw=%d: %d results, want %d", fw, len(tiled), len(mono))
+		}
+		for i := range tiled {
+			equivalent(t, "frame", mono[i], tiled[i])
+		}
+	}
+	// The path entry point routes through the same engine.
+	path := LinePath(eyes[0], eyes[len(eyes)-1], len(eyes))
+	if _, err := ts.SolvePath(path, BatchOptions{MinDepth: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := ts.SolveMany(nil, BatchOptions{}); err != nil || res != nil {
+		t.Fatalf("empty eye list: got %v, %v", res, err)
+	}
+}
+
+func TestTiledRejectsNonGrid(t *testing.T) {
+	tr, err := NewTerrain([]Point{{0, 0, 0}, {1, 0.1, 1}, {0.2, 1, 0}}, [][3]int32{{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTiledSolver(tr, TileOptions{}); err == nil {
+		t.Fatal("expected error for non-grid terrain")
+	}
+	if _, err := NewTiledSolver(nil, TileOptions{}); err == nil {
+		t.Fatal("expected error for nil terrain")
+	}
+	if _, err := SolveTiled(tr, TileOptions{}, Options{}); err == nil {
+		t.Fatal("expected error for non-grid terrain via SolveTiled")
+	}
+}
+
+func TestTiledUnknownAlgorithm(t *testing.T) {
+	tr := genTest(t, "fractal", 8, 8, 1)
+	if _, err := SolveTiled(tr, TileOptions{}, Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("expected unknown-algorithm error")
+	}
+}
