@@ -139,7 +139,7 @@ func (b *BatchSolver) Solve(eyes []Point, opt BatchOptions) ([]*Result, error) {
 	}
 	frameWorkers, frameOpt := frameBudget(opt, n)
 	results := make([]*Result, n)
-	if err := forFrames(frameWorkers, eyes, func(i int) error {
+	if err := forFrames(frameWorkers, eyes, "batch frame", func(i int) error {
 		r, err := b.solveFrame(eyes[i], opt.MinDepth, frameOpt)
 		if err != nil {
 			return err
@@ -179,8 +179,9 @@ func frameBudget(opt BatchOptions, n int) (frameWorkers int, frameOpt Options) {
 
 // forFrames runs fn for every frame index on up to workers goroutines. On
 // error the batch stops starting new frames (in-flight frames finish) and
-// the failure with the lowest frame index is reported, tagged with its eye.
-func forFrames(workers int, eyes []Point, fn func(i int) error) error {
+// the failure with the lowest frame index is reported, tagged with its eye
+// and the caller-supplied label ("batch frame", "query", ...).
+func forFrames(workers int, eyes []Point, label string, fn func(i int) error) error {
 	errs := make([]error, len(eyes))
 	var failed atomic.Bool
 	parallel.ForDynamic(workers, len(eyes), 1, func(_, i int) {
@@ -194,8 +195,8 @@ func forFrames(workers int, eyes []Point, fn func(i int) error) error {
 	})
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("terrainhsr: batch frame %d (eye %v,%v,%v): %w",
-				i, eyes[i].X, eyes[i].Y, eyes[i].Z, err)
+			return fmt.Errorf("terrainhsr: %s %d (eye %v,%v,%v): %w",
+				label, i, eyes[i].X, eyes[i].Y, eyes[i].Z, err)
 		}
 	}
 	return nil

@@ -1,12 +1,18 @@
 // Command doccheck enforces the repository's documentation contract: every
 // package it inspects must have a package-level doc comment, and every
 // exported identifier — types, functions, methods, and const/var
-// declarations — must carry a doc comment. CI runs it over the root library
-// package and every internal package; undocumented exports fail the build.
+// declarations — must carry a doc comment. It also validates every
+// intra-repository markdown link (README.md, ALGORITHM.md, docs/, ...):
+// a link whose target file does not exist fails the build. CI runs it over
+// the root library package, every internal package and every cmd/ main;
+// undocumented exports and broken links fail the docs job.
 //
 // Usage:
 //
-//	doccheck [package-dir ...]   (default: . and ./internal/*)
+//	doccheck [package-dir ...]
+//
+// With no arguments it checks . , ./internal/* and ./cmd/* plus all
+// markdown links; with explicit directories it checks only those packages.
 package main
 
 import (
@@ -16,43 +22,109 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
 
 func main() {
 	dirs := os.Args[1:]
+	markdown := false
 	if len(dirs) == 0 {
 		dirs = defaultDirs()
+		markdown = true
 	}
 	var complaints []string
 	for _, dir := range dirs {
 		complaints = append(complaints, checkDir(dir)...)
+	}
+	links := 0
+	if markdown {
+		var lc []string
+		lc, links = checkMarkdownLinks(".")
+		complaints = append(complaints, lc...)
 	}
 	if len(complaints) > 0 {
 		sort.Strings(complaints)
 		for _, c := range complaints {
 			fmt.Println(c)
 		}
-		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", len(complaints))
+		fmt.Fprintf(os.Stderr, "doccheck: %d problems (undocumented exports or broken links)\n", len(complaints))
 		os.Exit(1)
 	}
-	fmt.Printf("doccheck: %d packages clean\n", len(dirs))
+	fmt.Printf("doccheck: %d packages clean", len(dirs))
+	if markdown {
+		fmt.Printf(", %d markdown links valid", links)
+	}
+	fmt.Println()
 }
 
-// defaultDirs returns the root package and every internal package directory.
+// defaultDirs returns the root package and every internal and cmd package
+// directory.
 func defaultDirs() []string {
 	dirs := []string{"."}
-	_ = filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
-		if err != nil || !d.IsDir() {
+	for _, root := range []string{"internal", "cmd"} {
+		_ = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			if hasGoFiles(path) {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+	}
+	return dirs
+}
+
+// mdLink matches a markdown inline link or image and captures its target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdownLinks walks the repository for .md files and verifies that
+// every intra-repository link target exists, returning complaints and the
+// count of links verified. External links (a scheme like https://),
+// mailto: and pure-anchor links (#section) are skipped; a #fragment on a
+// file link is stripped before the existence check.
+func checkMarkdownLinks(root string) (complaints []string, checked int) {
+	_ = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
 			return err
 		}
-		if hasGoFiles(path) {
-			dirs = append(dirs, path)
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			complaints = append(complaints, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				target, _, _ = strings.Cut(target, "#")
+				if target == "" {
+					continue
+				}
+				checked++
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					complaints = append(complaints,
+						fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", path, i+1, m[1], resolved))
+				}
+			}
 		}
 		return nil
 	})
-	return dirs
+	return complaints, checked
 }
 
 func hasGoFiles(dir string) bool {

@@ -4,12 +4,12 @@
 // (TH3), Brent speedup (TH4), comparison with the sequential algorithm
 // (TH5), the lemma-level costs (L1, L6), the structural figure analogues
 // (F1, F2, F3), the design ablations (A1, A2), and the engine experiments:
-// batched multi-viewpoint solving (B1) and tiled solving of massive
-// terrains (T1).
+// batched multi-viewpoint solving (B1), tiled solving of massive terrains
+// (T1), and the cached viewshed query service (S1).
 //
 // Usage:
 //
-//	hsrbench [-exp all|TH1..TH5|L1|L6|F1..F3|A1|A2|B1|T1|CHECK] [-quick]
+//	hsrbench [-exp all|TH1..TH5|L1|L6|F1..F3|A1|A2|B1|T1|S1|CHECK] [-quick]
 package main
 
 import (
@@ -41,11 +41,12 @@ var experiments = []experiment{
 	{"A2", "Ablation — hull-augmented (ACG) vs summary pruning", expA2},
 	{"B1", "Batch engine — multi-viewpoint flyover throughput and amortization", expB1},
 	{"T1", "Tiled engine — massive-terrain wall clock, peak memory and equivalence", expT1},
+	{"S1", "Query service — cached viewshed throughput and hit rate on an observer-grid stream", expS1},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (TH1..TH5, L1, L6, F1..F3, A1, A2, B1, T1, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "experiment id (TH1..TH5, L1, L6, F1..F3, A1, A2, B1, T1, S1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
 	flag.Parse()
 

@@ -1,0 +1,397 @@
+// Command hsrserved is the HTTP front end of the viewshed query service:
+// it registers synthetic terrains with a terrainhsr.Server and answers
+// viewshed queries through its sharded, coalescing result cache. One
+// binary, no dependencies beyond the standard library.
+//
+// Usage:
+//
+//	hsrserved [-addr :8080] [-terrain spec]... [-resolution 0.25]
+//	          [-cache 1024] [-shards 16] [-workers 0] [-tile-cells 262144]
+//
+// Each -terrain flag registers one synthetic terrain; the spec is a
+// comma-separated key=value list with the keys of terrainhsr.GenParams:
+//
+//	-terrain id=alps,kind=massive,rows=256,cols=256,seed=17
+//
+// With no -terrain flag a default "demo" terrain (fractal 48x48) is
+// registered so the server is immediately queryable.
+//
+// Endpoints:
+//
+//	GET /healthz   liveness probe; responds "ok".
+//	GET /statsz    JSON ServerStats: hits, misses, coalesced, evictions,
+//	               solves, cache entries.
+//	GET /terrains  JSON list of registered terrains and their sizes.
+//	GET /viewshed  answer a viewshed query; parameters below.
+//
+// /viewshed parameters:
+//
+//	terrain    terrain ID (may be omitted when exactly one is registered)
+//	eye        "x,y,z" perspective eye point (required); repeat the
+//	           parameter (eye=...&eye=...) for a multi-eye batch query,
+//	           answered with a JSON summary only
+//	algorithm  solver name (default "parallel"; see /terrains for the list)
+//	mindepth   minimum eye-to-vertex depth (default the library default)
+//	format     json (default) | svg | ascii
+//	width      SVG pixel width (default 800) or ASCII columns (default 100)
+//	height     ASCII rows (default 30)
+//	nocache    "1" bypasses the result cache for this query
+//
+// The JSON response reports the quantized eye actually solved, the cache
+// outcome (hit / miss / coalesced / bypass), the engine used, timing, and
+// the visible pieces. SVG and ASCII render the same result through the
+// library's display backends.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	terrainhsr "terrainhsr"
+)
+
+// terrainSpecs collects repeatable -terrain flags.
+type terrainSpecs []string
+
+// String renders the accumulated specs (flag.Value).
+func (t *terrainSpecs) String() string { return strings.Join(*t, " ") }
+
+// Set appends one spec (flag.Value).
+func (t *terrainSpecs) Set(v string) error { *t = append(*t, v); return nil }
+
+func main() {
+	var specs terrainSpecs
+	addr := flag.String("addr", ":8080", "listen address")
+	resolution := flag.Float64("resolution", 0.25, "viewpoint quantization grid spacing (0 = exact keys)")
+	cacheCap := flag.Int("cache", 1024, "result cache capacity (negative disables caching)")
+	shards := flag.Int("shards", 16, "cache shard count")
+	workers := flag.Int("workers", 0, "worker budget per query (0 = all CPUs)")
+	tileCells := flag.Int("tile-cells", 262144, "route grids with >= this many cells through the tiled engine (negative disables)")
+	flag.Var(&specs, "terrain", "terrain spec id=...,kind=...,rows=...,cols=...,seed=... (repeatable)")
+	flag.Parse()
+
+	srv := terrainhsr.NewServer(terrainhsr.ServerOptions{
+		Resolution:    *resolution,
+		CacheCapacity: *cacheCap,
+		CacheShards:   *shards,
+		Workers:       *workers,
+		TileCells:     *tileCells,
+	})
+	if len(specs) == 0 {
+		specs = terrainSpecs{"id=demo,kind=fractal,rows=48,cols=48,seed=7,amplitude=8"}
+	}
+	for _, spec := range specs {
+		id, tr, err := buildTerrain(spec)
+		if err != nil {
+			log.Fatalf("hsrserved: -terrain %q: %v", spec, err)
+		}
+		if err := srv.Register(id, tr); err != nil {
+			log.Fatalf("hsrserved: -terrain %q: %v", spec, err)
+		}
+		log.Printf("hsrserved: registered terrain %q (%d edges)", id, tr.NumEdges())
+	}
+
+	h := &handler{srv: srv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/statsz", h.statsz)
+	mux.HandleFunc("/terrains", h.terrains)
+	mux.HandleFunc("/viewshed", h.viewshed)
+	log.Printf("hsrserved: listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// buildTerrain parses one -terrain spec and generates the terrain.
+func buildTerrain(spec string) (string, *terrainhsr.Terrain, error) {
+	p := terrainhsr.GenParams{Kind: "fractal", Rows: 48, Cols: 48}
+	id := ""
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return "", nil, fmt.Errorf("malformed entry %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "id":
+			id = v
+		case "kind":
+			p.Kind = v
+		case "rows":
+			p.Rows, err = strconv.Atoi(v)
+		case "cols":
+			p.Cols, err = strconv.Atoi(v)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "amplitude":
+			p.Amplitude, err = strconv.ParseFloat(v, 64)
+		case "ridge":
+			p.RidgeHeight, err = strconv.ParseFloat(v, 64)
+		case "slope":
+			p.Slope, err = strconv.ParseFloat(v, 64)
+		case "shear":
+			p.Shear, err = strconv.ParseFloat(v, 64)
+		default:
+			return "", nil, fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return "", nil, fmt.Errorf("bad value for %q: %v", k, err)
+		}
+	}
+	if id == "" {
+		return "", nil, fmt.Errorf("spec needs an id=...")
+	}
+	tr, err := terrainhsr.Generate(p)
+	return id, tr, err
+}
+
+// handler serves the HTTP endpoints for one Server.
+type handler struct {
+	srv *terrainhsr.Server
+}
+
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *handler) statsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, h.srv.Stats())
+}
+
+// terrainInfo is one /terrains list entry.
+type terrainInfo struct {
+	ID        string `json:"id"`
+	Edges     int    `json:"edges"`
+	Vertices  int    `json:"vertices"`
+	Triangles int    `json:"triangles"`
+}
+
+func (h *handler) terrains(w http.ResponseWriter, _ *http.Request) {
+	ids := h.srv.TerrainIDs()
+	out := struct {
+		Terrains   []terrainInfo `json:"terrains"`
+		Algorithms []string      `json:"algorithms"`
+	}{Terrains: []terrainInfo{}}
+	for _, id := range ids {
+		if tr, ok := h.srv.Terrain(id); ok {
+			out.Terrains = append(out.Terrains, terrainInfo{
+				ID: id, Edges: tr.NumEdges(), Vertices: tr.NumVertices(), Triangles: tr.NumTriangles(),
+			})
+		}
+	}
+	for _, a := range terrainhsr.Algorithms() {
+		out.Algorithms = append(out.Algorithms, string(a))
+	}
+	writeJSON(w, out)
+}
+
+// viewshedResponse is the JSON answer of a single-eye /viewshed query.
+type viewshedResponse struct {
+	Terrain      string             `json:"terrain"`
+	Eye          [3]float64         `json:"eye"`
+	QuantizedEye [3]float64         `json:"quantized_eye"`
+	Algorithm    string             `json:"algorithm"`
+	Cache        string             `json:"cache"`
+	Tiled        bool               `json:"tiled"`
+	N            int                `json:"n"`
+	K            int                `json:"k"`
+	ElapsedMS    float64            `json:"elapsed_ms"`
+	Pieces       []terrainhsr.Piece `json:"pieces"`
+}
+
+// eyeSummary is one entry of a multi-eye /viewshed response.
+type eyeSummary struct {
+	Eye          [3]float64 `json:"eye"`
+	QuantizedEye [3]float64 `json:"quantized_eye"`
+	Cache        string     `json:"cache"`
+	K            int        `json:"k"`
+}
+
+func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	id := qv.Get("terrain")
+	if id == "" {
+		ids := h.srv.TerrainIDs()
+		if len(ids) != 1 {
+			httpErr(w, http.StatusBadRequest, "terrain parameter required (registered: %s)", strings.Join(ids, ", "))
+			return
+		}
+		id = ids[0]
+	}
+	algo := terrainhsr.Algorithm(qv.Get("algorithm"))
+	minDepth := 0.0
+	if v := qv.Get("mindepth"); v != "" {
+		var err error
+		if minDepth, err = strconv.ParseFloat(v, 64); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad mindepth %q", v)
+			return
+		}
+	}
+	base := terrainhsr.Query{
+		TerrainID: id,
+		Algorithm: algo,
+		MinDepth:  minDepth,
+		NoCache:   qv.Get("nocache") == "1",
+	}
+
+	eyeParams := qv["eye"]
+	if len(eyeParams) == 0 {
+		httpErr(w, http.StatusBadRequest, "eye parameter required (x,y,z)")
+		return
+	}
+	if len(eyeParams) > 1 {
+		h.viewshedMany(w, base, eyeParams)
+		return
+	}
+	eye, err := parseEye(eyeParams[0])
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "bad eye: %v", err)
+		return
+	}
+	base.Eye = eye
+	t0 := time.Now()
+	qr, err := h.srv.Query(base)
+	if err != nil {
+		httpErr(w, queryStatus(err), "%v", err)
+		return
+	}
+	elapsed := time.Since(t0)
+
+	switch format := qv.Get("format"); format {
+	case "", "json":
+		resp := viewshedResponse{
+			Terrain:      id,
+			Eye:          [3]float64{eye.X, eye.Y, eye.Z},
+			QuantizedEye: [3]float64{qr.Eye.X, qr.Eye.Y, qr.Eye.Z},
+			Algorithm:    string(qr.Result.Algorithm()),
+			Cache:        qr.Cache,
+			Tiled:        qr.Tiled,
+			N:            qr.Result.N(),
+			K:            qr.Result.K(),
+			ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+			Pieces:       qr.Result.Pieces(),
+		}
+		writeJSON(w, resp)
+	case "svg":
+		tr, ok := h.srv.Terrain(id)
+		if !ok {
+			httpErr(w, http.StatusNotFound, "terrain %q vanished", id)
+			return
+		}
+		persp, err := tr.FromPerspective(qr.Eye, minDepth)
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, "perspective for render: %v", err)
+			return
+		}
+		width := intParam(qv.Get("width"), 800)
+		w.Header().Set("Content-Type", "image/svg+xml")
+		if err := terrainhsr.RenderSVG(w, persp, qr.Result, terrainhsr.RenderOptions{
+			Width: width, ShowHidden: true,
+			Title: fmt.Sprintf("viewshed %s from %v,%v,%v", id, qr.Eye.X, qr.Eye.Y, qr.Eye.Z),
+		}); err != nil {
+			log.Printf("hsrserved: svg render: %v", err)
+		}
+	case "ascii":
+		width := intParam(qv.Get("width"), 100)
+		height := intParam(qv.Get("height"), 30)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := terrainhsr.RenderASCII(w, qr.Result, width, height); err != nil {
+			log.Printf("hsrserved: ascii render: %v", err)
+		}
+	default:
+		httpErr(w, http.StatusBadRequest, "unknown format %q (json, svg, ascii)", format)
+	}
+}
+
+// viewshedMany answers a multi-eye query with a JSON summary.
+func (h *handler) viewshedMany(w http.ResponseWriter, base terrainhsr.Query, eyeParams []string) {
+	var eyes []terrainhsr.Point
+	for _, part := range eyeParams {
+		eye, err := parseEye(part)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "bad eye entry %q: %v", part, err)
+			return
+		}
+		eyes = append(eyes, eye)
+	}
+	t0 := time.Now()
+	results, err := h.srv.QueryMany(base, eyes)
+	if err != nil {
+		httpErr(w, queryStatus(err), "%v", err)
+		return
+	}
+	elapsed := time.Since(t0)
+	out := struct {
+		Terrain   string       `json:"terrain"`
+		Count     int          `json:"count"`
+		ElapsedMS float64      `json:"elapsed_ms"`
+		Results   []eyeSummary `json:"results"`
+	}{Terrain: base.TerrainID, Count: len(results), ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+	for i, qr := range results {
+		out.Results = append(out.Results, eyeSummary{
+			Eye:          [3]float64{eyes[i].X, eyes[i].Y, eyes[i].Z},
+			QuantizedEye: [3]float64{qr.Eye.X, qr.Eye.Y, qr.Eye.Z},
+			Cache:        qr.Cache,
+			K:            qr.Result.K(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// parseEye parses "x,y,z".
+func parseEye(s string) (terrainhsr.Point, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 3 {
+		return terrainhsr.Point{}, fmt.Errorf("want x,y,z, got %q", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return terrainhsr.Point{}, err
+		}
+		vals[i] = v
+	}
+	return terrainhsr.Point{X: vals[0], Y: vals[1], Z: vals[2]}, nil
+}
+
+// intParam parses an optional positive integer parameter.
+func intParam(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	if v, err := strconv.Atoi(s); err == nil && v > 0 {
+		return v
+	}
+	return def
+}
+
+// httpErr writes a plain-text error response.
+func httpErr(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+// queryStatus maps a Server.Query error to an HTTP status: unknown
+// terrains are 404, everything else (bad eyes, bad algorithms) 400.
+func queryStatus(err error) int {
+	if strings.Contains(err.Error(), "no terrain") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("hsrserved: encode: %v", err)
+	}
+}

@@ -23,7 +23,7 @@
 //	res, _ := terrainhsr.Solve(tr, terrainhsr.Options{})
 //	fmt.Println(res.K(), "visible pieces from", res.N(), "edges")
 //
-// Beyond single solves, two engines scale the algorithm out. BatchSolver
+// Beyond single solves, three engines scale the algorithm out. BatchSolver
 // (with SolveBatch, SolveViewPath, Solver.SolveMany) solves one terrain
 // from many perspective viewpoints — viewshed grids, flyover paths —
 // amortizing topology, validation and tree-arena storage across frames.
@@ -31,8 +31,14 @@
 // row×col tiles, solves them band by band with occlusion culling against
 // the accumulated silhouette, and merges a scene equivalent to the
 // monolithic solve with peak memory proportional to one band of tiles.
+// Server holds a registry of hot terrains and answers repeated viewshed
+// Query requests through a sharded LRU result cache — viewpoints quantized
+// to a configurable resolution, terrain replacements invalidated by epoch,
+// concurrent identical queries coalesced into one solve — routing each
+// query to the engine that fits it (cmd/hsrserved is the HTTP front end).
 //
 // ALGORITHM.md maps the paper's phases, lemmas and data structures to the
-// internal packages; cmd/hsrbench regenerates the reproduction's
+// internal packages; docs/API.md is the task-oriented API guide with the
+// engine decision table; cmd/hsrbench regenerates the reproduction's
 // experiment tables.
 package terrainhsr

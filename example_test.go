@@ -66,3 +66,93 @@ func ExampleResult_EdgeVisibility() {
 	// Output:
 	// most edges hidden behind the ridge: true
 }
+
+// ExampleTiledSolver_Solve partitions a grid terrain into tiles and solves
+// it through the tiled engine — the memory-bounded path for massive
+// terrains. The answer is equivalent to the monolithic Solve.
+func ExampleTiledSolver_Solve() {
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{
+		Kind: "ridge", Rows: 24, Cols: 24, Seed: 5, RidgeHeight: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts, err := terrainhsr.NewTiledSolver(tr, terrainhsr.TileOptions{TileRows: 8, TileCols: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bands, cols := ts.TileGrid()
+	res, err := ts.Solve(terrainhsr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("partition:", bands, "bands x", cols, "tile columns")
+	fmt.Println("visible pieces found:", res.K() > 0)
+	// Output:
+	// partition: 3 bands x 3 tile columns
+	// visible pieces found: true
+}
+
+// ExampleSolveViewPath solves one terrain along a camera path — the batch
+// engine amortizes topology, validation and tree arenas across the frames.
+func ExampleSolveViewPath() {
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{Kind: "sinusoid", Rows: 16, Cols: 16, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := terrainhsr.LinePath(
+		terrainhsr.Point{X: -20, Y: 8, Z: 18},
+		terrainhsr.Point{X: -6, Y: 8, Z: 12},
+		4, // frames
+	)
+	results, err := terrainhsr.SolveViewPath(tr, path, terrainhsr.BatchOptions{MinDepth: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	allVisible := true
+	for _, r := range results {
+		allVisible = allVisible && r.K() > 0
+	}
+	fmt.Println("frames solved:", len(results))
+	fmt.Println("every frame sees terrain:", allVisible)
+	// Output:
+	// frames solved: 4
+	// every frame sees terrain: true
+}
+
+// ExampleServer_Query runs two nearby viewpoints through the viewshed
+// query service: both quantize to the same cache key, so the second query
+// is served from the cache — the identical *Result — without solving.
+func ExampleServer_Query() {
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{Kind: "fractal", Rows: 12, Cols: 12, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := terrainhsr.NewServer(terrainhsr.ServerOptions{Resolution: 0.5})
+	if err := srv.Register("alps", tr); err != nil {
+		log.Fatal(err)
+	}
+	first, err := srv.Query(terrainhsr.Query{
+		TerrainID: "alps",
+		Eye:       terrainhsr.Point{X: -9.8, Y: 6.1, Z: 25.2},
+		MinDepth:  0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := srv.Query(terrainhsr.Query{
+		TerrainID: "alps",
+		Eye:       terrainhsr.Point{X: -10.2, Y: 5.9, Z: 24.9}, // same quantization cell
+		MinDepth:  0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first:", first.Cache)
+	fmt.Println("second:", second.Cache)
+	fmt.Println("shared answer:", first.Result == second.Result)
+	// Output:
+	// first: miss
+	// second: hit
+	// shared answer: true
+}

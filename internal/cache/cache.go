@@ -1,0 +1,223 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Outcome classifies how a GetOrCompute call obtained its value.
+type Outcome int
+
+const (
+	// Hit means the value was already cached.
+	Hit Outcome = iota
+	// Miss means this call ran the compute function and filled the cache.
+	Miss
+	// Coalesced means another in-flight call for the same key was already
+	// computing; this call waited and shares that call's value.
+	Coalesced
+)
+
+// String names the outcome for logs and HTTP responses.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits, Misses and Coalesced classify every GetOrCompute call (Get
+	// calls count as Hits or Misses too).
+	Hits, Misses, Coalesced int64
+	// Evictions counts entries displaced by capacity pressure.
+	Evictions int64
+	// Entries is the number of values currently cached.
+	Entries int
+}
+
+// Cache is a sharded LRU with singleflight coalescing. The zero value is
+// not usable; construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	shards []*shard
+}
+
+// entry is one cached key/value pair; flights track in-progress computes.
+type entry struct {
+	key string
+	val any
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[string]*list.Element // -> *entry elements of lru
+	lru      *list.List               // front = most recent
+	flights  map[string]*flight
+
+	hits, misses, coalesced, evictions int64
+}
+
+// New builds a cache holding at most capacity values in total, split over
+// up to shards independently locked shards. capacity < 1 is treated as 1;
+// shards < 1 as 1. When capacity < shards the shard count is lowered so
+// that every shard holds at least one value and the total stays exact.
+func New(capacity, shards int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &Cache{shards: make([]*shard, shards)}
+	base, extra := capacity/shards, capacity%shards
+	for i := range c.shards {
+		per := base
+		if i < extra {
+			per++
+		}
+		c.shards[i] = &shard{
+			capacity: per,
+			items:    make(map[string]*list.Element),
+			lru:      list.New(),
+			flights:  make(map[string]*flight),
+		}
+	}
+	return c
+}
+
+// shardFor hashes the key (FNV-1a) to its shard.
+func (c *Cache) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// Get returns the cached value for key, refreshing its recency. It counts
+// as a hit or a miss but never computes or coalesces.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		return el.Value.(*entry).val, true
+	}
+	s.misses++
+	return nil, false
+}
+
+// Add inserts (or refreshes) a value unconditionally, evicting the least
+// recently used entry if the shard is at capacity.
+func (c *Cache) Add(key string, val any) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.add(key, val)
+}
+
+// add inserts under the shard lock.
+func (s *shard) add(key string, val any) {
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	for s.lru.Len() >= s.capacity {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry).key)
+		s.evictions++
+	}
+	s.items[key] = s.lru.PushFront(&entry{key: key, val: val})
+}
+
+// GetOrCompute returns the cached value for key, or runs compute to fill
+// it. Concurrent calls for the same missing key are coalesced: exactly one
+// runs compute (outside any lock) and the rest block until it finishes and
+// then share the identical value. A compute error is returned to the
+// caller that ran it and to every coalesced waiter, and nothing is cached,
+// so a later call retries.
+func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (any, Outcome, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		s.mu.Unlock()
+		return el.Value.(*entry).val, Hit, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		<-f.done
+		return f.val, Coalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.misses++
+	s.mu.Unlock()
+
+	f.val, f.err = compute()
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if f.err == nil {
+		s.add(key, f.val)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, Miss, f.err
+}
+
+// Len returns the number of cached values.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Shards returns the number of independently locked shards.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Stats sums the per-shard counters.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Coalesced += s.coalesced
+		st.Evictions += s.evictions
+		st.Entries += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetAddBasics(t *testing.T) {
+	c := New(8, 2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Add("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v; want 1, true", v, ok)
+	}
+	c.Add("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Fatalf("Add did not replace: got %v", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestCapacityOneEvicts(t *testing.T) {
+	c := New(1, 16) // shard count must collapse to 1 so the total is exact
+	if c.Shards() != 1 {
+		t.Fatalf("capacity 1 kept %d shards", c.Shards())
+	}
+	c.Add("a", "A")
+	c.Add("b", "B")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("capacity-1 cache kept the older entry")
+	}
+	if v, ok := c.Get("b"); !ok || v.(string) != "B" {
+		t.Fatalf("capacity-1 cache lost the newest entry: %v, %v", v, ok)
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 1 eviction, 1 entry", st)
+	}
+}
+
+func TestLRUOrderWithinShard(t *testing.T) {
+	c := New(2, 1)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Get("a")    // refresh a; b is now oldest
+	c.Add("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU evicted the wrong entry (b should be gone)")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("LRU evicted recently used entry %q", k)
+		}
+	}
+}
+
+func TestTotalCapacityExactAcrossShards(t *testing.T) {
+	c := New(10, 3) // shard capacities 4, 3, 3
+	for i := 0; i < 100; i++ {
+		c.Add(fmt.Sprintf("k%d", i), i)
+	}
+	if n := c.Len(); n > 10 {
+		t.Fatalf("cache holds %d entries, capacity 10", n)
+	}
+}
+
+func TestGetOrComputeOutcomes(t *testing.T) {
+	c := New(4, 1)
+	var calls atomic.Int64
+	compute := func() (any, error) { calls.Add(1); return "v", nil }
+
+	v, out, err := c.GetOrCompute("k", compute)
+	if err != nil || v.(string) != "v" || out != Miss {
+		t.Fatalf("first call = %v, %v, %v; want v, miss, nil", v, out, err)
+	}
+	v, out, err = c.GetOrCompute("k", compute)
+	if err != nil || v.(string) != "v" || out != Hit {
+		t.Fatalf("second call = %v, %v, %v; want v, hit, nil", v, out, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss", st)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New(4, 1)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed compute was cached")
+	}
+	v, out, err := c.GetOrCompute("k", func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 || out != Miss {
+		t.Fatalf("retry after error = %v, %v, %v", v, out, err)
+	}
+}
+
+// TestCoalescedCallersShareValue holds many goroutines on one missing key:
+// exactly one compute must run and every caller must receive the identical
+// value (pointer equality, not just deep equality).
+func TestCoalescedCallersShareValue(t *testing.T) {
+	c := New(4, 1)
+	type payload struct{ n int }
+	release := make(chan struct{})
+	var calls atomic.Int64
+	compute := func() (any, error) {
+		calls.Add(1)
+		<-release // hold the flight open until all callers queue up
+		return &payload{n: 42}, nil
+	}
+
+	const callers = 16
+	results := make([]*payload, callers)
+	outcomes := make([]Outcome, callers)
+	var started, done sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			started.Done()
+			v, out, err := c.GetOrCompute("k", compute)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = v.(*payload)
+			outcomes[i] = out
+		}(i)
+	}
+	started.Wait()
+	close(release)
+	done.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	var misses, coalesced, hits int
+	for i, out := range results {
+		if out != results[0] {
+			t.Fatalf("caller %d received a different pointer", i)
+		}
+		switch outcomes[i] {
+		case Miss:
+			misses++
+		case Coalesced:
+			coalesced++
+		case Hit:
+			hits++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d misses, want exactly 1 (got %d coalesced, %d hits)", misses, coalesced, hits)
+	}
+}
+
+// TestConcurrentMixedUse hammers the cache from many goroutines under the
+// race detector: disjoint and shared keys, evictions, and coalescing.
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(32, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%48) // overlap + capacity pressure
+				v, _, err := c.GetOrCompute(key, func() (any, error) { return key, nil })
+				if err != nil {
+					t.Errorf("GetOrCompute(%q): %v", key, err)
+					return
+				}
+				if v.(string) != key {
+					t.Errorf("GetOrCompute(%q) = %v", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 32 {
+		t.Fatalf("cache over capacity: %d > 32", n)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Coalesced != 8*200 {
+		t.Fatalf("outcome counters don't sum to call count: %+v", st)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for out, want := range map[Outcome]string{Hit: "hit", Miss: "miss", Coalesced: "coalesced", Outcome(9): "unknown"} {
+		if got := out.String(); got != want {
+			t.Fatalf("Outcome(%d).String() = %q, want %q", out, got, want)
+		}
+	}
+}

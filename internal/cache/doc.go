@@ -1,0 +1,22 @@
+// Package cache is the result cache behind the viewshed query service
+// (the public Server type): a sharded LRU keyed by opaque strings, with
+// singleflight coalescing so that concurrent lookups of the same missing
+// key trigger exactly one computation and share its value.
+//
+// The design follows the serving north-star of the roadmap rather than any
+// section of the paper: repeated visibility queries over a few hot terrains
+// amortize across the query stream (compare Haverkort & Toma's massive-grid
+// visibility survey, arXiv:1810.01946), and quantizing viewpoints to a
+// finite resolution — the caller builds quantization into the key — makes
+// cached answers reusable in the spirit of finite-resolution hidden-surface
+// removal (Erickson, arXiv:cs/9910017).
+//
+// Concurrency model: the key space is split over independently locked
+// shards (FNV-1a on the key), so unrelated queries never contend on one
+// mutex. Within a shard, a missing key installs a flight record and
+// computes outside the lock; concurrent callers of the same key block on
+// the flight and receive the identical value. Values are never copied or
+// invalidated in place — eviction is strictly LRU per shard, and the
+// capacity is exact across shards (shard capacities sum to the requested
+// total).
+package cache

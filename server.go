@@ -1,0 +1,390 @@
+package terrainhsr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"terrainhsr/internal/cache"
+)
+
+// This file is the viewshed query service: a Server holds a registry of hot
+// terrains and answers repeated perspective visibility queries through a
+// sharded LRU result cache with singleflight coalescing — the serving tier
+// of the roadmap's "heavy traffic" north star. The engines underneath never
+// change: a query is solved exactly as the batch engine solves a frame
+// (or, for terrains above the tiled-routing threshold, as the tiled engine
+// solves it), so cached or not, the pieces are the ones a direct
+// FromPerspective + Solve would produce for the same (quantized) eye.
+//
+// Cache semantics, in full (see also docs/API.md):
+//
+//   - Quantization. Each queried eye is snapped per coordinate to the
+//     nearest multiple of ServerOptions.Resolution before solving, and the
+//     cache key uses the snapped eye. Nearby eyes therefore share one
+//     answer: the returned scene is exact for the snapped eye and stale by
+//     at most Resolution/2 per axis for the queried one. Resolution 0 (the
+//     default) disables snapping — only float-identical eyes share answers.
+//   - Epoch invalidation. Every registered terrain carries an epoch that
+//     Register bumps when an ID is re-registered. Keys embed the epoch, so
+//     replacing a terrain instantly orphans its cached answers; the stale
+//     entries are never served again and age out of the LRU under capacity
+//     pressure (they are not eagerly purged).
+//   - Options fingerprint. Keys embed everything that can change the
+//     answer: the algorithm, MinDepth, and the engine the query routes to
+//     (monolithic vs tiled). They deliberately omit Workers and
+//     FrameWorkers: scheduling never changes the computed pieces (asserted
+//     by the engine equivalence tests), so queries differing only in
+//     worker budget share cache entries.
+
+// ServerOptions configures NewServer. The zero value is a working
+// configuration: exact (unquantized) eye keys, a 1024-result cache over 16
+// shards, tiled routing for grids of at least 262144 cells, and the full
+// machine as worker budget.
+type ServerOptions struct {
+	// Resolution is the viewpoint quantization grid spacing, in world
+	// units. Queried eyes are snapped per coordinate to the nearest
+	// multiple before solving, bounding the answer's staleness by
+	// Resolution/2 per axis while letting nearby eyes share cached
+	// answers. 0 disables snapping (exact float keys).
+	Resolution float64
+	// CacheCapacity bounds the number of cached results across all shards
+	// (exact total). 0 selects 1024; negative disables caching entirely
+	// (queries still coalesce nothing and always solve).
+	CacheCapacity int
+	// CacheShards is the number of independently locked cache shards
+	// (0 selects 16; lowered automatically if it exceeds the capacity).
+	CacheShards int
+	// Workers bounds each query's solve parallelism, and QueryMany's total
+	// budget across concurrent eyes, exactly like Options.Workers
+	// (0 = all CPUs). Worker counts never change the computed pieces and
+	// are not part of cache keys.
+	Workers int
+	// TileCells routes grid terrains with at least this many cells
+	// (GridRows x GridCols) through the tiled engine, whose peak memory
+	// scales with one band of tiles instead of the whole terrain.
+	// 0 selects 262144 (a 512x512 grid); negative disables tiled routing.
+	// Routing is decided per terrain at Register time and is part of the
+	// cache key, since tiled answers may differ from monolithic ones in
+	// float tails at piece boundaries.
+	TileCells int
+}
+
+// Query asks for the visible scene of a registered terrain from one
+// perspective eye point.
+type Query struct {
+	// TerrainID names a terrain previously passed to Server.Register.
+	TerrainID string
+	// Eye is the perspective viewpoint, as in Terrain.FromPerspective.
+	// The server snaps it to the quantization grid before solving; the
+	// snapped eye is reported in QueryResult.Eye.
+	Eye Point
+	// Algorithm selects the solver (default Parallel), as in Options.
+	Algorithm Algorithm
+	// MinDepth is the minimum eye-to-vertex x-distance, as in
+	// Terrain.FromPerspective; <= 0 selects the same default.
+	MinDepth float64
+	// NoCache bypasses the result cache for this query: no lookup, no
+	// fill, no coalescing. The solve itself is unchanged.
+	NoCache bool
+}
+
+// QueryResult is one answered query.
+type QueryResult struct {
+	// Result is the visible scene solved from the quantized eye. Coalesced
+	// and cache-hit queries share the identical *Result; it is read-only.
+	Result *Result
+	// Eye is the quantized eye the scene was solved from.
+	Eye Point
+	// Cache reports how the answer was obtained: "hit", "miss" (this query
+	// ran the solve), "coalesced" (an identical in-flight query ran it), or
+	// "bypass" for NoCache queries and cache-disabled servers.
+	Cache string
+	// Tiled reports whether the query routed through the tiled engine.
+	Tiled bool
+}
+
+// ServerStats is a point-in-time snapshot of the server's counters.
+type ServerStats struct {
+	// Terrains is the number of registered terrains.
+	Terrains int
+	// CacheEntries is the number of results currently cached.
+	CacheEntries int
+	// Hits, Misses and Coalesced classify every cache-eligible query:
+	// served from the cache, solved by this query, or waited on an
+	// identical in-flight query and shared its answer.
+	Hits, Misses, Coalesced int64
+	// Evictions counts cached results displaced by capacity pressure.
+	Evictions int64
+	// Solves counts solve executions, including NoCache bypasses; with a
+	// warm cache it grows much more slowly than the query count.
+	Solves int64
+	// TiledSolves counts the subset of Solves routed through the tiled
+	// engine.
+	TiledSolves int64
+}
+
+// serverTerrain is one registry slot: the terrain, its invalidation epoch,
+// and the prepared engines queries route to.
+type serverTerrain struct {
+	t     *Terrain
+	epoch uint64
+	batch *BatchSolver
+	tiled *TiledSolver // non-nil iff the terrain routes tiled
+}
+
+// Server answers viewshed queries for a set of registered terrains through
+// a sharded LRU result cache with singleflight coalescing. It is safe for
+// concurrent use; see NewServer for construction and ServerOptions for the
+// cache semantics.
+type Server struct {
+	opt   ServerOptions
+	cache *cache.Cache // nil when caching is disabled
+
+	mu       sync.RWMutex
+	terrains map[string]*serverTerrain
+	// lastEpoch remembers the most recent epoch ever used per ID — it
+	// survives Unregister, so an Unregister + Register cycle still bumps
+	// the epoch and can never resurrect the old terrain's cached answers.
+	lastEpoch map[string]uint64
+
+	solves      atomic.Int64
+	tiledSolves atomic.Int64
+}
+
+// NewServer builds a query server; see ServerOptions for defaults.
+func NewServer(opt ServerOptions) *Server {
+	if opt.CacheCapacity == 0 {
+		opt.CacheCapacity = 1024
+	}
+	if opt.CacheShards <= 0 {
+		opt.CacheShards = 16
+	}
+	if opt.TileCells == 0 {
+		opt.TileCells = 262144
+	}
+	s := &Server{
+		opt:       opt,
+		terrains:  make(map[string]*serverTerrain),
+		lastEpoch: make(map[string]uint64),
+	}
+	if opt.CacheCapacity > 0 {
+		s.cache = cache.New(opt.CacheCapacity, opt.CacheShards)
+	}
+	return s
+}
+
+// Register adds the terrain under the given ID, replacing any previous
+// terrain with that ID. Replacement bumps the ID's epoch, which instantly
+// invalidates every cached answer for the old terrain (stale entries are
+// never served; they age out of the LRU rather than being purged eagerly).
+// Registration prepares the engines the ID's queries will route to, so it
+// does O(terrain) work once instead of per query.
+func (s *Server) Register(id string, t *Terrain) error {
+	if id == "" {
+		return fmt.Errorf("terrainhsr: empty terrain ID")
+	}
+	if t == nil || t.t == nil {
+		return fmt.Errorf("terrainhsr: nil terrain")
+	}
+	entry := &serverTerrain{t: t, batch: newBatchSolverFrom(t)}
+	if s.opt.TileCells > 0 && t.t.IsGrid() && t.t.GridRows*t.t.GridCols >= s.opt.TileCells {
+		ts, err := NewTiledSolver(t, TileOptions{})
+		if err != nil {
+			return fmt.Errorf("terrainhsr: register %q: %w", id, err)
+		}
+		entry.tiled = ts
+	}
+	s.mu.Lock()
+	if last, seen := s.lastEpoch[id]; seen {
+		entry.epoch = last + 1
+	}
+	s.lastEpoch[id] = entry.epoch
+	s.terrains[id] = entry
+	s.mu.Unlock()
+	return nil
+}
+
+// Unregister removes a terrain; it reports whether the ID was registered.
+// Cached answers for the ID are orphaned exactly as on replacement.
+func (s *Server) Unregister(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.terrains[id]; !ok {
+		return false
+	}
+	delete(s.terrains, id)
+	return true
+}
+
+// Terrain returns the registered terrain for the ID.
+func (s *Server) Terrain(id string) (*Terrain, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.terrains[id]
+	if !ok {
+		return nil, false
+	}
+	return e.t, true
+}
+
+// TerrainIDs returns the registered IDs in unspecified order.
+func (s *Server) TerrainIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.terrains))
+	for id := range s.terrains {
+		out = append(out, id)
+	}
+	return out
+}
+
+// QuantizeEye returns the eye the server would actually solve from for a
+// queried eye: each coordinate snapped to the nearest multiple of the
+// configured Resolution (the identity when Resolution is 0).
+func (s *Server) QuantizeEye(eye Point) Point {
+	res := s.opt.Resolution
+	if res <= 0 {
+		return eye
+	}
+	return Point{X: snap(eye.X, res), Y: snap(eye.Y, res), Z: snap(eye.Z, res)}
+}
+
+// snap rounds v to the nearest multiple of res, normalizing -0 to +0 so
+// equal quantized eyes always produce identical cache keys.
+func snap(v, res float64) float64 {
+	q := math.Round(v/res) * res
+	if q == 0 {
+		return 0
+	}
+	return q
+}
+
+// Query answers one viewshed query. The answer is byte-identical to
+// FromPerspective(QueryResult.Eye, MinDepth) + Solve with the same
+// algorithm (or to the tiled engine's answer, for terrains routed tiled);
+// caching and coalescing never change pieces, only who computes them.
+func (s *Server) Query(q Query) (*QueryResult, error) {
+	return s.query(q, Options{Algorithm: q.Algorithm, Workers: s.opt.Workers})
+}
+
+// query answers one query with an explicit per-solve worker budget (Query
+// uses the server budget; QueryMany splits it across concurrent eyes).
+func (s *Server) query(q Query, solveOpt Options) (*QueryResult, error) {
+	s.mu.RLock()
+	e, ok := s.terrains[q.TerrainID]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("terrainhsr: no terrain %q registered", q.TerrainID)
+	}
+	if solveOpt.Algorithm == "" {
+		solveOpt.Algorithm = Parallel
+	}
+	eye := s.QuantizeEye(q.Eye)
+	qr := &QueryResult{Eye: eye, Tiled: e.tiled != nil}
+
+	solve := func() (any, error) {
+		s.solves.Add(1)
+		bopt := BatchOptions{Options: solveOpt, MinDepth: q.MinDepth}
+		var (
+			rs  []*Result
+			err error
+		)
+		if e.tiled != nil {
+			s.tiledSolves.Add(1)
+			rs, err = e.tiled.SolveMany([]Point{eye}, bopt)
+		} else {
+			rs, err = e.batch.Solve([]Point{eye}, bopt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return rs[0], nil
+	}
+
+	if s.cache == nil || q.NoCache {
+		v, err := solve()
+		if err != nil {
+			return nil, err
+		}
+		qr.Result, qr.Cache = v.(*Result), "bypass"
+		return qr, nil
+	}
+	v, outcome, err := s.cache.GetOrCompute(s.key(q.TerrainID, e, eye, solveOpt.Algorithm, q.MinDepth), solve)
+	if err != nil {
+		return nil, err
+	}
+	qr.Result, qr.Cache = v.(*Result), outcome.String()
+	return qr, nil
+}
+
+// key builds the cache key: terrain identity and epoch, the quantized eye
+// (exact float bits), and the options fingerprint — algorithm, MinDepth and
+// routed engine; never worker counts (scheduling cannot change pieces).
+func (s *Server) key(id string, e *serverTerrain, eye Point, algo Algorithm, minDepth float64) string {
+	var b strings.Builder
+	b.Grow(len(id) + 80)
+	b.WriteString(strconv.Quote(id))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(e.epoch, 10))
+	for _, v := range [...]float64{eye.X, eye.Y, eye.Z, minDepth} {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
+	}
+	b.WriteByte('|')
+	b.WriteString(string(algo))
+	if e.tiled != nil {
+		b.WriteString("|tiled")
+	}
+	return b.String()
+}
+
+// QueryMany answers one query template from many eye points — the
+// many-observer viewshed workload — sharing the batch engine's worker
+// budget policy: up to BatchOptions-style FrameWorkers eyes are in flight
+// concurrently (min(eyes, Workers)), each solving with its share of the
+// budget, while cache hits and coalesced eyes cost no solve at all.
+// Results are in eye order; q.Eye is ignored. On error, in-flight eyes
+// finish and the failure with the lowest index is reported.
+func (s *Server) QueryMany(q Query, eyes []Point) ([]*QueryResult, error) {
+	n := len(eyes)
+	if n == 0 {
+		return nil, nil
+	}
+	frameWorkers, frameOpt := frameBudget(BatchOptions{Options: Options{Algorithm: q.Algorithm, Workers: s.opt.Workers}}, n)
+	results := make([]*QueryResult, n)
+	if err := forFrames(frameWorkers, eyes, "query", func(i int) error {
+		qi := q
+		qi.Eye = eyes[i]
+		r, err := s.query(qi, frameOpt)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.RLock()
+	terrains := len(s.terrains)
+	s.mu.RUnlock()
+	st := ServerStats{
+		Terrains:    terrains,
+		Solves:      s.solves.Load(),
+		TiledSolves: s.tiledSolves.Load(),
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheEntries = cs.Entries
+		st.Hits, st.Misses, st.Coalesced, st.Evictions = cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions
+	}
+	return st
+}

@@ -140,7 +140,7 @@ func (ts *TiledSolver) SolveMany(eyes []Point, opt BatchOptions) ([]*Result, err
 	}
 	frameWorkers, frameOpt := frameBudget(opt, n)
 	results := make([]*Result, n)
-	if err := forFrames(frameWorkers, eyes, func(i int) error {
+	if err := forFrames(frameWorkers, eyes, "tiled frame", func(i int) error {
 		pt := geom.PerspectiveTransform{Eye: pt3(eyes[i]), MinDepth: opt.MinDepth}
 		tt, err := ts.t.t.TransformShared(pt.Apply)
 		if err != nil {
