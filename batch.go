@@ -3,11 +3,9 @@ package terrainhsr
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
+	"terrainhsr/internal/engine"
 	"terrainhsr/internal/geom"
-	"terrainhsr/internal/hsr"
-	"terrainhsr/internal/parallel"
 )
 
 // This file is the batch/multi-viewpoint solve engine: one terrain, many
@@ -103,12 +101,15 @@ type BatchOptions struct {
 }
 
 // BatchSolver solves one terrain from many viewpoints, amortizing topology,
-// validation and tree-arena storage across frames. It is safe for
-// concurrent use and may be reused for any number of batches; the arena
-// pool it carries keeps the amortization across calls.
+// validation and tree-arena storage across frames. It is a thin adapter
+// over the internal/engine planner and executor, planned with the
+// monolithic engine forced per frame (its contract is byte-identity with
+// the per-viewpoint pipeline). It is safe for concurrent use and may be
+// reused for any number of batches; the executor's arena pool keeps the
+// amortization across calls.
 type BatchSolver struct {
-	t    *Terrain
-	pool *hsr.OpsPool
+	t   *Terrain
+	eng *engine.Executor
 }
 
 // NewBatchSolver prepares a batch engine for the terrain.
@@ -116,11 +117,7 @@ func NewBatchSolver(t *Terrain) (*BatchSolver, error) {
 	if t == nil || t.t == nil {
 		return nil, fmt.Errorf("terrainhsr: nil terrain")
 	}
-	return newBatchSolverFrom(t), nil
-}
-
-func newBatchSolverFrom(t *Terrain) *BatchSolver {
-	return &BatchSolver{t: t, pool: hsr.NewOpsPool()}
+	return &BatchSolver{t: t, eng: engine.New(t.t, engine.Config{})}, nil
 }
 
 // Terrain returns the terrain this batch solver was built for.
@@ -129,95 +126,16 @@ func (b *BatchSolver) Terrain() *Terrain { return b.t }
 // Solve computes the visible scene from every eye point. Results are
 // returned in eye order and are byte-identical to what the per-viewpoint
 // pipeline — FromPerspective(eye, MinDepth) then Solve with the same
-// Options — produces for each eye. On error the batch stops starting new
-// frames (in-flight frames finish) and the failure with the lowest frame
-// index is reported.
+// Options — produces for each eye. On error the failure with the lowest
+// frame index is reported, deterministically: frames beyond the failure are
+// skipped, frames before it still run.
 func (b *BatchSolver) Solve(eyes []Point, opt BatchOptions) ([]*Result, error) {
-	n := len(eyes)
-	if n == 0 {
-		return nil, nil
-	}
-	frameWorkers, frameOpt := frameBudget(opt, n)
-	results := make([]*Result, n)
-	if err := forFrames(frameWorkers, eyes, "batch frame", func(i int) error {
-		r, err := b.solveFrame(eyes[i], opt.MinDepth, frameOpt)
-		if err != nil {
-			return err
-		}
-		results[i] = r
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return results, nil
-}
-
-// frameBudget splits a batch's worker budget for n frames: how many frames
-// run concurrently and the per-frame Options (Workers = the remaining share,
-// at least 1). Both the batch and the tiled engines schedule frames with it,
-// so the oversubscription policy documented on BatchOptions.FrameWorkers
-// lives in exactly one place.
-func frameBudget(opt BatchOptions, n int) (frameWorkers int, frameOpt Options) {
-	totalWorkers := opt.Workers
-	if totalWorkers <= 0 {
-		totalWorkers = parallel.DefaultWorkers()
-	}
-	frameWorkers = opt.FrameWorkers
-	if frameWorkers <= 0 {
-		frameWorkers = totalWorkers
-	}
-	if frameWorkers > n {
-		frameWorkers = n
-	}
-	frameOpt = opt.Options
-	frameOpt.Workers = totalWorkers / frameWorkers
-	if frameOpt.Workers < 1 {
-		frameOpt.Workers = 1
-	}
-	return frameWorkers, frameOpt
-}
-
-// forFrames runs fn for every frame index on up to workers goroutines. On
-// error the batch stops starting new frames (in-flight frames finish) and
-// the failure with the lowest frame index is reported, tagged with its eye
-// and the caller-supplied label ("batch frame", "query", ...).
-func forFrames(workers int, eyes []Point, label string, fn func(i int) error) error {
-	errs := make([]error, len(eyes))
-	var failed atomic.Bool
-	parallel.ForDynamic(workers, len(eyes), 1, func(_, i int) {
-		if failed.Load() {
-			return
-		}
-		if err := fn(i); err != nil {
-			errs[i] = err
-			failed.Store(true)
-		}
-	})
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("terrainhsr: %s %d (eye %v,%v,%v): %w",
-				label, i, eyes[i].X, eyes[i].Y, eyes[i].Z, err)
-		}
-	}
-	return nil
+	return runMany(b.eng, batchRequest(opt, eyes, engine.ForceMonolithic), opt.Algorithm)
 }
 
 // SolvePath solves every viewpoint of a camera path.
 func (b *BatchSolver) SolvePath(path ViewPath, opt BatchOptions) ([]*Result, error) {
 	return b.Solve(path.eyes, opt)
-}
-
-// solveFrame runs one viewpoint through the amortized pipeline: vertex-only
-// perspective mapping over the shared topology, then the pooled algorithm
-// dispatch (which prepares the frame's depth order when the algorithm needs
-// one).
-func (b *BatchSolver) solveFrame(eye Point, minDepth float64, opt Options) (*Result, error) {
-	pt := geom.PerspectiveTransform{Eye: pt3(eye), MinDepth: minDepth}
-	tt, err := b.t.t.TransformShared(pt.Apply)
-	if err != nil {
-		return nil, err
-	}
-	return solveDispatch(tt, func() (*hsr.Prepared, error) { return hsr.Prepare(tt) }, opt, b.pool)
 }
 
 // SolveBatch solves the terrain from every eye point with a one-off

@@ -131,6 +131,12 @@ func expB1(quick bool) {
 
 		fI := float64(frames) / dInd.Seconds()
 		fB := float64(frames) / dBatch.Seconds()
+		record(benchRecord{Experiment: "B1", Variant: cfg.name + "/independent",
+			WallMS: ms(dInd), AllocMB: indepMB * float64(frames),
+			Extra: map[string]float64{"frames_per_sec": fI}})
+		record(benchRecord{Experiment: "B1", Variant: cfg.name + "/batch",
+			WallMS: ms(dBatch), AllocMB: batchMB * float64(frames),
+			Extra: map[string]float64{"frames_per_sec": fB, "gain": fB / fI, "alloc_amort": indepMB / batchMB}})
 		tb.AddRow(cfg.name,
 			fmt.Sprintf("%.2f", fI),
 			fmt.Sprintf("%.2f", fB),

@@ -4,12 +4,20 @@
 // (TH3), Brent speedup (TH4), comparison with the sequential algorithm
 // (TH5), the lemma-level costs (L1, L6), the structural figure analogues
 // (F1, F2, F3), the design ablations (A1, A2), and the engine experiments:
+//
 // batched multi-viewpoint solving (B1), tiled solving of massive terrains
-// (T1), and the cached viewshed query service (S1).
+// (T1), the cached viewshed query service (S1), and streaming piece
+// emission (ST1).
 //
 // Usage:
 //
-//	hsrbench [-exp all|TH1..TH5|L1|L6|F1..F3|A1|A2|B1|T1|S1|CHECK] [-quick]
+//	hsrbench [-exp all|TH1..TH5|L1|L6|F1..F3|A1|A2|B1|T1|S1|ST1|CHECK[,...]]
+//	         [-quick] [-json BENCH_PR4.json]
+//
+// -exp accepts a comma-separated list. -json writes the machine-readable
+// measurement records of the engine experiments (experiment id, wall
+// clock, peak heap, allocation volume, workers) as a JSON array — the
+// artifact CI uploads to track the performance trajectory.
 package main
 
 import (
@@ -42,33 +50,58 @@ var experiments = []experiment{
 	{"B1", "Batch engine — multi-viewpoint flyover throughput and amortization", expB1},
 	{"T1", "Tiled engine — massive-terrain wall clock, peak memory and equivalence", expT1},
 	{"S1", "Query service — cached viewshed throughput and hit rate on an observer-grid stream", expS1},
+	{"ST1", "Streaming emission — peak heap of streamed vs materialized massive solves", expST1},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (TH1..TH5, L1, L6, F1..F3, A1, A2, B1, T1, S1, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, L1, L6, F1..F3, A1, A2, B1, T1, S1, ST1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
+	jsonPath := flag.String("json", "", "write machine-readable measurement records to this file (e.g. BENCH_PR4.json)")
 	flag.Parse()
 
-	want := strings.ToUpper(*expFlag)
+	wanted := make(map[string]bool)
+	for _, w := range strings.Split(strings.ToUpper(*expFlag), ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			wanted[w] = true
+		}
+	}
+	if len(wanted) == 0 {
+		fmt.Fprintf(os.Stderr, "empty -exp value; pass experiment ids or 'all'\n")
+		os.Exit(2)
+	}
 	names := make([]string, 0, len(experiments))
-	ran := false
 	for _, e := range experiments {
 		names = append(names, e.name)
-		if want == "ALL" || want == e.name {
+		if wanted["ALL"] || wanted[e.name] {
 			fmt.Printf("== %s: %s ==\n", e.name, e.title)
 			e.run(*quick)
 			fmt.Println()
-			ran = true
+			delete(wanted, e.name)
 		}
 	}
-	if !ran {
+	delete(wanted, "ALL")
+	if len(wanted) > 0 {
+		unknown := make([]string, 0, len(wanted))
+		for w := range wanted {
+			unknown = append(unknown, w)
+		}
+		sort.Strings(unknown)
 		sort.Strings(names)
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n", *expFlag, strings.Join(names, ", "))
-		switch want {
-		case "T2", "T3", "T4", "T5":
-			fmt.Fprintf(os.Stderr, "note: the Theorem 3.1 experiments were renamed T1..T5 -> TH1..TH5; T1 now runs the tiled engine\n")
+		fmt.Fprintf(os.Stderr, "unknown experiment(s) %s; available: %s, all\n",
+			strings.Join(unknown, ", "), strings.Join(names, ", "))
+		for _, w := range unknown {
+			switch w {
+			case "T2", "T3", "T4", "T5":
+				fmt.Fprintf(os.Stderr, "note: the Theorem 3.1 experiments were renamed T1..T5 -> TH1..TH5; T1 now runs the tiled engine\n")
+			}
 		}
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := writeRecords(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hsrbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

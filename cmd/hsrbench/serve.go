@@ -121,6 +121,10 @@ func expS1(quick bool) {
 	}
 	qU := float64(len(stream)) / uDur.Seconds()
 	qC := float64(len(stream)) / cDur.Seconds()
+	record(benchRecord{Experiment: "S1", Variant: "uncached",
+		WallMS: ms(uDur), Extra: map[string]float64{"queries_per_sec": qU, "solves": float64(uStats.Solves)}})
+	record(benchRecord{Experiment: "S1", Variant: "cached",
+		WallMS: ms(cDur), Extra: map[string]float64{"queries_per_sec": qC, "solves": float64(cStats.Solves), "gain": qC / qU}})
 	tb := metrics.NewTable("server", "queries/sec", "solves", "hit rate", "identical")
 	tb.AddRow("uncached", fmt.Sprintf("%.1f", qU), fmt.Sprintf("%d", uStats.Solves), hitRate(uStats), "-")
 	tb.AddRow("cached (warm)", fmt.Sprintf("%.1f", qC), fmt.Sprintf("%d", cStats.Solves), hitRate(cStats), identical)

@@ -83,6 +83,15 @@ func expT1(quick bool) {
 		fmt.Sprint(st.Tiles), fmt.Sprint(st.TilesCulled))
 	tb.Render(os.Stdout)
 
+	record(benchRecord{Experiment: "T1", Variant: "monolithic",
+		WallMS: ms(monoWall), PeakHeapMB: monoPeak, Extra: map[string]float64{"k": float64(monoK)}})
+	record(benchRecord{Experiment: "T1", Variant: "tiled",
+		WallMS: ms(tiledWall), PeakHeapMB: tiledPeak,
+		Extra: map[string]float64{
+			"k": float64(tiled.K()), "peak_ratio": monoPeak / tiledPeak,
+			"tiles": float64(st.Tiles), "tiles_culled": float64(st.TilesCulled),
+		}})
+
 	fmt.Printf("\npiece sets equivalent: %s\n", equiv)
 	fmt.Printf("peak memory ratio (mono/tiled): %.2fx; silhouette envelope: %d pieces\n",
 		monoPeak/tiledPeak, st.SilhouetteSize)

@@ -38,15 +38,20 @@
 //	nocache    "1" bypasses the result cache for this query
 //
 // The JSON response reports the quantized eye actually solved, the cache
-// outcome (hit / miss / coalesced / bypass), the engine used, timing, and
-// the visible pieces. SVG and ASCII render the same result through the
-// library's display backends.
+// outcome (hit / miss / coalesced / bypass), the engine plan the query took
+// (also visible per terrain on /statsz), timing, and the visible pieces.
+// Pieces are streamed into the response — JSON through Result.EachPiece and
+// SVG through the library's SVGStream — so even a massive scene is written
+// without materializing a second copy of it. ASCII renders through the same
+// display backend as before.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -191,18 +196,68 @@ func (h *handler) terrains(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, out)
 }
 
-// viewshedResponse is the JSON answer of a single-eye /viewshed query.
+// viewshedResponse is the JSON answer of a single-eye /viewshed query,
+// minus the pieces array, which is streamed after these fields through
+// Result.EachPiece rather than materialized (see writeViewshedJSON).
 type viewshedResponse struct {
-	Terrain      string             `json:"terrain"`
-	Eye          [3]float64         `json:"eye"`
-	QuantizedEye [3]float64         `json:"quantized_eye"`
-	Algorithm    string             `json:"algorithm"`
-	Cache        string             `json:"cache"`
-	Tiled        bool               `json:"tiled"`
-	N            int                `json:"n"`
-	K            int                `json:"k"`
-	ElapsedMS    float64            `json:"elapsed_ms"`
-	Pieces       []terrainhsr.Piece `json:"pieces"`
+	Terrain      string     `json:"terrain"`
+	Eye          [3]float64 `json:"eye"`
+	QuantizedEye [3]float64 `json:"quantized_eye"`
+	Algorithm    string     `json:"algorithm"`
+	Cache        string     `json:"cache"`
+	Tiled        bool       `json:"tiled"`
+	Plan         string     `json:"plan"`
+	N            int        `json:"n"`
+	K            int        `json:"k"`
+	ElapsedMS    float64    `json:"elapsed_ms"`
+}
+
+// writeViewshedJSON writes the response header fields followed by a
+// "pieces" array streamed piece by piece, never holding the converted
+// slice.
+func writeViewshedJSON(w http.ResponseWriter, resp viewshedResponse, r *terrainhsr.Result) {
+	w.Header().Set("Content-Type", "application/json")
+	buf, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		log.Printf("hsrserved: encode: %v", err)
+		return
+	}
+	// MarshalIndent ends with "\n}"; splice the streamed array in before
+	// the closing brace.
+	buf = bytes.TrimSuffix(buf, []byte("\n}"))
+	if _, err := w.Write(buf); err != nil {
+		return
+	}
+	if _, err := io.WriteString(w, ",\n  \"pieces\": ["); err != nil {
+		return
+	}
+	first := true
+	var streamErr error
+	r.EachPiece(func(p terrainhsr.Piece) bool {
+		sep := ",\n    "
+		if first {
+			sep, first = "\n    ", false
+		}
+		b, err := json.Marshal(p)
+		if err == nil {
+			if _, err = io.WriteString(w, sep); err == nil {
+				_, err = w.Write(b)
+			}
+		}
+		streamErr = err
+		return err == nil
+	})
+	if streamErr != nil {
+		// The status line is already sent; the best we can do is log that
+		// the streamed array was cut short rather than pretend it is whole.
+		log.Printf("hsrserved: pieces stream truncated: %v", streamErr)
+		return
+	}
+	if first {
+		io.WriteString(w, "]\n}\n")
+		return
+	}
+	io.WriteString(w, "\n  ]\n}\n")
 }
 
 // eyeSummary is one entry of a multi-eye /viewshed response.
@@ -272,12 +327,12 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 			Algorithm:    string(qr.Result.Algorithm()),
 			Cache:        qr.Cache,
 			Tiled:        qr.Tiled,
+			Plan:         qr.Plan,
 			N:            qr.Result.N(),
 			K:            qr.Result.K(),
 			ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
-			Pieces:       qr.Result.Pieces(),
 		}
-		writeJSON(w, resp)
+		writeViewshedJSON(w, resp, qr.Result)
 	case "svg":
 		tr, ok := h.srv.Terrain(id)
 		if !ok {
@@ -291,11 +346,24 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 		}
 		width := intParam(qv.Get("width"), 800)
 		w.Header().Set("Content-Type", "image/svg+xml")
-		if err := terrainhsr.RenderSVG(w, persp, qr.Result, terrainhsr.RenderOptions{
+		stream, err := terrainhsr.NewSVGStream(w, persp, terrainhsr.RenderOptions{
 			Width: width, ShowHidden: true,
 			Title: fmt.Sprintf("viewshed %s from %v,%v,%v", id, qr.Eye.X, qr.Eye.Y, qr.Eye.Z),
-		}); err != nil {
+		})
+		if err != nil {
 			log.Printf("hsrserved: svg render: %v", err)
+			return
+		}
+		var streamErr error
+		qr.Result.EachPiece(func(p terrainhsr.Piece) bool {
+			streamErr = stream.Piece(p)
+			return streamErr == nil
+		})
+		if streamErr == nil {
+			streamErr = stream.Close()
+		}
+		if streamErr != nil {
+			log.Printf("hsrserved: svg render: %v", streamErr)
 		}
 	case "ascii":
 		width := intParam(qv.Get("width"), 100)

@@ -23,22 +23,32 @@
 //	res, _ := terrainhsr.Solve(tr, terrainhsr.Options{})
 //	fmt.Println(res.K(), "visible pieces from", res.N(), "edges")
 //
-// Beyond single solves, three engines scale the algorithm out. BatchSolver
-// (with SolveBatch, SolveViewPath, Solver.SolveMany) solves one terrain
-// from many perspective viewpoints — viewshed grids, flyover paths —
-// amortizing topology, validation and tree-arena storage across frames.
-// TiledSolver (with SolveTiled) partitions a massive grid terrain into
-// row×col tiles, solves them band by band with occlusion culling against
-// the accumulated silhouette, and merges a scene equivalent to the
-// monolithic solve with peak memory proportional to one band of tiles.
-// Server holds a registry of hot terrains and answers repeated viewshed
-// Query requests through a sharded LRU result cache — viewpoints quantized
-// to a configurable resolution, terrain replacements invalidated by epoch,
-// concurrent identical queries coalesced into one solve — routing each
-// query to the engine that fits it (cmd/hsrserved is the HTTP front end).
+// Every public entry point is a thin adapter over one internal layer,
+// internal/engine: a planner inspects the request (terrain shape and
+// size, eye count, options, forced-engine overrides) and produces an
+// explainable plan — monolithic, tiled, batched, or batched-tiled, with
+// the worker-budget split — and one executor runs it. The adapters scale
+// the algorithm out in three directions. BatchSolver (with SolveBatch,
+// SolveViewPath, Solver.SolveMany) solves one terrain from many
+// perspective viewpoints — viewshed grids, flyover paths — amortizing
+// topology, validation and tree-arena storage across frames. TiledSolver
+// (with SolveTiled) partitions a massive grid terrain into row×col tiles,
+// solves them band by band with occlusion culling against the accumulated
+// silhouette, and merges a scene equivalent to the monolithic solve with
+// peak memory proportional to one band of tiles. Server holds a registry
+// of hot terrains and answers repeated viewshed Query requests through a
+// sharded LRU result cache — viewpoints quantized to a configurable
+// resolution, terrain replacements invalidated by epoch, concurrent
+// identical queries coalesced into one solve — with each query's plan
+// reported on the result and in ServerStats.Plans (cmd/hsrserved is the
+// HTTP front end). SolveStream and its Solver/TiledSolver variants stream
+// every visible piece to a PieceSink as it is produced — tiled plans
+// flush each depth band as it completes — so a massive scene is consumed
+// without ever being held in memory; Result.EachPiece walks a
+// materialized scene with the same zero-copy discipline.
 //
 // ALGORITHM.md maps the paper's phases, lemmas and data structures to the
 // internal packages; docs/API.md is the task-oriented API guide with the
-// engine decision table; cmd/hsrbench regenerates the reproduction's
-// experiment tables.
+// engine and planner overview; cmd/hsrbench regenerates the
+// reproduction's experiment tables.
 package terrainhsr

@@ -1,0 +1,29 @@
+// Package engine is the single query-planning and execution layer behind
+// every public solve path of the terrainhsr module. The public surface —
+// Solve/Solver, BatchSolver, TiledSolver, and Server — are thin adapters
+// that all build one Request, ask the Planner for an explainable Plan
+// (monolithic, tiled, batched, or batched-tiled, with the worker-budget
+// split and tile-grid shape), and hand the plan to the Executor. There is
+// exactly one place that decides how a query runs and exactly one place
+// that runs it.
+//
+// The layer owns three responsibilities that used to be re-implemented by
+// each entry point:
+//
+//   - Routing. Planner.Plan inspects the terrain's shape and size, the eye
+//     count, forced-engine overrides, and the tiled-routing threshold, and
+//     records every decision as a human-readable reason; Plan.Explain
+//     surfaces them to operators (ServerStats, /statsz).
+//   - Scheduling. SplitBudget divides one worker budget between concurrent
+//     frames and intra-frame workers; Frames runs the per-frame closures
+//     with deterministic error propagation (the failure with the lowest
+//     frame index always wins, regardless of goroutine timing).
+//   - Emission. Run materializes per-frame hsr.Results; RunStream instead
+//     hands visible pieces to a Sink as they are produced — for tiled plans
+//     each depth band is flushed as soon as it completes, so the full
+//     visible scene is never held twice (nor, for tiled plans, even once).
+//
+// The executor also owns the per-terrain amortized state the adapters used
+// to carry individually: the canonical-view depth order (hsr.Prepare), the
+// tile partition and edge index, and the shared profile-tree arena pool.
+package engine

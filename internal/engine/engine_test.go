@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/terrain"
+	"terrainhsr/internal/tile"
+)
+
+// testGrid builds an 8x8-cell grid terrain (64 cells).
+func testGrid(t *testing.T) *terrain.Terrain {
+	t.Helper()
+	tt, err := terrain.Grid{Rows: 8, Cols: 8, Dx: 1, Dy: 1,
+		H: func(i, j int) float64 { return float64((i*3+j*5)%7) * 0.5 }}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+// testTIN builds a terrain without grid structure.
+func testTIN(t *testing.T) *terrain.Terrain {
+	t.Helper()
+	tt, err := terrain.New([]geom.Pt3{
+		{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0.1, Z: 0.5}, {X: 0.2, Y: 1, Z: 0.25}, {X: 1.1, Y: 1.2, Z: 1},
+	}, [][3]int32{{0, 1, 2}, {1, 3, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+func TestPlannerRouting(t *testing.T) {
+	grid := testGrid(t)
+	tin := testTIN(t)
+	eyes := func(n int) []geom.Pt3 { return make([]geom.Pt3, n) }
+
+	cases := []struct {
+		name     string
+		t        *terrain.Terrain
+		req      Request
+		wantMode Mode
+		wantTile bool
+		wantErr  bool
+	}{
+		{"small grid defaults to monolithic", grid,
+			Request{}, ModeMonolithic, false, false},
+		{"grid over threshold tiles", grid,
+			Request{TileCells: 32}, ModeTiled, true, false},
+		{"grid exactly at threshold tiles", grid,
+			Request{TileCells: 64}, ModeTiled, true, false},
+		{"grid under threshold stays monolithic", grid,
+			Request{TileCells: 65}, ModeMonolithic, false, false},
+		{"negative threshold disables tiling", grid,
+			Request{TileCells: -1}, ModeMonolithic, false, false},
+		{"TIN never tiles automatically", tin,
+			Request{TileCells: 1}, ModeMonolithic, false, false},
+		{"forced monolithic beats the threshold", grid,
+			Request{TileCells: 1, Force: ForceMonolithic}, ModeMonolithic, false, false},
+		{"forced tiled on a small grid", grid,
+			Request{Force: ForceTiled}, ModeTiled, true, false},
+		{"forced tiled on a TIN fails", tin,
+			Request{Force: ForceTiled}, "", false, true},
+		{"one eye, monolithic route", grid,
+			Request{Perspective: true, Eyes: eyes(1)}, ModeBatched, false, false},
+		{"one eye, tiled route", grid,
+			Request{Perspective: true, Eyes: eyes(1), TileCells: 32}, ModeBatchedTiled, true, false},
+		{"many eyes, monolithic route", grid,
+			Request{Perspective: true, Eyes: eyes(9), Force: ForceMonolithic}, ModeBatched, false, false},
+		{"many eyes, tiled route", grid,
+			Request{Perspective: true, Eyes: eyes(9), TileCells: 32}, ModeBatchedTiled, true, false},
+		{"empty batch plans without frames", grid,
+			Request{Perspective: true}, ModeBatched, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := NewPlanner(tc.t, tile.Spec{}).Plan(tc.req)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got plan %+v", plan)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Mode != tc.wantMode || plan.Tiled != tc.wantTile {
+				t.Fatalf("plan = %s tiled=%v, want %s tiled=%v (%s)",
+					plan.Mode, plan.Tiled, tc.wantMode, tc.wantTile, plan.Explain())
+			}
+			if plan.Frames != len(tc.req.Eyes) {
+				t.Fatalf("frames = %d, want %d", plan.Frames, len(tc.req.Eyes))
+			}
+			if plan.Tiled && (plan.Bands < 1 || plan.TileCols < 1) {
+				t.Fatalf("tiled plan missing tile grid: %+v", plan)
+			}
+			if plan.Explain() == "" || !strings.Contains(plan.Explain(), string(plan.Mode)) {
+				t.Fatalf("Explain() = %q does not name the mode", plan.Explain())
+			}
+		})
+	}
+}
+
+func TestPlannerWorkerSplit(t *testing.T) {
+	grid := testGrid(t)
+	cases := []struct {
+		workers, frameWorkers, frames int
+		wantConcurrent, wantPerFrame  int
+	}{
+		{4, 0, 8, 4, 1},  // many frames: frame-level parallelism, 1 worker each
+		{8, 0, 2, 2, 4},  // few frames: leftover budget goes intra-frame
+		{2, 8, 4, 4, 1},  // explicit oversubscription is honored (clamped to frames)
+		{6, 2, 12, 2, 3}, // explicit frame workers split the budget
+		{1, 0, 5, 1, 1},  // single worker serializes frames
+	}
+	for _, tc := range cases {
+		c, p := SplitBudget(tc.workers, tc.frameWorkers, tc.frames)
+		if c != tc.wantConcurrent || p != tc.wantPerFrame {
+			t.Errorf("SplitBudget(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.workers, tc.frameWorkers, tc.frames, c, p, tc.wantConcurrent, tc.wantPerFrame)
+		}
+		plan, err := NewPlanner(grid, tile.Spec{}).Plan(Request{
+			Workers: tc.workers, FrameWorkers: tc.frameWorkers,
+			Perspective: true, Eyes: make([]geom.Pt3, tc.frames),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.FrameWorkers != tc.wantConcurrent || plan.WorkersPerFrame != tc.wantPerFrame {
+			t.Errorf("plan split (%d, %d), want (%d, %d)",
+				plan.FrameWorkers, plan.WorkersPerFrame, tc.wantConcurrent, tc.wantPerFrame)
+		}
+	}
+}
+
+func TestFramesLowestIndexErrorWins(t *testing.T) {
+	// Frames 3 and 6 fail; frame 3 slowly, frame 6 instantly. Whatever the
+	// goroutine timing, the reported failure must be frame 3, and every
+	// frame below it must still have run.
+	eyes := make([]geom.Pt3, 8)
+	for i := range eyes {
+		eyes[i].X = float64(i)
+	}
+	for rep := 0; rep < 10; rep++ {
+		var ran [8]atomic.Bool
+		err := Frames(4, eyes, "frame", func(i int) error {
+			ran[i].Store(true)
+			switch i {
+			case 3:
+				time.Sleep(10 * time.Millisecond)
+				return errors.New("slow failure")
+			case 6:
+				return errors.New("fast failure")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("no error reported")
+		}
+		if !strings.Contains(err.Error(), "frame 3 ") || !strings.Contains(err.Error(), "slow failure") {
+			t.Fatalf("rep %d: error %q, want the frame-3 failure", rep, err)
+		}
+		for i := 0; i < 3; i++ {
+			if !ran[i].Load() {
+				t.Fatalf("rep %d: frame %d below the failure was skipped", rep, i)
+			}
+		}
+	}
+}
+
+func TestFramesNoError(t *testing.T) {
+	eyes := make([]geom.Pt3, 5)
+	var n atomic.Int64
+	if err := Frames(3, eyes, "frame", func(i int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 5 {
+		t.Fatalf("ran %d frames, want 5", n.Load())
+	}
+}
+
+func TestDispatchRejectsUnknownAlgorithm(t *testing.T) {
+	grid := testGrid(t)
+	_, err := Dispatch(grid, func() (*hsr.Prepared, error) { panic("must not prepare") }, "zbuffer", 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("err = %v, want unknown algorithm", err)
+	}
+}
+
+func TestExecutorRunStreamSingleViewOnly(t *testing.T) {
+	e := New(testGrid(t), Config{})
+	req := Request{Perspective: true, Eyes: make([]geom.Pt3, 3)}
+	plan, err := e.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunStream(plan, req, func(hsr.VisiblePiece) error { return nil }); err == nil {
+		t.Fatal("multi-frame stream accepted")
+	}
+}

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/parallel"
+	"terrainhsr/internal/terrain"
+	"terrainhsr/internal/tile"
+)
+
+// Config fixes the per-terrain execution state an Executor carries.
+type Config struct {
+	// TileSpec selects the tile sizing used by tiled plans (zero values pick
+	// the automatic size).
+	TileSpec tile.Spec
+	// NoCull disables the per-tile occlusion cull of tiled plans. Culling
+	// never changes results; the switch exists for tests and measurements.
+	NoCull bool
+}
+
+// Executor runs any Plan for one terrain under one worker budget. It lazily
+// builds — and then shares across every solve, frame and tile — the
+// expensive per-terrain state: the canonical-view depth order, the tile
+// partition with its edge index, and the profile-tree arena pool. An
+// Executor is safe for concurrent use.
+type Executor struct {
+	t       *terrain.Terrain
+	planner *Planner
+	cfg     Config
+	pool    *hsr.OpsPool
+
+	prepOnce sync.Once
+	prep     *hsr.Prepared
+	prepErr  error
+
+	tileOnce sync.Once
+	part     *tile.Partition
+	idx      *tile.EdgeIndex
+	tileErr  error
+}
+
+// New builds an executor (and its planner) for a terrain.
+func New(t *terrain.Terrain, cfg Config) *Executor {
+	return &Executor{t: t, planner: NewPlanner(t, cfg.TileSpec), cfg: cfg, pool: hsr.NewOpsPool()}
+}
+
+// Plan asks the executor's planner for the plan of a request.
+func (e *Executor) Plan(req Request) (*Plan, error) { return e.planner.Plan(req) }
+
+// EnsurePrepared computes (once) the canonical-view depth order, surfacing
+// preparation errors eagerly for callers that want them at construction.
+func (e *Executor) EnsurePrepared() error {
+	e.prepOnce.Do(func() { e.prep, e.prepErr = hsr.Prepare(e.t) })
+	return e.prepErr
+}
+
+// EnsureTiles builds (once) the tile partition and edge index, surfacing
+// tiling errors — such as terrains without grid structure — eagerly. The
+// partition comes from the planner, so the executor runs exactly the tile
+// grid plans explain.
+func (e *Executor) EnsureTiles() error {
+	e.tileOnce.Do(func() {
+		part, err := e.planner.partition()
+		if err != nil {
+			e.tileErr = err
+			return
+		}
+		idx, err := tile.NewEdgeIndex(e.t)
+		if err != nil {
+			e.tileErr = err
+			return
+		}
+		e.part, e.idx = part, idx
+	})
+	return e.tileErr
+}
+
+// TileGrid returns the tile-grid dimensions (front-to-back bands, tile
+// columns per band); it requires a successful EnsureTiles.
+func (e *Executor) TileGrid() (bands, cols int) { return e.part.NumBands, e.part.NumCols }
+
+// Outcome is one frame's answer.
+type Outcome struct {
+	// Res is the frame's visible scene.
+	Res *hsr.Result
+	// Tile is the tiling effort report; meaningful only for tiled plans.
+	Tile tile.Stats
+}
+
+// Run executes a plan and materializes every frame's result. For
+// perspective plans the results are in eye order; the canonical view yields
+// exactly one outcome. On error the failure with the lowest frame index is
+// reported deterministically (see Frames).
+func (e *Executor) Run(plan *Plan, req Request) ([]Outcome, error) {
+	if !plan.Perspective {
+		oc, err := e.solveView(e.t, plan, req, plan.WorkersPerFrame, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []Outcome{oc}, nil
+	}
+	if plan.Frames == 0 {
+		return nil, nil
+	}
+	outs := make([]Outcome, plan.Frames)
+	label := "batch frame"
+	if plan.Tiled {
+		label = "tiled frame"
+	}
+	if err := Frames(plan.FrameWorkers, req.Eyes, label, func(i int) error {
+		tt, err := e.frameTerrain(req.Eyes[i], req.MinDepth)
+		if err != nil {
+			return err
+		}
+		oc, err := e.solveView(tt, plan, req, plan.WorkersPerFrame, nil)
+		if err != nil {
+			return err
+		}
+		outs[i] = oc
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// frameTerrain maps the shared topology through one frame's perspective
+// transform (vertex-only; the triangle and edge tables are reused).
+func (e *Executor) frameTerrain(eye geom.Pt3, minDepth float64) (*terrain.Terrain, error) {
+	pt := geom.PerspectiveTransform{Eye: eye, MinDepth: minDepth}
+	return e.t.TransformShared(pt.Apply)
+}
+
+// solveView runs one view — canonical or a perspective frame — through the
+// plan's pipeline. A non-nil emit streams the pieces instead of
+// materializing them (tiled plans flush each depth band as it completes).
+func (e *Executor) solveView(tt *terrain.Terrain, plan *Plan, req Request, workers int, emit func(hsr.VisiblePiece) error) (Outcome, error) {
+	if plan.Tiled {
+		if err := e.EnsureTiles(); err != nil {
+			return Outcome{}, err
+		}
+		solve := func(sub *terrain.Terrain, w int) (*hsr.Result, error) {
+			return Dispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, req.Algorithm, w, e.pool)
+		}
+		res, st, err := tile.Solve(tt, e.part, e.idx, solve, tile.Options{
+			Workers: workers, NoCull: e.cfg.NoCull, Emit: emit,
+		})
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Res: res, Tile: st}, nil
+	}
+	prepare := func() (*hsr.Prepared, error) { return hsr.Prepare(tt) }
+	if tt == e.t {
+		prepare = func() (*hsr.Prepared, error) {
+			if err := e.EnsurePrepared(); err != nil {
+				return nil, err
+			}
+			return e.prep, nil
+		}
+	}
+	res, err := Dispatch(tt, prepare, req.Algorithm, workers, e.pool)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if emit != nil {
+		for _, p := range res.Pieces {
+			if err := emit(p); err != nil {
+				return Outcome{}, err
+			}
+		}
+		res.Pieces = nil
+	}
+	return Outcome{Res: res}, nil
+}
+
+// Sink consumes streamed visible pieces; returning an error aborts the
+// solve.
+type Sink func(p hsr.VisiblePiece) error
+
+// StreamStats summarizes a streaming run.
+type StreamStats struct {
+	// N is the input size (terrain edges) and K the number of pieces
+	// delivered to the sink.
+	N, K int
+	// Crossings counts the image vertex events discovered.
+	Crossings int64
+	// Tiled reports whether the plan tiled, and Tile its effort report.
+	Tiled bool
+	Tile  tile.Stats
+}
+
+// RunStream executes a single-view plan, delivering every visible piece to
+// the sink instead of materializing a result. Monolithic plans stream the
+// solver's pieces in canonical (Edge, X1, Z1) order; tiled plans flush each
+// front-to-back depth band as soon as it completes, canonically ordered
+// within the band, so the full visible scene is never held in memory.
+// Collecting a stream and sorting it canonically yields exactly the pieces
+// a materializing Run produces.
+func (e *Executor) RunStream(plan *Plan, req Request, sink Sink) (*StreamStats, error) {
+	if plan.Perspective && plan.Frames != 1 {
+		return nil, fmt.Errorf("terrainhsr: streaming solves a single view, got %d frames", plan.Frames)
+	}
+	tt := e.t
+	if plan.Perspective {
+		var err error
+		if tt, err = e.frameTerrain(req.Eyes[0], req.MinDepth); err != nil {
+			return nil, err
+		}
+	}
+	k := 0
+	emit := func(p hsr.VisiblePiece) error {
+		if err := sink(p); err != nil {
+			return err
+		}
+		k++
+		return nil
+	}
+	oc, err := e.solveView(tt, plan, req, plan.WorkersPerFrame, emit)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamStats{
+		N: oc.Res.N, K: k, Crossings: oc.Res.Crossings,
+		Tiled: plan.Tiled, Tile: oc.Tile,
+	}, nil
+}
+
+// Frames runs fn for every frame index on up to workers goroutines, with
+// deterministic error propagation: the failure with the lowest frame index
+// always wins. Frames above the lowest failure observed so far are skipped;
+// frames below it keep running, since one of them may fail lower still. The
+// reported error is tagged with the frame index, its eye, and the
+// caller-supplied label ("batch frame", "query", ...).
+func Frames(workers int, eyes []geom.Pt3, label string, fn func(i int) error) error {
+	n := len(eyes)
+	errs := make([]error, n)
+	var minFailed atomic.Int64
+	minFailed.Store(int64(n))
+	parallel.ForDynamic(workers, n, 1, func(_, i int) {
+		if int64(i) > minFailed.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			for {
+				cur := minFailed.Load()
+				if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+		}
+	})
+	if m := minFailed.Load(); m < int64(n) {
+		i := int(m)
+		return fmt.Errorf("terrainhsr: %s %d (eye %v,%v,%v): %w",
+			label, i, eyes[i].X, eyes[i].Y, eyes[i].Z, errs[i])
+	}
+	return nil
+}

@@ -29,6 +29,15 @@ type Options struct {
 	// silhouette envelope. Culling never changes results; the switch exists
 	// for tests and measurements.
 	NoCull bool
+	// Emit, when non-nil, streams the visible scene instead of
+	// materializing it: every depth band's clipped pieces are handed to
+	// Emit — canonically sorted within the band — as soon as the band
+	// completes, and the returned Result carries no Pieces slice (counters
+	// and crossings are still filled). Peak memory then holds one band of
+	// pieces instead of the whole scene; sorting a collected stream
+	// canonically yields exactly the pieces a materializing solve returns.
+	// An Emit error aborts the solve.
+	Emit func(p hsr.VisiblePiece) error
 }
 
 // Stats reports how a tiled solve spent its effort.
@@ -156,6 +165,17 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 				}
 			}
 		}
+		if opt.Emit != nil {
+			// Streaming: flush the band's clipped pieces in canonical order
+			// and reuse the buffer, so at most one band of pieces is live.
+			sortVisible(out)
+			for _, pc := range out {
+				if err := opt.Emit(pc); err != nil {
+					return nil, stats, err
+				}
+			}
+			out = out[:0]
+		}
 		if len(bandSegs) > 0 {
 			// The unclipped band silhouette: locally hidden parts of the band
 			// are below some locally visible piece, so the envelope of the
@@ -168,8 +188,25 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 	}
 	stats.EnvelopeSize = front.Size()
 
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	if opt.Emit != nil {
+		out = nil
+	} else {
+		sortVisible(out)
+	}
+	res := &hsr.Result{
+		N:         t.NumEdges(),
+		Pieces:    out,
+		Crossings: crossings,
+		Counters:  counters,
+	}
+	return res, stats, nil
+}
+
+// sortVisible orders pieces canonically by (Edge, X1, Z1) — the order every
+// materialized result uses, and the within-band order of streamed bands.
+func sortVisible(ps []hsr.VisiblePiece) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
 		if a.Edge != b.Edge {
 			return a.Edge < b.Edge
 		}
@@ -178,13 +215,6 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 		}
 		return a.Span.Z1 < b.Span.Z1
 	})
-	res := &hsr.Result{
-		N:         t.NumEdges(),
-		Pieces:    out,
-		Crossings: crossings,
-		Counters:  counters,
-	}
-	return res, stats, nil
 }
 
 // solveTile runs one tile: cull check, sub-terrain extraction, local solve,

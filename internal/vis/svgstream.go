@@ -1,0 +1,90 @@
+package vis
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"terrainhsr/internal/envelope"
+	"terrainhsr/internal/terrain"
+)
+
+// SVGStream writes the visible scene as an SVG drawing incrementally, one
+// piece at a time, so a massive scene can be rendered without ever holding
+// its piece set in memory. The drawing is framed by the terrain's image
+// bounds — every visible piece lies on a terrain edge, so the frame always
+// contains the scene — which is what lets the header be written before any
+// piece is known.
+type SVGStream struct {
+	w      io.Writer
+	px, pz func(float64) float64
+}
+
+// StartSVG writes the document header (and, with ShowHidden, the full
+// wireframe underlay) and returns a stream accepting pieces; finish the
+// document with Close.
+func StartSVG(w io.Writer, t *terrain.Terrain, opt SVGOptions) (*SVGStream, error) {
+	opt = opt.withDefaults()
+	if t == nil || t.NumEdges() == 0 {
+		return nil, fmt.Errorf("vis: streaming SVG needs a terrain to frame the drawing")
+	}
+	x1, z1 := math.Inf(1), math.Inf(1)
+	x2, z2 := math.Inf(-1), math.Inf(-1)
+	for e := 0; e < t.NumEdges(); e++ {
+		s := t.EdgeImageSeg(e)
+		x1 = math.Min(x1, math.Min(s.A.X, s.B.X))
+		x2 = math.Max(x2, math.Max(s.A.X, s.B.X))
+		z1 = math.Min(z1, math.Min(s.A.Z, s.B.Z))
+		z2 = math.Max(z2, math.Max(s.A.Z, s.B.Z))
+	}
+	if x2-x1 < 1e-9 {
+		x2 = x1 + 1
+	}
+	if z2-z1 < 1e-9 {
+		z2 = z1 + 1
+	}
+	pad := 0.03 * math.Max(x2-x1, z2-z1)
+	x1, x2, z1, z2 = x1-pad, x2+pad, z1-pad, z2+pad
+	width := float64(opt.Width)
+	scale := width / (x2 - x1)
+	height := (z2 - z1) * scale
+	// SVG y grows downward; flip z.
+	px := func(x float64) float64 { return (x - x1) * scale }
+	pz := func(z float64) float64 { return height - (z-z1)*scale }
+
+	if _, err := fmt.Fprintf(w,
+		"<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.2f %.2f\">\n<title>%s</title>\n<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n",
+		width, height, width, height, opt.Title); err != nil {
+		return nil, err
+	}
+	sw := math.Max(1, width/1200)
+	if opt.ShowHidden {
+		fmt.Fprintf(w, "<g stroke=\"%s\" stroke-width=\"%.2f\" fill=\"none\" stroke-linecap=\"round\">\n", opt.StrokeHidden, sw*0.6)
+		for e := 0; e < t.NumEdges(); e++ {
+			s := t.EdgeImageSeg(e)
+			fmt.Fprintf(w, "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\"/>\n",
+				px(s.A.X), pz(s.A.Z), px(s.B.X), pz(s.B.Z))
+		}
+		fmt.Fprintln(w, "</g>")
+	}
+	if _, err := fmt.Fprintf(w, "<g stroke=\"%s\" stroke-width=\"%.2f\" fill=\"none\" stroke-linecap=\"round\">\n", opt.StrokeVisible, sw*1.4); err != nil {
+		return nil, err
+	}
+	return &SVGStream{w: w, px: px, pz: pz}, nil
+}
+
+// Piece draws one visible span.
+func (s *SVGStream) Piece(sp envelope.Span) error {
+	_, err := fmt.Fprintf(s.w, "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\"/>\n",
+		s.px(sp.X1), s.pz(sp.Z1), s.px(sp.X2), s.pz(sp.Z2))
+	return err
+}
+
+// Close finishes the SVG document.
+func (s *SVGStream) Close() error {
+	if _, err := fmt.Fprintln(s.w, "</g>"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(s.w, "</svg>")
+	return err
+}

@@ -3,6 +3,7 @@ package terrainhsr
 import (
 	"io"
 
+	"terrainhsr/internal/envelope"
 	"terrainhsr/internal/vis"
 )
 
@@ -26,6 +27,38 @@ func RenderSVG(w io.Writer, t *Terrain, r *Result, opt RenderOptions) error {
 		Title:      opt.Title,
 	})
 }
+
+// SVGStream renders a visible scene to SVG incrementally, one piece at a
+// time — the display-side counterpart of SolveStream and Result.EachPiece,
+// so a massive scene is drawn without ever materializing its piece list.
+// The drawing is framed by the terrain's image bounds, which always contain
+// every visible piece.
+type SVGStream struct {
+	s *vis.SVGStream
+}
+
+// NewSVGStream writes the SVG header (and, with ShowHidden, the wireframe
+// underlay) for the terrain and returns a stream accepting pieces; call
+// Close to finish the document.
+func NewSVGStream(w io.Writer, t *Terrain, opt RenderOptions) (*SVGStream, error) {
+	s, err := vis.StartSVG(w, t.internalTerrain(), vis.SVGOptions{
+		Width:      opt.Width,
+		ShowHidden: opt.ShowHidden,
+		Title:      opt.Title,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SVGStream{s: s}, nil
+}
+
+// Piece draws one visible piece.
+func (s *SVGStream) Piece(p Piece) error {
+	return s.s.Piece(envelope.Span{X1: p.X1, Z1: p.Z1, X2: p.X2, Z2: p.Z2})
+}
+
+// Close finishes the SVG document.
+func (s *SVGStream) Close() error { return s.s.Close() }
 
 // SceneStats summarizes the displayed image as a planar graph.
 type SceneStats struct {

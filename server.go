@@ -9,16 +9,21 @@ import (
 	"sync/atomic"
 
 	"terrainhsr/internal/cache"
+	"terrainhsr/internal/engine"
+	"terrainhsr/internal/geom"
 )
 
 // This file is the viewshed query service: a Server holds a registry of hot
 // terrains and answers repeated perspective visibility queries through a
 // sharded LRU result cache with singleflight coalescing — the serving tier
-// of the roadmap's "heavy traffic" north star. The engines underneath never
-// change: a query is solved exactly as the batch engine solves a frame
-// (or, for terrains above the tiled-routing threshold, as the tiled engine
-// solves it), so cached or not, the pieces are the ones a direct
-// FromPerspective + Solve would produce for the same (quantized) eye.
+// of the roadmap's "heavy traffic" north star. The server carries no
+// routing logic of its own: every query builds one internal/engine Request
+// and the planner decides the pipeline (monolithic per frame, or tiled for
+// grids above the TileCells threshold); the chosen plan is explainable per
+// query (QueryResult.Plan) and per terrain (ServerStats.Plans, /statsz).
+// The engines underneath never change the answer: cached or not, the
+// pieces are the ones a direct FromPerspective + Solve would produce for
+// the same (quantized) eye.
 //
 // Cache semantics, in full (see also docs/API.md):
 //
@@ -63,13 +68,14 @@ type ServerOptions struct {
 	// (0 = all CPUs). Worker counts never change the computed pieces and
 	// are not part of cache keys.
 	Workers int
-	// TileCells routes grid terrains with at least this many cells
-	// (GridRows x GridCols) through the tiled engine, whose peak memory
-	// scales with one band of tiles instead of the whole terrain.
-	// 0 selects 262144 (a 512x512 grid); negative disables tiled routing.
-	// Routing is decided per terrain at Register time and is part of the
-	// cache key, since tiled answers may differ from monolithic ones in
-	// float tails at piece boundaries.
+	// TileCells is the engine planner's automatic tiled-routing threshold:
+	// grid terrains with at least this many cells (GridRows x GridCols)
+	// route through the tiled pipeline, whose peak memory scales with one
+	// band of tiles instead of the whole terrain. 0 selects 262144 (a
+	// 512x512 grid); negative disables tiled routing. The decision is made
+	// by the planner (see ServerStats.Plans for the explained outcome) and
+	// is part of the cache key, since tiled answers may differ from
+	// monolithic ones in float tails at piece boundaries.
 	TileCells int
 }
 
@@ -105,6 +111,10 @@ type QueryResult struct {
 	Cache string
 	// Tiled reports whether the query routed through the tiled engine.
 	Tiled bool
+	// Plan is the engine planner's explanation of how the terrain's
+	// queries execute (fixed at Register time; see Plan.Explain in
+	// internal/engine). Cached answers report it without re-planning.
+	Plan string
 }
 
 // ServerStats is a point-in-time snapshot of the server's counters.
@@ -125,15 +135,23 @@ type ServerStats struct {
 	// TiledSolves counts the subset of Solves routed through the tiled
 	// engine.
 	TiledSolves int64
+	// Plans maps every registered terrain ID to the explained engine plan
+	// its queries route through — the operator-facing answer to "which
+	// engine does this terrain's traffic actually take, and why". Exposed
+	// verbatim on /statsz by cmd/hsrserved.
+	Plans map[string]string
 }
 
 // serverTerrain is one registry slot: the terrain, its invalidation epoch,
-// and the prepared engines queries route to.
+// the engine executor its queries run on, and the planner's routing
+// outcome for the ID (fixed at Register time: it depends only on the
+// terrain's shape and the server's threshold).
 type serverTerrain struct {
 	t     *Terrain
 	epoch uint64
-	batch *BatchSolver
-	tiled *TiledSolver // non-nil iff the terrain routes tiled
+	eng   *engine.Executor
+	tiled bool
+	plan  string
 }
 
 // Server answers viewshed queries for a set of registered terrains through
@@ -163,9 +181,6 @@ func NewServer(opt ServerOptions) *Server {
 	if opt.CacheShards <= 0 {
 		opt.CacheShards = 16
 	}
-	if opt.TileCells == 0 {
-		opt.TileCells = 262144
-	}
 	s := &Server{
 		opt:       opt,
 		terrains:  make(map[string]*serverTerrain),
@@ -181,8 +196,10 @@ func NewServer(opt ServerOptions) *Server {
 // terrain with that ID. Replacement bumps the ID's epoch, which instantly
 // invalidates every cached answer for the old terrain (stale entries are
 // never served; they age out of the LRU rather than being purged eagerly).
-// Registration prepares the engines the ID's queries will route to, so it
-// does O(terrain) work once instead of per query.
+// Registration plans the ID's routing and prepares the engine state its
+// queries will use (the tile partition and edge index, for terrains the
+// planner routes tiled), so it does O(terrain) work once instead of per
+// query.
 func (s *Server) Register(id string, t *Terrain) error {
 	if id == "" {
 		return fmt.Errorf("terrainhsr: empty terrain ID")
@@ -190,14 +207,17 @@ func (s *Server) Register(id string, t *Terrain) error {
 	if t == nil || t.t == nil {
 		return fmt.Errorf("terrainhsr: nil terrain")
 	}
-	entry := &serverTerrain{t: t, batch: newBatchSolverFrom(t)}
-	if s.opt.TileCells > 0 && t.t.IsGrid() && t.t.GridRows*t.t.GridCols >= s.opt.TileCells {
-		ts, err := NewTiledSolver(t, TileOptions{})
-		if err != nil {
+	eng := engine.New(t.t, engine.Config{})
+	plan, err := eng.Plan(s.request(Query{}, make([]geom.Pt3, 1), s.opt.Workers))
+	if err != nil {
+		return fmt.Errorf("terrainhsr: register %q: %w", id, err)
+	}
+	if plan.Tiled {
+		if err := eng.EnsureTiles(); err != nil {
 			return fmt.Errorf("terrainhsr: register %q: %w", id, err)
 		}
-		entry.tiled = ts
 	}
+	entry := &serverTerrain{t: t, eng: eng, tiled: plan.Tiled, plan: plan.Explain()}
 	s.mu.Lock()
 	if last, seen := s.lastEpoch[id]; seen {
 		entry.epoch = last + 1
@@ -268,41 +288,53 @@ func snap(v, res float64) float64 {
 // algorithm (or to the tiled engine's answer, for terrains routed tiled);
 // caching and coalescing never change pieces, only who computes them.
 func (s *Server) Query(q Query) (*QueryResult, error) {
-	return s.query(q, Options{Algorithm: q.Algorithm, Workers: s.opt.Workers})
+	return s.query(q, s.opt.Workers)
+}
+
+// request builds the engine request of one query solve; the planner — not
+// the server — decides the pipeline from it.
+func (s *Server) request(q Query, eyes []geom.Pt3, workers int) engine.Request {
+	return engine.Request{
+		Algorithm:   string(resolveAlgo(q.Algorithm)),
+		Workers:     workers,
+		Perspective: true,
+		Eyes:        eyes,
+		MinDepth:    q.MinDepth,
+		TileCells:   s.opt.TileCells,
+	}
 }
 
 // query answers one query with an explicit per-solve worker budget (Query
 // uses the server budget; QueryMany splits it across concurrent eyes).
-func (s *Server) query(q Query, solveOpt Options) (*QueryResult, error) {
+func (s *Server) query(q Query, workers int) (*QueryResult, error) {
 	s.mu.RLock()
 	e, ok := s.terrains[q.TerrainID]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("terrainhsr: no terrain %q registered", q.TerrainID)
 	}
-	if solveOpt.Algorithm == "" {
-		solveOpt.Algorithm = Parallel
-	}
+	algo := resolveAlgo(q.Algorithm)
 	eye := s.QuantizeEye(q.Eye)
-	qr := &QueryResult{Eye: eye, Tiled: e.tiled != nil}
+	// The routing outcome and its explanation are fixed per terrain at
+	// Register time, so cache hits answer without touching the planner;
+	// only actual solves plan (with this query's worker budget).
+	qr := &QueryResult{Eye: eye, Tiled: e.tiled, Plan: e.plan}
 
 	solve := func() (any, error) {
-		s.solves.Add(1)
-		bopt := BatchOptions{Options: solveOpt, MinDepth: q.MinDepth}
-		var (
-			rs  []*Result
-			err error
-		)
-		if e.tiled != nil {
-			s.tiledSolves.Add(1)
-			rs, err = e.tiled.SolveMany([]Point{eye}, bopt)
-		} else {
-			rs, err = e.batch.Solve([]Point{eye}, bopt)
-		}
+		req := s.request(q, []geom.Pt3{pt3(eye)}, workers)
+		plan, err := e.eng.Plan(req)
 		if err != nil {
 			return nil, err
 		}
-		return rs[0], nil
+		s.solves.Add(1)
+		if plan.Tiled {
+			s.tiledSolves.Add(1)
+		}
+		outs, err := e.eng.Run(plan, req)
+		if err != nil {
+			return nil, err
+		}
+		return newResult(outs[0].Res, algo), nil
 	}
 
 	if s.cache == nil || q.NoCache {
@@ -313,7 +345,7 @@ func (s *Server) query(q Query, solveOpt Options) (*QueryResult, error) {
 		qr.Result, qr.Cache = v.(*Result), "bypass"
 		return qr, nil
 	}
-	v, outcome, err := s.cache.GetOrCompute(s.key(q.TerrainID, e, eye, solveOpt.Algorithm, q.MinDepth), solve)
+	v, outcome, err := s.cache.GetOrCompute(s.key(q.TerrainID, e, eye, algo, q.MinDepth), solve)
 	if err != nil {
 		return nil, err
 	}
@@ -336,30 +368,30 @@ func (s *Server) key(id string, e *serverTerrain, eye Point, algo Algorithm, min
 	}
 	b.WriteByte('|')
 	b.WriteString(string(algo))
-	if e.tiled != nil {
+	if e.tiled {
 		b.WriteString("|tiled")
 	}
 	return b.String()
 }
 
 // QueryMany answers one query template from many eye points — the
-// many-observer viewshed workload — sharing the batch engine's worker
-// budget policy: up to BatchOptions-style FrameWorkers eyes are in flight
-// concurrently (min(eyes, Workers)), each solving with its share of the
-// budget, while cache hits and coalesced eyes cost no solve at all.
-// Results are in eye order; q.Eye is ignored. On error, in-flight eyes
-// finish and the failure with the lowest index is reported.
+// many-observer viewshed workload — under the engine's worker budget
+// policy (engine.SplitBudget): up to min(eyes, Workers) eyes are in flight
+// concurrently, each solving with its share of the budget, while cache
+// hits and coalesced eyes cost no solve at all. Results are in eye order;
+// q.Eye is ignored. On error the failure with the lowest eye index is
+// reported deterministically (see engine.Frames).
 func (s *Server) QueryMany(q Query, eyes []Point) ([]*QueryResult, error) {
 	n := len(eyes)
 	if n == 0 {
 		return nil, nil
 	}
-	frameWorkers, frameOpt := frameBudget(BatchOptions{Options: Options{Algorithm: q.Algorithm, Workers: s.opt.Workers}}, n)
+	concurrent, perEye := engine.SplitBudget(s.opt.Workers, 0, n)
 	results := make([]*QueryResult, n)
-	if err := forFrames(frameWorkers, eyes, "query", func(i int) error {
+	if err := engine.Frames(concurrent, pts3(eyes), "query", func(i int) error {
 		qi := q
 		qi.Eye = eyes[i]
-		r, err := s.query(qi, frameOpt)
+		r, err := s.query(qi, perEye)
 		if err != nil {
 			return err
 		}
@@ -375,11 +407,16 @@ func (s *Server) QueryMany(q Query, eyes []Point) ([]*QueryResult, error) {
 func (s *Server) Stats() ServerStats {
 	s.mu.RLock()
 	terrains := len(s.terrains)
+	plans := make(map[string]string, terrains)
+	for id, e := range s.terrains {
+		plans[id] = e.plan
+	}
 	s.mu.RUnlock()
 	st := ServerStats{
 		Terrains:    terrains,
 		Solves:      s.solves.Load(),
 		TiledSolves: s.tiledSolves.Load(),
+		Plans:       plans,
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

@@ -2,6 +2,7 @@ package terrainhsr
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -403,4 +404,43 @@ func TestServerConcurrentRegisterAndQuery(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+func TestServerPlanExplain(t *testing.T) {
+	big := genTest(t, "fractal", 16, 16, 13)
+	small := genTest(t, "fractal", 6, 6, 13)
+	s := NewServer(ServerOptions{TileCells: 100}) // 256 >= 100 tiles; 36 does not
+	if err := s.Register("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("small", small); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if len(st.Plans) != 2 {
+		t.Fatalf("Stats().Plans has %d entries, want 2: %v", len(st.Plans), st.Plans)
+	}
+	if !strings.Contains(st.Plans["big"], "engine=batched-tiled") {
+		t.Fatalf("big plan %q does not route tiled", st.Plans["big"])
+	}
+	if strings.Contains(st.Plans["small"], "engine=batched-tiled") || !strings.Contains(st.Plans["small"], "threshold") {
+		t.Fatalf("small plan %q: want a non-tiled plan explaining the threshold decision", st.Plans["small"])
+	}
+
+	qr, err := s.Query(Query{TerrainID: "big", Eye: serverEye(0, 0, 0), MinDepth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Tiled || !strings.Contains(qr.Plan, "engine=batched-tiled") {
+		t.Fatalf("big query plan %q (tiled=%v), want a tiled plan", qr.Plan, qr.Tiled)
+	}
+	// Cache hits still report the plan the answer routes through.
+	hit, err := s.Query(Query{TerrainID: "big", Eye: serverEye(0, 0, 0), MinDepth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Cache != "hit" || hit.Plan != qr.Plan {
+		t.Fatalf("cache-hit plan %q (outcome %s), want %q", hit.Plan, hit.Cache, qr.Plan)
+	}
 }

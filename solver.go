@@ -2,9 +2,8 @@ package terrainhsr
 
 import (
 	"fmt"
-	"sync"
 
-	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/engine"
 )
 
 // Solver caches the view-dependent preprocessing of one terrain — the
@@ -13,14 +12,13 @@ import (
 // repeated benchmarking) skip it. The depth order depends only on the plan
 // projection, which is immutable for a Terrain.
 //
-// A Solver is safe for concurrent use: the cached state is read-only after
-// construction and each Solve call owns its working structures.
+// A Solver is a thin adapter over the internal/engine planner and executor;
+// the executor it carries shares the cached preparation and the tree-arena
+// pool across Solve, SolveMany and SolveStream calls. A Solver is safe for
+// concurrent use.
 type Solver struct {
-	t    *Terrain
-	prep *hsr.Prepared
-
-	batchOnce sync.Once
-	batch     *BatchSolver
+	t   *Terrain
+	eng *engine.Executor
 }
 
 // NewSolver prepares a terrain for repeated visibility queries.
@@ -28,11 +26,11 @@ func NewSolver(t *Terrain) (*Solver, error) {
 	if t == nil || t.t == nil {
 		return nil, fmt.Errorf("terrainhsr: nil terrain")
 	}
-	prep, err := hsr.Prepare(t.t)
-	if err != nil {
+	eng := engine.New(t.t, engine.Config{})
+	if err := eng.EnsurePrepared(); err != nil {
 		return nil, err
 	}
-	return &Solver{t: t, prep: prep}, nil
+	return &Solver{t: t, eng: eng}, nil
 }
 
 // Terrain returns the terrain this solver was built for.
@@ -42,13 +40,12 @@ func (s *Solver) Terrain() *Terrain { return s.t }
 // BruteForce and AllPairs are supported for completeness; they read the
 // terrain directly and need no order.
 func (s *Solver) Solve(opt Options) (*Result, error) {
-	return solveDispatch(s.t.t, func() (*hsr.Prepared, error) { return s.prep, nil }, opt, nil)
+	return runSingle(s.eng, singleRequest(opt, engine.ForceMonolithic), opt.Algorithm)
 }
 
 // SolveMany solves the solver's terrain from many perspective eye points
-// through the batch engine (see SolveBatch), sharing one lazily created
-// BatchSolver across calls so repeated batches reuse the same arena pools.
+// through the batch pipeline (see SolveBatch), sharing the solver's engine
+// executor so repeated batches reuse the same arena pools.
 func (s *Solver) SolveMany(eyes []Point, opt BatchOptions) ([]*Result, error) {
-	s.batchOnce.Do(func() { s.batch = newBatchSolverFrom(s.t) })
-	return s.batch.Solve(eyes, opt)
+	return runMany(s.eng, batchRequest(opt, eyes, engine.ForceMonolithic), opt.Algorithm)
 }

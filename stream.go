@@ -1,0 +1,103 @@
+package terrainhsr
+
+import (
+	"fmt"
+
+	"terrainhsr/internal/engine"
+	"terrainhsr/internal/hsr"
+)
+
+// This file is the streaming result surface: instead of materializing a
+// Result and its []Piece slice, a streaming solve hands every visible piece
+// to a caller-supplied sink as it is produced. Monolithic plans stream the
+// solver's pieces in canonical (Edge, X1, Z1) order; tiled plans flush each
+// front-to-back depth band as soon as it completes (canonically ordered
+// within the band), so a massive solve never holds a second copy of the
+// visible scene — nor, when tiled, even one full copy. Collecting a stream
+// and sorting it canonically yields exactly the pieces the materializing
+// path returns, bit for bit; the stream determinism tests and the hsrbench
+// ST1 experiment assert it.
+
+// PieceSink consumes streamed visible pieces; returning an error aborts the
+// solve and propagates the error to the caller.
+type PieceSink func(p Piece) error
+
+// StreamInfo summarizes a streaming solve: the sizes a Result would have
+// reported, plus the plan the engine chose.
+type StreamInfo struct {
+	// N is the input size (terrain edges) and K the number of visible
+	// pieces delivered to the sink.
+	N, K int
+	// Crossings counts the image vertex events discovered.
+	Crossings int64
+	// Algorithm is the solver that ran.
+	Algorithm Algorithm
+	// Plan is the executed plan's explanation (see ServerStats.Plans).
+	Plan string
+	// Tiled reports whether the plan routed through the tiled pipeline,
+	// and TileStats its effort report when it did.
+	Tiled     bool
+	TileStats TileStats
+}
+
+// runStream plans and executes a single-view streaming request.
+func runStream(e *engine.Executor, req engine.Request, algo Algorithm, sink PieceSink) (*StreamInfo, error) {
+	plan, err := e.Plan(req)
+	if err != nil {
+		return nil, err
+	}
+	st, err := e.RunStream(plan, req, func(p hsr.VisiblePiece) error {
+		return sink(toPiece(p))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamInfo{
+		N: st.N, K: st.K, Crossings: st.Crossings,
+		Algorithm: resolveAlgo(algo), Plan: plan.Explain(),
+		Tiled: st.Tiled, TileStats: publicTileStats(st.Tile),
+	}, nil
+}
+
+// SolveStream computes the visible scene and streams every piece to sink
+// instead of materializing a Result. Unlike Solve, the engine is planned
+// automatically: massive grid terrains route through the tiled pipeline
+// (flushing pieces band by band), everything else runs monolithically —
+// the same routing a Server applies.
+func SolveStream(t *Terrain, opt Options, sink PieceSink) (*StreamInfo, error) {
+	if t == nil || t.t == nil {
+		return nil, fmt.Errorf("terrainhsr: nil terrain")
+	}
+	return runStream(engine.New(t.t, engine.Config{}), singleRequest(opt, engine.Auto), opt.Algorithm, sink)
+}
+
+// SolveStream is the streaming form of Solver.Solve: pieces go to sink as
+// they are produced. The engine is planned automatically exactly as for the
+// package-level SolveStream, reusing the solver's cached state.
+func (s *Solver) SolveStream(opt Options, sink PieceSink) (*StreamInfo, error) {
+	return runStream(s.eng, singleRequest(opt, engine.Auto), opt.Algorithm, sink)
+}
+
+// SolveStream is the streaming form of TiledSolver.Solve: every depth
+// band's pieces are flushed to sink as soon as the band completes, so the
+// full visible scene is never materialized.
+func (ts *TiledSolver) SolveStream(opt Options, sink PieceSink) (*StreamInfo, error) {
+	return runStream(ts.eng, singleRequest(opt, engine.ForceTiled), opt.Algorithm, sink)
+}
+
+// SolveStreamFrom streams the visible scene from one perspective eye point:
+// the frame a SolveMany over []Point{eye} would solve, delivered piece by
+// piece instead of materialized. Consuming a long camera path frame by
+// frame through this method holds at most one frame in flight — the
+// streaming counterpart of SolveMany for render pipelines that do not need
+// every frame at once. FrameWorkers is ignored (there is one frame); the
+// whole Workers budget solves it.
+func (s *Solver) SolveStreamFrom(eye Point, opt BatchOptions, sink PieceSink) (*StreamInfo, error) {
+	return runStream(s.eng, batchRequest(opt, []Point{eye}, engine.Auto), opt.Algorithm, sink)
+}
+
+// SolveStreamFrom streams one perspective frame through the tiled
+// pipeline; see Solver.SolveStreamFrom.
+func (ts *TiledSolver) SolveStreamFrom(eye Point, opt BatchOptions, sink PieceSink) (*StreamInfo, error) {
+	return runStream(ts.eng, batchRequest(opt, []Point{eye}, engine.ForceTiled), opt.Algorithm, sink)
+}

@@ -2,7 +2,9 @@ package terrainhsr
 
 import (
 	"fmt"
+	"sync"
 
+	"terrainhsr/internal/engine"
 	"terrainhsr/internal/geom"
 	"terrainhsr/internal/hsr"
 	"terrainhsr/internal/terrain"
@@ -191,63 +193,99 @@ type Piece struct {
 type Result struct {
 	res  *hsr.Result
 	algo Algorithm
+
+	piecesOnce sync.Once
+	pieces     []Piece
 }
 
-// Solve computes the visible scene.
+// Solve computes the visible scene. It is a thin adapter over the
+// internal/engine planner and executor, planned with the monolithic engine
+// forced (the documented contract of Solve); use a Server or SolveStream
+// for size-based automatic routing.
 func Solve(t *Terrain, opt Options) (*Result, error) {
 	if t == nil || t.t == nil {
 		return nil, fmt.Errorf("terrainhsr: nil terrain")
 	}
-	return solveDispatch(t.t, func() (*hsr.Prepared, error) { return hsr.Prepare(t.t) }, opt, nil)
+	return runSingle(engine.New(t.t, engine.Config{}), singleRequest(opt, engine.ForceMonolithic), opt.Algorithm)
 }
 
-// solveDispatch is the single algorithm dispatch every entry point — Solve,
-// Solver.Solve, and the batch engine — routes through, so a new algorithm
-// is added in exactly one place. prepare supplies the depth order lazily:
-// the order-free quadratic baselines never pay for (or fail on) it, and
-// Solver passes its cached preparation. pool, when non-nil, supplies
-// recycled tree arenas to the algorithms that use persistent trees; it
-// never changes the computed pieces.
-func solveDispatch(tt *terrain.Terrain, prepare func() (*hsr.Prepared, error), opt Options, pool *hsr.OpsPool) (*Result, error) {
-	algo := opt.Algorithm
-	if algo == "" {
-		algo = Parallel
+// resolveAlgo applies the default algorithm.
+func resolveAlgo(a Algorithm) Algorithm {
+	if a == "" {
+		return Parallel
 	}
-	switch algo {
-	case BruteForce:
-		return wrapResult(algo)(hsr.BruteForce(tt))
-	case AllPairs:
-		return wrapResult(algo)(hsr.AllPairs(tt))
-	case Parallel, ParallelHulls, ParallelCopying, Sequential, SequentialTree:
-	default:
-		return nil, fmt.Errorf("terrainhsr: unknown algorithm %q", algo)
+	return a
+}
+
+// newResult tags an internal result with the algorithm that produced it.
+func newResult(r *hsr.Result, algo Algorithm) *Result {
+	return &Result{res: r, algo: resolveAlgo(algo)}
+}
+
+// singleRequest builds the engine request of a canonical-view solve.
+func singleRequest(opt Options, force engine.Force) engine.Request {
+	return engine.Request{
+		Algorithm: string(opt.Algorithm),
+		Workers:   opt.Workers,
+		Force:     force,
 	}
-	prep, err := prepare()
+}
+
+// batchRequest builds the engine request of a multi-viewpoint solve.
+func batchRequest(opt BatchOptions, eyes []Point, force engine.Force) engine.Request {
+	return engine.Request{
+		Algorithm:    string(opt.Algorithm),
+		Workers:      opt.Workers,
+		FrameWorkers: opt.FrameWorkers,
+		Perspective:  true,
+		Eyes:         pts3(eyes),
+		MinDepth:     opt.MinDepth,
+		Force:        force,
+	}
+}
+
+// pts3 converts public points to geometry points.
+func pts3(pts []Point) []geom.Pt3 {
+	out := make([]geom.Pt3, len(pts))
+	for i, p := range pts {
+		out[i] = pt3(p)
+	}
+	return out
+}
+
+// runSingle plans and executes a one-result request.
+func runSingle(e *engine.Executor, req engine.Request, algo Algorithm) (*Result, error) {
+	outs, _, err := runPlanned(e, req)
 	if err != nil {
 		return nil, err
 	}
-	switch algo {
-	case Parallel:
-		return wrapResult(algo)(prep.ParallelOS(hsr.OSOptions{Workers: opt.Workers, Pool: pool}))
-	case ParallelHulls:
-		return wrapResult(algo)(prep.ParallelOS(hsr.OSOptions{Workers: opt.Workers, WithHulls: true, Pool: pool}))
-	case ParallelCopying:
-		return wrapResult(algo)(prep.ParallelSimple(opt.Workers))
-	case Sequential:
-		return wrapResult(algo)(prep.Sequential())
-	default: // SequentialTree; the first switch rejected everything else.
-		return wrapResult(algo)(prep.SequentialTreePooled(false, pool))
-	}
+	return newResult(outs[0].Res, algo), nil
 }
 
-// wrapResult tags an internal result with the algorithm that produced it.
-func wrapResult(algo Algorithm) func(*hsr.Result, error) (*Result, error) {
-	return func(r *hsr.Result, err error) (*Result, error) {
-		if err != nil {
-			return nil, err
-		}
-		return &Result{res: r, algo: algo}, nil
+// runMany plans and executes a multi-frame request, wrapping every frame.
+func runMany(e *engine.Executor, req engine.Request, algo Algorithm) ([]*Result, error) {
+	outs, _, err := runPlanned(e, req)
+	if err != nil || len(outs) == 0 {
+		return nil, err
 	}
+	rs := make([]*Result, len(outs))
+	for i, oc := range outs {
+		rs[i] = newResult(oc.Res, algo)
+	}
+	return rs, nil
+}
+
+// runPlanned is the plan-then-execute step shared by every adapter.
+func runPlanned(e *engine.Executor, req engine.Request) ([]engine.Outcome, *engine.Plan, error) {
+	plan, err := e.Plan(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	outs, err := e.Run(plan, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs, plan, nil
 }
 
 // Algorithm returns the solver that produced this result.
@@ -260,13 +298,37 @@ func (r *Result) N() int { return r.res.N }
 // image has Theta(K) vertices and edges).
 func (r *Result) K() int { return r.res.K() }
 
-// Pieces returns the visible pieces sorted by edge and position.
+// Pieces returns the visible pieces sorted by edge and position. The
+// conversion is computed once and cached: every call returns the same
+// slice, which callers must treat as read-only (cache-hit server queries
+// already share the whole Result). Iterating with EachPiece avoids even the
+// one cached copy.
 func (r *Result) Pieces() []Piece {
-	out := make([]Piece, len(r.res.Pieces))
-	for i, p := range r.res.Pieces {
-		out[i] = Piece{Edge: p.Edge, X1: p.Span.X1, Z1: p.Span.Z1, X2: p.Span.X2, Z2: p.Span.Z2}
+	r.piecesOnce.Do(func() {
+		out := make([]Piece, len(r.res.Pieces))
+		for i, p := range r.res.Pieces {
+			out[i] = toPiece(p)
+		}
+		r.pieces = out
+	})
+	return r.pieces
+}
+
+// toPiece converts an internal visible piece to the public type.
+func toPiece(p hsr.VisiblePiece) Piece {
+	return Piece{Edge: p.Edge, X1: p.Span.X1, Z1: p.Span.Z1, X2: p.Span.X2, Z2: p.Span.Z2}
+}
+
+// EachPiece calls yield for every visible piece in canonical (edge,
+// position) order, stopping early if yield returns false. It is the
+// zero-copy alternative to Pieces: nothing is allocated, so massive scenes
+// can be walked without holding a second copy of the visible scene.
+func (r *Result) EachPiece(yield func(Piece) bool) {
+	for _, p := range r.res.Pieces {
+		if !yield(toPiece(p)) {
+			return
+		}
 	}
-	return out
 }
 
 // VisibleLength returns the total image-plane length of the visible scene.

@@ -3,21 +3,21 @@ package terrainhsr
 import (
 	"fmt"
 
-	"terrainhsr/internal/geom"
-	"terrainhsr/internal/hsr"
-	"terrainhsr/internal/terrain"
+	"terrainhsr/internal/engine"
 	"terrainhsr/internal/tile"
 )
 
-// This file is the tiled solve engine for massive terrains: the terrain is
-// partitioned into row×col tiles (package internal/tile), every tile is
-// solved independently by the ordinary algorithms, and the per-tile answers
-// are merged front to back through an accumulated silhouette envelope. The
-// visible scene is equivalent to the monolithic solve — same pieces up to
-// float tolerance at piece boundaries — while peak memory scales with one
-// band of tiles instead of the whole terrain, and tiles that are entirely
-// hidden behind nearer terrain are culled without being solved at all.
-// The hsrbench T1 experiment measures the trade.
+// This file is the public adapter of the tiled solve pipeline for massive
+// terrains: the terrain is partitioned into row×col tiles (package
+// internal/tile), every tile is solved independently by the ordinary
+// algorithms, and the per-tile answers are merged front to back through an
+// accumulated silhouette envelope. The visible scene is equivalent to the
+// monolithic solve — same pieces up to float tolerance at piece boundaries —
+// while peak memory scales with one band of tiles instead of the whole
+// terrain, and tiles that are entirely hidden behind nearer terrain are
+// culled without being solved at all. Routing, frame scheduling and
+// execution all live in internal/engine (the adapter plans with the tiled
+// engine forced); the hsrbench T1 experiment measures the trade.
 
 // TileOptions configures a TiledSolver's partition.
 type TileOptions struct {
@@ -45,15 +45,23 @@ type TileStats struct {
 	SilhouetteSize int
 }
 
-// TiledSolver solves a grid terrain tile by tile. It is safe for concurrent
-// use; the partition, edge index and arena pool it carries are shared by all
-// solves (and, for SolveMany, by all frames).
+// publicTileStats converts the internal tiling report.
+func publicTileStats(st tile.Stats) TileStats {
+	return TileStats{
+		Bands: st.Bands, Tiles: st.Tiles,
+		TilesSolved: st.TilesSolved, TilesCulled: st.TilesCulled,
+		LocalPieces: st.LocalPieces, SilhouetteSize: st.EnvelopeSize,
+	}
+}
+
+// TiledSolver solves a grid terrain tile by tile. It is a thin adapter over
+// the internal/engine planner and executor, planned with the tiled engine
+// forced. It is safe for concurrent use; the partition, edge index and
+// arena pool its executor carries are shared by all solves (and, for
+// SolveMany, by all frames).
 type TiledSolver struct {
-	t    *Terrain
-	part *tile.Partition
-	idx  *tile.EdgeIndex
-	topt TileOptions
-	pool *hsr.OpsPool
+	t   *Terrain
+	eng *engine.Executor
 }
 
 // NewTiledSolver plans the tiling of a grid terrain. The terrain must carry
@@ -63,18 +71,14 @@ func NewTiledSolver(t *Terrain, topt TileOptions) (*TiledSolver, error) {
 	if t == nil || t.t == nil {
 		return nil, fmt.Errorf("terrainhsr: nil terrain")
 	}
-	if !t.t.IsGrid() {
-		return nil, fmt.Errorf("terrainhsr: tiled solving needs a grid terrain (NewGridTerrain or Generate)")
-	}
-	part, err := tile.NewPartition(t.t.GridRows, t.t.GridCols, tile.Spec{TileRows: topt.TileRows, TileCols: topt.TileCols})
-	if err != nil {
+	eng := engine.New(t.t, engine.Config{
+		TileSpec: tile.Spec{TileRows: topt.TileRows, TileCols: topt.TileCols},
+		NoCull:   topt.DisableCulling,
+	})
+	if err := eng.EnsureTiles(); err != nil {
 		return nil, err
 	}
-	idx, err := tile.NewEdgeIndex(t.t)
-	if err != nil {
-		return nil, err
-	}
-	return &TiledSolver{t: t, part: part, idx: idx, topt: topt, pool: hsr.NewOpsPool()}, nil
+	return &TiledSolver{t: t, eng: eng}, nil
 }
 
 // Terrain returns the terrain this solver was built for.
@@ -82,7 +86,7 @@ func (ts *TiledSolver) Terrain() *Terrain { return ts.t }
 
 // TileGrid returns the partition's tile-grid dimensions: the number of
 // front-to-back bands and of tile columns per band.
-func (ts *TiledSolver) TileGrid() (bands, cols int) { return ts.part.NumBands, ts.part.NumCols }
+func (ts *TiledSolver) TileGrid() (bands, cols int) { return ts.eng.TileGrid() }
 
 // Solve computes the visible scene of the whole terrain through the tiled
 // pipeline. All algorithms of Options are supported; the result is
@@ -94,37 +98,11 @@ func (ts *TiledSolver) Solve(opt Options) (*Result, error) {
 
 // SolveWithStats is Solve plus the tiling effort report.
 func (ts *TiledSolver) SolveWithStats(opt Options) (*Result, TileStats, error) {
-	return ts.solveTerrain(ts.t.t, opt)
-}
-
-// solveTerrain runs the tiled pipeline on a (possibly per-frame transformed)
-// terrain sharing the base topology.
-func (ts *TiledSolver) solveTerrain(tt *terrain.Terrain, opt Options) (*Result, TileStats, error) {
-	algo := opt.Algorithm
-	if algo == "" {
-		algo = Parallel
-	}
-	solve := func(sub *terrain.Terrain, workers int) (*hsr.Result, error) {
-		o := Options{Algorithm: algo, Workers: workers}
-		r, err := solveDispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, o, ts.pool)
-		if err != nil {
-			return nil, err
-		}
-		return r.res, nil
-	}
-	hres, st, err := tile.Solve(tt, ts.part, ts.idx, solve, tile.Options{
-		Workers: opt.Workers,
-		NoCull:  ts.topt.DisableCulling,
-	})
+	outs, _, err := runPlanned(ts.eng, singleRequest(opt, engine.ForceTiled))
 	if err != nil {
 		return nil, TileStats{}, err
 	}
-	stats := TileStats{
-		Bands: st.Bands, Tiles: st.Tiles,
-		TilesSolved: st.TilesSolved, TilesCulled: st.TilesCulled,
-		LocalPieces: st.LocalPieces, SilhouetteSize: st.EnvelopeSize,
-	}
-	return &Result{res: hres, algo: algo}, stats, nil
+	return newResult(outs[0].Res, opt.Algorithm), publicTileStats(outs[0].Tile), nil
 }
 
 // SolveMany solves the terrain from many perspective eye points, tiled.
@@ -134,28 +112,7 @@ func (ts *TiledSolver) solveTerrain(tt *terrain.Terrain, opt Options) (*Result, 
 // every tile of every frame. Results are in eye order and each equivalent
 // to FromPerspective + Solve with the same Options.
 func (ts *TiledSolver) SolveMany(eyes []Point, opt BatchOptions) ([]*Result, error) {
-	n := len(eyes)
-	if n == 0 {
-		return nil, nil
-	}
-	frameWorkers, frameOpt := frameBudget(opt, n)
-	results := make([]*Result, n)
-	if err := forFrames(frameWorkers, eyes, "tiled frame", func(i int) error {
-		pt := geom.PerspectiveTransform{Eye: pt3(eyes[i]), MinDepth: opt.MinDepth}
-		tt, err := ts.t.t.TransformShared(pt.Apply)
-		if err != nil {
-			return err
-		}
-		r, _, err := ts.solveTerrain(tt, frameOpt)
-		if err != nil {
-			return err
-		}
-		results[i] = r
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return runMany(ts.eng, batchRequest(opt, eyes, engine.ForceTiled), opt.Algorithm)
 }
 
 // SolvePath solves every viewpoint of a camera path, tiled.
