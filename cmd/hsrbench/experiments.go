@@ -178,9 +178,9 @@ func expTH5(quick bool) {
 	tb.Render(os.Stdout)
 }
 
-// expL1: Lemma 3.1 — the profile of m segments by divide and conquer.
+// expLM1: Lemma 3.1 — the profile of m segments by divide and conquer.
 // Work should be O(m alpha(m) log m); depth O(log^2 m).
-func expL1(quick bool) {
+func expLM1(quick bool) {
 	sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
 	if quick {
 		sizes = []int{1 << 10, 1 << 12}
@@ -208,10 +208,10 @@ func expL1(quick bool) {
 	tb.Render(os.Stdout)
 }
 
-// expL6: Lemma 3.6 — detecting the intersections of a segment with a
+// expLM6: Lemma 3.6 — detecting the intersections of a segment with a
 // profile. Queries with no crossings should cost O(polylog); queries with
 // k_s crossings should cost O((1 + k_s) polylog).
-func expL6(quick bool) {
+func expLM6(quick bool) {
 	sizes := []int{1 << 10, 1 << 12, 1 << 14}
 	if quick {
 		sizes = []int{1 << 10, 1 << 12}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"terrainhsr/internal/dem"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/lod"
+	"terrainhsr/internal/metrics"
+	"terrainhsr/internal/store"
+	"terrainhsr/internal/terrain"
+	"terrainhsr/internal/workload"
+)
+
+// expL1: the LOD store pyramid on a massive terrain. The full ingestion
+// pipeline runs for real — heights out of the generator, conservative
+// pyramid (internal/lod), on-disk tiled store (internal/store), levels
+// loaded back — and three claims are measured:
+//
+//   - speedup: wall clock of solving each pyramid level, against the
+//     finest; the coarsest admissible level must be >= 2x faster (each
+//     level quarters the edge count, so the gain compounds),
+//   - exactness: the finest level loaded from the store solves to pieces
+//     byte-identical to solving the in-memory terrain directly (the store
+//     round trip and the ingestion reconstruction are both bit-exact),
+//   - conservativeness: line-of-sight sampling between the finest and the
+//     coarsest surface finds no point the coarse level reports visible
+//     that the fine level hides (coarse viewsheds may hide, never falsely
+//     reveal).
+func expL1(quick bool) {
+	size := 512
+	if quick {
+		size = 192
+	}
+	// The massive workload terrain, and its height lattice for ingestion.
+	// FromGrid reads the heights through the generator's shear, and
+	// ToTerrain re-applies the same shear, so the reconstruction below is
+	// the generated terrain bit for bit.
+	tt := gen(workload.Params{Kind: workload.Massive, Rows: size, Cols: size, Seed: 17})
+	d, err := dem.FromGrid(tt)
+	if err != nil {
+		log.Fatalf("hsrbench: %v", err)
+	}
+
+	dir, err := os.MkdirTemp("", "hsrbench-lod-*")
+	if err != nil {
+		log.Fatalf("hsrbench: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	storeDir := filepath.Join(dir, "terrain.store")
+	p, err := lod.Build(d, 0)
+	if err != nil {
+		log.Fatalf("hsrbench: %v", err)
+	}
+	if err := store.Write(storeDir, p.Levels, store.Spec{}); err != nil {
+		log.Fatalf("hsrbench: %v", err)
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		log.Fatalf("hsrbench: %v", err)
+	}
+	fmt.Printf("massive terrain %dx%d (n=%d edges), %d pyramid levels, store %s\n",
+		size, size, tt.NumEdges(), st.NumLevels(), humanBytes(storeSize(storeDir)))
+
+	directWall, direct := solveWall(tt)
+
+	tb := metrics.NewTable("level", "cell", "n", "k", "wall", "speedup vs finest", "store MB read")
+	var finestWall time.Duration
+	var coarsestSpeedup float64
+	exact := "n/a"
+	for l := 0; l < st.NumLevels(); l++ {
+		before := st.BytesLoaded()
+		ld, err := st.LoadLevel(l)
+		if err != nil {
+			log.Fatalf("hsrbench: %v", err)
+		}
+		lt, err := ld.ToTerrain(0)
+		if err != nil {
+			log.Fatalf("hsrbench: %v", err)
+		}
+		wall, res := solveWall(lt)
+		read := st.BytesLoaded() - before
+		if l == 0 {
+			finestWall = wall
+			if err := samePieces(direct, res); err != nil {
+				exact = fmt.Sprintf("NO: %v", err)
+			} else {
+				exact = "yes"
+			}
+		}
+		speedup := float64(finestWall) / float64(wall)
+		coarsestSpeedup = speedup
+		tb.AddRow(l, ld.CellSize, res.N, res.K(), wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%.1f", float64(read)/1e6))
+		record(benchRecord{Experiment: "L1", Variant: fmt.Sprintf("level%d", l),
+			WallMS: ms(wall), Extra: map[string]float64{
+				"cell": ld.CellSize, "n": float64(res.N), "k": float64(res.K()),
+				"speedup_vs_finest": speedup, "store_bytes": float64(read),
+			}})
+	}
+	tb.Render(os.Stdout)
+
+	fine, _ := st.LoadLevel(0)
+	coarse, _ := st.LoadLevel(st.NumLevels() - 1)
+	checked, falselyRevealed := losCompare(fine, coarse, size)
+
+	fmt.Printf("\nfinest-from-store == direct in-memory solve (byte-identical): %s (direct wall %s)\n",
+		exact, directWall.Round(time.Millisecond))
+	fmt.Printf("conservative occluders: %d/%d LOS samples falsely revealed by the coarsest level\n",
+		falselyRevealed, checked)
+	fmt.Printf("coarsest level speedup: %.2fx (acceptance floor 2x)\n", coarsestSpeedup)
+	if exact != "yes" {
+		fmt.Println("WARNING: finest level diverged from the direct solve")
+	}
+	if falselyRevealed > 0 {
+		fmt.Println("WARNING: conservative-occluder guarantee violated")
+	}
+	if coarsestSpeedup < 2 {
+		fmt.Println("WARNING: coarsest level under the 2x speedup floor")
+	}
+}
+
+// solveWall runs the default parallel algorithm and times it.
+func solveWall(t *terrain.Terrain) (time.Duration, *hsr.Result) {
+	t0 := time.Now()
+	r := mustOS(t, 0, false)
+	return time.Since(t0), r
+}
+
+// samePieces compares two solves for bit-identical visible pieces.
+func samePieces(a, b *hsr.Result) error {
+	if len(a.Pieces) != len(b.Pieces) {
+		return fmt.Errorf("piece counts differ: %d vs %d", len(a.Pieces), len(b.Pieces))
+	}
+	for i := range a.Pieces {
+		if a.Pieces[i] != b.Pieces[i] {
+			return fmt.Errorf("piece %d differs: %+v vs %+v", i, a.Pieces[i], b.Pieces[i])
+		}
+	}
+	return nil
+}
+
+// losCompare samples line-of-sight visibility of surface points on the
+// fine and coarse lattices from a fixed eye; a point visible over the
+// coarse surface but hidden by the fine one breaks the conservative
+// guarantee.
+func losCompare(fine, coarse *dem.DEM, size int) (checked, falselyRevealed int) {
+	eye := [3]float64{-float64(size) / 8, float64(size) / 2, 60}
+	r := rand.New(rand.NewSource(23))
+	span := float64(size) - 2
+	for q := 0; q < 2000; q++ {
+		x, y := 1+r.Float64()*span, 1+r.Float64()*span
+		z, ok := fine.SurfaceAt(x, y)
+		if !ok {
+			continue
+		}
+		checked++
+		if losVisible(coarse, eye, [3]float64{x, y, z}) && !losVisible(fine, eye, [3]float64{x, y, z}) {
+			falselyRevealed++
+		}
+	}
+	return checked, falselyRevealed
+}
+
+// losVisible marches the eye->target ray over the DEM surface.
+func losVisible(d *dem.DEM, eye, target [3]float64) bool {
+	const steps = 500
+	for s := 1; s < steps; s++ {
+		f := float64(s) / steps
+		x := eye[0] + f*(target[0]-eye[0])
+		y := eye[1] + f*(target[1]-eye[1])
+		z := eye[2] + f*(target[2]-eye[2])
+		if h, ok := d.SurfaceAt(x, y); ok && h > z+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// storeSize totals the files under a store directory.
+func storeSize(dir string) int64 {
+	var total int64
+	filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// humanBytes renders a byte count in MB.
+func humanBytes(b int64) string {
+	return fmt.Sprintf("%.1f MB", math.Round(float64(b)/1e5)/10)
+}

@@ -2,22 +2,28 @@
 // (see DESIGN.md section 4 and EXPERIMENTS.md): the Theorem 3.1 time and
 // work bounds (TH1, TH2), output sensitivity against the intersection count
 // (TH3), Brent speedup (TH4), comparison with the sequential algorithm
-// (TH5), the lemma-level costs (L1, L6), the structural figure analogues
+// (TH5), the lemma-level costs (LM1, LM6), the structural figure analogues
 // (F1, F2, F3), the design ablations (A1, A2), and the engine experiments:
 //
 // batched multi-viewpoint solving (B1), tiled solving of massive terrains
-// (T1), the cached viewshed query service (S1), and streaming piece
-// emission (ST1).
+// (T1), the cached viewshed query service (S1), streaming piece emission
+// (ST1), and the level-of-detail store pyramid (L1): coarse-level speedup,
+// finest-level exactness against the direct in-memory solve, and the
+// conservative-occluder guarantee on a massive terrain.
 //
 // Usage:
 //
-//	hsrbench [-exp all|TH1..TH5|L1|L6|F1..F3|A1|A2|B1|T1|S1|ST1|CHECK[,...]]
-//	         [-quick] [-json BENCH_PR4.json]
+//	hsrbench [-exp all|TH1..TH5|LM1|LM6|F1..F3|A1|A2|B1|T1|S1|ST1|L1|CHECK[,...]]
+//	         [-quick] [-json BENCH_PR5.json]
 //
 // -exp accepts a comma-separated list. -json writes the machine-readable
 // measurement records of the engine experiments (experiment id, wall
 // clock, peak heap, allocation volume, workers) as a JSON array — the
 // artifact CI uploads to track the performance trajectory.
+//
+// (Naming note: the Lemma 3.1/3.6 experiments were renamed L1/L6 -> LM1/LM6
+// when L1 became the LOD experiment, mirroring the earlier T1..T5 -> TH1..TH5
+// rename that freed T1 for the tiled engine.)
 package main
 
 import (
@@ -40,8 +46,8 @@ var experiments = []experiment{
 	{"TH3", "Output sensitivity — work tracks k, not the crossing count I", expTH3},
 	{"TH4", "Lemma 2.1 — Brent speedup with p processors", expTH4},
 	{"TH5", "Remark — parallel work within a polylog factor of sequential", expTH5},
-	{"L1", "Lemma 3.1 — profile construction cost", expL1},
-	{"L6", "Lemmas 3.2/3.6 — intersection query cost", expL6},
+	{"LM1", "Lemma 3.1 — profile construction cost", expLM1},
+	{"LM6", "Lemmas 3.2/3.6 — intersection query cost", expLM6},
 	{"F1", "Figure 1 — profile sharing across PCT layers", expF1},
 	{"F2", "Figure 2 — CG search structure shape", expF2},
 	{"F3", "Figure 3 — persistence vs copying storage", expF3},
@@ -51,11 +57,12 @@ var experiments = []experiment{
 	{"T1", "Tiled engine — massive-terrain wall clock, peak memory and equivalence", expT1},
 	{"S1", "Query service — cached viewshed throughput and hit rate on an observer-grid stream", expS1},
 	{"ST1", "Streaming emission — peak heap of streamed vs materialized massive solves", expST1},
+	{"L1", "LOD store — coarse-level speedup, finest exactness, conservative occluders", expL1},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, L1, L6, F1..F3, A1, A2, B1, T1, S1, ST1, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, F1..F3, A1, A2, B1, T1, S1, ST1, L1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
 	jsonPath := flag.String("json", "", "write machine-readable measurement records to this file (e.g. BENCH_PR4.json)")
 	flag.Parse()
@@ -94,6 +101,8 @@ func main() {
 			switch w {
 			case "T2", "T3", "T4", "T5":
 				fmt.Fprintf(os.Stderr, "note: the Theorem 3.1 experiments were renamed T1..T5 -> TH1..TH5; T1 now runs the tiled engine\n")
+			case "L6":
+				fmt.Fprintf(os.Stderr, "note: the lemma experiments were renamed L1/L6 -> LM1/LM6; L1 now runs the LOD store experiment\n")
 			}
 		}
 		os.Exit(2)

@@ -5,45 +5,62 @@
 //
 // Usage:
 //
-//	hsrserved [-addr :8080] [-terrain spec]... [-resolution 0.25]
-//	          [-cache 1024] [-shards 16] [-workers 0] [-tile-cells 262144]
+//	hsrserved [-addr :8080] [-terrain spec]... [-store spec]...
+//	          [-resolution 0.25] [-cache 1024] [-shards 16] [-workers 0]
+//	          [-tile-cells 262144]
 //
 // Each -terrain flag registers one synthetic terrain; the spec is a
 // comma-separated key=value list with the keys of terrainhsr.GenParams:
 //
 //	-terrain id=alps,kind=massive,rows=256,cols=256,seed=17
 //
-// With no -terrain flag a default "demo" terrain (fractal 48x48) is
-// registered so the server is immediately queryable.
+// Each -store flag registers an on-disk LOD terrain store built by
+// cmd/hsrstore (or terrainhsr.BuildStore):
+//
+//	-store id=alps,path=/data/alps.store
+//
+// Store terrains serve level-of-detail queries: pyramid levels page in
+// lazily from tile files the first time traffic routes to them, the budget
+// parameter picks the answering level, and progressive responses stream a
+// conservative coarse preview before the exact answer. With no -terrain or
+// -store flag a default "demo" terrain (fractal 48x48) is registered so
+// the server is immediately queryable.
 //
 // Endpoints:
 //
 //	GET /healthz   liveness probe; responds "ok".
 //	GET /statsz    JSON ServerStats: hits, misses, coalesced, evictions,
-//	               solves, cache entries.
-//	GET /terrains  JSON list of registered terrains and their sizes.
+//	               solves, cache entries, per-level LOD query counters and
+//	               store bytes loaded.
+//	GET /terrains  JSON list of registered terrains and their sizes
+//	               (manifest-derived for stores; listing never pages tiles).
 //	GET /viewshed  answer a viewshed query; parameters below.
 //
 // /viewshed parameters:
 //
-//	terrain    terrain ID (may be omitted when exactly one is registered)
-//	eye        "x,y,z" perspective eye point (required); repeat the
-//	           parameter (eye=...&eye=...) for a multi-eye batch query,
-//	           answered with a JSON summary only
-//	algorithm  solver name (default "parallel"; see /terrains for the list)
-//	mindepth   minimum eye-to-vertex depth (default the library default)
-//	format     json (default) | svg | ascii
-//	width      SVG pixel width (default 800) or ASCII columns (default 100)
-//	height     ASCII rows (default 30)
-//	nocache    "1" bypasses the result cache for this query
+//	terrain      terrain ID (may be omitted when exactly one is registered)
+//	eye          "x,y,z" perspective eye point (required); repeat the
+//	             parameter (eye=...&eye=...) for a multi-eye batch query,
+//	             answered with a JSON summary only
+//	algorithm    solver name (default "parallel"; see /terrains for the list)
+//	mindepth     minimum eye-to-vertex depth (default the library default)
+//	budget       resolution error budget in world units (store terrains
+//	             solve the coarsest pyramid level within it; default exact)
+//	progressive  "1" streams coarse-then-exact passes (JSON only): a
+//	             "passes" array whose entries carry the usual response
+//	             fields plus their own pieces
+//	format       json (default) | svg | ascii
+//	width        SVG pixel width (default 800) or ASCII columns (default 100)
+//	height       ASCII rows (default 30)
+//	nocache      "1" bypasses the result cache for this query
 //
 // The JSON response reports the quantized eye actually solved, the cache
 // outcome (hit / miss / coalesced / bypass), the engine plan the query took
-// (also visible per terrain on /statsz), timing, and the visible pieces.
-// Pieces are streamed into the response — JSON through Result.EachPiece and
-// SVG through the library's SVGStream — so even a massive scene is written
-// without materializing a second copy of it. ASCII renders through the same
-// display backend as before.
+// (also visible per terrain on /statsz), the LOD level that answered,
+// timing, and the visible pieces. Pieces are streamed into the response —
+// JSON through Result.EachPiece and SVG through the library's SVGStream —
+// so even a massive scene is written without materializing a second copy
+// of it. ASCII renders through the same display backend as before.
 package main
 
 import (
@@ -71,7 +88,7 @@ func (t *terrainSpecs) String() string { return strings.Join(*t, " ") }
 func (t *terrainSpecs) Set(v string) error { *t = append(*t, v); return nil }
 
 func main() {
-	var specs terrainSpecs
+	var specs, storeSpecs terrainSpecs
 	addr := flag.String("addr", ":8080", "listen address")
 	resolution := flag.Float64("resolution", 0.25, "viewpoint quantization grid spacing (0 = exact keys)")
 	cacheCap := flag.Int("cache", 1024, "result cache capacity (negative disables caching)")
@@ -79,6 +96,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker budget per query (0 = all CPUs)")
 	tileCells := flag.Int("tile-cells", 262144, "route grids with >= this many cells through the tiled engine (negative disables)")
 	flag.Var(&specs, "terrain", "terrain spec id=...,kind=...,rows=...,cols=...,seed=... (repeatable)")
+	flag.Var(&storeSpecs, "store", "LOD store spec id=...,path=... (repeatable; directories built by hsrstore)")
 	flag.Parse()
 
 	srv := terrainhsr.NewServer(terrainhsr.ServerOptions{
@@ -88,7 +106,7 @@ func main() {
 		Workers:       *workers,
 		TileCells:     *tileCells,
 	})
-	if len(specs) == 0 {
+	if len(specs) == 0 && len(storeSpecs) == 0 {
 		specs = terrainSpecs{"id=demo,kind=fractal,rows=48,cols=48,seed=7,amplitude=8"}
 	}
 	for _, spec := range specs {
@@ -100,6 +118,18 @@ func main() {
 			log.Fatalf("hsrserved: -terrain %q: %v", spec, err)
 		}
 		log.Printf("hsrserved: registered terrain %q (%d edges)", id, tr.NumEdges())
+	}
+	for _, spec := range storeSpecs {
+		id, path, err := parseStoreSpec(spec)
+		if err != nil {
+			log.Fatalf("hsrserved: -store %q: %v", spec, err)
+		}
+		if err := srv.RegisterStore(id, path); err != nil {
+			log.Fatalf("hsrserved: -store %q: %v", spec, err)
+		}
+		info, _ := srv.Describe(id)
+		log.Printf("hsrserved: registered store %q (%d levels, cells %v, %d edges at finest)",
+			id, info.Levels, info.CellSizes, info.Edges)
 	}
 
 	h := &handler{srv: srv}
@@ -155,6 +185,28 @@ func buildTerrain(spec string) (string, *terrainhsr.Terrain, error) {
 	return id, tr, err
 }
 
+// parseStoreSpec parses one -store spec: id=...,path=...
+func parseStoreSpec(spec string) (id, path string, err error) {
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return "", "", fmt.Errorf("malformed entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "id":
+			id = v
+		case "path":
+			path = v
+		default:
+			return "", "", fmt.Errorf("unknown key %q", k)
+		}
+	}
+	if id == "" || path == "" {
+		return "", "", fmt.Errorf("spec needs id=... and path=...")
+	}
+	return id, path, nil
+}
+
 // handler serves the HTTP endpoints for one Server.
 type handler struct {
 	srv *terrainhsr.Server
@@ -171,10 +223,13 @@ func (h *handler) statsz(w http.ResponseWriter, _ *http.Request) {
 
 // terrainInfo is one /terrains list entry.
 type terrainInfo struct {
-	ID        string `json:"id"`
-	Edges     int    `json:"edges"`
-	Vertices  int    `json:"vertices"`
-	Triangles int    `json:"triangles"`
+	ID        string    `json:"id"`
+	Edges     int       `json:"edges"`
+	Vertices  int       `json:"vertices"`
+	Triangles int       `json:"triangles"`
+	Levels    int       `json:"levels"`
+	CellSizes []float64 `json:"cell_sizes,omitempty"`
+	Store     string    `json:"store,omitempty"`
 }
 
 func (h *handler) terrains(w http.ResponseWriter, _ *http.Request) {
@@ -184,9 +239,11 @@ func (h *handler) terrains(w http.ResponseWriter, _ *http.Request) {
 		Algorithms []string      `json:"algorithms"`
 	}{Terrains: []terrainInfo{}}
 	for _, id := range ids {
-		if tr, ok := h.srv.Terrain(id); ok {
+		// Describe never pages store tiles, so listing stays cheap.
+		if info, ok := h.srv.Describe(id); ok {
 			out.Terrains = append(out.Terrains, terrainInfo{
-				ID: id, Edges: tr.NumEdges(), Vertices: tr.NumVertices(), Triangles: tr.NumTriangles(),
+				ID: id, Edges: info.Edges, Vertices: info.Vertices, Triangles: info.Triangles,
+				Levels: info.Levels, CellSizes: info.CellSizes, Store: info.Store,
 			})
 		}
 	}
@@ -207,9 +264,32 @@ type viewshedResponse struct {
 	Cache        string     `json:"cache"`
 	Tiled        bool       `json:"tiled"`
 	Plan         string     `json:"plan"`
+	Level        int        `json:"level"`
+	Levels       int        `json:"levels"`
+	CellSize     float64    `json:"cell_size,omitempty"`
+	Final        *bool      `json:"final,omitempty"`
 	N            int        `json:"n"`
 	K            int        `json:"k"`
 	ElapsedMS    float64    `json:"elapsed_ms"`
+}
+
+// responseFor fills the shared header fields of one answered query.
+func responseFor(id string, eye terrainhsr.Point, qr *terrainhsr.QueryResult, elapsed time.Duration) viewshedResponse {
+	return viewshedResponse{
+		Terrain:      id,
+		Eye:          [3]float64{eye.X, eye.Y, eye.Z},
+		QuantizedEye: [3]float64{qr.Eye.X, qr.Eye.Y, qr.Eye.Z},
+		Algorithm:    string(qr.Result.Algorithm()),
+		Cache:        qr.Cache,
+		Tiled:        qr.Tiled,
+		Plan:         qr.Plan,
+		Level:        qr.Level,
+		Levels:       qr.Levels,
+		CellSize:     qr.LevelCellSize,
+		N:            qr.Result.N(),
+		K:            qr.Result.K(),
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+	}
 }
 
 // writeViewshedJSON writes the response header fields followed by a
@@ -260,6 +340,95 @@ func writeViewshedJSON(w http.ResponseWriter, resp viewshedResponse, r *terrainh
 	io.WriteString(w, "\n  ]\n}\n")
 }
 
+// viewshedProgressive answers one progressive query: a JSON object whose
+// "passes" array streams the coarse preview pass followed by the exact
+// finest pass, each with the usual response fields plus its own pieces
+// (streamed piece by piece, like the single-pass response). The JSON
+// prologue is written only once the first pass has solved, so errors that
+// precede any output — unknown terrains, bad algorithms, unreadable
+// stores — still get a proper error status instead of truncated JSON.
+func (h *handler) viewshedProgressive(w http.ResponseWriter, base terrainhsr.Query) {
+	firstPass, passOpen, pieceFirst := true, false, false
+	err := h.srv.QueryProgressive(base,
+		func(p terrainhsr.ProgressivePass) error {
+			// Per-pass timing comes from the server: the pass's own answer
+			// time, excluding the streaming of other passes' pieces.
+			resp := responseFor(base.TerrainID, base.Eye, p.Result, p.Elapsed)
+			final := p.Final
+			resp.Final = &final
+			buf, err := json.MarshalIndent(resp, "    ", "  ")
+			if err != nil {
+				return err
+			}
+			buf = bytes.TrimSuffix(buf, []byte("\n    }"))
+			sep := ",\n    "
+			if firstPass {
+				w.Header().Set("Content-Type", "application/json")
+				if _, err := fmt.Fprintf(w, "{\n  \"terrain\": %q,\n  \"passes\": [", base.TerrainID); err != nil {
+					return err
+				}
+				firstPass, sep = false, "\n    "
+			}
+			if passOpen {
+				if err := closePass(w, pieceFirst); err != nil {
+					return err
+				}
+			}
+			passOpen = true
+			if _, err := io.WriteString(w, sep); err != nil {
+				return err
+			}
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			_, err = io.WriteString(w, ",\n      \"pieces\": [")
+			pieceFirst = true
+			return err
+		},
+		func(p terrainhsr.Piece) error {
+			b, err := json.Marshal(p)
+			if err != nil {
+				return err
+			}
+			sep := ",\n        "
+			if pieceFirst {
+				sep, pieceFirst = "\n        ", false
+			}
+			if _, err := io.WriteString(w, sep); err != nil {
+				return err
+			}
+			_, err = w.Write(b)
+			return err
+		})
+	if err != nil {
+		if firstPass {
+			// Nothing was written yet: report the failure properly.
+			httpErr(w, queryStatus(err), "%v", err)
+			return
+		}
+		// The status line and part of the body are already out; log that the
+		// stream was cut short rather than pretend it is whole.
+		log.Printf("hsrserved: progressive stream truncated: %v", err)
+		return
+	}
+	if passOpen {
+		if err := closePass(w, pieceFirst); err != nil {
+			return
+		}
+	}
+	io.WriteString(w, "\n  ]\n}\n")
+}
+
+// closePass terminates one pass object in a progressive response.
+func closePass(w io.Writer, pieceFirst bool) error {
+	if pieceFirst { // no pieces were streamed: close the empty array inline
+		_, err := io.WriteString(w, "]\n    }")
+		return err
+	}
+	_, err := io.WriteString(w, "\n      ]\n    }")
+	return err
+}
+
 // eyeSummary is one entry of a multi-eye /viewshed response.
 type eyeSummary struct {
 	Eye          [3]float64 `json:"eye"`
@@ -288,11 +457,20 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	budget := 0.0
+	if v := qv.Get("budget"); v != "" {
+		var err error
+		if budget, err = strconv.ParseFloat(v, 64); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad budget %q", v)
+			return
+		}
+	}
 	base := terrainhsr.Query{
-		TerrainID: id,
-		Algorithm: algo,
-		MinDepth:  minDepth,
-		NoCache:   qv.Get("nocache") == "1",
+		TerrainID:   id,
+		Algorithm:   algo,
+		MinDepth:    minDepth,
+		ErrorBudget: budget,
+		NoCache:     qv.Get("nocache") == "1",
 	}
 
 	eyeParams := qv["eye"]
@@ -301,6 +479,10 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(eyeParams) > 1 {
+		if qv.Get("progressive") == "1" {
+			httpErr(w, http.StatusBadRequest, "progressive responses answer a single eye")
+			return
+		}
 		h.viewshedMany(w, base, eyeParams)
 		return
 	}
@@ -310,6 +492,14 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	base.Eye = eye
+	if qv.Get("progressive") == "1" {
+		if f := qv.Get("format"); f != "" && f != "json" {
+			httpErr(w, http.StatusBadRequest, "progressive responses are JSON only")
+			return
+		}
+		h.viewshedProgressive(w, base)
+		return
+	}
 	t0 := time.Now()
 	qr, err := h.srv.Query(base)
 	if err != nil {
@@ -320,23 +510,14 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 
 	switch format := qv.Get("format"); format {
 	case "", "json":
-		resp := viewshedResponse{
-			Terrain:      id,
-			Eye:          [3]float64{eye.X, eye.Y, eye.Z},
-			QuantizedEye: [3]float64{qr.Eye.X, qr.Eye.Y, qr.Eye.Z},
-			Algorithm:    string(qr.Result.Algorithm()),
-			Cache:        qr.Cache,
-			Tiled:        qr.Tiled,
-			Plan:         qr.Plan,
-			N:            qr.Result.N(),
-			K:            qr.Result.K(),
-			ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
-		}
-		writeViewshedJSON(w, resp, qr.Result)
+		writeViewshedJSON(w, responseFor(id, eye, qr, elapsed), qr.Result)
 	case "svg":
-		tr, ok := h.srv.Terrain(id)
-		if !ok {
-			httpErr(w, http.StatusNotFound, "terrain %q vanished", id)
+		// Render against the level that actually answered: the pieces came
+		// from that level's surface, and a coarse answer must not page the
+		// finest level's tiles just to draw a frame.
+		tr, err := h.srv.LevelTerrain(id, qr.Level)
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, "terrain for render: %v", err)
 			return
 		}
 		persp, err := tr.FromPerspective(qr.Eye, minDepth)

@@ -1,0 +1,83 @@
+// Command hsrstore ingests a real-world elevation file into an on-disk
+// terrain store: it parses the DEM (ESRI ASCII grid .asc or SRTM .hgt),
+// fills nodata from valid neighbors, builds the conservative
+// level-of-detail pyramid (each coarser level over-approximates occluders,
+// so coarse viewsheds never falsely report visibility), and writes every
+// level as checksummed binary tiles behind a JSON manifest. The resulting
+// directory is what hsrserved's -store flag serves — with lazy per-level
+// tile paging, error-budget level picking and progressive coarse-then-
+// exact responses.
+//
+// Usage:
+//
+//	hsrstore -in alps.asc -out alps.store [-levels 0] [-tile 256] [-keep-nodata]
+//	hsrstore -info alps.store
+//
+// -levels bounds the pyramid depth (0 = automatic), -tile sets the tile
+// file extent in samples, and -keep-nodata refuses DEMs with holes instead
+// of filling them. -info prints the manifest summary of an existing store.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	terrainhsr "terrainhsr"
+	"terrainhsr/internal/store"
+)
+
+func main() {
+	in := flag.String("in", "", "input DEM file (.asc or .hgt)")
+	out := flag.String("out", "", "output store directory")
+	levels := flag.Int("levels", 0, "max pyramid levels (0 = automatic)")
+	tile := flag.Int("tile", 0, "tile file extent in samples (0 = 256)")
+	keepNodata := flag.Bool("keep-nodata", false, "refuse DEMs with nodata instead of filling")
+	info := flag.String("info", "", "print the manifest summary of an existing store and exit")
+	flag.Parse()
+
+	if *info != "" {
+		if err := describe(*info); err != nil {
+			log.Fatalf("hsrstore: %v", err)
+		}
+		return
+	}
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "hsrstore: need -in dem-file and -out store-dir (or -info store-dir)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	rep, err := terrainhsr.BuildStore(*in, *out, terrainhsr.StoreOptions{
+		Levels:      *levels,
+		TileSamples: *tile,
+		KeepNodata:  *keepNodata,
+	})
+	if err != nil {
+		log.Fatalf("hsrstore: %v", err)
+	}
+	fmt.Printf("hsrstore: ingested %s -> %s\n", *in, *out)
+	fmt.Printf("  finest level: %dx%d samples, cell size %g\n", rep.Rows, rep.Cols, rep.CellSize)
+	fmt.Printf("  pyramid levels: %d\n", rep.Levels)
+	if rep.NodataFilled > 0 {
+		fmt.Printf("  nodata samples filled: %d\n", rep.NodataFilled)
+	}
+	if err := describe(*out); err != nil {
+		log.Fatalf("hsrstore: %v", err)
+	}
+}
+
+// describe prints the per-level manifest summary of a store.
+func describe(dir string) error {
+	s, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-5s %-12s %-10s %s\n", "level", "samples", "cell size", "tile grid")
+	for l := 0; l < s.NumLevels(); l++ {
+		li := s.LevelInfo(l)
+		fmt.Printf("  %-5d %-12s %-10g %dx%d\n", l,
+			fmt.Sprintf("%dx%d", li.Rows, li.Cols), li.CellSize, li.TileGridRows, li.TileGridCols)
+	}
+	return nil
+}

@@ -1,11 +1,14 @@
 // Command terraingen generates synthetic terrains from the workload
-// catalogue and writes them as JSON (vertices + triangles) or Wavefront
-// OBJ, for use by hsrview or external tools.
+// catalogue and writes them as JSON (vertices + triangles), Wavefront OBJ,
+// or ESRI ASCII grid (.asc) — the last one feeds the DEM ingestion path
+// (hsrstore, hsrserved -store), so generated workloads round-trip through
+// the same pipeline real elevation data takes.
 //
 // Usage:
 //
 //	terraingen -kind fractal -rows 64 -cols 64 -seed 1 -amplitude 5 -o terrain.json
 //	terraingen -kind ridge -format obj -o terrain.obj
+//	terraingen -kind massive -rows 512 -cols 512 -format asc -o massive.asc
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"terrainhsr/internal/dem"
 	"terrainhsr/internal/workload"
 )
 
@@ -25,7 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	amplitude := flag.Float64("amplitude", 0, "relief amplitude (0 = default)")
 	ridge := flag.Float64("ridge", 0, "ridge height for -kind ridge (0 = default)")
-	format := flag.String("format", "json", "output format: json | obj")
+	format := flag.String("format", "json", "output format: json | obj | asc (ESRI ASCII grid of the height lattice)")
 	out := flag.String("o", "-", "output file (- = stdout)")
 	flag.Parse()
 
@@ -51,6 +55,14 @@ func main() {
 		err = t.WriteJSON(w)
 	case "obj":
 		err = t.WriteOBJ(w)
+	case "asc":
+		// The .asc carries the height lattice only; ingestion (dem.ToTerrain)
+		// re-applies the same general-position shear the generator used, so
+		// the round-tripped terrain is the generated one exactly.
+		var d *dem.DEM
+		if d, err = dem.FromGrid(t); err == nil {
+			err = dem.WriteASC(w, d)
+		}
 	default:
 		log.Fatalf("terraingen: unknown format %q", *format)
 	}

@@ -47,6 +47,17 @@
 // without ever being held in memory; Result.EachPiece walks a
 // materialized scene with the same zero-copy discipline.
 //
+// Real-world elevation data enters through the persistence subsystem:
+// BuildStore ingests an ESRI ASCII grid or SRTM .hgt DEM (internal/dem),
+// builds a conservative level-of-detail pyramid in which every coarser
+// surface lies on or above the finer ones (internal/lod — coarse
+// viewsheds may hide but never falsely reveal), and writes an on-disk
+// tiled store (internal/store) that Server.RegisterStore serves with lazy
+// per-level paging: Query.ErrorBudget picks the coarsest admissible
+// pyramid level, QueryProgressive streams a trustworthy coarse preview
+// before the exact finest answer, and the finest level solves
+// byte-identically to the directly ingested terrain (TerrainFromDEM).
+//
 // ALGORITHM.md maps the paper's phases, lemmas and data structures to the
 // internal packages; docs/API.md is the task-oriented API guide with the
 // engine and planner overview; cmd/hsrbench regenerates the

@@ -1,0 +1,182 @@
+package dem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ASCNodata is the nodata sentinel WriteASC emits (the ESRI convention).
+const ASCNodata = -9999.0
+
+// ParseASC parses an ESRI ASCII grid: a header of key/value lines (ncols,
+// nrows, xllcorner|xllcenter, yllcorner|yllcenter, cellsize, and optionally
+// nodata_value), followed by nrows*ncols whitespace-separated heights. Keys
+// are case-insensitive and the header may list them in any order; center
+// registrations are converted to the corner convention. Samples equal to the
+// nodata value become NaN; explicit non-finite heights in the data are
+// rejected (they could otherwise leak into a solver).
+//
+// Orientation: the first data row becomes row 0 — the nearest depth row of
+// the canonical view. WriteASC emits the same order, so write + parse is the
+// identity; ingesting a north-up GIS export simply views the terrain from
+// its southern edge.
+func ParseASC(r io.Reader) (*DEM, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	hdr := map[string]float64{}
+	var fields []string
+	for fields == nil && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fs := strings.Fields(line)
+		switch key := strings.ToLower(fs[0]); key {
+		case "ncols", "nrows", "xllcorner", "yllcorner", "xllcenter", "yllcenter", "cellsize", "nodata_value":
+			if len(fs) != 2 {
+				return nil, fmt.Errorf("dem: ASC header line %q: want key value", line)
+			}
+			v, err := strconv.ParseFloat(fs[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dem: ASC header %s: %v", key, err)
+			}
+			if _, dup := hdr[key]; dup {
+				return nil, fmt.Errorf("dem: ASC header repeats %s", key)
+			}
+			hdr[key] = v
+		default:
+			// First data line; keep its fields for the sample loop below.
+			fields = fs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dem: ASC read: %w", err)
+	}
+
+	need := func(key string) (float64, error) {
+		v, ok := hdr[key]
+		if !ok {
+			return 0, fmt.Errorf("dem: ASC header missing %s", key)
+		}
+		return v, nil
+	}
+	ncols, err := need("ncols")
+	if err != nil {
+		return nil, err
+	}
+	nrows, err := need("nrows")
+	if err != nil {
+		return nil, err
+	}
+	cell, err := need("cellsize")
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := int(nrows), int(ncols)
+	if float64(rows) != nrows || float64(cols) != ncols {
+		return nil, fmt.Errorf("dem: ASC nrows/ncols must be integers, got %v x %v", nrows, ncols)
+	}
+	d, err := New(rows, cols, cell)
+	if err != nil {
+		return nil, err
+	}
+	// Either registration convention; centers shift by half a cell.
+	if x, ok := hdr["xllcorner"]; ok {
+		d.XLL = x
+	} else if x, ok := hdr["xllcenter"]; ok {
+		d.XLL = x - cell/2
+	}
+	if y, ok := hdr["yllcorner"]; ok {
+		d.YLL = y
+	} else if y, ok := hdr["yllcenter"]; ok {
+		d.YLL = y - cell/2
+	}
+	nodata, hasNodata := hdr["nodata_value"]
+
+	k := 0
+	store := func(tok string) error {
+		if k >= len(d.Heights) {
+			return fmt.Errorf("dem: ASC has more than %d samples", len(d.Heights))
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return fmt.Errorf("dem: ASC sample %d: %v", k, err)
+		}
+		if hasNodata && v == nodata {
+			v = math.NaN()
+		} else if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dem: ASC sample %d is non-finite (%v)", k, v)
+		}
+		d.Heights[k] = v
+		k++
+		return nil
+	}
+	for _, tok := range fields {
+		if err := store(tok); err != nil {
+			return nil, err
+		}
+	}
+	for sc.Scan() {
+		for _, tok := range strings.Fields(sc.Text()) {
+			if err := store(tok); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dem: ASC read: %w", err)
+	}
+	if k != len(d.Heights) {
+		return nil, fmt.Errorf("dem: ASC has %d samples, want %d", k, len(d.Heights))
+	}
+	return d, nil
+}
+
+// WriteASC writes the DEM as an ESRI ASCII grid. Heights use the shortest
+// decimal representation that round-trips the exact float64, so
+// WriteASC + ParseASC is bit-identical; NaN samples are written as the
+// nodata value, which starts at the ESRI convention and moves out of the
+// way if a finite sample happens to equal it.
+func WriteASC(w io.Writer, d *DEM) error {
+	nodata := ASCNodata
+	for collides(d, nodata) {
+		nodata = nodata*2 - 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "ncols %d\n", d.Cols)
+	fmt.Fprintf(bw, "nrows %d\n", d.Rows)
+	fmt.Fprintf(bw, "xllcorner %s\n", strconv.FormatFloat(d.XLL, 'g', -1, 64))
+	fmt.Fprintf(bw, "yllcorner %s\n", strconv.FormatFloat(d.YLL, 'g', -1, 64))
+	fmt.Fprintf(bw, "cellsize %s\n", strconv.FormatFloat(d.CellSize, 'g', -1, 64))
+	fmt.Fprintf(bw, "NODATA_value %s\n", strconv.FormatFloat(nodata, 'g', -1, 64))
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if j > 0 {
+				bw.WriteByte(' ')
+			}
+			v := d.At(i, j)
+			if math.IsNaN(v) {
+				v = nodata
+			}
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// collides reports whether any finite sample equals the candidate nodata
+// sentinel (which would turn it into a hole on re-parse).
+func collides(d *DEM, nodata float64) bool {
+	for _, v := range d.Heights {
+		if v == nodata {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,247 @@
+package dem
+
+import (
+	"fmt"
+	"math"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/terrain"
+)
+
+// MaxSamples bounds Rows*Cols for parsed DEMs: large enough for every real
+// SRTM tile (3601x3601 ~ 13M samples) while keeping a hostile header from
+// allocating unbounded memory before any data is read.
+const MaxSamples = 1 << 24
+
+// DefaultShear is the plan shear ToTerrain applies by default — the same
+// general-position nudge the synthetic workload generators use, so terrains
+// ingested from a DEM and terrains generated in memory go through identical
+// construction.
+const DefaultShear = 0.07
+
+// DEM is a rectangular lattice of height samples. Row i runs along the
+// viewing (depth, x) axis and column j across it (y), matching
+// terrain.HeightFn; sample (i, j) sits at world position
+// (XLL + i*CellSize, YLL + j*CellSize). Missing samples (the file formats'
+// nodata) are NaN.
+type DEM struct {
+	// Rows and Cols are the sample counts per axis (vertices, not cells).
+	Rows, Cols int
+	// CellSize is the sample spacing in world units, identical on both axes.
+	CellSize float64
+	// XLL and YLL are the world coordinates of sample (0, 0).
+	XLL, YLL float64
+	// Heights holds the samples row-major: sample (i, j) is Heights[i*Cols+j].
+	// NaN marks nodata.
+	Heights []float64
+}
+
+// New allocates a DEM of the given shape with every sample zero.
+func New(rows, cols int, cellSize float64) (*DEM, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("dem: need at least 2x2 samples, got %dx%d", rows, cols)
+	}
+	if rows > MaxSamples/cols {
+		return nil, fmt.Errorf("dem: %dx%d exceeds the %d-sample limit", rows, cols, MaxSamples)
+	}
+	if cellSize <= 0 || math.IsInf(cellSize, 0) || math.IsNaN(cellSize) {
+		return nil, fmt.Errorf("dem: cell size must be positive and finite, got %v", cellSize)
+	}
+	return &DEM{Rows: rows, Cols: cols, CellSize: cellSize, Heights: make([]float64, rows*cols)}, nil
+}
+
+// At returns sample (i, j); NaN marks nodata.
+func (d *DEM) At(i, j int) float64 { return d.Heights[i*d.Cols+j] }
+
+// Set assigns sample (i, j).
+func (d *DEM) Set(i, j int, v float64) { d.Heights[i*d.Cols+j] = v }
+
+// NumNodata counts the missing (NaN) samples.
+func (d *DEM) NumNodata() int {
+	n := 0
+	for _, v := range d.Heights {
+		if math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (d *DEM) Clone() *DEM {
+	c := *d
+	c.Heights = append([]float64(nil), d.Heights...)
+	return &c
+}
+
+// Equal reports whether two DEMs have identical shape, georeferencing and
+// bit-identical heights (NaNs compare equal to NaNs) — the round-trip
+// criterion of the store tests.
+func (d *DEM) Equal(o *DEM) bool {
+	if d.Rows != o.Rows || d.Cols != o.Cols ||
+		d.CellSize != o.CellSize || d.XLL != o.XLL || d.YLL != o.YLL ||
+		len(d.Heights) != len(o.Heights) {
+		return false
+	}
+	for k, v := range d.Heights {
+		if math.Float64bits(v) != math.Float64bits(o.Heights[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FillNodata replaces every NaN sample with the average of its valid
+// 8-neighborhood, dilating iteratively so interior holes of any size fill
+// from their rims. It returns the number of samples filled and fails only
+// when the DEM has no valid sample at all.
+func (d *DEM) FillNodata() (int, error) {
+	missing := make([]int, 0)
+	for k, v := range d.Heights {
+		if math.IsNaN(v) {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) == 0 {
+		return 0, nil
+	}
+	if len(missing) == len(d.Heights) {
+		return 0, fmt.Errorf("dem: every sample is nodata; nothing to fill from")
+	}
+	filled := 0
+	for len(missing) > 0 {
+		// One dilation round: fill every missing sample that currently has a
+		// valid neighbor, from this round's snapshot (values written in a
+		// round do not feed the same round, keeping the fill front symmetric).
+		next := missing[:0]
+		fills := make(map[int]float64, len(missing))
+		for _, k := range missing {
+			i, j := k/d.Cols, k%d.Cols
+			sum, cnt := 0.0, 0
+			for di := -1; di <= 1; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					ni, nj := i+di, j+dj
+					if (di == 0 && dj == 0) || ni < 0 || nj < 0 || ni >= d.Rows || nj >= d.Cols {
+						continue
+					}
+					if v := d.At(ni, nj); !math.IsNaN(v) {
+						sum += v
+						cnt++
+					}
+				}
+			}
+			if cnt > 0 {
+				fills[k] = sum / float64(cnt)
+			} else {
+				next = append(next, k)
+			}
+		}
+		for k, v := range fills {
+			d.Heights[k] = v
+			filled++
+		}
+		missing = next
+	}
+	return filled, nil
+}
+
+// HeightFn adapts the lattice to terrain.Grid's sampling callback.
+func (d *DEM) HeightFn() terrain.HeightFn {
+	return func(i, j int) float64 { return d.At(i, j) }
+}
+
+// ToTerrain triangulates the DEM into the canonical grid TIN: cells of
+// CellSize spacing, the diagonal split of terrain.Grid, and a small plan
+// shear for general position (shear 0 selects DefaultShear, negative
+// disables — the exact convention of the synthetic generators, so DEM-built
+// and generated terrains are constructed identically). Nodata must be
+// filled first: Grid.Build rejects non-finite heights.
+func (d *DEM) ToTerrain(shear float64) (*terrain.Terrain, error) {
+	t, err := terrain.Grid{
+		Rows: d.Rows - 1, Cols: d.Cols - 1,
+		Dx: d.CellSize, Dy: d.CellSize,
+		H: d.HeightFn(),
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	if shear == 0 {
+		shear = DefaultShear
+	}
+	if shear > 0 {
+		s := shear
+		if t, err = t.Transform(func(q geom.Pt3) (geom.Pt3, error) {
+			q.Y += s * q.X
+			return q, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// SurfaceAt evaluates the TIN surface ToTerrain builds, in unsheared lattice
+// coordinates (x along rows, y along columns, world units relative to XLL,
+// YLL = 0): the containing cell is located directly and the height
+// interpolated over the same diagonal split terrain.Grid uses. ok is false
+// outside the lattice or when the surrounding samples include nodata. The
+// shear never changes heights, so dominance checks between pyramid levels
+// can sample here instead of scanning the triangulation.
+func (d *DEM) SurfaceAt(x, y float64) (float64, bool) {
+	fx, fy := x/d.CellSize, y/d.CellSize
+	if fx < 0 || fy < 0 || fx > float64(d.Rows-1) || fy > float64(d.Cols-1) {
+		return 0, false
+	}
+	i, j := int(fx), int(fy)
+	if i >= d.Rows-1 {
+		i = d.Rows - 2
+	}
+	if j >= d.Cols-1 {
+		j = d.Cols - 2
+	}
+	u, v := fx-float64(i), fy-float64(j)
+	za, zb, zc, zd := d.At(i, j), d.At(i+1, j), d.At(i+1, j+1), d.At(i, j+1)
+	if math.IsNaN(za) || math.IsNaN(zb) || math.IsNaN(zc) || math.IsNaN(zd) {
+		return 0, false
+	}
+	// Grid.Build splits the cell along the a(i,j)-c(i+1,j+1) diagonal into
+	// triangles (a, b, c) and (a, c, d); u >= v falls in the former.
+	if u >= v {
+		return za + u*(zb-za) + v*(zc-zb), true
+	}
+	return za + v*(zd-za) + u*(zc-zd), true
+}
+
+// FromGrid extracts the height lattice of a grid terrain (built by
+// terrain.Grid or a plan transform of one): vertex (i, j) of the canonical
+// layout becomes sample (i, j). DEMs carry one spacing for both axes, so
+// the terrain's cells must be square; non-square grids are rejected rather
+// than silently distorted. The spacings are recovered where plan shears
+// cannot touch them — Dx from the depth axis, Dy along the zero-depth row.
+//
+// Heights always round-trip bit-exactly. The plan geometry round-trips
+// exactly for terrains using the default shear convention (workload
+// generators, ToTerrain with shear 0): FromGrid + WriteASC + ParseASC +
+// ToTerrain then reproduces the terrain bit for bit. A custom shear is not
+// representable in the DEM and is re-imposed by ToTerrain's own argument.
+func FromGrid(t *terrain.Terrain) (*DEM, error) {
+	if !t.IsGrid() {
+		return nil, fmt.Errorf("dem: terrain carries no grid metadata (built by something other than terrain.Grid)")
+	}
+	rows, cols := t.GridRows+1, t.GridCols+1
+	dx := t.Verts[cols].X - t.Verts[0].X
+	dy := t.Verts[1].Y - t.Verts[0].Y // vertex (0,1) sits at depth 0: shear-free
+	if dx != dy {
+		return nil, fmt.Errorf("dem: grid cells are %gx%g; a DEM needs square cells", dx, dy)
+	}
+	d, err := New(rows, cols, dx)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			d.Set(i, j, t.Verts[i*cols+j].Z)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,223 @@
+package dem
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"terrainhsr/internal/terrain"
+)
+
+// randomDEM builds a deterministic random lattice with optional nodata holes.
+func randomDEM(t *testing.T, rows, cols int, holes int, seed int64) *DEM {
+	t.Helper()
+	d, err := New(rows, cols, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for k := range d.Heights {
+		d.Heights[k] = math.Round(r.Float64()*2000-500) / 4
+	}
+	for h := 0; h < holes; h++ {
+		d.Heights[r.Intn(len(d.Heights))] = math.NaN()
+	}
+	return d
+}
+
+func TestASCRoundTrip(t *testing.T) {
+	d := randomDEM(t, 21, 17, 25, 1)
+	d.XLL, d.YLL = -12.5, 400.25
+	var buf bytes.Buffer
+	if err := WriteASC(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseASC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(back) {
+		t.Fatal("ASC round-trip is not bit-identical")
+	}
+}
+
+func TestASCNodataCollision(t *testing.T) {
+	d := randomDEM(t, 4, 4, 0, 2)
+	d.Set(1, 1, ASCNodata) // a real height equal to the default sentinel
+	d.Set(2, 2, math.NaN())
+	var buf bytes.Buffer
+	if err := WriteASC(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseASC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(back) {
+		t.Fatal("writer let a finite sample collide with the nodata sentinel")
+	}
+	if math.IsNaN(back.At(1, 1)) || !math.IsNaN(back.At(2, 2)) {
+		t.Fatal("nodata mask corrupted by sentinel collision")
+	}
+}
+
+func TestASCHeaderVariants(t *testing.T) {
+	src := `NROWS 2
+NCOLS 3
+CELLSIZE 2.5
+xllcenter 1.25
+yllcenter 2.25
+1 2 3
+4 5 6
+`
+	d, err := ParseASC(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows != 2 || d.Cols != 3 || d.CellSize != 2.5 {
+		t.Fatalf("bad shape: %+v", d)
+	}
+	// Center registration shifts by half a cell.
+	if d.XLL != 0 || d.YLL != 1 {
+		t.Fatalf("center registration not converted: XLL=%v YLL=%v", d.XLL, d.YLL)
+	}
+	if d.At(0, 0) != 1 || d.At(1, 2) != 6 {
+		t.Fatal("sample order wrong")
+	}
+}
+
+func TestASCRejects(t *testing.T) {
+	cases := map[string]string{
+		"missing cellsize": "ncols 2\nnrows 2\n1 2 3 4\n",
+		"short data":       "ncols 2\nnrows 2\ncellsize 1\n1 2 3\n",
+		"excess data":      "ncols 2\nnrows 2\ncellsize 1\n1 2 3 4 5\n",
+		"non-finite":       "ncols 2\nnrows 2\ncellsize 1\n1 2 NaN 4\n",
+		"huge allocation":  "ncols 99999999\nnrows 99999999\ncellsize 1\n1\n",
+		"fractional rows":  "ncols 2\nnrows 1.5\ncellsize 1\n1 2 3\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseASC(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: parse accepted bad input", name)
+		}
+	}
+}
+
+func TestHGTRoundTrip(t *testing.T) {
+	d := randomDEM(t, 9, 9, 6, 3)
+	for k, v := range d.Heights { // make every height int16-exact
+		if !math.IsNaN(v) {
+			d.Heights[k] = math.Round(v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteHGT(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseHGT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(back) {
+		t.Fatal("HGT round-trip is not bit-identical")
+	}
+}
+
+func TestHGTRejects(t *testing.T) {
+	if _, err := ParseHGT(bytes.NewReader(make([]byte, 11))); err == nil {
+		t.Error("odd byte count accepted")
+	}
+	if _, err := ParseHGT(bytes.NewReader(make([]byte, 2*5))); err == nil {
+		t.Error("non-square sample count accepted")
+	}
+	if _, err := ParseHGT(bytes.NewReader(make([]byte, 2))); err == nil {
+		t.Error("1x1 tile accepted")
+	}
+}
+
+func TestFillNodata(t *testing.T) {
+	d := randomDEM(t, 12, 12, 0, 4)
+	// Punch a 4x4 interior hole; it must fill from the rim inwards.
+	for i := 4; i < 8; i++ {
+		for j := 4; j < 8; j++ {
+			d.Set(i, j, math.NaN())
+		}
+	}
+	filled, err := d.FillNodata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled != 16 || d.NumNodata() != 0 {
+		t.Fatalf("filled %d, %d still missing", filled, d.NumNodata())
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range d.Heights {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	for i := 4; i < 8; i++ {
+		for j := 4; j < 8; j++ {
+			if v := d.At(i, j); v < lo || v > hi {
+				t.Fatalf("fill at (%d,%d) = %v outside the valid range [%v, %v]", i, j, v, lo, hi)
+			}
+		}
+	}
+
+	all, _ := New(3, 3, 1)
+	for k := range all.Heights {
+		all.Heights[k] = math.NaN()
+	}
+	if _, err := all.FillNodata(); err == nil {
+		t.Fatal("all-nodata DEM filled from nothing")
+	}
+}
+
+func TestToTerrainMatchesSurfaceAt(t *testing.T) {
+	d := randomDEM(t, 9, 7, 0, 5)
+	tt, err := d.ToTerrain(-1) // no shear: HeightAt sampling is direct
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.IsGrid() || tt.GridRows != 8 || tt.GridCols != 6 {
+		t.Fatalf("grid metadata wrong: %dx%d", tt.GridRows, tt.GridCols)
+	}
+	r := rand.New(rand.NewSource(6))
+	for q := 0; q < 200; q++ {
+		x, y := r.Float64()*8, r.Float64()*6
+		want, ok1 := tt.HeightAt(x, y)
+		got, ok2 := d.SurfaceAt(x, y)
+		if !ok1 || !ok2 {
+			t.Fatalf("sample (%v,%v) outside domain (%v, %v)", x, y, ok1, ok2)
+		}
+		if math.Abs(want-got) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("SurfaceAt(%v,%v) = %v, TIN says %v", x, y, got, want)
+		}
+	}
+}
+
+func TestToTerrainRejectsNodata(t *testing.T) {
+	d := randomDEM(t, 4, 4, 0, 7)
+	d.Set(1, 2, math.NaN())
+	if _, err := d.ToTerrain(0); err == nil {
+		t.Fatal("unfilled nodata reached the triangulation")
+	}
+}
+
+func TestFromGridRoundTrip(t *testing.T) {
+	d := randomDEM(t, 6, 8, 0, 8)
+	d.CellSize = 2
+	tt, err := d.ToTerrain(0) // default shear; FromGrid must see through it
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromGrid(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(d) {
+		t.Fatal("FromGrid does not invert ToTerrain on heights")
+	}
+	if _, err := FromGrid(&terrain.Terrain{}); err == nil {
+		t.Fatal("FromGrid accepted a non-grid terrain")
+	}
+}

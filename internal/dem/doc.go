@@ -1,0 +1,14 @@
+// Package dem parses and writes real-world digital elevation models: ESRI
+// ASCII grids (.asc) and SRTM height tiles (.hgt), the two formats massive
+// grid-terrain pipelines overwhelmingly start from (Haverkort & Toma's
+// comparison of I/O-efficient visibility algorithms runs on exactly these).
+//
+// A DEM is a rectangular lattice of height samples with a uniform spacing;
+// missing measurements (the formats' nodata values) become NaN in memory so
+// they can never silently flow into a solver — terrain.Grid.Build rejects
+// non-finite heights, and FillNodata repairs gaps from valid neighbors
+// before triangulation. ToTerrain builds the canonical grid TIN (the same
+// layout terrain.Grid stamps, so the tiled engine and the LOD pyramid both
+// apply), and SurfaceAt evaluates that TIN directly on the lattice, which
+// is what the conservative-occluder tests of package lod sample.
+package dem

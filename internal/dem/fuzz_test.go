@@ -1,0 +1,81 @@
+package dem
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzParseASC feeds arbitrary text to the ASC parser. Accepted inputs must
+// satisfy the parser's own contract: a well-shaped lattice with only finite
+// or NaN samples, and a write + re-parse that reproduces it bit for bit.
+func FuzzParseASC(f *testing.F) {
+	f.Add("ncols 2\nnrows 2\ncellsize 1\n1 2 3 4\n")
+	f.Add("ncols 3\nnrows 2\nxllcorner -1\nyllcorner 2\ncellsize 0.5\nNODATA_value -9999\n1 -9999 3\n4 5 6\n")
+	f.Add("NCOLS 2\nNROWS 2\nXLLCENTER 0\nYLLCENTER 0\nCELLSIZE 2\n7 8 9 10\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseASC(bytes.NewReader([]byte(src)))
+		if err != nil {
+			return
+		}
+		checkInvariants(t, d)
+		var buf bytes.Buffer
+		if err := WriteASC(&buf, d); err != nil {
+			t.Fatalf("parsed DEM failed to write: %v", err)
+		}
+		back, err := ParseASC(&buf)
+		if err != nil {
+			t.Fatalf("written DEM failed to re-parse: %v", err)
+		}
+		if !d.Equal(back) {
+			t.Fatal("ASC write + parse changed the DEM")
+		}
+	})
+}
+
+// FuzzParseHGT feeds arbitrary bytes to the SRTM parser; accepted inputs
+// must be square, finite-or-NaN, and survive a bit-identical round trip.
+func FuzzParseHGT(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0x80, 0x00})
+	f.Add(make([]byte, 2*3*3))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		d, err := ParseHGT(bytes.NewReader(src))
+		if err != nil {
+			return
+		}
+		checkInvariants(t, d)
+		if d.Rows != d.Cols {
+			t.Fatalf("HGT parser produced a non-square %dx%d DEM", d.Rows, d.Cols)
+		}
+		var buf bytes.Buffer
+		if err := WriteHGT(&buf, d); err != nil {
+			t.Fatalf("parsed DEM failed to write: %v", err)
+		}
+		back, err := ParseHGT(&buf)
+		if err != nil {
+			t.Fatalf("written DEM failed to re-parse: %v", err)
+		}
+		if !d.Equal(back) {
+			t.Fatal("HGT write + parse changed the DEM")
+		}
+	})
+}
+
+// checkInvariants asserts the structural contract every parsed DEM obeys.
+func checkInvariants(t *testing.T, d *DEM) {
+	t.Helper()
+	if d.Rows < 2 || d.Cols < 2 || d.Rows*d.Cols > MaxSamples {
+		t.Fatalf("parser produced out-of-contract shape %dx%d", d.Rows, d.Cols)
+	}
+	if len(d.Heights) != d.Rows*d.Cols {
+		t.Fatalf("height slice has %d samples for a %dx%d lattice", len(d.Heights), d.Rows, d.Cols)
+	}
+	if !(d.CellSize > 0) || math.IsInf(d.CellSize, 0) {
+		t.Fatalf("parser produced cell size %v", d.CellSize)
+	}
+	for k, v := range d.Heights {
+		if math.IsInf(v, 0) {
+			t.Fatalf("sample %d is infinite", k)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package dem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// HGTNodata is the SRTM void sentinel: the minimum int16.
+const HGTNodata = -32768
+
+// ParseHGT parses an SRTM .hgt tile: a headerless square of big-endian
+// int16 heights in meters (1201x1201 for SRTM3, 3601x3601 for SRTM1; any
+// square of at least 2x2 samples is accepted, since clipped tiles are
+// common). Void samples (-32768) become NaN. The cell size is 1 — SRTM
+// files carry no spacing, so heights are interpreted on a unit lattice;
+// rescale by setting CellSize afterwards if geodetic units matter.
+func ParseHGT(r io.Reader) (*DEM, error) {
+	buf, err := io.ReadAll(io.LimitReader(r, 2*MaxSamples+1))
+	if err != nil {
+		return nil, fmt.Errorf("dem: HGT read: %w", err)
+	}
+	if len(buf) > 2*MaxSamples {
+		return nil, fmt.Errorf("dem: HGT exceeds the %d-sample limit", MaxSamples)
+	}
+	if len(buf)%2 != 0 {
+		return nil, fmt.Errorf("dem: HGT has odd byte count %d", len(buf))
+	}
+	n := len(buf) / 2
+	side := int(math.Sqrt(float64(n)))
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		return nil, fmt.Errorf("dem: HGT sample count %d is not a square", n)
+	}
+	d, err := New(side, side, 1)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < n; k++ {
+		v := int16(binary.BigEndian.Uint16(buf[2*k:]))
+		if v == HGTNodata {
+			d.Heights[k] = math.NaN()
+		} else {
+			d.Heights[k] = float64(v)
+		}
+	}
+	return d, nil
+}
+
+// WriteHGT writes the DEM as an SRTM .hgt tile. The DEM must be square and
+// every finite height must round to an int16 other than the void sentinel;
+// NaN samples become the sentinel. Parse + write + parse is the identity on
+// any file ParseHGT accepts.
+func WriteHGT(w io.Writer, d *DEM) error {
+	if d.Rows != d.Cols {
+		return fmt.Errorf("dem: HGT needs a square DEM, got %dx%d", d.Rows, d.Cols)
+	}
+	buf := make([]byte, 2*len(d.Heights))
+	for k, v := range d.Heights {
+		h := int16(HGTNodata)
+		if !math.IsNaN(v) {
+			r := math.Round(v)
+			if r <= HGTNodata || r > math.MaxInt16 {
+				return fmt.Errorf("dem: sample %d (%v) does not fit the HGT int16 range", k, v)
+			}
+			h = int16(r)
+		}
+		binary.BigEndian.PutUint16(buf[2*k:], uint16(h))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFile loads a DEM, dispatching on the file extension: .asc (ESRI
+// ASCII grid) or .hgt (SRTM).
+func ReadFile(path string) (*DEM, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".asc":
+		return ParseASC(f)
+	case ".hgt":
+		return ParseHGT(f)
+	default:
+		return nil, fmt.Errorf("dem: unknown DEM extension %q (want .asc or .hgt)", ext)
+	}
+}

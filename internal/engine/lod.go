@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file adds the level-of-detail dimension to planning. A LevelSet
+// holds one Executor per pyramid level (finest first); planning a request
+// picks the coarsest level whose resolution still fits the caller's error
+// budget — Erickson's finite-resolution argument: when the output device
+// (or the consumer's tolerance) cannot distinguish features below some
+// size, solving finer than that size buys nothing — and the pyramid's
+// conservative construction (package lod) guarantees the coarse answer
+// never falsely reports visibility. Every pick is recorded as a plan
+// reason, so Plan.Explain answers "which level did my query solve, and
+// why" the same way it answers "which engine".
+//
+// Level executors are built lazily through a caller-supplied constructor:
+// picking needs only the cell sizes, so a store-backed terrain pays the
+// tile I/O of a level the first time a query actually routes to it.
+
+// levelSlot lazily holds one level's executor. Construction errors are not
+// latched: a level whose build failed (transient store I/O, say) is
+// retried on the next request.
+type levelSlot struct {
+	mu   sync.Mutex
+	exec *Executor
+}
+
+// LevelSet is the planning view of a terrain's LOD pyramid: the cell size
+// of every level, finest (level 0) first, and lazily built executors.
+type LevelSet struct {
+	cells []float64
+	build func(level int) (*Executor, error)
+	slots []levelSlot
+}
+
+// NewLevelSet builds a level set from the per-level cell sizes (strictly
+// increasing, finest first — the pyramid's invariant) and an executor
+// constructor invoked at most once per level, on first use.
+func NewLevelSet(cells []float64, build func(level int) (*Executor, error)) (*LevelSet, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("terrainhsr: level set needs at least the finest level")
+	}
+	if build == nil {
+		return nil, fmt.Errorf("terrainhsr: level set needs an executor constructor")
+	}
+	for i, c := range cells {
+		if c <= 0 {
+			return nil, fmt.Errorf("terrainhsr: level %d cell size %v", i, c)
+		}
+		if i > 0 && c <= cells[i-1] {
+			return nil, fmt.Errorf("terrainhsr: level %d cell size %v does not coarsen level %d (%v)",
+				i, c, i-1, cells[i-1])
+		}
+	}
+	return &LevelSet{
+		cells: append([]float64(nil), cells...),
+		build: build,
+		slots: make([]levelSlot, len(cells)),
+	}, nil
+}
+
+// NumLevels returns the level count (at least 1).
+func (ls *LevelSet) NumLevels() int { return len(ls.cells) }
+
+// CellSize returns level l's sample spacing (0 = finest).
+func (ls *LevelSet) CellSize(l int) float64 { return ls.cells[l] }
+
+// Executor returns level l's executor, constructing it on first use. A
+// failed construction is retried on the next call rather than cached.
+func (ls *LevelSet) Executor(l int) (*Executor, error) {
+	if l < 0 || l >= len(ls.slots) {
+		return nil, fmt.Errorf("terrainhsr: level %d of %d", l, len(ls.slots))
+	}
+	s := &ls.slots[l]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.exec == nil {
+		exec, err := ls.build(l)
+		if err != nil {
+			return nil, err
+		}
+		if exec == nil {
+			return nil, fmt.Errorf("terrainhsr: level %d constructor returned no executor", l)
+		}
+		s.exec = exec
+	}
+	return s.exec, nil
+}
+
+// Pick selects the level a given error budget routes to: the coarsest
+// level whose cell size is at most the budget, or the finest level when
+// the budget is unset (<= 0) or finer than every level. The reason string
+// records the decision in Plan.Explain's vocabulary. Pick does no I/O —
+// it never constructs an executor.
+func (ls *LevelSet) Pick(budget float64) (level int, reason string) {
+	if budget <= 0 {
+		return 0, "no error budget: finest level"
+	}
+	pick := -1
+	for i, c := range ls.cells {
+		if c <= budget {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		return 0, fmt.Sprintf("error budget %g finer than the finest cell %g: finest level",
+			budget, ls.cells[0])
+	}
+	if pick == len(ls.cells)-1 {
+		return pick, fmt.Sprintf("error budget %g admits the coarsest level (cell %g)",
+			budget, ls.cells[pick])
+	}
+	return pick, fmt.Sprintf("error budget %g admits cell %g but not %g",
+		budget, ls.cells[pick], ls.cells[pick+1])
+}
+
+// Plan picks the level for the request's error budget, builds that level's
+// executor if needed, and plans the request on it; the returned executor is
+// the one the plan must run on. The plan carries the level decision (and
+// its reason) for Explain.
+func (ls *LevelSet) Plan(req Request) (*Plan, *Executor, error) {
+	return ls.PlanLevel(req, -1)
+}
+
+// PlanLevel is Plan with the level forced (-1 picks from the error budget)
+// — the progressive server's coarse-then-exact passes pin their levels
+// explicitly.
+func (ls *LevelSet) PlanLevel(req Request, forced int) (*Plan, *Executor, error) {
+	var level int
+	var reason string
+	if forced < 0 {
+		level, reason = ls.Pick(req.ErrorBudget)
+	} else {
+		if forced >= len(ls.cells) {
+			return nil, nil, fmt.Errorf("terrainhsr: level %d of %d", forced, len(ls.cells))
+		}
+		level, reason = forced, fmt.Sprintf("level %d forced by caller", forced)
+	}
+	exec, err := ls.Executor(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := exec.Plan(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.Level = level
+	p.LevelCount = len(ls.cells)
+	p.LevelCellSize = ls.cells[level]
+	p.addReason("%s", reason)
+	return p, exec, nil
+}

@@ -70,6 +70,12 @@ type Request struct {
 	// TileCells is the automatic tiled-routing threshold in grid cells
 	// (0 = DefaultTileCells; negative disables automatic tiling).
 	TileCells int
+	// ErrorBudget is the caller's resolution tolerance in world units, for
+	// terrains with an LOD pyramid: the plan solves the coarsest level whose
+	// cell size stays within it (see LevelSet.Pick). <= 0 demands the exact
+	// finest level. Only LevelSet planning reads it; plans for terrains
+	// without a pyramid ignore it silently.
+	ErrorBudget float64
 }
 
 // Plan is the explainable outcome of planning one Request: which pipeline
@@ -96,6 +102,12 @@ type Plan struct {
 	GridCells int
 	// Bands and TileCols are the tile-grid dimensions when Tiled.
 	Bands, TileCols int
+	// Level is the LOD pyramid level the plan solves (0 = finest or no
+	// pyramid), LevelCount the number of levels available (0 when the
+	// terrain has no pyramid), and LevelCellSize the solved level's sample
+	// spacing. Stamped by LevelSet.Plan.
+	Level, LevelCount int
+	LevelCellSize     float64
 
 	reasons []string
 }
@@ -111,6 +123,9 @@ func (p *Plan) Explain() string {
 	}
 	if p.Tiled {
 		fmt.Fprintf(&b, " tiles=%dx%d (bands x cols)", p.Bands, p.TileCols)
+	}
+	if p.LevelCount > 0 {
+		fmt.Fprintf(&b, " level=%d/%d (cell %g)", p.Level, p.LevelCount, p.LevelCellSize)
 	}
 	for _, r := range p.reasons {
 		b.WriteString("; ")

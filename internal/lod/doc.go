@@ -1,0 +1,17 @@
+// Package lod builds the level-of-detail pyramid of a DEM: a chain of
+// progressively coarser lattices in which every level's TIN surface lies on
+// or above the previous level's, everywhere. The construction is
+// max-preserving pooling with overlapping support windows — each coarse
+// sample takes the maximum of every finer sample whose incident cells the
+// coarse vertex's own incident cells cover — which makes the dominance
+// pointwise for the piecewise-linear surfaces, not just at the samples.
+//
+// The point of the over-approximation is conservative visibility: a ray
+// blocked by the fine terrain is blocked by every coarser terrain too, so a
+// coarse viewshed can only hide, never falsely reveal. That is the
+// guarantee that lets a planner answer from the coarsest level whose cell
+// size fits the caller's error budget (Erickson's finite-resolution
+// hidden-surface removal: solve at the resolution the output can display)
+// and lets a server stream a coarse preview while the exact answer is still
+// computing, without the preview ever contradicting it optimistically.
+package lod

@@ -1,0 +1,125 @@
+package lod
+
+import (
+	"fmt"
+
+	"terrainhsr/internal/dem"
+)
+
+// MinSide is the automatic level cutoff: coarsening stops before a level's
+// shorter axis would drop below this many samples (a handful of cells
+// cannot occlude meaningfully, and the fixed per-solve overhead dwarfs any
+// gain).
+const MinSide = 17
+
+// Pyramid is the level-of-detail chain of one terrain: Levels[0] is the
+// source DEM and every following level halves the resolution (cell size
+// doubles) while conservatively over-approximating the surface — see
+// Coarsen for the guarantee.
+type Pyramid struct {
+	// Levels runs finest to coarsest; Levels[0] aliases the DEM passed to
+	// Build.
+	Levels []*dem.DEM
+}
+
+// Build constructs the pyramid of a DEM. maxLevels bounds the total level
+// count (0 = automatic: coarsen until MinSide stops it). The DEM must be
+// nodata-free — fill first — so the max pooling never compares against NaN.
+func Build(d *dem.DEM, maxLevels int) (*Pyramid, error) {
+	if d == nil {
+		return nil, fmt.Errorf("lod: nil DEM")
+	}
+	if n := d.NumNodata(); n > 0 {
+		return nil, fmt.Errorf("lod: DEM has %d nodata samples; fill before building the pyramid", n)
+	}
+	if maxLevels < 0 {
+		return nil, fmt.Errorf("lod: negative level count %d", maxLevels)
+	}
+	p := &Pyramid{Levels: []*dem.DEM{d}}
+	for maxLevels == 0 || len(p.Levels) < maxLevels {
+		prev := p.Levels[len(p.Levels)-1]
+		rows, cols := coarseSide(prev.Rows), coarseSide(prev.Cols)
+		if rows < MinSide || cols < MinSide {
+			break
+		}
+		next, err := Coarsen(prev)
+		if err != nil {
+			return nil, err
+		}
+		p.Levels = append(p.Levels, next)
+	}
+	return p, nil
+}
+
+// NumLevels returns the level count (at least 1).
+func (p *Pyramid) NumLevels() int { return len(p.Levels) }
+
+// Level returns level l (0 = finest).
+func (p *Pyramid) Level(l int) *dem.DEM { return p.Levels[l] }
+
+// CellSizes lists every level's sample spacing, finest first.
+func (p *Pyramid) CellSizes() []float64 {
+	out := make([]float64, len(p.Levels))
+	for i, d := range p.Levels {
+		out[i] = d.CellSize
+	}
+	return out
+}
+
+// coarseSide maps a level's sample count to the next level's: samples at
+// every even index, plus a final sample covering the last odd index when the
+// side is even (the coarse lattice may then extend one fine cell past the
+// fine one — a domain over-approximation, which is the conservative
+// direction).
+func coarseSide(side int) int { return (side-1+1)/2 + 1 }
+
+// Coarsen builds the next pyramid level: half the resolution, with sample
+// (I, J) taking the maximum of the finer samples in the 5x5 window centered
+// on (2I, 2J), clamped at the borders.
+//
+// Why 5x5 and not the 2x2 of plain down-sampling: coarse vertex (I, J)'s
+// incident coarse cells span finer samples [2I-2, 2I+2] x [2J-2, 2J+2], so
+// with this window every coarse cell's four corner samples dominate every
+// finer sample inside that cell — and a linear interpolation of dominating
+// corners dominates the finer piecewise-linear surface at every interior
+// point, not just on the lattice. By induction each level's TIN lies on or
+// above every finer level's: rays blocked by the fine terrain stay blocked,
+// coarse viewsheds never falsely report visibility. The price is
+// over-approximation (peaks widen by up to two fine cells per level), paid
+// deliberately: it is what makes coarse answers trustworthy as previews and
+// prunes.
+func Coarsen(d *dem.DEM) (*dem.DEM, error) {
+	rows, cols := coarseSide(d.Rows), coarseSide(d.Cols)
+	c, err := dem.New(rows, cols, 2*d.CellSize)
+	if err != nil {
+		return nil, fmt.Errorf("lod: coarsen %dx%d: %w", d.Rows, d.Cols, err)
+	}
+	c.XLL, c.YLL = d.XLL, d.YLL
+	for I := 0; I < rows; I++ {
+		i0, i1 := clamp(2*I-2, d.Rows), clamp(2*I+2, d.Rows)
+		for J := 0; J < cols; J++ {
+			j0, j1 := clamp(2*J-2, d.Cols), clamp(2*J+2, d.Cols)
+			m := d.At(i0, j0)
+			for i := i0; i <= i1; i++ {
+				for j := j0; j <= j1; j++ {
+					if v := d.At(i, j); v > m {
+						m = v
+					}
+				}
+			}
+			c.Set(I, J, m)
+		}
+	}
+	return c, nil
+}
+
+// clamp bounds a lattice index to [0, n-1].
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,150 @@
+package lod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"terrainhsr/internal/dem"
+)
+
+// roughDEM builds a deterministic random lattice with sharp relief — the
+// adversarial case for conservative coarsening, since isolated spikes are
+// what naive averaging would shave off.
+func roughDEM(t *testing.T, rows, cols int, seed int64) *dem.DEM {
+	t.Helper()
+	d, err := dem.New(rows, cols, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for k := range d.Heights {
+		d.Heights[k] = r.Float64() * 20
+		if r.Float64() < 0.02 { // occasional spike
+			d.Heights[k] += 200
+		}
+	}
+	return d
+}
+
+func TestBuildShapes(t *testing.T) {
+	d := roughDEM(t, 129, 97, 1)
+	p, err := Build(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumLevels() < 3 {
+		t.Fatalf("only %d levels from a 129x97 lattice", p.NumLevels())
+	}
+	if p.Level(0) != d {
+		t.Fatal("level 0 must alias the source DEM")
+	}
+	for l := 1; l < p.NumLevels(); l++ {
+		fine, coarse := p.Level(l-1), p.Level(l)
+		if coarse.CellSize != 2*fine.CellSize {
+			t.Fatalf("level %d cell size %v, want %v", l, coarse.CellSize, 2*fine.CellSize)
+		}
+		if coarse.Rows != fine.Rows/2+1 || coarse.Cols != fine.Cols/2+1 {
+			t.Fatalf("level %d is %dx%d from %dx%d", l, coarse.Rows, coarse.Cols, fine.Rows, fine.Cols)
+		}
+		// The coarse domain must cover the fine one (conservative superset).
+		if float64(coarse.Rows-1)*coarse.CellSize < float64(fine.Rows-1)*fine.CellSize ||
+			float64(coarse.Cols-1)*coarse.CellSize < float64(fine.Cols-1)*fine.CellSize {
+			t.Fatalf("level %d domain shrank", l)
+		}
+	}
+	last := p.Level(p.NumLevels() - 1)
+	if last.Rows < MinSide || last.Cols < MinSide {
+		t.Fatalf("coarsest level %dx%d fell below MinSide", last.Rows, last.Cols)
+	}
+	if coarseSide(last.Rows) >= MinSide && coarseSide(last.Cols) >= MinSide {
+		t.Fatal("pyramid stopped while another admissible level existed")
+	}
+}
+
+func TestBuildMaxLevels(t *testing.T) {
+	d := roughDEM(t, 257, 257, 2)
+	p, err := Build(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumLevels() != 3 {
+		t.Fatalf("got %d levels, want 3", p.NumLevels())
+	}
+	if got := p.CellSizes(); got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("cell sizes %v", got)
+	}
+}
+
+func TestBuildRejectsNodata(t *testing.T) {
+	d := roughDEM(t, 33, 33, 3)
+	d.Set(5, 5, math.NaN())
+	if _, err := Build(d, 0); err == nil {
+		t.Fatal("nodata DEM accepted")
+	}
+	if _, err := Build(nil, 0); err == nil {
+		t.Fatal("nil DEM accepted")
+	}
+	if _, err := Build(roughDEM(t, 33, 33, 4), -1); err == nil {
+		t.Fatal("negative level count accepted")
+	}
+}
+
+// TestDominancePointwise is the conservative-occluder guarantee itself:
+// every level's TIN surface must lie on or above every finer level's at
+// arbitrary points (not just lattice points), so coarse visibility can only
+// hide, never falsely reveal. Sampled densely on rough terrain, including
+// both odd (exact) and even (domain-extending) side lengths.
+func TestDominancePointwise(t *testing.T) {
+	for _, shape := range [][2]int{{65, 65}, {64, 48}, {97, 33}} {
+		d := roughDEM(t, shape[0], shape[1], int64(shape[0]*1000+shape[1]))
+		p, err := Build(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(9))
+		maxX := float64(d.Rows-1) * d.CellSize
+		maxY := float64(d.Cols-1) * d.CellSize
+		for q := 0; q < 4000; q++ {
+			x, y := r.Float64()*maxX, r.Float64()*maxY
+			prev, ok := p.Level(0).SurfaceAt(x, y)
+			if !ok {
+				t.Fatalf("point (%v,%v) outside the finest level", x, y)
+			}
+			for l := 1; l < p.NumLevels(); l++ {
+				cur, ok := p.Level(l).SurfaceAt(x, y)
+				if !ok {
+					t.Fatalf("point (%v,%v) outside level %d", x, y, l)
+				}
+				if cur < prev-1e-9 {
+					t.Fatalf("shape %v: level %d dips below level %d at (%v,%v): %v < %v",
+						shape, l, l-1, x, y, cur, prev)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// TestCoarsenIsMaxPreserving pins the pooling rule at the sample level: a
+// single spike anywhere survives into every coarser level's maximum.
+func TestCoarsenIsMaxPreserving(t *testing.T) {
+	d, err := dem.New(65, 65, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Set(37, 23, 1000)
+	p, err := Build(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l < p.NumLevels(); l++ {
+		peak := math.Inf(-1)
+		for _, v := range p.Level(l).Heights {
+			peak = math.Max(peak, v)
+		}
+		if peak != 1000 {
+			t.Fatalf("level %d lost the spike: max %v", l, peak)
+		}
+	}
+}

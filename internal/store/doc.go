@@ -1,0 +1,14 @@
+// Package store persists a terrain's level-of-detail pyramid on disk and
+// loads it back lazily: a JSON manifest describing the levels, and one
+// binary file per tile of height samples (little-endian float64 payload
+// behind a checksummed header). Visibility computation on massive grid
+// terrains is dominated by how the terrain is stored and paged (Haverkort
+// & Toma), so the layout optimizes for the serving pattern: a level is
+// read only when a query actually routes to it — a coarse preview never
+// touches the finest level's tiles — and every read is accounted in
+// BytesLoaded, which the query server surfaces as an operator metric.
+//
+// Round trips are bit-exact: Write + Open + LoadLevel reproduces every
+// float64 of every level, so solves from the store are byte-identical to
+// solves of the in-memory terrain the store was built from.
+package store

@@ -2,6 +2,7 @@ package terrain
 
 import (
 	"fmt"
+	"math"
 
 	"terrainhsr/internal/geom"
 )
@@ -37,10 +38,17 @@ func (g Grid) Build() (*Terrain, error) {
 	verts := make([]geom.Pt3, 0, nr*nc)
 	for i := 0; i < nr; i++ {
 		for j := 0; j < nc; j++ {
+			z := g.H(i, j)
+			if math.IsNaN(z) || math.IsInf(z, 0) {
+				// DEM nodata and upstream arithmetic bugs surface here, at
+				// construction, instead of corrupting a solve: every solver
+				// assumes finite heights.
+				return nil, fmt.Errorf("terrain: grid height at (%d,%d) is non-finite (%v); fill nodata before building", i, j, z)
+			}
 			verts = append(verts, geom.Pt3{
 				X: float64(i) * g.Dx,
 				Y: float64(j) * g.Dy,
-				Z: g.H(i, j),
+				Z: z,
 			})
 		}
 	}

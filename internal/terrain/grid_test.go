@@ -1,0 +1,30 @@
+package terrain
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestGridBuildRejectsNonFinite pins the construction-time guard: NaN and
+// ±Inf heights (DEM nodata that escaped filling, arithmetic bugs) must be
+// rejected with a pointed error instead of flowing into a solver.
+func TestGridBuildRejectsNonFinite(t *testing.T) {
+	for name, bad := range map[string]float64{
+		"NaN": math.NaN(), "+Inf": math.Inf(1), "-Inf": math.Inf(-1),
+	} {
+		_, err := Grid{Rows: 2, Cols: 2, Dx: 1, Dy: 1, H: func(i, j int) float64 {
+			if i == 1 && j == 2 {
+				return bad
+			}
+			return float64(i + j)
+		}}.Build()
+		if err == nil {
+			t.Errorf("%s height accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "(1,2)") {
+			t.Errorf("%s error does not locate the sample: %v", name, err)
+		}
+	}
+}

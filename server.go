@@ -7,10 +7,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"terrainhsr/internal/cache"
 	"terrainhsr/internal/engine"
 	"terrainhsr/internal/geom"
+	"terrainhsr/internal/store"
+	"terrainhsr/internal/terrain"
 )
 
 // This file is the viewshed query service: a Server holds a registry of hot
@@ -24,6 +27,15 @@ import (
 // The engines underneath never change the answer: cached or not, the
 // pieces are the ones a direct FromPerspective + Solve would produce for
 // the same (quantized) eye.
+//
+// Terrains come in two flavors. Register serves an in-memory terrain
+// exactly. RegisterStore serves an on-disk LOD store (internal/store +
+// internal/lod): queries pick the coarsest pyramid level their
+// Query.ErrorBudget admits — levels page in lazily from tile files, per-
+// level traffic and store bytes surface in ServerStats — and
+// QueryProgressive streams a conservative coarse preview followed by the
+// exact finest answer over the same PieceSink machinery the streaming
+// solvers use.
 //
 // Cache semantics, in full (see also docs/API.md):
 //
@@ -93,6 +105,13 @@ type Query struct {
 	// MinDepth is the minimum eye-to-vertex x-distance, as in
 	// Terrain.FromPerspective; <= 0 selects the same default.
 	MinDepth float64
+	// ErrorBudget is the acceptable resolution error in world units, for
+	// terrains registered from a store (RegisterStore): the query solves the
+	// coarsest pyramid level whose cell size stays within the budget — the
+	// finite-resolution trade of solving no finer than the consumer can
+	// display. <= 0 (and every query against a plain Register terrain)
+	// solves exactly. Budgets that pick the same level share cache entries.
+	ErrorBudget float64
 	// NoCache bypasses the result cache for this query: no lookup, no
 	// fill, no coalescing. The solve itself is unchanged.
 	NoCache bool
@@ -112,9 +131,16 @@ type QueryResult struct {
 	// Tiled reports whether the query routed through the tiled engine.
 	Tiled bool
 	// Plan is the engine planner's explanation of how the terrain's
-	// queries execute (fixed at Register time; see Plan.Explain in
+	// queries execute (fixed at Register time for plain terrains, per level
+	// on first use for store-backed ones; see Plan.Explain in
 	// internal/engine). Cached answers report it without re-planning.
 	Plan string
+	// Level is the LOD pyramid level that answered (0 = finest or a plain
+	// terrain), Levels the number of levels the terrain has (1 for plain
+	// terrains), and LevelCellSize the answering level's sample spacing
+	// (0 for plain terrains).
+	Level, Levels int
+	LevelCellSize float64
 }
 
 // ServerStats is a point-in-time snapshot of the server's counters.
@@ -140,18 +166,71 @@ type ServerStats struct {
 	// engine does this terrain's traffic actually take, and why". Exposed
 	// verbatim on /statsz by cmd/hsrserved.
 	Plans map[string]string
+	// LevelQueries maps every store-backed terrain ID to its per-level
+	// answered-query counts (index 0 = finest): the LOD hit profile that
+	// tells an operator which resolutions the traffic actually consumes.
+	LevelQueries map[string][]int64
+	// StoreBytes maps every store-backed terrain ID to the tile-file bytes
+	// its store has read so far — the paging cost of Haverkort & Toma's
+	// accounting, visible per terrain.
+	StoreBytes map[string]int64
 }
 
 // serverTerrain is one registry slot: the terrain, its invalidation epoch,
 // the engine executor its queries run on, and the planner's routing
 // outcome for the ID (fixed at Register time: it depends only on the
-// terrain's shape and the server's threshold).
+// terrain's shape and the server's threshold). Store-backed slots
+// (RegisterStore) carry a level set instead of a single executor: levels
+// load lazily from the store's tile files, and the per-level plan and
+// routing are recorded the first time a query solves on that level.
 type serverTerrain struct {
 	t     *Terrain
 	epoch uint64
 	eng   *engine.Executor
 	tiled bool
 	plan  string
+
+	// Store-backed registrations only:
+	st        *store.Store
+	levels    *engine.LevelSet
+	levelTerr []*Terrain // filled by the level constructor; read only after Executor(l) succeeds
+	levelHits []int64    // answered queries per level, atomic
+
+	mu         sync.Mutex
+	levelPlan  []string // first solving plan's explanation, per level
+	levelTiled []bool
+}
+
+// isStore reports whether the slot is store-backed (multi-level).
+func (e *serverTerrain) isStore() bool { return e.levels != nil }
+
+// recordPlan remembers a level's first solving plan for cache-hit answers.
+func (e *serverTerrain) recordPlan(level int, plan *engine.Plan) {
+	e.mu.Lock()
+	if e.levelPlan[level] == "" {
+		e.levelPlan[level] = plan.Explain()
+		e.levelTiled[level] = plan.Tiled
+	}
+	e.mu.Unlock()
+}
+
+// planFor returns the recorded plan and tiled flag of a level ("" before
+// the level's first solve).
+func (e *serverTerrain) planFor(level int) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.levelPlan[level], e.levelTiled[level]
+}
+
+// finestTerrain returns the finest-level terrain, loading it if needed.
+func (e *serverTerrain) finestTerrain() (*Terrain, error) {
+	if !e.isStore() {
+		return e.t, nil
+	}
+	if _, err := e.levels.Executor(0); err != nil {
+		return nil, err
+	}
+	return e.levelTerr[0], nil
 }
 
 // Server answers viewshed queries for a set of registered terrains through
@@ -218,6 +297,12 @@ func (s *Server) Register(id string, t *Terrain) error {
 		}
 	}
 	entry := &serverTerrain{t: t, eng: eng, tiled: plan.Tiled, plan: plan.Explain()}
+	s.install(id, entry)
+	return nil
+}
+
+// install claims the registry slot under the ID, bumping its epoch.
+func (s *Server) install(id string, entry *serverTerrain) {
 	s.mu.Lock()
 	if last, seen := s.lastEpoch[id]; seen {
 		entry.epoch = last + 1
@@ -225,6 +310,57 @@ func (s *Server) Register(id string, t *Terrain) error {
 	s.lastEpoch[id] = entry.epoch
 	s.terrains[id] = entry
 	s.mu.Unlock()
+}
+
+// RegisterStore adds a terrain persisted as an on-disk LOD store (built by
+// BuildStore or cmd/hsrstore) under the given ID. Registration reads only
+// the store's manifest: each pyramid level's tiles are paged in the first
+// time a query's error budget routes to that level, so registering a
+// massive terrain and serving coarse previews from it never loads the
+// finest tiles at all. Queries against a store-backed ID honor
+// Query.ErrorBudget and report the answering level in QueryResult; epoch
+// invalidation on re-registration works exactly as for Register.
+func (s *Server) RegisterStore(id string, dir string) error {
+	if id == "" {
+		return fmt.Errorf("terrainhsr: empty terrain ID")
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return fmt.Errorf("terrainhsr: register %q: %w", id, err)
+	}
+	n := st.NumLevels()
+	cells := make([]float64, n)
+	for l := range cells {
+		cells[l] = st.LevelInfo(l).CellSize
+	}
+	entry := &serverTerrain{
+		st:         st,
+		levelTerr:  make([]*Terrain, n),
+		levelHits:  make([]int64, n),
+		levelPlan:  make([]string, n),
+		levelTiled: make([]bool, n),
+	}
+	entry.levels, err = engine.NewLevelSet(cells, func(l int) (*engine.Executor, error) {
+		d, err := st.LoadLevel(l)
+		if err != nil {
+			return nil, err
+		}
+		tt, err := d.ToTerrain(0) // the ingestion shear convention (dem.DefaultShear)
+		if err != nil {
+			return nil, err
+		}
+		// The terrain now owns its own vertex copy of the heights; drop the
+		// store's cached lattice so a massive level is not resident twice.
+		st.DropLevel(l)
+		entry.levelTerr[l] = &Terrain{t: tt}
+		return engine.New(tt, engine.Config{}), nil
+	})
+	if err != nil {
+		return fmt.Errorf("terrainhsr: register %q: %w", id, err)
+	}
+	entry.plan = fmt.Sprintf("store %s: %d levels (cells %v), planned per level on first use",
+		dir, n, cells)
+	s.install(id, entry)
 	return nil
 }
 
@@ -240,15 +376,94 @@ func (s *Server) Unregister(id string) bool {
 	return true
 }
 
-// Terrain returns the registered terrain for the ID.
+// Terrain returns the registered terrain for the ID — for store-backed
+// registrations, the finest level, loading it from the store on first use
+// (ok is false if that load fails; use Describe for an I/O-free summary).
 func (s *Server) Terrain(id string) (*Terrain, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	e, ok := s.terrains[id]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
-	return e.t, true
+	t, err := e.finestTerrain()
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// LevelTerrain returns the terrain of one pyramid level of a store-backed
+// registration, loading that level from the store if needed (level 0 = the
+// finest, what Terrain returns). For plain registrations only level 0
+// exists. Renderers use it to draw against the same surface a leveled
+// query actually solved — without paging any other level.
+func (s *Server) LevelTerrain(id string, level int) (*Terrain, error) {
+	s.mu.RLock()
+	e, ok := s.terrains[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("terrainhsr: no terrain %q registered", id)
+	}
+	if !e.isStore() {
+		if level != 0 {
+			return nil, fmt.Errorf("terrainhsr: terrain %q has no level %d", id, level)
+		}
+		return e.t, nil
+	}
+	if level < 0 || level >= e.levels.NumLevels() {
+		return nil, fmt.Errorf("terrainhsr: terrain %q has no level %d", id, level)
+	}
+	if _, err := e.levels.Executor(level); err != nil {
+		return nil, err
+	}
+	return e.levelTerr[level], nil
+}
+
+// TerrainInfo summarizes a registered terrain without forcing any store
+// I/O.
+type TerrainInfo struct {
+	// ID is the registry key.
+	ID string
+	// Edges, Vertices and Triangles size the finest level (for store-backed
+	// terrains they are derived from the manifest's grid shape).
+	Edges, Vertices, Triangles int
+	// Levels is the LOD pyramid depth (1 for plain terrains) and CellSizes
+	// the per-level sample spacing (nil for plain terrains).
+	Levels    int
+	CellSizes []float64
+	// Store is the backing store directory ("" for plain terrains).
+	Store string
+}
+
+// Describe summarizes a registered terrain. Unlike Terrain it never loads
+// tiles, so listing endpoints stay cheap even for massive stores.
+func (s *Server) Describe(id string) (TerrainInfo, bool) {
+	s.mu.RLock()
+	e, ok := s.terrains[id]
+	s.mu.RUnlock()
+	if !ok {
+		return TerrainInfo{}, false
+	}
+	info := TerrainInfo{ID: id, Levels: 1}
+	if !e.isStore() {
+		info.Edges = e.t.NumEdges()
+		info.Vertices = e.t.NumVertices()
+		info.Triangles = e.t.NumTriangles()
+		return info, true
+	}
+	li := e.st.LevelInfo(0)
+	rows, cols := li.Rows-1, li.Cols-1
+	info.Edges = terrain.EdgeCountForGrid(rows, cols)
+	info.Vertices = li.Rows * li.Cols
+	info.Triangles = 2 * rows * cols
+	info.Levels = e.levels.NumLevels()
+	info.CellSizes = make([]float64, info.Levels)
+	for l := range info.CellSizes {
+		info.CellSizes[l] = e.levels.CellSize(l)
+	}
+	info.Store = e.st.Dir()
+	return info, true
 }
 
 // TerrainIDs returns the registered IDs in unspecified order.
@@ -301,11 +516,14 @@ func (s *Server) request(q Query, eyes []geom.Pt3, workers int) engine.Request {
 		Eyes:        eyes,
 		MinDepth:    q.MinDepth,
 		TileCells:   s.opt.TileCells,
+		ErrorBudget: q.ErrorBudget,
 	}
 }
 
 // query answers one query with an explicit per-solve worker budget (Query
 // uses the server budget; QueryMany splits it across concurrent eyes).
+// Store-backed terrains first pick the pyramid level the error budget
+// admits — a manifest-only decision — and then answer on that level.
 func (s *Server) query(q Query, workers int) (*QueryResult, error) {
 	s.mu.RLock()
 	e, ok := s.terrains[q.TerrainID]
@@ -313,12 +531,16 @@ func (s *Server) query(q Query, workers int) (*QueryResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("terrainhsr: no terrain %q registered", q.TerrainID)
 	}
+	if e.isStore() {
+		level, _ := e.levels.Pick(q.ErrorBudget)
+		return s.queryLevel(q, e, workers, level, false)
+	}
 	algo := resolveAlgo(q.Algorithm)
 	eye := s.QuantizeEye(q.Eye)
 	// The routing outcome and its explanation are fixed per terrain at
 	// Register time, so cache hits answer without touching the planner;
 	// only actual solves plan (with this query's worker budget).
-	qr := &QueryResult{Eye: eye, Tiled: e.tiled, Plan: e.plan}
+	qr := &QueryResult{Eye: eye, Tiled: e.tiled, Plan: e.plan, Levels: 1}
 
 	solve := func() (any, error) {
 		req := s.request(q, []geom.Pt3{pt3(eye)}, workers)
@@ -336,7 +558,67 @@ func (s *Server) query(q Query, workers int) (*QueryResult, error) {
 		}
 		return newResult(outs[0].Res, algo), nil
 	}
+	return s.answer(qr, e, q, eye, algo, 0, solve)
+}
 
+// queryLevel answers one query on one pyramid level of a store-backed
+// terrain. With forced false the level must equal the budget's Pick — the
+// planner re-picks it so the recorded plan explains the budget decision;
+// forced true pins the level explicitly (the progressive preview pass)
+// and the plan says so.
+func (s *Server) queryLevel(q Query, e *serverTerrain, workers, level int, forced bool) (*QueryResult, error) {
+	algo := resolveAlgo(q.Algorithm)
+	eye := s.QuantizeEye(q.Eye)
+	qr := &QueryResult{
+		Eye: eye, Level: level,
+		Levels: e.levels.NumLevels(), LevelCellSize: e.levels.CellSize(level),
+	}
+
+	var solvedPlan string
+	var solvedTiled bool
+	solve := func() (any, error) {
+		req := s.request(q, []geom.Pt3{pt3(eye)}, workers)
+		pin := level
+		if !forced {
+			pin = -1 // let PlanLevel re-pick from the budget, keeping its reason
+		}
+		plan, exec, err := e.levels.PlanLevel(req, pin)
+		if err != nil {
+			return nil, err
+		}
+		solvedPlan, solvedTiled = plan.Explain(), plan.Tiled
+		e.recordPlan(level, plan)
+		s.solves.Add(1)
+		if plan.Tiled {
+			s.tiledSolves.Add(1)
+		}
+		outs, err := exec.Run(plan, req)
+		if err != nil {
+			return nil, err
+		}
+		return newResult(outs[0].Res, algo), nil
+	}
+	qr, err := s.answer(qr, e, q, eye, algo, level, solve)
+	if err != nil {
+		return nil, err
+	}
+	if solvedPlan != "" {
+		// This query ran the solve: report the plan that actually executed,
+		// budget reason and all.
+		qr.Plan, qr.Tiled = solvedPlan, solvedTiled
+	} else {
+		// A cached or coalesced answer implies a prior solve of this level
+		// under the same epoch, so a recorded plan exists; its reason tail
+		// may phrase the level pick differently than this query's budget.
+		qr.Plan, qr.Tiled = e.planFor(level)
+	}
+	atomic.AddInt64(&e.levelHits[level], 1)
+	return qr, nil
+}
+
+// answer runs the cache protocol around one solve: bypass for NoCache
+// queries and cache-disabled servers, GetOrCompute otherwise.
+func (s *Server) answer(qr *QueryResult, e *serverTerrain, q Query, eye Point, algo Algorithm, level int, solve func() (any, error)) (*QueryResult, error) {
 	if s.cache == nil || q.NoCache {
 		v, err := solve()
 		if err != nil {
@@ -345,7 +627,7 @@ func (s *Server) query(q Query, workers int) (*QueryResult, error) {
 		qr.Result, qr.Cache = v.(*Result), "bypass"
 		return qr, nil
 	}
-	v, outcome, err := s.cache.GetOrCompute(s.key(q.TerrainID, e, eye, algo, q.MinDepth), solve)
+	v, outcome, err := s.cache.GetOrCompute(s.key(q.TerrainID, e, eye, algo, q.MinDepth, level), solve)
 	if err != nil {
 		return nil, err
 	}
@@ -354,11 +636,13 @@ func (s *Server) query(q Query, workers int) (*QueryResult, error) {
 }
 
 // key builds the cache key: terrain identity and epoch, the quantized eye
-// (exact float bits), and the options fingerprint — algorithm, MinDepth and
-// routed engine; never worker counts (scheduling cannot change pieces).
-func (s *Server) key(id string, e *serverTerrain, eye Point, algo Algorithm, minDepth float64) string {
+// (exact float bits), and the options fingerprint — algorithm, MinDepth,
+// routed engine, and the answering LOD level (error budgets that pick the
+// same level share entries); never worker counts (scheduling cannot change
+// pieces).
+func (s *Server) key(id string, e *serverTerrain, eye Point, algo Algorithm, minDepth float64, level int) string {
 	var b strings.Builder
-	b.Grow(len(id) + 80)
+	b.Grow(len(id) + 88)
 	b.WriteString(strconv.Quote(id))
 	b.WriteByte('|')
 	b.WriteString(strconv.FormatUint(e.epoch, 10))
@@ -370,6 +654,10 @@ func (s *Server) key(id string, e *serverTerrain, eye Point, algo Algorithm, min
 	b.WriteString(string(algo))
 	if e.tiled {
 		b.WriteString("|tiled")
+	}
+	if e.isStore() {
+		b.WriteString("|L")
+		b.WriteString(strconv.Itoa(level))
 	}
 	return b.String()
 }
@@ -403,20 +691,125 @@ func (s *Server) QueryMany(q Query, eyes []Point) ([]*QueryResult, error) {
 	return results, nil
 }
 
+// ProgressivePass announces one pass of a progressive query: which pyramid
+// level is about to stream, at what resolution, and whether it is the
+// final (exact) pass. Result carries the pass's full answer; its pieces
+// follow through the sink.
+type ProgressivePass struct {
+	// Level and CellSize identify the pass's pyramid level.
+	Level    int
+	CellSize float64
+	// Final marks the exact finest-level pass (always the last one).
+	Final bool
+	// Elapsed is the wall time of this pass's answer (cache lookup plus
+	// solve, for misses) — it excludes the time spent streaming other
+	// passes' pieces to the sink.
+	Elapsed time.Duration
+	// Result is the pass's answer, exactly as Query would report it.
+	Result *QueryResult
+}
+
+// QueryProgressive answers a viewshed query coarse-then-exact: for a
+// store-backed terrain it first streams the scene solved at a coarse
+// pyramid level — the coarsest level Query.ErrorBudget admits, or the
+// coarsest available when no budget is set — and then streams the exact
+// finest-level scene. The conservative pyramid makes the preview
+// trustworthy: it may hide, but never falsely reveals, so a consumer can
+// paint it immediately and only ever add detail. pass is called before
+// each pass's pieces go to sink; both passes answer through the result
+// cache, so a warm progressive query costs no solve at all. Plain
+// terrains (and coarse picks that resolve to the finest level) stream a
+// single final pass. An error from pass or sink aborts the query.
+func (s *Server) QueryProgressive(q Query, pass func(ProgressivePass) error, sink PieceSink) error {
+	s.mu.RLock()
+	e, ok := s.terrains[q.TerrainID]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("terrainhsr: no terrain %q registered", q.TerrainID)
+	}
+	coarse := 0
+	if e.isStore() {
+		if q.ErrorBudget > 0 {
+			coarse, _ = e.levels.Pick(q.ErrorBudget)
+		} else {
+			coarse = e.levels.NumLevels() - 1
+		}
+	}
+	passes := []int{0}
+	if coarse != 0 {
+		passes = []int{coarse, 0} // preview, then the exact answer
+	}
+	for _, level := range passes {
+		var qr *QueryResult
+		var err error
+		t0 := time.Now()
+		if e.isStore() {
+			qr, err = s.queryLevel(q, e, s.opt.Workers, level, true)
+		} else {
+			qr, err = s.query(q, s.opt.Workers)
+		}
+		if err != nil {
+			return err
+		}
+		p := ProgressivePass{
+			Level: level, CellSize: qr.LevelCellSize, Final: level == 0,
+			Elapsed: time.Since(t0), Result: qr,
+		}
+		if err := pass(p); err != nil {
+			return err
+		}
+		var sinkErr error
+		qr.Result.EachPiece(func(pc Piece) bool {
+			sinkErr = sink(pc)
+			return sinkErr == nil
+		})
+		if sinkErr != nil {
+			return sinkErr
+		}
+	}
+	return nil
+}
+
 // Stats snapshots the server counters.
 func (s *Server) Stats() ServerStats {
 	s.mu.RLock()
 	terrains := len(s.terrains)
 	plans := make(map[string]string, terrains)
+	levelQueries := make(map[string][]int64)
+	storeBytes := make(map[string]int64)
 	for id, e := range s.terrains {
-		plans[id] = e.plan
+		if !e.isStore() {
+			plans[id] = e.plan
+			continue
+		}
+		hits := make([]int64, len(e.levelHits))
+		for l := range hits {
+			hits[l] = atomic.LoadInt64(&e.levelHits[l])
+		}
+		levelQueries[id] = hits
+		storeBytes[id] = e.st.BytesLoaded()
+		// Report the per-level plans solved so far; levels never queried
+		// stay described by the registration summary.
+		var parts []string
+		for l := range hits {
+			if p, _ := e.planFor(l); p != "" {
+				parts = append(parts, fmt.Sprintf("level %d: %s", l, p))
+			}
+		}
+		if len(parts) == 0 {
+			plans[id] = e.plan
+		} else {
+			plans[id] = strings.Join(parts, " || ")
+		}
 	}
 	s.mu.RUnlock()
 	st := ServerStats{
-		Terrains:    terrains,
-		Solves:      s.solves.Load(),
-		TiledSolves: s.tiledSolves.Load(),
-		Plans:       plans,
+		Terrains:     terrains,
+		Solves:       s.solves.Load(),
+		TiledSolves:  s.tiledSolves.Load(),
+		Plans:        plans,
+		LevelQueries: levelQueries,
+		StoreBytes:   storeBytes,
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

@@ -1,0 +1,335 @@
+package terrainhsr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"terrainhsr/internal/dem"
+	"terrainhsr/internal/store"
+)
+
+// writeTestASC writes a deterministic random DEM (with a few nodata holes)
+// as an .asc file and returns its path.
+func writeTestASC(t *testing.T, rows, cols int, seed int64) string {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	fmt.Fprintf(&b, "ncols %d\nnrows %d\ncellsize 1\nNODATA_value -9999\n", cols, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			if r.Float64() < 0.01 {
+				b.WriteString("-9999")
+			} else {
+				b.WriteString(strconv.FormatFloat(math.Round(r.Float64()*160)/8, 'g', -1, 64))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "test.asc")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// buildTestStore ingests the DEM into a store and returns (storeDir, demPath).
+func buildTestStore(t *testing.T, rows, cols int, seed int64) (storeDir, demPath string) {
+	t.Helper()
+	demPath = writeTestASC(t, rows, cols, seed)
+	storeDir = filepath.Join(t.TempDir(), "store")
+	rep, err := BuildStore(demPath, storeDir, StoreOptions{TileSamples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows != rows || rep.Cols != cols || rep.Levels < 2 {
+		t.Fatalf("unexpected store report %+v", rep)
+	}
+	return storeDir, demPath
+}
+
+// storeEye places the eye in front of the DEM grids used here.
+func storeEye() Point { return Point{X: -10, Y: 20, Z: 40} }
+
+// TestStoreFinestByteIdentical is the subsystem's exactness contract: a
+// finest-level solve served from the on-disk store must be byte-identical
+// to solving the directly ingested in-memory terrain, for every algorithm.
+func TestStoreFinestByteIdentical(t *testing.T) {
+	dir, demPath := buildTestStore(t, 40, 40, 1)
+	direct, err := TerrainFromDEM(demPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerOptions{})
+	if err := srv.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{Parallel, ParallelHulls, ParallelCopying, Sequential, SequentialTree} {
+		qr, err := srv.Query(Query{TerrainID: "dem", Eye: storeEye(), Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if qr.Level != 0 || qr.Levels < 2 {
+			t.Fatalf("%s: budget-less query answered at level %d of %d", algo, qr.Level, qr.Levels)
+		}
+		want := directPieces(t, direct, qr.Eye, 0, algo)
+		piecesEqual(t, string(algo), qr.Result.Pieces(), want)
+	}
+}
+
+func TestStoreErrorBudgetPicksCoarser(t *testing.T) {
+	dir, _ := buildTestStore(t, 48, 48, 2)
+	srv := NewServer(ServerOptions{})
+	if err := srv.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := srv.Query(Query{TerrainID: "dem", Eye: storeEye()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := srv.Query(Query{TerrainID: "dem", Eye: storeEye(), ErrorBudget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Level != 1 || coarse.LevelCellSize != 2 {
+		t.Fatalf("budget 2 answered at level %d (cell %v)", coarse.Level, coarse.LevelCellSize)
+	}
+	if coarse.Result.N() >= exact.Result.N() {
+		t.Fatalf("coarse level has %d edges, finest %d — no reduction", coarse.Result.N(), exact.Result.N())
+	}
+	if !strings.Contains(coarse.Plan, "level=1/") {
+		t.Fatalf("plan does not explain the level: %s", coarse.Plan)
+	}
+	if !strings.Contains(coarse.Plan, "error budget 2 admits") {
+		t.Fatalf("plan does not explain the budget decision: %s", coarse.Plan)
+	}
+	// Budgets that pick the same level share cache entries.
+	again, err := srv.Query(Query{TerrainID: "dem", Eye: storeEye(), ErrorBudget: 2.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cache != "hit" || again.Result != coarse.Result {
+		t.Fatalf("same-level budget did not share the cached result (cache=%s)", again.Cache)
+	}
+}
+
+// TestStoreLazyLevelLoading asserts the store's point: coarse traffic never
+// pages the finest level's tiles.
+func TestStoreLazyLevelLoading(t *testing.T) {
+	dir, _ := buildTestStore(t, 64, 64, 3)
+	srv := NewServer(ServerOptions{})
+	if err := srv.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.StoreBytes["dem"] != 0 {
+		t.Fatalf("registration read %d tile bytes; it must be manifest-only", st.StoreBytes["dem"])
+	}
+	if _, err := srv.Query(Query{TerrainID: "dem", Eye: storeEye(), ErrorBudget: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	st = srv.Stats()
+	coarseBytes := st.StoreBytes["dem"]
+	finestBytes := int64(64*64) * 8
+	if coarseBytes == 0 || coarseBytes >= finestBytes {
+		t.Fatalf("coarsest-level query read %d bytes (finest level alone is %d)", coarseBytes, finestBytes)
+	}
+	hits := st.LevelQueries["dem"]
+	if len(hits) < 2 || hits[len(hits)-1] != 1 || hits[0] != 0 {
+		t.Fatalf("level query counters wrong: %v", hits)
+	}
+}
+
+func TestStoreDescribe(t *testing.T) {
+	dir, _ := buildTestStore(t, 40, 40, 4)
+	srv := NewServer(ServerOptions{})
+	if err := srv.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := srv.Describe("dem")
+	if !ok {
+		t.Fatal("Describe missed a registered terrain")
+	}
+	if info.Levels < 2 || info.Store != dir || info.CellSizes[0] != 1 {
+		t.Fatalf("bad info: %+v", info)
+	}
+	if info.Vertices != 40*40 || info.Triangles != 2*39*39 {
+		t.Fatalf("manifest-derived sizes wrong: %+v", info)
+	}
+	if b := srv.Stats().StoreBytes["dem"]; b != 0 {
+		t.Fatalf("Describe paged %d tile bytes", b)
+	}
+	if _, ok := srv.Describe("nope"); ok {
+		t.Fatal("Describe invented a terrain")
+	}
+}
+
+func TestLevelTerrain(t *testing.T) {
+	dir, _ := buildTestStore(t, 40, 40, 10)
+	srv := NewServer(ServerOptions{})
+	if err := srv.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := srv.Describe("dem")
+	coarse, err := srv.LevelTerrain("dem", info.Levels-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := srv.LevelTerrain("dem", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.NumEdges() >= fine.NumEdges() {
+		t.Fatalf("coarse level has %d edges, finest %d", coarse.NumEdges(), fine.NumEdges())
+	}
+	if tr, _ := srv.Terrain("dem"); tr != fine {
+		t.Fatal("Terrain and LevelTerrain(0) disagree")
+	}
+	if _, err := srv.LevelTerrain("dem", info.Levels); err == nil {
+		t.Fatal("out-of-range level accepted")
+	}
+	if _, err := srv.LevelTerrain("nope", 0); err == nil {
+		t.Fatal("unknown terrain accepted")
+	}
+
+	plain := genTest(t, "fractal", 8, 8, 3)
+	if err := srv.Register("plain", plain); err != nil {
+		t.Fatal(err)
+	}
+	if tr, err := srv.LevelTerrain("plain", 0); err != nil || tr != plain {
+		t.Fatalf("plain level 0: %v", err)
+	}
+	if _, err := srv.LevelTerrain("plain", 1); err == nil {
+		t.Fatal("plain terrain has no level 1")
+	}
+}
+
+// TestQueryProgressive exercises the coarse-then-exact contract: two
+// passes, the final one byte-identical to a plain exact query, and the
+// preview conservative in piece count bookkeeping (its pieces come from
+// the coarser level's own solve).
+func TestQueryProgressive(t *testing.T) {
+	dir, demPath := buildTestStore(t, 40, 40, 5)
+	direct, err := TerrainFromDEM(demPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerOptions{})
+	if err := srv.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+	var passes []ProgressivePass
+	var pieces [][]Piece
+	err = srv.QueryProgressive(Query{TerrainID: "dem", Eye: storeEye()},
+		func(p ProgressivePass) error {
+			passes = append(passes, p)
+			pieces = append(pieces, nil)
+			return nil
+		},
+		func(p Piece) error {
+			pieces[len(pieces)-1] = append(pieces[len(pieces)-1], p)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 2 {
+		t.Fatalf("got %d passes, want coarse + final", len(passes))
+	}
+	if passes[0].Final || passes[0].Level == 0 {
+		t.Fatalf("first pass is not a coarse preview: %+v", passes[0])
+	}
+	if !passes[1].Final || passes[1].Level != 0 {
+		t.Fatalf("last pass is not the exact answer: %+v", passes[1])
+	}
+	if len(pieces[0]) != passes[0].Result.Result.K() || len(pieces[1]) != passes[1].Result.Result.K() {
+		t.Fatal("streamed piece counts disagree with the pass results")
+	}
+	want := directPieces(t, direct, passes[1].Result.Eye, 0, Parallel)
+	piecesEqual(t, "final pass", pieces[1], want)
+
+	// Plain terrains stream a single final pass.
+	tr := genTest(t, "fractal", 12, 12, 9)
+	if err := srv.Register("plain", tr); err != nil {
+		t.Fatal(err)
+	}
+	passes = passes[:0]
+	err = srv.QueryProgressive(Query{TerrainID: "plain", Eye: serverEye(0, 0, 0)},
+		func(p ProgressivePass) error { passes = append(passes, p); return nil },
+		func(Piece) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 1 || !passes[0].Final {
+		t.Fatalf("plain terrain got %d passes", len(passes))
+	}
+}
+
+// TestStoreCoarseNeverFalselyReveals samples line-of-sight visibility on
+// the stored levels' surfaces: any sample point a coarser level reports
+// visible must be visible on the finest surface too (the conservative-
+// occluder guarantee, end to end through ingestion, pyramid and store).
+func TestStoreCoarseNeverFalselyReveals(t *testing.T) {
+	dir, _ := buildTestStore(t, 48, 48, 6)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumLevels() < 2 {
+		t.Skip("store produced a single level")
+	}
+	fine, err := st.LoadLevel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := st.LoadLevel(st.NumLevels() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heights are shear-independent, so visibility is compared on the
+	// unsheared lattice both levels share.
+	eye := [3]float64{-10, 20, 40}
+	r := rand.New(rand.NewSource(7))
+	checked, falselyRevealed := 0, 0
+	for q := 0; q < 3000; q++ {
+		x, y := r.Float64()*46+1, r.Float64()*46+1
+		zf, ok := fine.SurfaceAt(x, y)
+		if !ok {
+			continue
+		}
+		checked++
+		if losOnDEM(coarse, eye, [3]float64{x, y, zf}) && !losOnDEM(fine, eye, [3]float64{x, y, zf}) {
+			falselyRevealed++
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d usable samples", checked)
+	}
+	if falselyRevealed > 0 {
+		t.Fatalf("coarse level falsely revealed %d of %d samples", falselyRevealed, checked)
+	}
+}
+
+// losOnDEM marches the eye->target ray over a DEM surface (400 samples)
+// and reports whether the target stays visible.
+func losOnDEM(d *dem.DEM, eye, target [3]float64) bool {
+	const steps = 400
+	for s := 1; s < steps; s++ {
+		f := float64(s) / steps
+		x := eye[0] + f*(target[0]-eye[0])
+		y := eye[1] + f*(target[1]-eye[1])
+		z := eye[2] + f*(target[2]-eye[2])
+		if h, ok := d.SurfaceAt(x, y); ok && h > z+1e-9 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package terrainhsr
+
+import (
+	"fmt"
+
+	"terrainhsr/internal/dem"
+	"terrainhsr/internal/lod"
+	"terrainhsr/internal/store"
+)
+
+// This file is the public face of the terrain persistence subsystem: DEM
+// ingestion (internal/dem), the max-preserving LOD pyramid (internal/lod)
+// and the on-disk tiled store (internal/store). BuildStore turns a
+// real-world elevation file into a store directory; Server.RegisterStore
+// serves it with lazy level paging, error-budget level picking and
+// progressive coarse-then-exact streaming. The pyramid is conservative —
+// every coarser level's surface lies on or above the finer ones — so
+// coarse answers may hide but never falsely reveal, and the finest level
+// reproduces the source heights bit for bit, making finest-level solves
+// byte-identical to solving the ingested terrain directly in memory.
+
+// StoreOptions configures BuildStore.
+type StoreOptions struct {
+	// Levels bounds the pyramid depth (0 = automatic: coarsen until the
+	// shorter axis falls under 17 samples).
+	Levels int
+	// TileSamples is the store's tile-file extent per axis in samples
+	// (0 = 256). Tiles are the unit of lazy loading: a query that routes to
+	// a coarse level reads only that level's tiles.
+	TileSamples int
+	// KeepNodata refuses DEMs with missing samples instead of filling them
+	// from valid neighbors before triangulation.
+	KeepNodata bool
+}
+
+// StoreReport says what BuildStore wrote.
+type StoreReport struct {
+	// Rows and Cols are the finest level's sample counts, and CellSize its
+	// sample spacing.
+	Rows, Cols int
+	CellSize   float64
+	// Levels is the pyramid depth written and NodataFilled the number of
+	// missing samples repaired before triangulation.
+	Levels       int
+	NodataFilled int
+}
+
+// BuildStore ingests a DEM file — ESRI ASCII grid (.asc) or SRTM (.hgt) —
+// into an on-disk terrain store at dir: nodata is filled from valid
+// neighbors (unless StoreOptions.KeepNodata), the conservative LOD pyramid
+// is built, and every level is written as checksummed binary tiles behind a
+// JSON manifest. The resulting directory is what Server.RegisterStore and
+// hsrserved's -store flag serve from.
+func BuildStore(demPath, dir string, opt StoreOptions) (*StoreReport, error) {
+	d, err := dem.ReadFile(demPath)
+	if err != nil {
+		return nil, fmt.Errorf("terrainhsr: ingest %s: %w", demPath, err)
+	}
+	filled := 0
+	if n := d.NumNodata(); n > 0 {
+		if opt.KeepNodata {
+			return nil, fmt.Errorf("terrainhsr: ingest %s: %d nodata samples and filling disabled", demPath, n)
+		}
+		if filled, err = d.FillNodata(); err != nil {
+			return nil, fmt.Errorf("terrainhsr: ingest %s: %w", demPath, err)
+		}
+	}
+	p, err := lod.Build(d, opt.Levels)
+	if err != nil {
+		return nil, fmt.Errorf("terrainhsr: ingest %s: %w", demPath, err)
+	}
+	spec := store.Spec{TileRows: opt.TileSamples, TileCols: opt.TileSamples}
+	if err := store.Write(dir, p.Levels, spec); err != nil {
+		return nil, fmt.Errorf("terrainhsr: ingest %s: %w", demPath, err)
+	}
+	return &StoreReport{
+		Rows: d.Rows, Cols: d.Cols, CellSize: d.CellSize,
+		Levels: p.NumLevels(), NodataFilled: filled,
+	}, nil
+}
+
+// TerrainFromDEM loads a DEM file into an in-memory terrain, filling
+// nodata from valid neighbors: the direct (storeless) ingestion path. It
+// builds exactly the terrain a store's finest level serves, so solves of
+// the two are byte-identical.
+func TerrainFromDEM(demPath string) (*Terrain, error) {
+	d, err := dem.ReadFile(demPath)
+	if err != nil {
+		return nil, fmt.Errorf("terrainhsr: ingest %s: %w", demPath, err)
+	}
+	if d.NumNodata() > 0 {
+		if _, err := d.FillNodata(); err != nil {
+			return nil, fmt.Errorf("terrainhsr: ingest %s: %w", demPath, err)
+		}
+	}
+	tt, err := d.ToTerrain(0)
+	if err != nil {
+		return nil, fmt.Errorf("terrainhsr: ingest %s: %w", demPath, err)
+	}
+	return &Terrain{t: tt}, nil
+}
