@@ -58,11 +58,12 @@ var experiments = []experiment{
 	{"S1", "Query service — cached viewshed throughput and hit rate on an observer-grid stream", expS1},
 	{"ST1", "Streaming emission — peak heap of streamed vs materialized massive solves", expST1},
 	{"L1", "LOD store — coarse-level speedup, finest exactness, conservative occluders", expL1},
+	{"OC1", "Out-of-core engine — paged solve exactness, bytes never read, peak heap", expOC1},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, F1..F3, A1, A2, B1, T1, S1, ST1, L1, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, F1..F3, A1, A2, B1, T1, S1, ST1, L1, OC1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
 	jsonPath := flag.String("json", "", "write machine-readable measurement records to this file (e.g. BENCH_PR4.json)")
 	flag.Parse()

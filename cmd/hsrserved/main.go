@@ -7,7 +7,7 @@
 //
 //	hsrserved [-addr :8080] [-terrain spec]... [-store spec]...
 //	          [-resolution 0.25] [-cache 1024] [-shards 16] [-workers 0]
-//	          [-tile-cells 262144]
+//	          [-tile-cells 262144] [-residency-budget 0]
 //
 // Each -terrain flag registers one synthetic terrain; the spec is a
 // comma-separated key=value list with the keys of terrainhsr.GenParams:
@@ -22,16 +22,21 @@
 // Store terrains serve level-of-detail queries: pyramid levels page in
 // lazily from tile files the first time traffic routes to them, the budget
 // parameter picks the answering level, and progressive responses stream a
-// conservative coarse preview before the exact answer. With no -terrain or
-// -store flag a default "demo" terrain (fractal 48x48) is registered so
-// the server is immediately queryable.
+// conservative coarse preview before the exact answer. With
+// -residency-budget N (MiB), levels whose estimated in-core size exceeds
+// the budget solve out-of-core instead of assembling: the tiled solver
+// pages tile files band by band, answers stay byte-identical, and /statsz
+// reports resident bytes and page-ins per store (size the budget against
+// "hsrstore -info"). With no -terrain or -store flag a default "demo"
+// terrain (fractal 48x48) is registered so the server is immediately
+// queryable.
 //
 // Endpoints:
 //
 //	GET /healthz   liveness probe; responds "ok".
 //	GET /statsz    JSON ServerStats: hits, misses, coalesced, evictions,
-//	               solves, cache entries, per-level LOD query counters and
-//	               store bytes loaded.
+//	               solves, cache entries, per-level LOD query counters,
+//	               store bytes loaded, resident bytes and tile page-ins.
 //	GET /terrains  JSON list of registered terrains and their sizes
 //	               (manifest-derived for stores; listing never pages tiles).
 //	GET /viewshed  answer a viewshed query; parameters below.
@@ -95,16 +100,18 @@ func main() {
 	shards := flag.Int("shards", 16, "cache shard count")
 	workers := flag.Int("workers", 0, "worker budget per query (0 = all CPUs)")
 	tileCells := flag.Int("tile-cells", 262144, "route grids with >= this many cells through the tiled engine (negative disables)")
+	residencyMiB := flag.Int64("residency-budget", 0, "solve store levels estimated above this many MiB out-of-core, paging tile files band by band (0 disables)")
 	flag.Var(&specs, "terrain", "terrain spec id=...,kind=...,rows=...,cols=...,seed=... (repeatable)")
 	flag.Var(&storeSpecs, "store", "LOD store spec id=...,path=... (repeatable; directories built by hsrstore)")
 	flag.Parse()
 
 	srv := terrainhsr.NewServer(terrainhsr.ServerOptions{
-		Resolution:    *resolution,
-		CacheCapacity: *cacheCap,
-		CacheShards:   *shards,
-		Workers:       *workers,
-		TileCells:     *tileCells,
+		Resolution:      *resolution,
+		CacheCapacity:   *cacheCap,
+		CacheShards:     *shards,
+		Workers:         *workers,
+		TileCells:       *tileCells,
+		ResidencyBudget: *residencyMiB << 20,
 	})
 	if len(specs) == 0 && len(storeSpecs) == 0 {
 		specs = terrainSpecs{"id=demo,kind=fractal,rows=48,cols=48,seed=7,amplitude=8"}

@@ -73,11 +73,18 @@ func describe(dir string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %-5s %-12s %-10s %s\n", "level", "samples", "cell size", "tile grid")
+	fmt.Printf("  %-5s %-12s %-10s %-11s %-7s %s\n", "level", "samples", "cell size", "tile grid", "tiles", "on-disk bytes")
+	var total int64
 	for l := 0; l < s.NumLevels(); l++ {
 		li := s.LevelInfo(l)
-		fmt.Printf("  %-5d %-12s %-10g %dx%d\n", l,
-			fmt.Sprintf("%dx%d", li.Rows, li.Cols), li.CellSize, li.TileGridRows, li.TileGridCols)
+		bytes := s.LevelBytes(l)
+		total += bytes
+		fmt.Printf("  %-5d %-12s %-10g %-11s %-7d %d\n", l,
+			fmt.Sprintf("%dx%d", li.Rows, li.Cols), li.CellSize,
+			fmt.Sprintf("%dx%d", li.TileGridRows, li.TileGridCols),
+			li.TileGridRows*li.TileGridCols, bytes)
 	}
+	fmt.Printf("  total %d bytes (%.1f MiB) — size the serving residency budget against the levels queried\n",
+		total, float64(total)/(1<<20))
 	return nil
 }

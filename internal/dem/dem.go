@@ -8,10 +8,12 @@ import (
 	"terrainhsr/internal/terrain"
 )
 
-// MaxSamples bounds Rows*Cols for parsed DEMs: large enough for every real
-// SRTM tile (3601x3601 ~ 13M samples) while keeping a hostile header from
+// MaxSamples bounds Rows*Cols for parsed DEMs: large enough for a
+// 16385x16385 country-scale mosaic (~268M samples, ~2 GB of float64
+// heights — ingestion materialises the lattice even though out-of-core
+// serving later pages it band by band) while keeping a hostile header from
 // allocating unbounded memory before any data is read.
-const MaxSamples = 1 << 24
+const MaxSamples = 1 << 29
 
 // DefaultShear is the plan shear ToTerrain applies by default — the same
 // general-position nudge the synthetic workload generators use, so terrains

@@ -29,6 +29,7 @@ type Config struct {
 // Executor is safe for concurrent use.
 type Executor struct {
 	t       *terrain.Terrain
+	paged   *tile.PagedGrid // out-of-core backing; exactly one of t/paged is set
 	planner *Planner
 	cfg     Config
 	pool    *hsr.OpsPool
@@ -48,13 +49,32 @@ func New(t *terrain.Terrain, cfg Config) *Executor {
 	return &Executor{t: t, planner: NewPlanner(t, cfg.TileSpec), cfg: cfg, pool: hsr.NewOpsPool()}
 }
 
+// NewPaged builds an out-of-core executor over a paged grid whose View field
+// is left for the executor to set per frame. Every plan it runs is
+// ModeOutOfCore; reason explains the routing in Plan.Explain (see
+// NewPagedPlanner).
+func NewPaged(g *tile.PagedGrid, cfg Config, reason string) *Executor {
+	return &Executor{
+		paged:   g,
+		planner: NewPagedPlanner(g.Rows, g.Cols, cfg.TileSpec, reason),
+		cfg:     cfg,
+		pool:    hsr.NewOpsPool(),
+	}
+}
+
 // Plan asks the executor's planner for the plan of a request.
 func (e *Executor) Plan(req Request) (*Plan, error) { return e.planner.Plan(req) }
 
 // EnsurePrepared computes (once) the canonical-view depth order, surfacing
 // preparation errors eagerly for callers that want them at construction.
 func (e *Executor) EnsurePrepared() error {
-	e.prepOnce.Do(func() { e.prep, e.prepErr = hsr.Prepare(e.t) })
+	e.prepOnce.Do(func() {
+		if e.paged != nil {
+			e.prepErr = fmt.Errorf("terrainhsr: out-of-core executor has no resident terrain to prepare")
+			return
+		}
+		e.prep, e.prepErr = hsr.Prepare(e.t)
+	})
 	return e.prepErr
 }
 
@@ -67,6 +87,12 @@ func (e *Executor) EnsureTiles() error {
 		part, err := e.planner.partition()
 		if err != nil {
 			e.tileErr = err
+			return
+		}
+		if e.paged != nil {
+			// The paged solver derives edge ids in closed form; there is no
+			// resident terrain to index.
+			e.part = part
 			return
 		}
 		idx, err := tile.NewEdgeIndex(e.t)
@@ -96,6 +122,9 @@ type Outcome struct {
 // exactly one outcome. On error the failure with the lowest frame index is
 // reported deterministically (see Frames).
 func (e *Executor) Run(plan *Plan, req Request) ([]Outcome, error) {
+	if e.paged != nil {
+		return e.runPaged(plan, req, nil)
+	}
 	if !plan.Perspective {
 		oc, err := e.solveView(e.t, plan, req, plan.WorkersPerFrame, nil)
 		if err != nil {
@@ -126,6 +155,55 @@ func (e *Executor) Run(plan *Plan, req Request) ([]Outcome, error) {
 		return nil, err
 	}
 	return outs, nil
+}
+
+// runPaged executes a plan against the paged backing. Perspective frames run
+// one at a time (the plan pinned FrameWorkers to 1), each through its own
+// view of the shared height source, so residency stays at one band.
+func (e *Executor) runPaged(plan *Plan, req Request, emit func(hsr.VisiblePiece) error) ([]Outcome, error) {
+	if !plan.Perspective {
+		oc, err := e.solvePagedView(nil, req, plan.WorkersPerFrame, emit)
+		if err != nil {
+			return nil, err
+		}
+		return []Outcome{oc}, nil
+	}
+	if plan.Frames == 0 {
+		return nil, nil
+	}
+	outs := make([]Outcome, plan.Frames)
+	if err := Frames(plan.FrameWorkers, req.Eyes, "out-of-core frame", func(i int) error {
+		view := &geom.PerspectiveTransform{Eye: req.Eyes[i], MinDepth: req.MinDepth}
+		oc, err := e.solvePagedView(view, req, plan.WorkersPerFrame, emit)
+		if err != nil {
+			return err
+		}
+		outs[i] = oc
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// solvePagedView runs one view of the paged grid through the banded
+// out-of-core solver.
+func (e *Executor) solvePagedView(view *geom.PerspectiveTransform, req Request, workers int, emit func(hsr.VisiblePiece) error) (Outcome, error) {
+	if err := e.EnsureTiles(); err != nil {
+		return Outcome{}, err
+	}
+	g := *e.paged
+	g.View = view
+	solve := func(sub *terrain.Terrain, w int) (*hsr.Result, error) {
+		return Dispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, req.Algorithm, w, e.pool)
+	}
+	res, st, err := tile.SolvePaged(&g, e.part, solve, tile.Options{
+		Workers: workers, NoCull: e.cfg.NoCull, Emit: emit,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Res: res, Tile: st}, nil
 }
 
 // frameTerrain maps the shared topology through one frame's perspective
@@ -205,13 +283,6 @@ func (e *Executor) RunStream(plan *Plan, req Request, sink Sink) (*StreamStats, 
 	if plan.Perspective && plan.Frames != 1 {
 		return nil, fmt.Errorf("terrainhsr: streaming solves a single view, got %d frames", plan.Frames)
 	}
-	tt := e.t
-	if plan.Perspective {
-		var err error
-		if tt, err = e.frameTerrain(req.Eyes[0], req.MinDepth); err != nil {
-			return nil, err
-		}
-	}
 	k := 0
 	emit := func(p hsr.VisiblePiece) error {
 		if err := sink(p); err != nil {
@@ -220,7 +291,23 @@ func (e *Executor) RunStream(plan *Plan, req Request, sink Sink) (*StreamStats, 
 		k++
 		return nil
 	}
-	oc, err := e.solveView(tt, plan, req, plan.WorkersPerFrame, emit)
+	var oc Outcome
+	var err error
+	if e.paged != nil {
+		var view *geom.PerspectiveTransform
+		if plan.Perspective {
+			view = &geom.PerspectiveTransform{Eye: req.Eyes[0], MinDepth: req.MinDepth}
+		}
+		oc, err = e.solvePagedView(view, req, plan.WorkersPerFrame, emit)
+	} else {
+		tt := e.t
+		if plan.Perspective {
+			if tt, err = e.frameTerrain(req.Eyes[0], req.MinDepth); err != nil {
+				return nil, err
+			}
+		}
+		oc, err = e.solveView(tt, plan, req, plan.WorkersPerFrame, emit)
+	}
 	if err != nil {
 		return nil, err
 	}

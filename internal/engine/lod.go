@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"sync"
+
+	"terrainhsr/internal/tile"
 )
 
 // This file adds the level-of-detail dimension to planning. A LevelSet
@@ -28,45 +30,118 @@ type levelSlot struct {
 	exec *Executor
 }
 
-// LevelSet is the planning view of a terrain's LOD pyramid: the cell size
-// of every level, finest (level 0) first, and lazily built executors.
-type LevelSet struct {
-	cells []float64
-	build func(level int) (*Executor, error)
-	slots []levelSlot
+// LevelDesc describes one pyramid level to a LevelSet: its sample spacing
+// and its grid shape in cells, which is what the residency decision needs.
+type LevelDesc struct {
+	CellSize   float64
+	Rows, Cols int
 }
 
-// NewLevelSet builds a level set from the per-level cell sizes (strictly
-// increasing, finest first — the pyramid's invariant) and an executor
-// constructor invoked at most once per level, on first use.
-func NewLevelSet(cells []float64, build func(level int) (*Executor, error)) (*LevelSet, error) {
-	if len(cells) == 0 {
+// EstimateTerrainBytes estimates the resident bytes of solving a rows x cols
+// cell grid in core: the assembled height grid plus the terrain it builds
+// (vertices, triangles, edges). It is the quantity compared against the
+// residency budget when routing a level in- or out-of-core.
+func EstimateTerrainBytes(rows, cols int) int64 {
+	samples := int64(rows+1) * int64(cols+1)
+	cells := int64(rows) * int64(cols)
+	edges := 3*cells + int64(rows) + int64(cols)
+	return 8*samples + // height grid
+		24*samples + // vertices (three float64)
+		12*2*cells + // triangles (three int32)
+		16*edges // edges (four int32)
+}
+
+// OutOfCoreSpec picks the tile sizing for a paged solve of a rows x cols
+// cell grid under a residency budget. The automatic Spec aims at a handful
+// of bands, which is right in core but wrong paged: a band's working set —
+// the resident height pages, the read-ahead band, and the per-band vertex
+// tables — scales with TileRows x cols, so a 16k grid cut four ways would
+// drag half a gigabyte into residency per band. Bands are instead sized so
+// that working set stays a small fraction of the budget, and never larger
+// than the automatic size (so at scales where an in-core solve is possible
+// the partitions — and therefore the solved pieces, byte for byte —
+// coincide). Column tiling keeps the automatic size: columns bound cull
+// granularity, not residency — under a close perspective eye the halo of
+// a near band spans most of the band's width whatever the column cut, so
+// narrower columns multiply extraction work without shrinking the solve.
+func OutOfCoreSpec(rows, cols int, budget int64) tile.Spec {
+	if budget <= 0 {
+		return tile.Spec{}
+	}
+	// ~32 band-rows of float64 heights per budget unit keeps pages,
+	// read-ahead and vertex tables comfortably inside the cap.
+	tr := int(budget / (int64(cols+1) * 8 * 32))
+	const minBand = 16
+	if tr < minBand {
+		tr = minBand
+	}
+	if a := tile.AutoSize(rows); tr > a {
+		tr = a
+	}
+	return tile.Spec{TileRows: tr}
+}
+
+// LevelSet is the planning view of a terrain's LOD pyramid: the shape and
+// cell size of every level, finest (level 0) first, and lazily built
+// executors. Levels whose estimated resident bytes exceed the residency
+// budget are flagged out-of-core, and their constructor is asked for a
+// paged executor.
+type LevelSet struct {
+	descs  []LevelDesc
+	ooc    []bool
+	budget int64
+	build  func(level int, outOfCore bool) (*Executor, error)
+	slots  []levelSlot
+}
+
+// NewLevelSet builds a level set from the per-level descriptions (cell sizes
+// strictly increasing, finest first — the pyramid's invariant) and an
+// executor constructor invoked at most once per level, on first use. The
+// constructor's outOfCore argument is the residency decision: true when
+// residencyBudget > 0 and EstimateTerrainBytes(level shape) exceeds it, in
+// which case the constructor must return a paged executor (NewPaged); a
+// budget of 0 keeps every level in core.
+func NewLevelSet(levels []LevelDesc, residencyBudget int64, build func(level int, outOfCore bool) (*Executor, error)) (*LevelSet, error) {
+	if len(levels) == 0 {
 		return nil, fmt.Errorf("terrainhsr: level set needs at least the finest level")
 	}
 	if build == nil {
 		return nil, fmt.Errorf("terrainhsr: level set needs an executor constructor")
 	}
-	for i, c := range cells {
-		if c <= 0 {
-			return nil, fmt.Errorf("terrainhsr: level %d cell size %v", i, c)
+	if residencyBudget < 0 {
+		return nil, fmt.Errorf("terrainhsr: negative residency budget %d", residencyBudget)
+	}
+	ooc := make([]bool, len(levels))
+	for i, d := range levels {
+		if d.CellSize <= 0 {
+			return nil, fmt.Errorf("terrainhsr: level %d cell size %v", i, d.CellSize)
 		}
-		if i > 0 && c <= cells[i-1] {
+		if i > 0 && d.CellSize <= levels[i-1].CellSize {
 			return nil, fmt.Errorf("terrainhsr: level %d cell size %v does not coarsen level %d (%v)",
-				i, c, i-1, cells[i-1])
+				i, d.CellSize, i-1, levels[i-1].CellSize)
 		}
+		if d.Rows < 1 || d.Cols < 1 {
+			return nil, fmt.Errorf("terrainhsr: level %d is %dx%d cells", i, d.Rows, d.Cols)
+		}
+		ooc[i] = residencyBudget > 0 && EstimateTerrainBytes(d.Rows, d.Cols) > residencyBudget
 	}
 	return &LevelSet{
-		cells: append([]float64(nil), cells...),
-		build: build,
-		slots: make([]levelSlot, len(cells)),
+		descs:  append([]LevelDesc(nil), levels...),
+		ooc:    ooc,
+		budget: residencyBudget,
+		build:  build,
+		slots:  make([]levelSlot, len(levels)),
 	}, nil
 }
 
 // NumLevels returns the level count (at least 1).
-func (ls *LevelSet) NumLevels() int { return len(ls.cells) }
+func (ls *LevelSet) NumLevels() int { return len(ls.descs) }
 
 // CellSize returns level l's sample spacing (0 = finest).
-func (ls *LevelSet) CellSize(l int) float64 { return ls.cells[l] }
+func (ls *LevelSet) CellSize(l int) float64 { return ls.descs[l].CellSize }
+
+// OutOfCore reports whether level l routes through the paged pipeline.
+func (ls *LevelSet) OutOfCore(l int) bool { return ls.ooc[l] }
 
 // Executor returns level l's executor, constructing it on first use. A
 // failed construction is retried on the next call rather than cached.
@@ -78,7 +153,7 @@ func (ls *LevelSet) Executor(l int) (*Executor, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.exec == nil {
-		exec, err := ls.build(l)
+		exec, err := ls.build(l, ls.ooc[l])
 		if err != nil {
 			return nil, err
 		}
@@ -100,21 +175,21 @@ func (ls *LevelSet) Pick(budget float64) (level int, reason string) {
 		return 0, "no error budget: finest level"
 	}
 	pick := -1
-	for i, c := range ls.cells {
-		if c <= budget {
+	for i, d := range ls.descs {
+		if d.CellSize <= budget {
 			pick = i
 		}
 	}
 	if pick < 0 {
 		return 0, fmt.Sprintf("error budget %g finer than the finest cell %g: finest level",
-			budget, ls.cells[0])
+			budget, ls.descs[0].CellSize)
 	}
-	if pick == len(ls.cells)-1 {
+	if pick == len(ls.descs)-1 {
 		return pick, fmt.Sprintf("error budget %g admits the coarsest level (cell %g)",
-			budget, ls.cells[pick])
+			budget, ls.descs[pick].CellSize)
 	}
 	return pick, fmt.Sprintf("error budget %g admits cell %g but not %g",
-		budget, ls.cells[pick], ls.cells[pick+1])
+		budget, ls.descs[pick].CellSize, ls.descs[pick+1].CellSize)
 }
 
 // Plan picks the level for the request's error budget, builds that level's
@@ -134,8 +209,8 @@ func (ls *LevelSet) PlanLevel(req Request, forced int) (*Plan, *Executor, error)
 	if forced < 0 {
 		level, reason = ls.Pick(req.ErrorBudget)
 	} else {
-		if forced >= len(ls.cells) {
-			return nil, nil, fmt.Errorf("terrainhsr: level %d of %d", forced, len(ls.cells))
+		if forced >= len(ls.descs) {
+			return nil, nil, fmt.Errorf("terrainhsr: level %d of %d", forced, len(ls.descs))
 		}
 		level, reason = forced, fmt.Sprintf("level %d forced by caller", forced)
 	}
@@ -148,8 +223,8 @@ func (ls *LevelSet) PlanLevel(req Request, forced int) (*Plan, *Executor, error)
 		return nil, nil, err
 	}
 	p.Level = level
-	p.LevelCount = len(ls.cells)
-	p.LevelCellSize = ls.cells[level]
+	p.LevelCount = len(ls.descs)
+	p.LevelCellSize = ls.descs[level].CellSize
 	p.addReason("%s", reason)
 	return p, exec, nil
 }

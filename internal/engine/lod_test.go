@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"terrainhsr/internal/terrain"
+	"terrainhsr/internal/tile"
 )
 
 // scaledGrid builds a small grid terrain with the given cell size.
@@ -24,7 +25,11 @@ func scaledGrid(t *testing.T, cell float64) *terrain.Terrain {
 func testLevelSet(t *testing.T) (*LevelSet, *int) {
 	t.Helper()
 	built := 0
-	ls, err := NewLevelSet([]float64{1, 2, 4}, func(level int) (*Executor, error) {
+	descs := []LevelDesc{{CellSize: 1, Rows: 4, Cols: 4}, {CellSize: 2, Rows: 4, Cols: 4}, {CellSize: 4, Rows: 4, Cols: 4}}
+	ls, err := NewLevelSet(descs, 0, func(level int, outOfCore bool) (*Executor, error) {
+		if outOfCore {
+			return nil, fmt.Errorf("no residency budget set, yet level %d routed out-of-core", level)
+		}
 		built++
 		return New(scaledGrid(t, []float64{1, 2, 4}[level]), Config{}), nil
 	})
@@ -133,7 +138,7 @@ func TestLevelSetBuildErrorRetries(t *testing.T) {
 	// Transient construction failures (store I/O) must not poison the
 	// level: the next request retries, and success is then cached.
 	calls := 0
-	ls, err := NewLevelSet([]float64{1}, func(int) (*Executor, error) {
+	ls, err := NewLevelSet([]LevelDesc{{CellSize: 1, Rows: 4, Cols: 4}}, 0, func(int, bool) (*Executor, error) {
 		calls++
 		if calls == 1 {
 			return nil, fmt.Errorf("disk gone")
@@ -157,17 +162,46 @@ func TestLevelSetBuildErrorRetries(t *testing.T) {
 }
 
 func TestNewLevelSetRejects(t *testing.T) {
-	build := func(int) (*Executor, error) { return nil, nil }
-	if _, err := NewLevelSet(nil, build); err == nil {
+	build := func(int, bool) (*Executor, error) { return nil, nil }
+	one := []LevelDesc{{CellSize: 1, Rows: 4, Cols: 4}}
+	if _, err := NewLevelSet(nil, 0, build); err == nil {
 		t.Error("empty level set accepted")
 	}
-	if _, err := NewLevelSet([]float64{1}, nil); err == nil {
+	if _, err := NewLevelSet(one, 0, nil); err == nil {
 		t.Error("nil constructor accepted")
 	}
-	if _, err := NewLevelSet([]float64{0}, build); err == nil {
+	if _, err := NewLevelSet([]LevelDesc{{CellSize: 0, Rows: 4, Cols: 4}}, 0, build); err == nil {
 		t.Error("zero cell size accepted")
 	}
-	if _, err := NewLevelSet([]float64{2, 2}, build); err == nil {
+	if _, err := NewLevelSet([]LevelDesc{{CellSize: 2, Rows: 4, Cols: 4}, {CellSize: 2, Rows: 4, Cols: 4}}, 0, build); err == nil {
 		t.Error("non-increasing cell sizes accepted")
+	}
+	if _, err := NewLevelSet([]LevelDesc{{CellSize: 1}}, 0, build); err == nil {
+		t.Error("shapeless level accepted")
+	}
+	if _, err := NewLevelSet(one, -1, build); err == nil {
+		t.Error("negative residency budget accepted")
+	}
+}
+
+func TestOutOfCoreSpec(t *testing.T) {
+	if s := OutOfCoreSpec(16384, 16384, 0); s != (tile.Spec{}) {
+		t.Errorf("zero budget: got %+v, want zero Spec", s)
+	}
+	// A 16k grid under a 512 MB budget gets 127-row bands: one band's
+	// working set (pages + read-ahead + vertex tables) stays well under
+	// the cap instead of the automatic 4096-row cut. Columns stay on the
+	// automatic size — they bound cull granularity, not residency.
+	if s := OutOfCoreSpec(16384, 16384, 512<<20); s.TileRows != 127 || s.TileCols != 0 {
+		t.Errorf("16k under 512MB: got %+v, want TileRows=127 TileCols=0", s)
+	}
+	// At scales where an in-core solve is possible the spec never shrinks
+	// bands below the automatic size, so both paths share one partition
+	// and their pieces stay byte-identical.
+	if s := OutOfCoreSpec(63, 63, 200_000); s.TileRows != tile.AutoSize(63) {
+		t.Errorf("small grid: got TileRows=%d, want the automatic size %d", s.TileRows, tile.AutoSize(63))
+	}
+	if s := OutOfCoreSpec(63, 63, 1<<40); s.TileRows != tile.AutoSize(63) {
+		t.Errorf("huge budget: got TileRows=%d, want the automatic size %d", s.TileRows, tile.AutoSize(63))
 	}
 }

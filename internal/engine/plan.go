@@ -25,6 +25,11 @@ const (
 	// ModeBatchedTiled solves one or more perspective frames, each through
 	// the tiled pipeline.
 	ModeBatchedTiled Mode = "batched-tiled"
+	// ModeOutOfCore solves band by band against paged heights: the terrain
+	// is never resident, tiles page in on demand, and envelope-culled tiles
+	// are never read. Chosen when a level's estimated resident bytes exceed
+	// the configured residency budget (see NewLevelSet).
+	ModeOutOfCore Mode = "out-of-core"
 )
 
 // Force restricts the planner's engine choice. The zero value plans
@@ -147,6 +152,12 @@ type Planner struct {
 	t    *terrain.Terrain
 	spec tile.Spec
 
+	// oocRows/oocCols (cells) replace t for out-of-core planning: the grid
+	// shape is known but no resident terrain exists. oocReason is the
+	// routing explanation stamped into every plan.
+	oocRows, oocCols int
+	oocReason        string
+
 	partOnce sync.Once
 	part     *tile.Partition
 	partErr  error
@@ -158,12 +169,24 @@ func NewPlanner(t *terrain.Terrain, spec tile.Spec) *Planner {
 	return &Planner{t: t, spec: spec}
 }
 
+// NewPagedPlanner builds a planner for an out-of-core grid of rows x cols
+// cells. Every plan it produces is tiled (ModeOutOfCore) and carries reason
+// — typically "estimated N MB resident exceeds budget M MB" — in its
+// explanation.
+func NewPagedPlanner(rows, cols int, spec tile.Spec, reason string) *Planner {
+	return &Planner{oocRows: rows, oocCols: cols, spec: spec, oocReason: reason}
+}
+
 // partition returns the tile partition of the planner's spec, computed
 // once. Plans report its shape and Executor.EnsureTiles executes against
 // the same object, so the explained tile grid is by construction the one
 // that runs.
 func (pl *Planner) partition() (*tile.Partition, error) {
 	pl.partOnce.Do(func() {
+		if pl.oocRows > 0 {
+			pl.part, pl.partErr = tile.NewPartition(pl.oocRows, pl.oocCols, pl.spec)
+			return
+		}
 		if pl.t == nil || !pl.t.IsGrid() {
 			pl.partErr = fmt.Errorf("terrainhsr: tiled solving needs a grid terrain (NewGridTerrain or Generate)")
 			return
@@ -177,6 +200,9 @@ func (pl *Planner) partition() (*tile.Partition, error) {
 // pipeline (by forced override, else by grid structure and the TileCells
 // threshold), the frame schedule, and the worker-budget split.
 func (pl *Planner) Plan(req Request) (*Plan, error) {
+	if pl.oocRows > 0 {
+		return pl.planPaged(req)
+	}
 	if pl.t == nil {
 		return nil, fmt.Errorf("terrainhsr: nil terrain")
 	}
@@ -242,6 +268,44 @@ func (pl *Planner) Plan(req Request) (*Plan, error) {
 			p.Mode = ModeTiled
 		} else {
 			p.Mode = ModeMonolithic
+		}
+	}
+	return p, nil
+}
+
+// planPaged plans a request for an out-of-core grid. There is only one
+// pipeline: the banded tiled solve over paged heights. Monolithic execution
+// is impossible (it needs the whole terrain resident — exactly what
+// out-of-core routing decided against), and perspective frames run one at a
+// time so residency stays bounded by a band, not a band per frame.
+func (pl *Planner) planPaged(req Request) (*Plan, error) {
+	switch req.Force {
+	case Auto, ForceTiled:
+	case ForceMonolithic:
+		return nil, fmt.Errorf("terrainhsr: monolithic solving needs a resident terrain; this level is out-of-core (%s)", pl.oocReason)
+	default:
+		return nil, fmt.Errorf("terrainhsr: unknown engine override %q", req.Force)
+	}
+	p := &Plan{
+		Mode: ModeOutOfCore, Tiled: true,
+		Perspective: req.Perspective,
+		GridCells:   pl.oocRows * pl.oocCols,
+	}
+	p.addReason("out-of-core: %s", pl.oocReason)
+	part, err := pl.partition()
+	if err != nil {
+		return nil, err
+	}
+	p.Bands, p.TileCols = part.NumBands, part.NumCols
+	p.TotalWorkers = req.Workers
+	if p.TotalWorkers <= 0 {
+		p.TotalWorkers = parallel.DefaultWorkers()
+	}
+	p.FrameWorkers, p.WorkersPerFrame = 1, p.TotalWorkers
+	if req.Perspective {
+		p.Frames = len(req.Eyes)
+		if p.Frames > 1 {
+			p.addReason("frames serialized to keep residency at one band")
 		}
 	}
 	return p, nil

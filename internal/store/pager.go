@@ -1,0 +1,319 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the out-of-core access path: a Pager serves per-tile height
+// blocks of one level on demand, so a solver can walk a massive terrain
+// front to back without ever assembling the level in memory. The paging
+// lifecycle mirrors the tiled solver's band order: a depth band's blocks
+// page in when the band solves (with configurable read-ahead of the blocks
+// behind it), stay resident while the band's silhouette is merged into the
+// front envelope, and are retired afterwards — retired blocks are the
+// eviction candidates that keep residency under the configured cap. Blocks
+// of envelope-culled tiles are never requested, so BytesLoaded stays
+// strictly below the level's on-disk bytes whenever occlusion fires.
+
+// PagerOptions configures a Pager.
+type PagerOptions struct {
+	// ReadAhead is how many tile-grid rows beyond each Rect request to
+	// prefetch asynchronously — the next depth band begins paging while the
+	// current one solves. 0 disables read-ahead.
+	ReadAhead int
+	// ResidentLimit caps the pager's resident height bytes (0 = unlimited).
+	// Only retired blocks are evicted, so the cap is soft: if the blocks a
+	// single band needs exceed it on their own, the pager exceeds the cap
+	// transiently rather than failing the solve. Prefetching never pushes
+	// residency over the cap.
+	ResidentLimit int64
+}
+
+// pageKey addresses one tile file of the pager's level.
+type pageKey struct{ ti, tj int }
+
+// page is one resident (or in-flight) tile block. heights and err are
+// written once, before ready closes; readers synchronize on the channel.
+// retired is guarded by the pager mutex.
+type page struct {
+	r0, c0     int // sample origin within the level
+	rows, cols int
+	ready      chan struct{}
+	heights    []float64
+	err        error
+	retired    bool
+}
+
+// bytes returns the block's resident height bytes.
+func (pg *page) bytes() int64 { return int64(len(pg.heights)) * 8 }
+
+// Pager pages one level's height samples on demand. It is safe for
+// concurrent use: concurrent Rect requests for the same block coalesce into
+// one tile-file read. Every read counts into the store's cumulative
+// BytesLoaded and the pager's PageIns; resident bytes are tracked both per
+// pager (ResidentBytes) and store-wide (Store.ResidentBytes).
+//
+// Pager satisfies the solver's height-source contract (tile.HeightSource)
+// structurally, so package store never imports the solver.
+type Pager struct {
+	s     *Store
+	level int
+	info  LevelInfo
+	opt   PagerOptions
+
+	mu       sync.Mutex
+	pages    map[pageKey]*page
+	resident int64
+	closed   bool
+	wg       sync.WaitGroup
+
+	pageIns atomic.Int64
+}
+
+// NewPager builds a pager over level l. It reads nothing: blocks page in on
+// first use. Close the pager to release its resident blocks.
+func (s *Store) NewPager(l int, opt PagerOptions) (*Pager, error) {
+	if l < 0 || l >= len(s.man.Levels) {
+		return nil, fmt.Errorf("store: level %d of %d", l, len(s.man.Levels))
+	}
+	if opt.ReadAhead < 0 || opt.ResidentLimit < 0 {
+		return nil, fmt.Errorf("store: negative pager option %+v", opt)
+	}
+	return &Pager{
+		s: s, level: l, info: s.man.Levels[l], opt: opt,
+		pages: make(map[pageKey]*page),
+	}, nil
+}
+
+// Level returns the level the pager serves.
+func (p *Pager) Level() int { return p.level }
+
+// ResidentBytes returns the height bytes this pager currently holds.
+func (p *Pager) ResidentBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.resident
+}
+
+// PageIns returns how many tile files this pager has read (demand and
+// read-ahead alike; re-reads after eviction count again).
+func (p *Pager) PageIns() int64 { return p.pageIns.Load() }
+
+// Rect pages in every block overlapping the inclusive sample rectangle
+// [r0, r1] x [c0, c1] and returns an accessor for its samples. The accessor
+// is valid until the pager closes — eviction never invalidates it (evicted
+// blocks stay reachable from live accessors; they are merely re-read on the
+// next Rect that needs them). With ReadAhead > 0 the next tile-grid rows
+// begin loading asynchronously over the same column range.
+func (p *Pager) Rect(r0, r1, c0, c1 int) (func(i, j int) float64, error) {
+	if r0 < 0 || r1 < r0 || r1 >= p.info.Rows || c0 < 0 || c1 < c0 || c1 >= p.info.Cols {
+		return nil, fmt.Errorf("store: rect [%d,%d]x[%d,%d] outside level %d's %dx%d samples",
+			r0, r1, c0, c1, p.level, p.info.Rows, p.info.Cols)
+	}
+	tr, tc := p.s.man.TileRows, p.s.man.TileCols
+	ti0, ti1 := r0/tr, r1/tr
+	tj0, tj1 := c0/tc, c1/tc
+	view := make([][]*page, ti1-ti0+1)
+	for ti := ti0; ti <= ti1; ti++ {
+		row := make([]*page, tj1-tj0+1)
+		for tj := tj0; tj <= tj1; tj++ {
+			pg, err := p.ensurePage(ti, tj, false)
+			if err != nil {
+				return nil, err
+			}
+			row[tj-tj0] = pg
+		}
+		view[ti-ti0] = row
+	}
+	if p.opt.ReadAhead > 0 {
+		p.readAhead(ti1+1, tj0, tj1)
+	}
+	return func(i, j int) float64 {
+		pg := view[i/tr-ti0][j/tc-tj0]
+		return pg.heights[(i-pg.r0)*pg.cols+(j-pg.c0)]
+	}, nil
+}
+
+// readAhead schedules an asynchronous load of tile rows [ti, ti+ReadAhead)
+// over tile columns [tj0, tj1].
+func (p *Pager) readAhead(ti, tj0, tj1 int) {
+	hi := ti + p.opt.ReadAhead
+	if hi > p.info.TileGridRows {
+		hi = p.info.TileGridRows
+	}
+	if ti >= hi {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.wg.Done()
+		for t := ti; t < hi; t++ {
+			for tj := tj0; tj <= tj1; tj++ {
+				if _, err := p.ensurePage(t, tj, true); err != nil {
+					return // demand paging will surface the error, with retry
+				}
+			}
+		}
+	}()
+}
+
+// ensurePage returns the block for tile (ti, tj), reading its file if it is
+// not resident. Concurrent callers coalesce on one read. A prefetch call
+// declines to load when the block would push residency over the cap; demand
+// calls always load. Failed loads are not cached: the entry is removed so
+// the next request retries.
+func (p *Pager) ensurePage(ti, tj int, prefetch bool) (*page, error) {
+	key := pageKey{ti, tj}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("store: pager for level %d is closed", p.level)
+	}
+	if pg, ok := p.pages[key]; ok {
+		if !prefetch {
+			pg.retired = false // back in use: no longer an eviction candidate
+		}
+		p.mu.Unlock()
+		<-pg.ready
+		if pg.err != nil {
+			return nil, pg.err
+		}
+		return pg, nil
+	}
+	r0, r1 := tileRange(p.info.Rows, p.s.man.TileRows, ti)
+	c0, c1 := tileRange(p.info.Cols, p.s.man.TileCols, tj)
+	if prefetch && p.opt.ResidentLimit > 0 &&
+		p.resident+int64((r1-r0)*(c1-c0))*8 > p.opt.ResidentLimit {
+		p.mu.Unlock()
+		return nil, nil // under pressure: leave the block to demand paging
+	}
+	pg := &page{r0: r0, c0: c0, rows: r1 - r0, cols: c1 - c0, ready: make(chan struct{})}
+	p.pages[key] = pg
+	p.mu.Unlock()
+
+	rows, cols, heights, err := p.s.readTile(p.level, ti, tj)
+	if err == nil && (rows != pg.rows || cols != pg.cols) {
+		err = fmt.Errorf("store: level %d tile (%d,%d) is %dx%d, manifest wants %dx%d",
+			p.level, ti, tj, rows, cols, pg.rows, pg.cols)
+	}
+	p.mu.Lock()
+	if err != nil {
+		pg.err = err
+		delete(p.pages, key)
+	} else {
+		pg.heights = heights
+		p.resident += pg.bytes()
+		p.s.resident.Add(pg.bytes())
+		p.pageIns.Add(1)
+		p.evictLocked()
+	}
+	p.mu.Unlock()
+	close(pg.ready)
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// Retire marks every block lying entirely in front of sample row `row`
+// (that is, whose samples all have row index < row) evictable, and evicts
+// under residency pressure. The tiled solver calls it after merging a depth
+// band's silhouette into the front envelope: the band's heights can no
+// longer influence anything behind it, so its blocks only hold memory. A
+// retired block is not freed eagerly — a later Rect may revive it (a second
+// perspective frame, say) without I/O if the cap never forced it out.
+func (p *Pager) Retire(row int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pg := range p.pages {
+		if pg.r0+pg.rows <= row {
+			pg.retired = true
+		}
+	}
+	p.evictLocked()
+}
+
+// evictLocked drops retired blocks — front-most first, matching the order
+// bands finish — until residency fits the cap. Blocks still in use (not
+// retired, or mid-load) are never evicted; the cap is soft.
+func (p *Pager) evictLocked() {
+	if p.opt.ResidentLimit <= 0 {
+		return
+	}
+	for p.resident > p.opt.ResidentLimit {
+		var victim *page
+		var victimKey pageKey
+		for key, pg := range p.pages {
+			if !pg.retired || pg.heights == nil {
+				continue
+			}
+			if victim == nil || key.ti < victimKey.ti ||
+				(key.ti == victimKey.ti && key.tj < victimKey.tj) {
+				victim, victimKey = pg, key
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(p.pages, victimKey)
+		p.resident -= victim.bytes()
+		p.s.resident.Add(-victim.bytes())
+	}
+}
+
+// MaxHeight returns an upper bound on the heights inside the inclusive
+// sample rectangle [r0, r1] x [c0, c1], from the manifest's per-tile maxima
+// — no tile file is read. ok is false when the store predates the stats (or
+// the level's bound is not finite); callers must then treat the rectangle
+// as unbounded. The bound covers whole tiles, so it is conservative for
+// rectangles that end mid-tile — exactly what an occlusion cull needs.
+func (p *Pager) MaxHeight(r0, r1, c0, c1 int) (float64, bool) {
+	stats := p.info.TileMaxHeights
+	if len(stats) != p.info.TileGridRows*p.info.TileGridCols {
+		return 0, false
+	}
+	if r0 < 0 || r1 < r0 || r1 >= p.info.Rows || c0 < 0 || c1 < c0 || c1 >= p.info.Cols {
+		return 0, false
+	}
+	ti0, ti1 := r0/p.s.man.TileRows, r1/p.s.man.TileRows
+	tj0, tj1 := c0/p.s.man.TileCols, c1/p.s.man.TileCols
+	mx := stats[ti0*p.info.TileGridCols+tj0]
+	for ti := ti0; ti <= ti1; ti++ {
+		for tj := tj0; tj <= tj1; tj++ {
+			if v := stats[ti*p.info.TileGridCols+tj]; v > mx {
+				mx = v
+			}
+		}
+	}
+	return mx, true
+}
+
+// Close waits for outstanding read-ahead and releases every resident block.
+// Further Rect calls fail; accessors already handed out stay readable.
+func (p *Pager) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.wg.Wait()
+	p.mu.Lock()
+	for key, pg := range p.pages {
+		if pg.heights != nil {
+			p.resident -= pg.bytes()
+			p.s.resident.Add(-pg.bytes())
+		}
+		delete(p.pages, key)
+	}
+	p.mu.Unlock()
+}

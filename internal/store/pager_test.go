@@ -1,0 +1,243 @@
+package store
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// openPaged writes a pyramid with small tiles and opens it, returning both the
+// store and the original pyramid for bit-comparison.
+func openPaged(t *testing.T, rows, cols int, seed int64) (*Store, []float64, int, int) {
+	t.Helper()
+	p := buildPyramid(t, rows, cols, seed)
+	dir := t.TempDir()
+	if err := Write(dir, p.Levels, Spec{TileRows: 16, TileCols: 16}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := p.Level(0)
+	return s, full.Heights, full.Rows, full.Cols
+}
+
+func TestPagerRectBitIdentical(t *testing.T) {
+	s, want, rows, cols := openPaged(t, 45, 38, 11)
+	pg, err := s.NewPager(0, PagerOptions{ReadAhead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	// Walk the level in uneven bands, the way the solver does.
+	for r0 := 0; r0 < rows; r0 += 13 {
+		r1 := r0 + 12
+		if r1 >= rows {
+			r1 = rows - 1
+		}
+		at, err := pg.Rect(r0, r1, 0, cols-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := r0; i <= r1; i++ {
+			for j := 0; j < cols; j++ {
+				if math.Float64bits(at(i, j)) != math.Float64bits(want[i*cols+j]) {
+					t.Fatalf("sample (%d,%d) differs from the assembled level", i, j)
+				}
+			}
+		}
+	}
+	if pg.PageIns() == 0 || pg.ResidentBytes() == 0 {
+		t.Fatalf("pager paged %d tiles, %d resident bytes", pg.PageIns(), pg.ResidentBytes())
+	}
+	if s.ResidentBytes() != pg.ResidentBytes() {
+		t.Fatalf("store residency %d, pager %d", s.ResidentBytes(), pg.ResidentBytes())
+	}
+	if _, err := pg.Rect(-1, 0, 0, 0); err == nil {
+		t.Fatal("out-of-range rect accepted")
+	}
+	pg.Close()
+	if pg.ResidentBytes() != 0 || s.ResidentBytes() != 0 {
+		t.Fatal("Close left resident bytes behind")
+	}
+	if s.BytesLoaded() == 0 {
+		t.Fatal("BytesLoaded not counting pager reads")
+	}
+	if _, err := pg.Rect(0, 0, 0, 0); err == nil {
+		t.Fatal("Rect succeeded on a closed pager")
+	}
+}
+
+func TestPagerRetireEvictsUnderCap(t *testing.T) {
+	s, _, rows, cols := openPaged(t, 64, 64, 12)
+	// One 16x16 tile holds 2048 height bytes; cap at roughly two tile rows so
+	// retirement must evict.
+	const cap = 4 * 16 * 16 * 8 * 2
+	pg, err := s.NewPager(0, PagerOptions{ResidentLimit: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	for r0 := 0; r0 < rows; r0 += 16 {
+		r1 := r0 + 15
+		if r1 >= rows {
+			r1 = rows - 1
+		}
+		if _, err := pg.Rect(r0, r1, 0, cols-1); err != nil {
+			t.Fatal(err)
+		}
+		pg.Retire(r1 + 1)
+		if got := pg.ResidentBytes(); got > cap {
+			t.Fatalf("residency %d exceeds cap %d after retiring row %d", got, cap, r1+1)
+		}
+	}
+	loaded := s.BytesLoaded()
+	firstIns := pg.PageIns()
+	// Revisiting an evicted band re-reads its tiles: the read counter moves
+	// again, residency stays under the cap.
+	if _, err := pg.Rect(0, 15, 0, cols-1); err != nil {
+		t.Fatal(err)
+	}
+	if pg.PageIns() == firstIns || s.BytesLoaded() == loaded {
+		t.Fatal("revisiting an evicted band cost no I/O")
+	}
+}
+
+func TestPagerRetireKeepsBlocksWithoutPressure(t *testing.T) {
+	s, _, rows, cols := openPaged(t, 48, 48, 13)
+	pg, err := s.NewPager(0, PagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	if _, err := pg.Rect(0, rows-1, 0, cols-1); err != nil {
+		t.Fatal(err)
+	}
+	ins := pg.PageIns()
+	pg.Retire(rows) // everything evictable, but no cap: nothing freed
+	if pg.ResidentBytes() == 0 {
+		t.Fatal("uncapped pager evicted retired blocks")
+	}
+	// A second frame revives the blocks without I/O.
+	if _, err := pg.Rect(0, rows-1, 0, cols-1); err != nil {
+		t.Fatal(err)
+	}
+	if pg.PageIns() != ins {
+		t.Fatal("revived blocks paid I/O again")
+	}
+}
+
+func TestPagerMaxHeight(t *testing.T) {
+	s, want, rows, cols := openPaged(t, 40, 40, 14)
+	pg, err := s.NewPager(0, PagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	rects := [][4]int{{0, rows - 1, 0, cols - 1}, {3, 9, 5, 21}, {17, 17, 39, 39}}
+	for _, rc := range rects {
+		bound, ok := pg.MaxHeight(rc[0], rc[1], rc[2], rc[3])
+		if !ok {
+			t.Fatalf("rect %v has no bound", rc)
+		}
+		mx := math.Inf(-1)
+		for i := rc[0]; i <= rc[1]; i++ {
+			for j := rc[2]; j <= rc[3]; j++ {
+				if v := want[i*cols+j]; v > mx {
+					mx = v
+				}
+			}
+		}
+		if bound < mx {
+			t.Fatalf("rect %v bound %g below the actual max %g", rc, bound, mx)
+		}
+	}
+	if pg.PageIns() != 0 {
+		t.Fatal("MaxHeight read tile files")
+	}
+	if _, ok := pg.MaxHeight(0, rows, 0, 0); ok {
+		t.Fatal("out-of-range rect got a bound")
+	}
+	pg.info.TileMaxHeights = nil // a store written before the stats existed
+	if _, ok := pg.MaxHeight(0, 0, 0, 0); ok {
+		t.Fatal("statless manifest produced a bound")
+	}
+}
+
+// TestStoreConcurrentAccess hammers every access path at once — the -race
+// run is the assertion.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, _, rows, cols := openPaged(t, 48, 48, 15)
+	pg, err := s.NewPager(0, PagerOptions{ReadAhead: 1, ResidentLimit: 16 * 16 * 8 * 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < 8; it++ {
+				l := (w + it) % s.NumLevels()
+				if _, err := s.LoadLevel(l); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.LoadTile(0, it%3, w%3); err != nil {
+					t.Error(err)
+					return
+				}
+				s.DropLevel(l)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r0 := 0; r0 < rows; r0 += 16 {
+				r1 := r0 + 15
+				if r1 >= rows {
+					r1 = rows - 1
+				}
+				if _, err := pg.Rect(r0, r1, 0, cols-1); err != nil {
+					t.Error(err)
+					return
+				}
+				pg.MaxHeight(r0, r1, 0, cols-1)
+				pg.Retire(r1 + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.ResidentBytes() < pg.ResidentBytes() {
+		t.Fatalf("store residency %d below pager residency %d", s.ResidentBytes(), pg.ResidentBytes())
+	}
+	if s.BytesLoaded() <= 0 {
+		t.Fatal("no bytes counted")
+	}
+}
+
+func TestResidentBytesFollowsLoadAndDrop(t *testing.T) {
+	s, _, _, _ := openPaged(t, 40, 40, 16)
+	if s.ResidentBytes() != 0 {
+		t.Fatal("fresh store has residency")
+	}
+	if _, err := s.LoadLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	after := s.ResidentBytes()
+	if after <= 0 {
+		t.Fatal("LoadLevel left no residency")
+	}
+	loaded := s.BytesLoaded()
+	s.DropLevel(0)
+	if s.ResidentBytes() != 0 {
+		t.Fatal("DropLevel did not release residency")
+	}
+	if s.BytesLoaded() != loaded {
+		t.Fatal("DropLevel changed the cumulative read counter")
+	}
+}

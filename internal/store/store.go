@@ -64,6 +64,14 @@ type LevelInfo struct {
 	// TileGridRows and TileGridCols are the tile-file grid dimensions.
 	TileGridRows int `json:"tile_grid_rows"`
 	TileGridCols int `json:"tile_grid_cols"`
+	// TileMaxHeights, when present, holds the maximum height sample of every
+	// tile, row-major (tile (ti, tj) at ti*TileGridCols+tj). It is the
+	// manifest-only height bound the out-of-core Pager serves to the solver's
+	// envelope cull, so proven-hidden tiles are never read from disk. Absent
+	// on stores written before the field existed (and on levels whose bound
+	// would not be finite); readers must treat a missing table as "no bound
+	// known", never as an error.
+	TileMaxHeights []float64 `json:"tile_max_heights,omitempty"`
 }
 
 // manifest is the JSON document at <dir>/manifest.json.
@@ -116,12 +124,22 @@ func Write(dir string, levels []*dem.DEM, spec Spec) error {
 			return fmt.Errorf("store: %w", err)
 		}
 		info := man.Levels[l]
+		maxes := make([]float64, 0, info.TileGridRows*info.TileGridCols)
+		finite := true
 		for ti := 0; ti < info.TileGridRows; ti++ {
 			for tj := 0; tj < info.TileGridCols; tj++ {
-				if err := writeTile(filepath.Join(ldir, tileFileName(ti, tj)), d, spec, l, ti, tj); err != nil {
+				mx, err := writeTile(filepath.Join(ldir, tileFileName(ti, tj)), d, spec, l, ti, tj)
+				if err != nil {
 					return err
 				}
+				if math.IsNaN(mx) || math.IsInf(mx, 0) {
+					finite = false // an all-nodata tile: JSON cannot carry the bound
+				}
+				maxes = append(maxes, mx)
 			}
+		}
+		if finite {
+			man.Levels[l].TileMaxHeights = maxes
 		}
 	}
 	buf, err := json.MarshalIndent(man, "", "  ")
@@ -151,8 +169,10 @@ func tileRange(n, tile, t int) (int, int) { // sample range [lo, hi) of tile t
 }
 
 // writeTile writes one tile file: header (magic, version, level, ti, tj,
-// rows, cols — uint32 LE), float64-bits payload, CRC32 of the payload.
-func writeTile(path string, d *dem.DEM, spec Spec, l, ti, tj int) error {
+// rows, cols — uint32 LE), float64-bits payload, CRC32 of the payload. It
+// returns the tile's maximum height sample (nodata ignored; -Inf when every
+// sample is nodata) for the manifest's cull-bound table.
+func writeTile(path string, d *dem.DEM, spec Spec, l, ti, tj int) (float64, error) {
 	r0, r1 := tileRange(d.Rows, spec.TileRows, ti)
 	c0, c1 := tileRange(d.Cols, spec.TileCols, tj)
 	rows, cols := r1-r0, c1-c0
@@ -162,17 +182,22 @@ func writeTile(path string, d *dem.DEM, spec Spec, l, ti, tj int) error {
 		binary.LittleEndian.PutUint32(buf[4*k:], v)
 	}
 	off := 7 * 4
+	mx := math.Inf(-1)
 	for i := r0; i < r1; i++ {
 		for j := c0; j < c1; j++ {
-			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(d.At(i, j)))
+			v := d.At(i, j)
+			if v > mx { // NaN fails every comparison: nodata never sets the bound
+				mx = v
+			}
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
 			off += 8
 		}
 	}
 	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[7*4:off]))
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return 0, fmt.Errorf("store: %w", err)
 	}
-	return nil
+	return mx, nil
 }
 
 // levelState caches one assembled level. Errors are not cached: a failed
@@ -191,7 +216,12 @@ type Store struct {
 	dir    string
 	man    manifest
 	levels []levelState
-	bytes  atomic.Int64
+	// bytes is the cumulative read counter (BytesLoaded): it only ever
+	// grows. resident tracks the height bytes currently held — by cached
+	// levels and by pager pages — and falls when they are dropped or
+	// evicted.
+	bytes    atomic.Int64
+	resident atomic.Int64
 }
 
 // Open reads the manifest under dir. No tile data is touched yet.
@@ -227,12 +257,42 @@ func (s *Store) NumLevels() int { return len(s.man.Levels) }
 func (s *Store) LevelInfo(l int) LevelInfo { return s.man.Levels[l] }
 
 // BytesLoaded returns the total tile-file bytes read so far — the paging
-// cost the serving tier reports per terrain.
+// cost the serving tier reports per terrain. The counter is cumulative: it
+// never decreases, not even when levels are dropped or pager pages are
+// evicted, so it measures I/O done, not memory held (that is
+// ResidentBytes).
 func (s *Store) BytesLoaded() int64 { return s.bytes.Load() }
+
+// ResidentBytes returns the height bytes the store currently holds in
+// memory: every level cached by LoadLevel plus every resident pager page.
+// Unlike the cumulative BytesLoaded it falls when DropLevel releases a
+// level or a Pager retires and evicts pages — the pair answers "how much
+// I/O has serving this terrain cost" (BytesLoaded) versus "how much memory
+// is it holding right now" (ResidentBytes).
+func (s *Store) ResidentBytes() int64 { return s.resident.Load() }
+
+// LevelBytes returns the total on-disk bytes of level l's tile files,
+// computed from the manifest's shape (the tile layout is deterministic, so
+// no directory walk is needed): the denominator operators compare
+// BytesLoaded against when sizing a residency budget.
+func (s *Store) LevelBytes(l int) int64 {
+	info := s.man.Levels[l]
+	var total int64
+	for ti := 0; ti < info.TileGridRows; ti++ {
+		r0, r1 := tileRange(info.Rows, s.man.TileRows, ti)
+		for tj := 0; tj < info.TileGridCols; tj++ {
+			c0, c1 := tileRange(info.Cols, s.man.TileCols, tj)
+			total += int64(7*4 + (r1-r0)*(c1-c0)*8 + 4)
+		}
+	}
+	return total
+}
 
 // LoadLevel assembles level l from its tile files, cached: repeated calls
 // share one DEM (treat it as read-only) and pay no further I/O. A failed
-// assembly is retried on the next call rather than cached.
+// assembly is retried on the next call rather than cached. A fresh assembly
+// adds the level's height bytes to ResidentBytes (and its tile-file reads
+// to the cumulative BytesLoaded).
 func (s *Store) LoadLevel(l int) (*dem.DEM, error) {
 	if l < 0 || l >= len(s.levels) {
 		return nil, fmt.Errorf("store: level %d of %d", l, len(s.levels))
@@ -246,6 +306,7 @@ func (s *Store) LoadLevel(l int) (*dem.DEM, error) {
 			return nil, err
 		}
 		st.dem = d
+		s.resident.Add(int64(len(d.Heights)) * 8)
 	}
 	return st.dem, nil
 }
@@ -253,13 +314,18 @@ func (s *Store) LoadLevel(l int) (*dem.DEM, error) {
 // DropLevel releases level l's cached lattice; the next LoadLevel re-reads
 // its tiles (and counts the bytes again). Callers that consume a level
 // once — building a TIN from it, say — drop it so a massive level's
-// heights are not held twice for the process lifetime.
+// heights are not held twice for the process lifetime. Dropping lowers
+// ResidentBytes by the level's height bytes; the cumulative BytesLoaded
+// read counter never decreases.
 func (s *Store) DropLevel(l int) {
 	if l < 0 || l >= len(s.levels) {
 		return
 	}
 	st := &s.levels[l]
 	st.mu.Lock()
+	if st.dem != nil {
+		s.resident.Add(-int64(len(st.dem.Heights)) * 8)
+	}
 	st.dem = nil
 	st.mu.Unlock()
 }

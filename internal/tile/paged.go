@@ -1,0 +1,426 @@
+package tile
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"terrainhsr/internal/envelope"
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/parallel"
+	"terrainhsr/internal/terrain"
+)
+
+// This file is the out-of-core solve path. SolvePaged runs the same banded
+// front-to-back algorithm as Solve, but never holds a resident
+// terrain.Terrain: tile heights stream in through a HeightSource, a band's
+// pages are retired as soon as its silhouette is merged into the front
+// envelope, and tiles the envelope proves hidden are culled *before* their
+// heights are requested — hidden terrain is never read from disk.
+//
+// Bit-identity with the resident path is a contract, not an accident. The
+// canonical-y of a vertex is height-independent under every transform the
+// library applies (grid build, plan shear, perspective divide), so halos and
+// cull boxes come from a per-band Y table computed without paging anything.
+// Vertices that do page in are pushed through syntactically identical
+// floating-point expressions (see vertex below), sub-terrains replicate
+// extract's cell and vertex discovery order exactly, and the band barrier is
+// the very same bandState used by Solve.
+
+// HeightSource serves height samples of a grid terrain on demand.
+// store.Pager satisfies it structurally; tests substitute recorders. All
+// coordinates are vertex (sample) indices, rectangles are inclusive.
+type HeightSource interface {
+	// Rect makes samples [r0, r1] x [c0, c1] available and returns an
+	// accessor valid at least until the next Retire at or behind r1.
+	Rect(r0, r1, c0, c1 int) (func(i, j int) float64, error)
+	// Retire tells the source that samples with row index < row no longer
+	// influence the solve and may be released.
+	Retire(row int)
+	// MaxHeight returns an upper bound on the samples in the inclusive
+	// rectangle, without materializing them. ok=false means no bound is
+	// known (the rectangle must then be treated as unboundedly tall).
+	MaxHeight(r0, r1, c0, c1 int) (float64, bool)
+}
+
+// PagedGrid describes a uniform grid terrain whose heights live behind a
+// HeightSource. Rows and Cols count cells (one less than sample rows/cols),
+// matching Partition. Cell is the sample spacing along both axes. Shear > 0
+// applies the plan shear q.Y += Shear*q.X that dem.ToTerrain applies; zero or
+// negative disables it. View, when non-nil, applies the perspective transform
+// after the shear — exactly the resident frameTerrain chain.
+type PagedGrid struct {
+	Rows, Cols int
+	Cell       float64
+	Shear      float64
+	View       *geom.PerspectiveTransform
+	Src        HeightSource
+}
+
+// vertex builds vertex (i, j) with height h through the canonical chain.
+// Each stage is the same floating-point expression the resident path
+// evaluates — terrain.Grid.Build's coordinates, dem.ToTerrain's shear,
+// geom.PerspectiveTransform.Apply — so the result is bit-identical even if a
+// compiler fuses multiply-adds (identical expression shapes fuse identically).
+func (g *PagedGrid) vertex(i, j int, h float64) (geom.Pt3, error) {
+	q := geom.Pt3{X: float64(i) * g.Cell, Y: float64(j) * g.Cell, Z: h}
+	if g.Shear > 0 {
+		q.Y += g.Shear * q.X
+	}
+	if g.View == nil {
+		return q, nil
+	}
+	return g.View.Apply(q)
+}
+
+// vertexYs computes the canonical y of every vertex in rows [r0, r1] (all
+// columns), indexed [i-r0][j]. Y is independent of height under the whole
+// transform chain — X and Y never read Z — so the table costs no paging; it
+// is what lets halos and cull boxes be computed for tiles that are never
+// read. A behind-eye vertex fails here exactly as the resident per-frame
+// transform would fail it.
+func (g *PagedGrid) vertexYs(r0, r1 int) ([][]float64, error) {
+	out := make([][]float64, r1-r0+1)
+	for i := r0; i <= r1; i++ {
+		row := make([]float64, g.Cols+1)
+		for j := 0; j <= g.Cols; j++ {
+			v, err := g.vertex(i, j, 0)
+			if err != nil {
+				return nil, fmt.Errorf("tile: vertex (%d,%d): %w", i, j, err)
+			}
+			row[j] = v.Y
+		}
+		out[i-r0] = row
+	}
+	return out, nil
+}
+
+// zUpper bounds the transformed height of any vertex in sample rows [r0, r1]
+// whose raw height is at most maxH. Without a perspective the transformed
+// height is the raw height (shear touches only Y). Under a perspective,
+// (maxH-Eye.Z)/depth is monotone in depth — and float rounding preserves
+// monotonicity — so the bound is attained at one of the row extremes. The
+// bound is >= the resident path's exact per-vertex maximum, which keeps the
+// paged cull a subset of the resident cull; since culling never changes
+// results (see TestCullingNeverChangesResult), results stay identical.
+func (g *PagedGrid) zUpper(r0, r1 int, maxH float64) float64 {
+	if g.View == nil {
+		return maxH
+	}
+	num := maxH - g.View.Eye.Z
+	z0 := num / (float64(r0)*g.Cell - g.View.Eye.X)
+	z1 := num / (float64(r1)*g.Cell - g.View.Eye.X)
+	return math.Max(z0, z1)
+}
+
+// pagedCellIntervals is cellIntervals against the band's Y table: the
+// canonical-y interval of every cell in rows [r0, r1), indexed
+// [row-r0][col], with the same corner ordering and min/max nesting.
+func pagedCellIntervals(ys [][]float64) [][]yiv {
+	cols := len(ys[0]) - 1
+	out := make([][]yiv, len(ys)-1)
+	for i := 0; i < len(ys)-1; i++ {
+		row := make([]yiv, cols)
+		for j := 0; j < cols; j++ {
+			a := ys[i][j]
+			b := ys[i][j+1]
+			c := ys[i+1][j]
+			d := ys[i+1][j+1]
+			row[j] = yiv{
+				lo: math.Min(math.Min(a, b), math.Min(c, d)),
+				hi: math.Max(math.Max(a, b), math.Max(c, d)),
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// pagedOwnedIV is ownedExtent's interval half against the Y table: the
+// canonical-y interval of vertex rows [r0, r1] x columns [c0, c1], same
+// iteration order and accumulation. The height half is replaced by the
+// source's MaxHeight bound (see zUpper).
+func pagedOwnedIV(ys [][]float64, r0, r1, c0, c1 int) yiv {
+	iv := yiv{lo: math.Inf(1), hi: math.Inf(-1)}
+	for i := r0; i <= r1; i++ {
+		for j := c0; j <= c1; j++ {
+			y := ys[i-r0][j]
+			iv.lo = math.Min(iv.lo, y)
+			iv.hi = math.Max(iv.hi, y)
+		}
+	}
+	return iv
+}
+
+// SolvePaged computes the visible scene of the paged grid terrain,
+// byte-identical to Solve over the equivalent resident terrain. The paging
+// lifecycle per depth band: compute the band's Y table (no heights), cull
+// tiles the front envelope covers (their heights are never requested), page
+// in and solve the surviving tiles, merge the band silhouette, then retire
+// the band's pages through Src.Retire.
+func SolvePaged(g *PagedGrid, p *Partition, solve SolveFunc, opt Options) (*hsr.Result, Stats, error) {
+	var stats Stats
+	if g == nil || g.Src == nil {
+		return nil, stats, fmt.Errorf("tile: paged grid needs a height source")
+	}
+	if g.Rows < 1 || g.Cols < 1 || g.Cell <= 0 {
+		return nil, stats, fmt.Errorf("tile: paged grid %dx%d cells with spacing %v", g.Rows, g.Cols, g.Cell)
+	}
+	if g.Rows != p.Rows || g.Cols != p.Cols {
+		return nil, stats, fmt.Errorf("tile: partition is %dx%d cells but paged grid is %dx%d", p.Rows, p.Cols, g.Rows, g.Cols)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	tileWorkers := workers
+	if tileWorkers > p.NumCols {
+		tileWorkers = p.NumCols
+	}
+	subWorkers := workers / tileWorkers
+	if subWorkers < 1 {
+		subWorkers = 1
+	}
+
+	stats.Bands, stats.Tiles = p.NumBands, p.NumTiles()
+
+	bs := &bandState{emit: opt.Emit}
+	for b := 0; b < p.NumBands; b++ {
+		r0, r1 := p.BandRows(b)
+		ys, err := g.vertexYs(r0, r1)
+		if err != nil {
+			return nil, stats, err
+		}
+		ivs := pagedCellIntervals(ys)
+
+		outcomes := make([]*tileOutcome, p.NumCols)
+		errs := make([]error, p.NumCols)
+		var failed atomic.Bool
+		parallel.ForDynamic(tileWorkers, p.NumCols, 1, func(_, c int) {
+			if failed.Load() {
+				return
+			}
+			oc, err := solvePagedTile(g, p, b, c, r0, r1, ys, ivs, bs.front, solve, subWorkers, opt.NoCull)
+			if err != nil {
+				errs[c] = err
+				failed.Store(true)
+				return
+			}
+			outcomes[c] = oc
+		})
+		for c, err := range errs {
+			if err != nil {
+				return nil, stats, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
+			}
+		}
+		if err := bs.finishBand(outcomes, &stats); err != nil {
+			return nil, stats, err
+		}
+		// The band's silhouette is merged; rows in front of r1 can no longer
+		// influence anything (row r1 itself is shared with the next band).
+		g.Src.Retire(r1)
+	}
+	return bs.result(terrain.EdgeCountForGrid(g.Rows, g.Cols), &stats), stats, nil
+}
+
+// solvePagedTile runs one tile of the paged solve. The cull check uses only
+// the Y table and the source's height bound; heights are requested (and
+// counted by the source) only when the tile survives.
+func solvePagedTile(g *PagedGrid, p *Partition, b, c, r0, r1 int, ys [][]float64, ivs [][]yiv, front envelope.Profile, solve SolveFunc, workers int, noCull bool) (*tileOutcome, error) {
+	_, _, c0, c1 := p.TileCells(b, c)
+	owned := pagedOwnedIV(ys, r0, r1, c0, c1)
+	if !noCull {
+		if maxH, ok := g.Src.MaxHeight(r0, r1, c0, c1); ok {
+			if front.CoversAbove(owned.lo, owned.hi, g.zUpper(r0, r1, maxH)) {
+				return &tileOutcome{culled: true}, nil
+			}
+		}
+	}
+	sub, err := extractPaged(g, p, b, c, r0, r1, haloRanges(ivs, owned))
+	if err != nil {
+		return nil, err
+	}
+	res, err := solve(sub.t, workers)
+	if err != nil {
+		return nil, err
+	}
+	oc := &tileOutcome{counters: res.Counters, crossings: res.Crossings}
+	for _, pc := range res.Pieces {
+		if !sub.owned[pc.Edge] {
+			continue // a halo edge: some other tile owns and reports it
+		}
+		pc.Edge = sub.globalEdge[pc.Edge]
+		oc.pieces = append(oc.pieces, pc)
+	}
+	return oc, nil
+}
+
+// extractPaged materializes the sub-terrain of the tile in band b, column
+// slot c, from paged heights. It replicates extract exactly: the same cells
+// in the same order yield the same triangle triples, hence the same
+// first-reference vertex numbering, hence (through terrain.New on
+// bit-identical vertices) the same local edges. The global edge ids that
+// extract reads from an EdgeIndex come from the closed-form grid numbering
+// instead — no resident terrain exists to index.
+func extractPaged(g *PagedGrid, p *Partition, b, c int, r0, r1 int, ranges [][2]int) (*subTerrain, error) {
+	or0, or1, oc0, oc1 := p.TileCells(b, c)
+
+	// The bounding column range of the halo, to page in one rectangle.
+	jlo, jhi := 0, 0
+	any := false
+	for _, rg := range ranges {
+		if rg[0] >= rg[1] {
+			continue
+		}
+		if !any || rg[0] < jlo {
+			jlo = rg[0]
+		}
+		if rg[1] > jhi {
+			jhi = rg[1]
+		}
+		any = true
+	}
+	if !any {
+		return nil, fmt.Errorf("tile: band %d col %d selected no cells", b, c)
+	}
+	at, err := g.Src.Rect(r0, r1, jlo, jhi) // vertex cols of cells [jlo, jhi)
+	if err != nil {
+		return nil, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
+	}
+
+	// Gather the triangles of every included cell — the canonical grid
+	// triples terrain.Grid.Build emits for cell (i, j), in extract's order.
+	nvc := int32(g.Cols + 1)
+	var gtris [][3]int32
+	for i := r0; i < r1; i++ {
+		rlo, rhi := ranges[i-r0][0], ranges[i-r0][1]
+		for j := rlo; j < rhi; j++ {
+			a := int32(i)*nvc + int32(j)
+			bb := int32(i+1)*nvc + int32(j)
+			cc := int32(i+1)*nvc + int32(j) + 1
+			d := int32(i)*nvc + int32(j) + 1
+			gtris = append(gtris, [3]int32{a, bb, cc}, [3]int32{a, cc, d})
+		}
+	}
+
+	// Remap vertices to a compact local numbering (first-reference order,
+	// as extract does), building each through the canonical chain.
+	localOf := make(map[int32]int32)
+	var verts []geom.Pt3
+	var gverts []int32
+	var vertErr error
+	localID := func(gv int32) int32 {
+		lv, ok := localOf[gv]
+		if !ok {
+			lv = int32(len(verts))
+			localOf[gv] = lv
+			vi, vj := int(gv)/int(nvc), int(gv)%int(nvc)
+			v, err := g.vertex(vi, vj, at(vi, vj))
+			if err != nil && vertErr == nil {
+				vertErr = fmt.Errorf("tile: vertex (%d,%d): %w", vi, vj, err)
+			}
+			verts = append(verts, v)
+			gverts = append(gverts, gv)
+		}
+		return lv
+	}
+	tris := make([][3]int32, len(gtris))
+	for k, gt := range gtris {
+		tris[k] = [3]int32{localID(gt[0]), localID(gt[1]), localID(gt[2])}
+	}
+	if vertErr != nil {
+		return nil, vertErr
+	}
+
+	sub, err := terrain.New(verts, tris)
+	if err != nil {
+		return nil, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
+	}
+
+	st := &subTerrain{
+		t:          sub,
+		globalEdge: make([]int32, len(sub.Edges)),
+		owned:      make([]bool, len(sub.Edges)),
+	}
+	for le, ed := range sub.Edges {
+		ge, oi, oj, err := gridEdge(g.Cols, int(nvc), gverts[ed.V0], gverts[ed.V1])
+		if err != nil {
+			return nil, fmt.Errorf("tile: band %d col %d: local edge %d: %w", b, c, le, err)
+		}
+		st.globalEdge[le] = ge
+		st.owned[le] = oi >= or0 && oi < or1 && oj >= oc0 && oj < oc1
+	}
+	return st, nil
+}
+
+// gridEdgeBase returns how many global edges are discovered before cell
+// (i, j) in the canonical triangle walk of an R x cols cell grid. Each cell
+// past the first of its row adds 3 new edges (its right vertical, its
+// diagonal, and one horizontal); the first cell of a row adds its left
+// vertical too; cells of the first row also add their front horizontal.
+func gridEdgeBase(cols, i, j int) int32 {
+	base := 3*(i*cols+j) + i
+	if j >= 1 {
+		base++
+	}
+	if i == 0 {
+		base += j
+	} else {
+		base += cols
+	}
+	return int32(base)
+}
+
+// gridEdge resolves the grid edge joining global samples g0 and g1 to its
+// global id and owner cell, in closed form — the same numbering NewEdgeIndex
+// derives by walking a resident terrain's triangles, and the same owner rule
+// (the cell of the edge's lowest-numbered incident triangle). Validated
+// against NewEdgeIndex exhaustively in tests.
+func gridEdge(cols, nvc int, g0, g1 int32) (id int32, oi, oj int, err error) {
+	if g0 > g1 {
+		g0, g1 = g1, g0
+	}
+	i0, j0 := int(g0)/nvc, int(g0)%nvc
+	i1, j1 := int(g1)/nvc, int(g1)%nvc
+	switch {
+	case i1-i0 == 1 && j1-j0 == 0:
+		// Vertical (along depth): first seen as edge (a,b) of cell
+		// (i0, j0-1)'s second-column triangle walk, or opening cell (i0, 0).
+		if j0 == 0 {
+			id = gridEdgeBase(cols, i0, 0)
+			oi, oj = i0, 0
+		} else {
+			id = gridEdgeBase(cols, i0, j0-1) + 2
+			if j0 == 1 {
+				id++
+			}
+			oi, oj = i0, j0-1
+		}
+	case i1-i0 == 0 && j1-j0 == 1:
+		// Horizontal (across): owned behind, except on the front row.
+		if i0 == 0 {
+			id = gridEdgeBase(cols, 0, j0) + 3
+			if j0 == 0 {
+				id++
+			}
+			oi, oj = 0, j0
+		} else {
+			id = gridEdgeBase(cols, i0-1, j0)
+			if j0 == 0 {
+				id++
+			}
+			oi, oj = i0-1, j0
+		}
+	case i1-i0 == 1 && j1-j0 == 1:
+		// Diagonal of cell (i0, j0).
+		id = gridEdgeBase(cols, i0, j0) + 1
+		if j0 == 0 {
+			id++
+		}
+		oi, oj = i0, j0
+	default:
+		return 0, 0, 0, fmt.Errorf("tile: samples %d and %d share no grid edge", g0, g1)
+	}
+	return id, oi, oj, nil
+}

@@ -109,12 +109,7 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 
 	stats.Bands, stats.Tiles = p.NumBands, p.NumTiles()
 
-	var (
-		front     envelope.Profile // silhouette of all earlier bands
-		out       []hsr.VisiblePiece
-		counters  metrics.Counters
-		crossings int64
-	)
+	bs := &bandState{emit: opt.Emit}
 	for b := 0; b < p.NumBands; b++ {
 		r0, r1 := p.BandRows(b)
 		ivs := cellIntervals(t, r0, r1)
@@ -126,7 +121,7 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 			if failed.Load() {
 				return
 			}
-			oc, err := solveTile(t, p, idx, b, c, r0, r1, ivs, front, solve, subWorkers, opt.NoCull)
+			oc, err := solveTile(t, p, idx, b, c, r0, r1, ivs, bs.front, solve, subWorkers, opt.NoCull)
 			if err != nil {
 				errs[c] = err
 				failed.Store(true)
@@ -139,67 +134,90 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 				return nil, stats, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
 			}
 		}
-
-		// Band barrier: clip each tile's owned pieces against the front
-		// envelope (sequentially, in column order, for determinism), and
-		// collect the band's own silhouette segments.
-		var bandSegs []geom.Seg2
-		for _, oc := range outcomes {
-			if oc.culled {
-				stats.TilesCulled++
-				continue
-			}
-			stats.TilesSolved++
-			counters.Add(oc.counters)
-			crossings += oc.crossings
-			stats.LocalPieces += len(oc.pieces)
-			for _, pc := range oc.pieces {
-				n := int64(0)
-				out, n = appendClipped(out, pc, front)
-				crossings += n
-				if pc.Span.X2-pc.Span.X1 > geom.Eps {
-					bandSegs = append(bandSegs, geom.Seg2{
-						A: geom.Pt2{X: pc.Span.X1, Z: pc.Span.Z1},
-						B: geom.Pt2{X: pc.Span.X2, Z: pc.Span.Z2},
-					})
-				}
-			}
-		}
-		if opt.Emit != nil {
-			// Streaming: flush the band's clipped pieces in canonical order
-			// and reuse the buffer, so at most one band of pieces is live.
-			sortVisible(out)
-			for _, pc := range out {
-				if err := opt.Emit(pc); err != nil {
-					return nil, stats, err
-				}
-			}
-			out = out[:0]
-		}
-		if len(bandSegs) > 0 {
-			// The unclipped band silhouette: locally hidden parts of the band
-			// are below some locally visible piece, so the envelope of the
-			// band's local pieces equals the envelope of all its edges; and
-			// globally hidden pieces lie below the accumulated front profile,
-			// so merging them is harmless. Front is passed first: earlier
-			// bands win ties, matching the depth order of a monolithic solve.
-			front = envelope.Merge(front, envelope.BuildUpperEnvelope(bandSegs, envelope.NoEdge))
+		if err := bs.finishBand(outcomes, &stats); err != nil {
+			return nil, stats, err
 		}
 	}
-	stats.EnvelopeSize = front.Size()
+	return bs.result(t.NumEdges(), &stats), stats, nil
+}
 
-	if opt.Emit != nil {
+// bandState carries the cross-band accumulator of a tiled solve — the front
+// envelope, the clipped output (or per-band emission), and the global
+// counters. Solve and SolvePaged share it, so the band barrier behaves
+// identically whether the heights are resident or paged.
+type bandState struct {
+	front     envelope.Profile // silhouette of all earlier bands
+	out       []hsr.VisiblePiece
+	counters  metrics.Counters
+	crossings int64
+	emit      func(p hsr.VisiblePiece) error
+}
+
+// finishBand is the band barrier: clip each tile's owned pieces against the
+// front envelope (sequentially, in column order, for determinism), collect
+// the band's own silhouette segments, flush the band when streaming, and
+// merge the band silhouette into the accumulated front.
+func (bs *bandState) finishBand(outcomes []*tileOutcome, stats *Stats) error {
+	var bandSegs []geom.Seg2
+	for _, oc := range outcomes {
+		if oc.culled {
+			stats.TilesCulled++
+			continue
+		}
+		stats.TilesSolved++
+		bs.counters.Add(oc.counters)
+		bs.crossings += oc.crossings
+		stats.LocalPieces += len(oc.pieces)
+		for _, pc := range oc.pieces {
+			n := int64(0)
+			bs.out, n = appendClipped(bs.out, pc, bs.front)
+			bs.crossings += n
+			if pc.Span.X2-pc.Span.X1 > geom.Eps {
+				bandSegs = append(bandSegs, geom.Seg2{
+					A: geom.Pt2{X: pc.Span.X1, Z: pc.Span.Z1},
+					B: geom.Pt2{X: pc.Span.X2, Z: pc.Span.Z2},
+				})
+			}
+		}
+	}
+	if bs.emit != nil {
+		// Streaming: flush the band's clipped pieces in canonical order
+		// and reuse the buffer, so at most one band of pieces is live.
+		sortVisible(bs.out)
+		for _, pc := range bs.out {
+			if err := bs.emit(pc); err != nil {
+				return err
+			}
+		}
+		bs.out = bs.out[:0]
+	}
+	if len(bandSegs) > 0 {
+		// The unclipped band silhouette: locally hidden parts of the band
+		// are below some locally visible piece, so the envelope of the
+		// band's local pieces equals the envelope of all its edges; and
+		// globally hidden pieces lie below the accumulated front profile,
+		// so merging them is harmless. Front is passed first: earlier
+		// bands win ties, matching the depth order of a monolithic solve.
+		bs.front = envelope.Merge(bs.front, envelope.BuildUpperEnvelope(bandSegs, envelope.NoEdge))
+	}
+	return nil
+}
+
+// result finalizes the accumulated scene after the last band.
+func (bs *bandState) result(numEdges int, stats *Stats) *hsr.Result {
+	stats.EnvelopeSize = bs.front.Size()
+	out := bs.out
+	if bs.emit != nil {
 		out = nil
 	} else {
 		sortVisible(out)
 	}
-	res := &hsr.Result{
-		N:         t.NumEdges(),
+	return &hsr.Result{
+		N:         numEdges,
 		Pieces:    out,
-		Crossings: crossings,
-		Counters:  counters,
+		Crossings: bs.crossings,
+		Counters:  bs.counters,
 	}
-	return res, stats, nil
 }
 
 // sortVisible orders pieces canonically by (Edge, X1, Z1) — the order every

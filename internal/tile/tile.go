@@ -31,6 +31,10 @@ func autoTileSize(cells int) int {
 	return size
 }
 
+// AutoSize reports the per-axis tile extent a zero Spec picks for an axis
+// of the given cell count.
+func AutoSize(cells int) int { return autoTileSize(cells) }
+
 // Partition is a row×col tiling of an R×C cell grid terrain. Bands are
 // contiguous runs of cell rows — the depth axis, so bands are totally
 // ordered front to back — and each band is cut into column tiles. The last

@@ -10,10 +10,12 @@ import (
 	"time"
 
 	"terrainhsr/internal/cache"
+	"terrainhsr/internal/dem"
 	"terrainhsr/internal/engine"
 	"terrainhsr/internal/geom"
 	"terrainhsr/internal/store"
 	"terrainhsr/internal/terrain"
+	"terrainhsr/internal/tile"
 )
 
 // This file is the viewshed query service: a Server holds a registry of hot
@@ -89,6 +91,18 @@ type ServerOptions struct {
 	// is part of the cache key, since tiled answers may differ from
 	// monolithic ones in float tails at piece boundaries.
 	TileCells int
+	// ResidencyBudget caps, in bytes, the estimated resident size a store
+	// level may have and still be solved in core. Levels estimated above it
+	// (engine.EstimateTerrainBytes) route through the out-of-core pipeline:
+	// heights page in band by band from tile files, retire once their
+	// band's silhouette is merged, and envelope-culled tiles are never read
+	// at all — so the level solves in roughly a band of memory instead of
+	// the whole terrain, byte-identically to the in-core answer. 0 (the
+	// default) disables out-of-core routing: every level loads fully, as
+	// before. The budget does not affect plain Register terrains, and it is
+	// not part of cache keys (it is fixed per server, and in- and
+	// out-of-core answers are identical).
+	ResidencyBudget int64
 }
 
 // Query asks for the visible scene of a registered terrain from one
@@ -170,10 +184,22 @@ type ServerStats struct {
 	// answered-query counts (index 0 = finest): the LOD hit profile that
 	// tells an operator which resolutions the traffic actually consumes.
 	LevelQueries map[string][]int64
-	// StoreBytes maps every store-backed terrain ID to the tile-file bytes
-	// its store has read so far — the paging cost of Haverkort & Toma's
-	// accounting, visible per terrain.
+	// StoreBytes maps every store-backed terrain ID to the cumulative
+	// tile-file bytes its store has read so far — the paging cost of
+	// Haverkort & Toma's accounting, visible per terrain. The counter never
+	// decreases; on a culling workload it stays strictly below the level's
+	// on-disk bytes, proving hidden tiles were never read.
 	StoreBytes map[string]int64
+	// ResidentBytes maps every store-backed terrain ID to the height bytes
+	// its store currently holds in memory (assembled levels plus pager
+	// blocks). Unlike StoreBytes it falls as bands retire and levels drop —
+	// the live-memory side of the out-of-core ledger.
+	ResidentBytes map[string]int64
+	// PageIns maps every store-backed terrain ID to the number of tile-file
+	// reads its out-of-core levels have performed (demand and read-ahead;
+	// re-reads after eviction count again). Zero for terrains whose levels
+	// all run in core.
+	PageIns map[string]int64
 }
 
 // serverTerrain is one registry slot: the terrain, its invalidation epoch,
@@ -193,8 +219,9 @@ type serverTerrain struct {
 	// Store-backed registrations only:
 	st        *store.Store
 	levels    *engine.LevelSet
-	levelTerr []*Terrain // filled by the level constructor; read only after Executor(l) succeeds
-	levelHits []int64    // answered queries per level, atomic
+	levelTerr []*Terrain     // filled by the level constructor; read only after Executor(l) succeeds; nil for out-of-core levels
+	pagers    []*store.Pager // filled by the level constructor for out-of-core levels; guarded by mu
+	levelHits []int64        // answered queries per level, atomic
 
 	mu         sync.Mutex
 	levelPlan  []string // first solving plan's explanation, per level
@@ -222,10 +249,14 @@ func (e *serverTerrain) planFor(level int) (string, bool) {
 	return e.levelPlan[level], e.levelTiled[level]
 }
 
-// finestTerrain returns the finest-level terrain, loading it if needed.
+// finestTerrain returns the finest-level terrain, loading it if needed. An
+// out-of-core finest level has no resident terrain to return.
 func (e *serverTerrain) finestTerrain() (*Terrain, error) {
 	if !e.isStore() {
 		return e.t, nil
+	}
+	if e.levels.OutOfCore(0) {
+		return nil, fmt.Errorf("terrainhsr: the finest level is out-of-core; it solves paged and is never resident")
 	}
 	if _, err := e.levels.Executor(0); err != nil {
 		return nil, err
@@ -330,17 +361,48 @@ func (s *Server) RegisterStore(id string, dir string) error {
 	}
 	n := st.NumLevels()
 	cells := make([]float64, n)
-	for l := range cells {
-		cells[l] = st.LevelInfo(l).CellSize
+	descs := make([]engine.LevelDesc, n)
+	for l := range descs {
+		li := st.LevelInfo(l)
+		cells[l] = li.CellSize
+		descs[l] = engine.LevelDesc{CellSize: li.CellSize, Rows: li.Rows - 1, Cols: li.Cols - 1}
 	}
 	entry := &serverTerrain{
 		st:         st,
 		levelTerr:  make([]*Terrain, n),
+		pagers:     make([]*store.Pager, n),
 		levelHits:  make([]int64, n),
 		levelPlan:  make([]string, n),
 		levelTiled: make([]bool, n),
 	}
-	entry.levels, err = engine.NewLevelSet(cells, func(l int) (*engine.Executor, error) {
+	budget := s.opt.ResidencyBudget
+	entry.levels, err = engine.NewLevelSet(descs, budget, func(l int, outOfCore bool) (*engine.Executor, error) {
+		if outOfCore {
+			// The level's estimated resident size exceeds the budget: serve
+			// it band-paged. Read-ahead of one tile-grid row overlaps the
+			// next band's I/O with the current band's solve; the pager's
+			// residency cap evicts retired bands under pressure.
+			pg, err := st.NewPager(l, store.PagerOptions{ReadAhead: 1, ResidentLimit: budget})
+			if err != nil {
+				return nil, err
+			}
+			d := descs[l]
+			reason := fmt.Sprintf("level %d estimated %d MB resident exceeds residency budget %d MB",
+				l, engine.EstimateTerrainBytes(d.Rows, d.Cols)>>20, budget>>20)
+			entry.mu.Lock()
+			entry.pagers[l] = pg
+			entry.mu.Unlock()
+			return engine.NewPaged(&tile.PagedGrid{
+				Rows: d.Rows, Cols: d.Cols, Cell: d.CellSize,
+				Shear: dem.DefaultShear, // the ingestion shear convention
+				Src:   pg,
+			}, engine.Config{
+				// Budget-derived bands: never larger than the automatic
+				// size, so answers stay byte-identical to the in-core
+				// tiled path at any scale where both can run.
+				TileSpec: engine.OutOfCoreSpec(d.Rows, d.Cols, budget),
+			}, reason), nil
+		}
 		d, err := st.LoadLevel(l)
 		if err != nil {
 			return nil, err
@@ -358,8 +420,17 @@ func (s *Server) RegisterStore(id string, dir string) error {
 	if err != nil {
 		return fmt.Errorf("terrainhsr: register %q: %w", id, err)
 	}
+	var ooc []int
+	for l := 0; l < n; l++ {
+		if entry.levels.OutOfCore(l) {
+			ooc = append(ooc, l)
+		}
+	}
 	entry.plan = fmt.Sprintf("store %s: %d levels (cells %v), planned per level on first use",
 		dir, n, cells)
+	if len(ooc) > 0 {
+		entry.plan += fmt.Sprintf("; levels %v out-of-core (residency budget %d MB)", ooc, budget>>20)
+	}
 	s.install(id, entry)
 	return nil
 }
@@ -413,6 +484,9 @@ func (s *Server) LevelTerrain(id string, level int) (*Terrain, error) {
 	}
 	if level < 0 || level >= e.levels.NumLevels() {
 		return nil, fmt.Errorf("terrainhsr: terrain %q has no level %d", id, level)
+	}
+	if e.levels.OutOfCore(level) {
+		return nil, fmt.Errorf("terrainhsr: terrain %q level %d is out-of-core; it solves paged and is never resident", id, level)
 	}
 	if _, err := e.levels.Executor(level); err != nil {
 		return nil, err
@@ -777,6 +851,8 @@ func (s *Server) Stats() ServerStats {
 	plans := make(map[string]string, terrains)
 	levelQueries := make(map[string][]int64)
 	storeBytes := make(map[string]int64)
+	residentBytes := make(map[string]int64)
+	pageIns := make(map[string]int64)
 	for id, e := range s.terrains {
 		if !e.isStore() {
 			plans[id] = e.plan
@@ -788,6 +864,16 @@ func (s *Server) Stats() ServerStats {
 		}
 		levelQueries[id] = hits
 		storeBytes[id] = e.st.BytesLoaded()
+		residentBytes[id] = e.st.ResidentBytes()
+		var ins int64
+		e.mu.Lock()
+		for _, pg := range e.pagers {
+			if pg != nil {
+				ins += pg.PageIns()
+			}
+		}
+		e.mu.Unlock()
+		pageIns[id] = ins
 		// Report the per-level plans solved so far; levels never queried
 		// stay described by the registration summary.
 		var parts []string
@@ -804,12 +890,14 @@ func (s *Server) Stats() ServerStats {
 	}
 	s.mu.RUnlock()
 	st := ServerStats{
-		Terrains:     terrains,
-		Solves:       s.solves.Load(),
-		TiledSolves:  s.tiledSolves.Load(),
-		Plans:        plans,
-		LevelQueries: levelQueries,
-		StoreBytes:   storeBytes,
+		Terrains:      terrains,
+		Solves:        s.solves.Load(),
+		TiledSolves:   s.tiledSolves.Load(),
+		Plans:         plans,
+		LevelQueries:  levelQueries,
+		StoreBytes:    storeBytes,
+		ResidentBytes: residentBytes,
+		PageIns:       pageIns,
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

@@ -1,0 +1,166 @@
+package terrainhsr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"terrainhsr/internal/engine"
+)
+
+// writeRidgeASC writes a DEM with a tall wall at row 5 — everything behind
+// it is occluded from a low eye in front, so the out-of-core solve can prove
+// it never reads the culled tiles.
+func writeRidgeASC(t *testing.T, rows, cols int) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "ncols %d\nnrows %d\ncellsize 1\nNODATA_value -9999\n", cols, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			h := 0.25 * float64((i+j)%8)
+			if i == 5 {
+				h = 60
+			}
+			b.WriteString(strconv.FormatFloat(h, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "ridge.asc")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// oocBudget routes a 64x64 store's finest level out-of-core while keeping
+// every coarser level resident.
+func oocBudget(t *testing.T) int64 {
+	t.Helper()
+	budget := int64(200_000)
+	if engine.EstimateTerrainBytes(63, 63) <= budget {
+		t.Fatal("budget keeps the finest level in core")
+	}
+	if engine.EstimateTerrainBytes(31, 31) > budget {
+		t.Fatal("budget pushes the coarse levels out of core")
+	}
+	return budget
+}
+
+// TestServerOutOfCoreByteIdentical is the serving-layer acceptance contract:
+// with a residency budget that forces the finest level out-of-core, queries
+// answer byte-identically to an unbudgeted server, the plan says why, and
+// the stats ledger proves occluded tiles were never read.
+func TestServerOutOfCoreByteIdentical(t *testing.T) {
+	demPath := writeRidgeASC(t, 64, 64)
+	dir := filepath.Join(t.TempDir(), "store")
+	if _, err := BuildStore(demPath, dir, StoreOptions{TileSamples: 16}); err != nil {
+		t.Fatal(err)
+	}
+	eye := Point{X: -10, Y: 20, Z: 8}
+
+	// The paged pipeline always tiles, so the bitwise reference is a
+	// resident server forced onto the tiled path (tiled vs monolithic is
+	// only tolerance-equivalent).
+	resident := NewServer(ServerOptions{TileCells: 1})
+	if err := resident.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+	paged := NewServer(ServerOptions{ResidencyBudget: oocBudget(t)})
+	if err := paged.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, algo := range []Algorithm{Parallel, Sequential, SequentialTree} {
+		want, err := resident.Query(Query{TerrainID: "dem", Eye: eye, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s resident: %v", algo, err)
+		}
+		got, err := paged.Query(Query{TerrainID: "dem", Eye: eye, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s paged: %v", algo, err)
+		}
+		if got.Level != 0 {
+			t.Fatalf("%s: paged query answered at level %d", algo, got.Level)
+		}
+		if !strings.Contains(got.Plan, "out-of-core") {
+			t.Fatalf("%s: plan does not explain the routing: %s", algo, got.Plan)
+		}
+		piecesEqual(t, string(algo), got.Result.Pieces(), want.Result.Pieces())
+	}
+
+	st := paged.Stats()
+	if st.PageIns["dem"] == 0 {
+		t.Fatal("finest-level queries paged no tiles")
+	}
+	if _, ok := st.ResidentBytes["dem"]; !ok {
+		t.Fatal("stats miss the residency ledger")
+	}
+	// The wall at row 5 occludes every tile behind it; the pager must never
+	// have read them, so cumulative tile reads stay below the finest level's
+	// height payload alone.
+	if payload := int64(64*64) * 8; st.StoreBytes["dem"] >= payload {
+		t.Fatalf("paged server read %d bytes, full finest payload is %d — culled tiles were read",
+			st.StoreBytes["dem"], payload)
+	}
+
+	// The finest level never assembles, so resident-terrain accessors refuse.
+	if _, ok := paged.Terrain("dem"); ok {
+		t.Fatal("Terrain returned a resident finest level on an out-of-core store")
+	}
+	if _, err := paged.LevelTerrain("dem", 0); err == nil {
+		t.Fatal("LevelTerrain(0) returned an out-of-core level")
+	}
+	info, _ := paged.Describe("dem")
+	if _, err := paged.LevelTerrain("dem", info.Levels-1); err != nil {
+		t.Fatalf("coarse in-core level refused: %v", err)
+	}
+}
+
+// TestServerOutOfCoreProgressive runs the coarse-then-exact pipeline with an
+// out-of-core finest level: the preview solves resident, the final pass
+// streams from the paged executor, byte-identical to the unbudgeted answer.
+func TestServerOutOfCoreProgressive(t *testing.T) {
+	demPath := writeRidgeASC(t, 64, 64)
+	dir := filepath.Join(t.TempDir(), "store")
+	if _, err := BuildStore(demPath, dir, StoreOptions{TileSamples: 16}); err != nil {
+		t.Fatal(err)
+	}
+	eye := Point{X: -10, Y: 20, Z: 8}
+
+	resident := NewServer(ServerOptions{TileCells: 1})
+	if err := resident.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+	want, err := resident.Query(Query{TerrainID: "dem", Eye: eye})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	paged := NewServer(ServerOptions{ResidencyBudget: oocBudget(t)})
+	if err := paged.RegisterStore("dem", dir); err != nil {
+		t.Fatal(err)
+	}
+	var passes []ProgressivePass
+	var finalPieces []Piece
+	err = paged.QueryProgressive(Query{TerrainID: "dem", Eye: eye},
+		func(p ProgressivePass) error { passes = append(passes, p); return nil },
+		func(p Piece) error {
+			if passes[len(passes)-1].Final {
+				finalPieces = append(finalPieces, p)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 2 || passes[0].Final || !passes[1].Final || passes[1].Level != 0 {
+		t.Fatalf("unexpected pass sequence: %+v", passes)
+	}
+	piecesEqual(t, "final pass", finalPieces, want.Result.Pieces())
+}
