@@ -84,14 +84,14 @@ func expCheck(quick bool) {
 	eqErr := hsr.Equivalent(seq, rw, 1e-7, 1e-5)
 	add("Correctness: solvers agree", eqErr == nil, "%v", eqErr)
 
-	// --- Claim 7: persistence sharing (F1/F3).
+	// --- Claim 7: persistence sharing (FG1/FG3).
 	var held, alloc int64
 	for _, stx := range rl.Phase2 {
 		held += stx.PrefixPiecesHeld
 		alloc += stx.PrefixPiecesAllocated
 	}
 	share := float64(held) / math.Max(float64(alloc), 1)
-	add("F1/F3 persistence sharing", share > 5,
+	add("FG1/FG3 persistence sharing", share > 5,
 		"layer sharing factor %.1fx (>=5x expected)", share)
 
 	simple, err := hsr.ParallelSimple(large, 0)

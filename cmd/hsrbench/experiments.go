@@ -266,11 +266,11 @@ func max64(a, b int64) int64 {
 	return b
 }
 
-// expF1: Figure 1 — segments of profiles shared among nodes of a PCT
+// expFG1: Figure 1 — segments of profiles shared among nodes of a PCT
 // layer. For each phase-2 layer we report the summed size of inherited
 // profiles (what independent copies would store) against the freshly
 // allocated material; the ratio is the sharing factor persistence exploits.
-func expF1(quick bool) {
+func expFG1(quick bool) {
 	rc := 64
 	if quick {
 		rc = 32
@@ -288,10 +288,10 @@ func expF1(quick bool) {
 	tb.Render(os.Stdout)
 }
 
-// expF2: Figure 2 — the CG search structure over a profile. We report the
+// expFG2: Figure 2 — the CG search structure over a profile. We report the
 // structure's size, its height, and measured query path lengths against
 // log2(m).
-func expF2(quick bool) {
+func expFG2(quick bool) {
 	sizes := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14}
 	if quick {
 		sizes = []int{1 << 8, 1 << 10}
@@ -324,10 +324,10 @@ func expF2(quick bool) {
 	tb.Render(os.Stdout)
 }
 
-// expF3: Figure 3 — persistent convex chains/profiles across versions. We
+// expFG3: Figure 3 — persistent convex chains/profiles across versions. We
 // compare the persistent algorithm's total node allocations against the
 // pieces a copy-per-node phase 2 materializes, over a size sweep.
-func expF3(quick bool) {
+func expFG3(quick bool) {
 	sizes := sizesFor(quick)
 	tb := metrics.NewTable("rows", "n", "k", "persistent-allocs", "copying-pieces", "copy/persist")
 	for _, rc := range sizes {

@@ -3,27 +3,29 @@
 // work bounds (TH1, TH2), output sensitivity against the intersection count
 // (TH3), Brent speedup (TH4), comparison with the sequential algorithm
 // (TH5), the lemma-level costs (LM1, LM6), the structural figure analogues
-// (F1, F2, F3), the design ablations (A1, A2), and the engine experiments:
+// (FG1, FG2, FG3), the design ablations (A1, A2), and the engine experiments:
 //
 // batched multi-viewpoint solving (B1), tiled solving of massive terrains
 // (T1), the cached viewshed query service (S1), streaming piece emission
-// (ST1), and the level-of-detail store pyramid (L1): coarse-level speedup,
-// finest-level exactness against the direct in-memory solve, and the
-// conservative-occluder guarantee on a massive terrain.
+// (ST1), the level-of-detail store pyramid (L1), the out-of-core engine
+// (OC1), and the serving fleet (F1): routed 3-replica throughput and tail
+// latency against a single replica at an equal total worker budget, with
+// byte-identical answers.
 //
 // Usage:
 //
-//	hsrbench [-exp all|TH1..TH5|LM1|LM6|F1..F3|A1|A2|B1|T1|S1|ST1|L1|CHECK[,...]]
-//	         [-quick] [-json BENCH_PR5.json]
+//	hsrbench [-exp all|TH1..TH5|LM1|LM6|FG1..FG3|A1|A2|B1|T1|S1|ST1|L1|OC1|F1|CHECK[,...]]
+//	         [-quick] [-json BENCH_PR7.json]
 //
 // -exp accepts a comma-separated list. -json writes the machine-readable
 // measurement records of the engine experiments (experiment id, wall
 // clock, peak heap, allocation volume, workers) as a JSON array — the
 // artifact CI uploads to track the performance trajectory.
 //
-// (Naming note: the Lemma 3.1/3.6 experiments were renamed L1/L6 -> LM1/LM6
-// when L1 became the LOD experiment, mirroring the earlier T1..T5 -> TH1..TH5
-// rename that freed T1 for the tiled engine.)
+// (Naming note: the figure experiments were renamed F1..F3 -> FG1..FG3 when
+// F1 became the fleet experiment, mirroring the L1/L6 -> LM1/LM6 rename that
+// freed L1 for the LOD store and the T1..T5 -> TH1..TH5 rename that freed T1
+// for the tiled engine.)
 package main
 
 import (
@@ -48,9 +50,9 @@ var experiments = []experiment{
 	{"TH5", "Remark — parallel work within a polylog factor of sequential", expTH5},
 	{"LM1", "Lemma 3.1 — profile construction cost", expLM1},
 	{"LM6", "Lemmas 3.2/3.6 — intersection query cost", expLM6},
-	{"F1", "Figure 1 — profile sharing across PCT layers", expF1},
-	{"F2", "Figure 2 — CG search structure shape", expF2},
-	{"F3", "Figure 3 — persistence vs copying storage", expF3},
+	{"FG1", "Figure 1 — profile sharing across PCT layers", expFG1},
+	{"FG2", "Figure 2 — CG search structure shape", expFG2},
+	{"FG3", "Figure 3 — persistence vs copying storage", expFG3},
 	{"A1", "Ablation — persistent splicing vs profile copying", expA1},
 	{"A2", "Ablation — hull-augmented (ACG) vs summary pruning", expA2},
 	{"B1", "Batch engine — multi-viewpoint flyover throughput and amortization", expB1},
@@ -59,11 +61,12 @@ var experiments = []experiment{
 	{"ST1", "Streaming emission — peak heap of streamed vs materialized massive solves", expST1},
 	{"L1", "LOD store — coarse-level speedup, finest exactness, conservative occluders", expL1},
 	{"OC1", "Out-of-core engine — paged solve exactness, bytes never read, peak heap", expOC1},
+	{"F1", "Serving fleet — routed 3-replica throughput vs one replica at equal total workers", expFleet},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, F1..F3, A1, A2, B1, T1, S1, ST1, L1, OC1, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, FG1..FG3, A1, A2, B1, T1, S1, ST1, L1, OC1, F1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
 	jsonPath := flag.String("json", "", "write machine-readable measurement records to this file (e.g. BENCH_PR4.json)")
 	flag.Parse()
@@ -104,6 +107,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "note: the Theorem 3.1 experiments were renamed T1..T5 -> TH1..TH5; T1 now runs the tiled engine\n")
 			case "L6":
 				fmt.Fprintf(os.Stderr, "note: the lemma experiments were renamed L1/L6 -> LM1/LM6; L1 now runs the LOD store experiment\n")
+			case "F2", "F3":
+				fmt.Fprintf(os.Stderr, "note: the figure experiments were renamed F1..F3 -> FG1..FG3; F1 now runs the fleet experiment\n")
 			}
 		}
 		os.Exit(2)

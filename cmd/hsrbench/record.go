@@ -1,56 +1,30 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"runtime"
+
+	"terrainhsr/internal/benchfmt"
 )
 
-// benchRecord is one machine-readable measurement row. With -json the
-// collected rows are written as a JSON array (BENCH_PR4.json in CI) so the
-// performance trajectory of the engine experiments is tracked as an
-// artifact instead of scraped from tables.
-type benchRecord struct {
-	// Experiment is the experiment id (B1, T1, S1, ST1, ...) and Variant
-	// the measured configuration inside it (e.g. "tiled", "cached").
-	Experiment string `json:"experiment"`
-	Variant    string `json:"variant"`
-	// WallMS is the measured wall clock in milliseconds.
-	WallMS float64 `json:"wall_ms"`
-	// PeakHeapMB is the sampled peak live heap in MB (0 when not sampled).
-	PeakHeapMB float64 `json:"peak_heap_mb,omitempty"`
-	// AllocMB is the total allocation volume in MB (0 when not measured).
-	AllocMB float64 `json:"alloc_mb,omitempty"`
-	// Workers is the worker budget the variant ran under.
-	Workers int `json:"workers"`
-	// Extra holds experiment-specific scalars (gains, rates, sizes).
-	Extra map[string]float64 `json:"extra,omitempty"`
-}
+// benchRecord is one machine-readable measurement row — the shared
+// internal/benchfmt.Record shape, so hsrbench and hsrload artifacts parse
+// identically. With -json the collected rows are written as a JSON array
+// (BENCH_PR7.json in CI) so the performance trajectory of the engine
+// experiments is tracked as an artifact instead of scraped from tables.
+type benchRecord = benchfmt.Record
 
 // benchRecords accumulates every record of the process run.
 var benchRecords []benchRecord
 
 // record appends one measurement row, defaulting Workers to the machine.
 func record(r benchRecord) {
-	if r.Workers == 0 {
-		r.Workers = runtime.GOMAXPROCS(0)
-	}
-	benchRecords = append(benchRecords, r)
+	benchRecords = append(benchRecords, r.WithDefaults())
 }
 
 // writeRecords writes the collected rows to path as indented JSON (an
 // empty array, not null, when no experiment recorded anything).
 func writeRecords(path string) error {
-	if benchRecords == nil {
-		benchRecords = []benchRecord{}
-	}
-	buf, err := json.MarshalIndent(benchRecords, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
+	if err := benchfmt.Write(path, benchRecords); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d records to %s\n", len(benchRecords), path)

@@ -1,0 +1,133 @@
+// Command hsrload is the workload-driven load generator for the serving
+// tier: it replays synthetic viewshed traffic — observer-grid query
+// streams, flyover sessions, zipf-skewed terrain popularity — against a
+// replica or a fleet router and reports throughput, latency percentiles
+// and error rate, optionally as hsrbench-style JSON records.
+//
+//	hsrload -target http://127.0.0.1:8100 \
+//	    -terrain id=alps,kind=ridge,rows=96,cols=96,seed=7 \
+//	    -terrain id=delta,kind=fractal,rows=64,cols=64,seed=3 \
+//	    -scenario mixed -zipf 1.3 -requests 512 -repeats 4 -workers 8 \
+//	    -check -json LOAD.json -experiment F1 -variant fleet-3
+//
+// The -terrain specs use the same syntax as hsrserved's -terrain flag
+// and MUST match the specs the target replicas were started with:
+// hsrload regenerates the terrains locally to derive eye points (the
+// observer grid and flyover path live above the terrain surface), so a
+// mismatched spec aims queries at the wrong surface. With -check every
+// response body is normalized (elapsed_ms and cache outcome zeroed) and
+// hashed per query; repeats of the same query must answer identically —
+// the load-level form of the fleet identity guarantee.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"terrainhsr/internal/benchfmt"
+	"terrainhsr/internal/loadgen"
+	"terrainhsr/internal/workload"
+)
+
+// terrainSpecs collects repeatable -terrain flags.
+type terrainSpecs []string
+
+// String renders the collected specs for flag's usage output.
+func (t *terrainSpecs) String() string { return strings.Join(*t, "; ") }
+
+// Set appends one spec.
+func (t *terrainSpecs) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hsrload: ")
+	var specs terrainSpecs
+	target := flag.String("target", "http://127.0.0.1:8100", "base URL of the replica or router under load")
+	flag.Var(&specs, "terrain", "terrain spec (repeatable), same syntax and values as hsrserved -terrain")
+	scenario := flag.String("scenario", "mixed", "traffic shape: grid, flyover, or mixed")
+	zipfS := flag.Float64("zipf", 1.2, "terrain-popularity zipf exponent (>1; higher = more skew)")
+	requests := flag.Int("requests", 256, "distinct queries drawn for the scenario")
+	repeats := flag.Int("repeats", 1, "times the query sequence is replayed (steady-state loop)")
+	workers := flag.Int("workers", 4, "concurrent client connections")
+	seed := flag.Int64("seed", 1, "scenario draw seed (same seed = same query stream)")
+	algorithm := flag.String("algorithm", "", "pin the solver algorithm (default: server default)")
+	nocache := flag.Bool("nocache", false, "add nocache=1 to every query (uncached leg)")
+	check := flag.Bool("check", false, "verify normalized response bodies are identical per query")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request timeout")
+	jsonPath := flag.String("json", "", "write the report as a benchfmt record array to this file")
+	experiment := flag.String("experiment", "LOAD", "experiment id stamped on the JSON record")
+	variant := flag.String("variant", "run", "variant stamped on the JSON record")
+	flag.Parse()
+
+	if len(specs) == 0 {
+		log.Fatal("at least one -terrain spec is required (it must match the server's)")
+	}
+	var terrains []loadgen.NamedTerrain
+	for _, spec := range specs {
+		id, p, err := workload.ParseSpec(spec)
+		if err != nil {
+			log.Fatalf("-terrain %q: %v", spec, err)
+		}
+		t, err := workload.Generate(p)
+		if err != nil {
+			log.Fatalf("-terrain %q: %v", spec, err)
+		}
+		terrains = append(terrains, loadgen.NamedTerrain{ID: id, T: t})
+	}
+
+	reqs, err := loadgen.Scenario(loadgen.ScenarioOptions{
+		BaseURL:   strings.TrimRight(*target, "/"),
+		Terrains:  terrains,
+		Mix:       *scenario,
+		ZipfS:     *zipfS,
+		Count:     *requests,
+		Seed:      *seed,
+		Algorithm: *algorithm,
+		NoCache:   *nocache,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("replaying %d queries x%d over %d terrains against %s (%d workers, %s mix)",
+		len(reqs), *repeats, len(terrains), *target, *workers, *scenario)
+	rep := loadgen.Run(loadgen.Options{
+		Workers:     *workers,
+		Repeats:     *repeats,
+		Timeout:     *timeout,
+		CheckBodies: *check,
+	}, reqs)
+
+	fmt.Printf("requests   %d\n", rep.Requests)
+	fmt.Printf("errors     %d (%.2f%%)\n", rep.Errors, 100*float64(rep.Errors)/float64(max(rep.Requests, 1)))
+	fmt.Printf("wall       %v\n", rep.Wall.Round(time.Millisecond))
+	fmt.Printf("qps        %.1f\n", rep.QPS)
+	fmt.Printf("latency    p50 %v  p90 %v  p99 %v  max %v\n",
+		rep.P50.Round(time.Microsecond), rep.P90.Round(time.Microsecond),
+		rep.P99.Round(time.Microsecond), rep.Max.Round(time.Microsecond))
+	fmt.Printf("bytes      %d\n", rep.BodyBytes)
+	if *check {
+		fmt.Printf("identity   %d distinct queries, %d mismatches\n", len(rep.Hashes), rep.Mismatches)
+	}
+	for _, s := range rep.ErrorSamples {
+		fmt.Printf("error      %s\n", s)
+	}
+
+	if *jsonPath != "" {
+		rec := rep.Record(*experiment, *variant, *workers)
+		if err := benchfmt.Write(*jsonPath, []benchfmt.Record{rec}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote 1 record to %s", *jsonPath)
+	}
+	if rep.Errors > 0 || rep.Mismatches > 0 {
+		os.Exit(1)
+	}
+}

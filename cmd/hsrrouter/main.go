@@ -1,0 +1,74 @@
+// Command hsrrouter fronts a fleet of hsrserved replicas: it places each
+// /viewshed query on a replica by consistent-hashing the terrain id
+// (huge terrains shard further by resolution-level band), hedges slow
+// requests onto the next replica in ring order, fails over transparently
+// on replica errors, probes replica health and ejects/readmits members,
+// and serves a fleet-wide /statsz that sums every replica's counters.
+//
+//	hsrrouter -addr :8100 \
+//	    -replica http://127.0.0.1:8101 \
+//	    -replica http://127.0.0.1:8102 \
+//	    -replica http://127.0.0.1:8103 \
+//	    -hedge-after 250ms -probe-interval 2s -eject-after 3
+//
+// Every replica must serve the same terrain set (same -terrain/-store
+// flags): the router guarantees which replica answers never changes what
+// is answered. /fleetz reports the router's own view — per-replica
+// health, routing counters, and the hash ring.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"terrainhsr/internal/fleet"
+)
+
+// replicaList collects repeatable -replica flags.
+type replicaList []string
+
+// String renders the collected replica URLs for flag's usage output.
+func (r *replicaList) String() string { return strings.Join(*r, "; ") }
+
+// Set appends one replica base URL.
+func (r *replicaList) Set(v string) error {
+	*r = append(*r, strings.TrimRight(v, "/"))
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hsrrouter: ")
+	var replicas replicaList
+	addr := flag.String("addr", ":8100", "listen address")
+	flag.Var(&replicas, "replica", "replica base URL (repeatable), e.g. http://127.0.0.1:8101")
+	hedgeAfter := flag.Duration("hedge-after", 250*time.Millisecond, "hedge a request onto the next replica after this delay (negative disables)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "health-probe period (negative disables probing)")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive failures before a replica is ejected")
+	hugeVertices := flag.Int("huge-vertices", 1<<20, "finest-level vertex count above which a terrain shards per level band (negative disables)")
+	vnodes := flag.Int("vnodes", fleet.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	flag.Parse()
+
+	if len(replicas) == 0 {
+		log.Fatal("at least one -replica is required")
+	}
+	rt, err := fleet.New(fleet.Options{
+		Replicas:      replicas,
+		HedgeAfter:    *hedgeAfter,
+		ProbeInterval: *probeInterval,
+		EjectAfter:    *ejectAfter,
+		HugeVertices:  *hugeVertices,
+		VNodes:        *vnodes,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+	log.Printf("routing %d replicas on %s (hedge after %v)", len(replicas), *addr, *hedgeAfter)
+	log.Fatal(http.ListenAndServe(*addr, rt))
+}

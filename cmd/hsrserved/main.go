@@ -1,7 +1,11 @@
 // Command hsrserved is the HTTP front end of the viewshed query service:
 // it registers synthetic terrains with a terrainhsr.Server and answers
 // viewshed queries through its sharded, coalescing result cache. One
-// binary, no dependencies beyond the standard library.
+// binary, no dependencies beyond the standard library. The handler itself
+// lives in internal/serve, so the fleet tier (cmd/hsrrouter,
+// internal/fleet) and the in-process experiments serve byte-identical
+// responses; hsrserved is one replica of a fleet, or the whole service on
+// its own.
 //
 // Usage:
 //
@@ -69,18 +73,13 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net/http"
-	"strconv"
 	"strings"
-	"time"
 
 	terrainhsr "terrainhsr"
+	"terrainhsr/internal/serve"
 )
 
 // terrainSpecs collects repeatable -terrain flags.
@@ -117,7 +116,7 @@ func main() {
 		specs = terrainSpecs{"id=demo,kind=fractal,rows=48,cols=48,seed=7,amplitude=8"}
 	}
 	for _, spec := range specs {
-		id, tr, err := buildTerrain(spec)
+		id, tr, err := serve.BuildTerrain(spec)
 		if err != nil {
 			log.Fatalf("hsrserved: -terrain %q: %v", spec, err)
 		}
@@ -127,7 +126,7 @@ func main() {
 		log.Printf("hsrserved: registered terrain %q (%d edges)", id, tr.NumEdges())
 	}
 	for _, spec := range storeSpecs {
-		id, path, err := parseStoreSpec(spec)
+		id, path, err := serve.ParseStoreSpec(spec)
 		if err != nil {
 			log.Fatalf("hsrserved: -store %q: %v", spec, err)
 		}
@@ -139,515 +138,6 @@ func main() {
 			id, info.Levels, info.CellSizes, info.Edges)
 	}
 
-	h := &handler{srv: srv}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", h.healthz)
-	mux.HandleFunc("/statsz", h.statsz)
-	mux.HandleFunc("/terrains", h.terrains)
-	mux.HandleFunc("/viewshed", h.viewshed)
 	log.Printf("hsrserved: listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-// buildTerrain parses one -terrain spec and generates the terrain.
-func buildTerrain(spec string) (string, *terrainhsr.Terrain, error) {
-	p := terrainhsr.GenParams{Kind: "fractal", Rows: 48, Cols: 48}
-	id := ""
-	for _, kv := range strings.Split(spec, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return "", nil, fmt.Errorf("malformed entry %q (want key=value)", kv)
-		}
-		var err error
-		switch k {
-		case "id":
-			id = v
-		case "kind":
-			p.Kind = v
-		case "rows":
-			p.Rows, err = strconv.Atoi(v)
-		case "cols":
-			p.Cols, err = strconv.Atoi(v)
-		case "seed":
-			p.Seed, err = strconv.ParseInt(v, 10, 64)
-		case "amplitude":
-			p.Amplitude, err = strconv.ParseFloat(v, 64)
-		case "ridge":
-			p.RidgeHeight, err = strconv.ParseFloat(v, 64)
-		case "slope":
-			p.Slope, err = strconv.ParseFloat(v, 64)
-		case "shear":
-			p.Shear, err = strconv.ParseFloat(v, 64)
-		default:
-			return "", nil, fmt.Errorf("unknown key %q", k)
-		}
-		if err != nil {
-			return "", nil, fmt.Errorf("bad value for %q: %v", k, err)
-		}
-	}
-	if id == "" {
-		return "", nil, fmt.Errorf("spec needs an id=...")
-	}
-	tr, err := terrainhsr.Generate(p)
-	return id, tr, err
-}
-
-// parseStoreSpec parses one -store spec: id=...,path=...
-func parseStoreSpec(spec string) (id, path string, err error) {
-	for _, kv := range strings.Split(spec, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return "", "", fmt.Errorf("malformed entry %q (want key=value)", kv)
-		}
-		switch k {
-		case "id":
-			id = v
-		case "path":
-			path = v
-		default:
-			return "", "", fmt.Errorf("unknown key %q", k)
-		}
-	}
-	if id == "" || path == "" {
-		return "", "", fmt.Errorf("spec needs id=... and path=...")
-	}
-	return id, path, nil
-}
-
-// handler serves the HTTP endpoints for one Server.
-type handler struct {
-	srv *terrainhsr.Server
-}
-
-func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
-}
-
-func (h *handler) statsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, h.srv.Stats())
-}
-
-// terrainInfo is one /terrains list entry.
-type terrainInfo struct {
-	ID        string    `json:"id"`
-	Edges     int       `json:"edges"`
-	Vertices  int       `json:"vertices"`
-	Triangles int       `json:"triangles"`
-	Levels    int       `json:"levels"`
-	CellSizes []float64 `json:"cell_sizes,omitempty"`
-	Store     string    `json:"store,omitempty"`
-}
-
-func (h *handler) terrains(w http.ResponseWriter, _ *http.Request) {
-	ids := h.srv.TerrainIDs()
-	out := struct {
-		Terrains   []terrainInfo `json:"terrains"`
-		Algorithms []string      `json:"algorithms"`
-	}{Terrains: []terrainInfo{}}
-	for _, id := range ids {
-		// Describe never pages store tiles, so listing stays cheap.
-		if info, ok := h.srv.Describe(id); ok {
-			out.Terrains = append(out.Terrains, terrainInfo{
-				ID: id, Edges: info.Edges, Vertices: info.Vertices, Triangles: info.Triangles,
-				Levels: info.Levels, CellSizes: info.CellSizes, Store: info.Store,
-			})
-		}
-	}
-	for _, a := range terrainhsr.Algorithms() {
-		out.Algorithms = append(out.Algorithms, string(a))
-	}
-	writeJSON(w, out)
-}
-
-// viewshedResponse is the JSON answer of a single-eye /viewshed query,
-// minus the pieces array, which is streamed after these fields through
-// Result.EachPiece rather than materialized (see writeViewshedJSON).
-type viewshedResponse struct {
-	Terrain      string     `json:"terrain"`
-	Eye          [3]float64 `json:"eye"`
-	QuantizedEye [3]float64 `json:"quantized_eye"`
-	Algorithm    string     `json:"algorithm"`
-	Cache        string     `json:"cache"`
-	Tiled        bool       `json:"tiled"`
-	Plan         string     `json:"plan"`
-	Level        int        `json:"level"`
-	Levels       int        `json:"levels"`
-	CellSize     float64    `json:"cell_size,omitempty"`
-	Final        *bool      `json:"final,omitempty"`
-	N            int        `json:"n"`
-	K            int        `json:"k"`
-	ElapsedMS    float64    `json:"elapsed_ms"`
-}
-
-// responseFor fills the shared header fields of one answered query.
-func responseFor(id string, eye terrainhsr.Point, qr *terrainhsr.QueryResult, elapsed time.Duration) viewshedResponse {
-	return viewshedResponse{
-		Terrain:      id,
-		Eye:          [3]float64{eye.X, eye.Y, eye.Z},
-		QuantizedEye: [3]float64{qr.Eye.X, qr.Eye.Y, qr.Eye.Z},
-		Algorithm:    string(qr.Result.Algorithm()),
-		Cache:        qr.Cache,
-		Tiled:        qr.Tiled,
-		Plan:         qr.Plan,
-		Level:        qr.Level,
-		Levels:       qr.Levels,
-		CellSize:     qr.LevelCellSize,
-		N:            qr.Result.N(),
-		K:            qr.Result.K(),
-		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
-	}
-}
-
-// writeViewshedJSON writes the response header fields followed by a
-// "pieces" array streamed piece by piece, never holding the converted
-// slice.
-func writeViewshedJSON(w http.ResponseWriter, resp viewshedResponse, r *terrainhsr.Result) {
-	w.Header().Set("Content-Type", "application/json")
-	buf, err := json.MarshalIndent(resp, "", "  ")
-	if err != nil {
-		log.Printf("hsrserved: encode: %v", err)
-		return
-	}
-	// MarshalIndent ends with "\n}"; splice the streamed array in before
-	// the closing brace.
-	buf = bytes.TrimSuffix(buf, []byte("\n}"))
-	if _, err := w.Write(buf); err != nil {
-		return
-	}
-	if _, err := io.WriteString(w, ",\n  \"pieces\": ["); err != nil {
-		return
-	}
-	first := true
-	var streamErr error
-	r.EachPiece(func(p terrainhsr.Piece) bool {
-		sep := ",\n    "
-		if first {
-			sep, first = "\n    ", false
-		}
-		b, err := json.Marshal(p)
-		if err == nil {
-			if _, err = io.WriteString(w, sep); err == nil {
-				_, err = w.Write(b)
-			}
-		}
-		streamErr = err
-		return err == nil
-	})
-	if streamErr != nil {
-		// The status line is already sent; the best we can do is log that
-		// the streamed array was cut short rather than pretend it is whole.
-		log.Printf("hsrserved: pieces stream truncated: %v", streamErr)
-		return
-	}
-	if first {
-		io.WriteString(w, "]\n}\n")
-		return
-	}
-	io.WriteString(w, "\n  ]\n}\n")
-}
-
-// viewshedProgressive answers one progressive query: a JSON object whose
-// "passes" array streams the coarse preview pass followed by the exact
-// finest pass, each with the usual response fields plus its own pieces
-// (streamed piece by piece, like the single-pass response). The JSON
-// prologue is written only once the first pass has solved, so errors that
-// precede any output — unknown terrains, bad algorithms, unreadable
-// stores — still get a proper error status instead of truncated JSON.
-func (h *handler) viewshedProgressive(w http.ResponseWriter, base terrainhsr.Query) {
-	firstPass, passOpen, pieceFirst := true, false, false
-	err := h.srv.QueryProgressive(base,
-		func(p terrainhsr.ProgressivePass) error {
-			// Per-pass timing comes from the server: the pass's own answer
-			// time, excluding the streaming of other passes' pieces.
-			resp := responseFor(base.TerrainID, base.Eye, p.Result, p.Elapsed)
-			final := p.Final
-			resp.Final = &final
-			buf, err := json.MarshalIndent(resp, "    ", "  ")
-			if err != nil {
-				return err
-			}
-			buf = bytes.TrimSuffix(buf, []byte("\n    }"))
-			sep := ",\n    "
-			if firstPass {
-				w.Header().Set("Content-Type", "application/json")
-				if _, err := fmt.Fprintf(w, "{\n  \"terrain\": %q,\n  \"passes\": [", base.TerrainID); err != nil {
-					return err
-				}
-				firstPass, sep = false, "\n    "
-			}
-			if passOpen {
-				if err := closePass(w, pieceFirst); err != nil {
-					return err
-				}
-			}
-			passOpen = true
-			if _, err := io.WriteString(w, sep); err != nil {
-				return err
-			}
-			if _, err := w.Write(buf); err != nil {
-				return err
-			}
-			_, err = io.WriteString(w, ",\n      \"pieces\": [")
-			pieceFirst = true
-			return err
-		},
-		func(p terrainhsr.Piece) error {
-			b, err := json.Marshal(p)
-			if err != nil {
-				return err
-			}
-			sep := ",\n        "
-			if pieceFirst {
-				sep, pieceFirst = "\n        ", false
-			}
-			if _, err := io.WriteString(w, sep); err != nil {
-				return err
-			}
-			_, err = w.Write(b)
-			return err
-		})
-	if err != nil {
-		if firstPass {
-			// Nothing was written yet: report the failure properly.
-			httpErr(w, queryStatus(err), "%v", err)
-			return
-		}
-		// The status line and part of the body are already out; log that the
-		// stream was cut short rather than pretend it is whole.
-		log.Printf("hsrserved: progressive stream truncated: %v", err)
-		return
-	}
-	if passOpen {
-		if err := closePass(w, pieceFirst); err != nil {
-			return
-		}
-	}
-	io.WriteString(w, "\n  ]\n}\n")
-}
-
-// closePass terminates one pass object in a progressive response.
-func closePass(w io.Writer, pieceFirst bool) error {
-	if pieceFirst { // no pieces were streamed: close the empty array inline
-		_, err := io.WriteString(w, "]\n    }")
-		return err
-	}
-	_, err := io.WriteString(w, "\n      ]\n    }")
-	return err
-}
-
-// eyeSummary is one entry of a multi-eye /viewshed response.
-type eyeSummary struct {
-	Eye          [3]float64 `json:"eye"`
-	QuantizedEye [3]float64 `json:"quantized_eye"`
-	Cache        string     `json:"cache"`
-	K            int        `json:"k"`
-}
-
-func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
-	qv := r.URL.Query()
-	id := qv.Get("terrain")
-	if id == "" {
-		ids := h.srv.TerrainIDs()
-		if len(ids) != 1 {
-			httpErr(w, http.StatusBadRequest, "terrain parameter required (registered: %s)", strings.Join(ids, ", "))
-			return
-		}
-		id = ids[0]
-	}
-	algo := terrainhsr.Algorithm(qv.Get("algorithm"))
-	minDepth := 0.0
-	if v := qv.Get("mindepth"); v != "" {
-		var err error
-		if minDepth, err = strconv.ParseFloat(v, 64); err != nil {
-			httpErr(w, http.StatusBadRequest, "bad mindepth %q", v)
-			return
-		}
-	}
-	budget := 0.0
-	if v := qv.Get("budget"); v != "" {
-		var err error
-		if budget, err = strconv.ParseFloat(v, 64); err != nil {
-			httpErr(w, http.StatusBadRequest, "bad budget %q", v)
-			return
-		}
-	}
-	base := terrainhsr.Query{
-		TerrainID:   id,
-		Algorithm:   algo,
-		MinDepth:    minDepth,
-		ErrorBudget: budget,
-		NoCache:     qv.Get("nocache") == "1",
-	}
-
-	eyeParams := qv["eye"]
-	if len(eyeParams) == 0 {
-		httpErr(w, http.StatusBadRequest, "eye parameter required (x,y,z)")
-		return
-	}
-	if len(eyeParams) > 1 {
-		if qv.Get("progressive") == "1" {
-			httpErr(w, http.StatusBadRequest, "progressive responses answer a single eye")
-			return
-		}
-		h.viewshedMany(w, base, eyeParams)
-		return
-	}
-	eye, err := parseEye(eyeParams[0])
-	if err != nil {
-		httpErr(w, http.StatusBadRequest, "bad eye: %v", err)
-		return
-	}
-	base.Eye = eye
-	if qv.Get("progressive") == "1" {
-		if f := qv.Get("format"); f != "" && f != "json" {
-			httpErr(w, http.StatusBadRequest, "progressive responses are JSON only")
-			return
-		}
-		h.viewshedProgressive(w, base)
-		return
-	}
-	t0 := time.Now()
-	qr, err := h.srv.Query(base)
-	if err != nil {
-		httpErr(w, queryStatus(err), "%v", err)
-		return
-	}
-	elapsed := time.Since(t0)
-
-	switch format := qv.Get("format"); format {
-	case "", "json":
-		writeViewshedJSON(w, responseFor(id, eye, qr, elapsed), qr.Result)
-	case "svg":
-		// Render against the level that actually answered: the pieces came
-		// from that level's surface, and a coarse answer must not page the
-		// finest level's tiles just to draw a frame.
-		tr, err := h.srv.LevelTerrain(id, qr.Level)
-		if err != nil {
-			httpErr(w, http.StatusInternalServerError, "terrain for render: %v", err)
-			return
-		}
-		persp, err := tr.FromPerspective(qr.Eye, minDepth)
-		if err != nil {
-			httpErr(w, http.StatusInternalServerError, "perspective for render: %v", err)
-			return
-		}
-		width := intParam(qv.Get("width"), 800)
-		w.Header().Set("Content-Type", "image/svg+xml")
-		stream, err := terrainhsr.NewSVGStream(w, persp, terrainhsr.RenderOptions{
-			Width: width, ShowHidden: true,
-			Title: fmt.Sprintf("viewshed %s from %v,%v,%v", id, qr.Eye.X, qr.Eye.Y, qr.Eye.Z),
-		})
-		if err != nil {
-			log.Printf("hsrserved: svg render: %v", err)
-			return
-		}
-		var streamErr error
-		qr.Result.EachPiece(func(p terrainhsr.Piece) bool {
-			streamErr = stream.Piece(p)
-			return streamErr == nil
-		})
-		if streamErr == nil {
-			streamErr = stream.Close()
-		}
-		if streamErr != nil {
-			log.Printf("hsrserved: svg render: %v", streamErr)
-		}
-	case "ascii":
-		width := intParam(qv.Get("width"), 100)
-		height := intParam(qv.Get("height"), 30)
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if err := terrainhsr.RenderASCII(w, qr.Result, width, height); err != nil {
-			log.Printf("hsrserved: ascii render: %v", err)
-		}
-	default:
-		httpErr(w, http.StatusBadRequest, "unknown format %q (json, svg, ascii)", format)
-	}
-}
-
-// viewshedMany answers a multi-eye query with a JSON summary.
-func (h *handler) viewshedMany(w http.ResponseWriter, base terrainhsr.Query, eyeParams []string) {
-	var eyes []terrainhsr.Point
-	for _, part := range eyeParams {
-		eye, err := parseEye(part)
-		if err != nil {
-			httpErr(w, http.StatusBadRequest, "bad eye entry %q: %v", part, err)
-			return
-		}
-		eyes = append(eyes, eye)
-	}
-	t0 := time.Now()
-	results, err := h.srv.QueryMany(base, eyes)
-	if err != nil {
-		httpErr(w, queryStatus(err), "%v", err)
-		return
-	}
-	elapsed := time.Since(t0)
-	out := struct {
-		Terrain   string       `json:"terrain"`
-		Count     int          `json:"count"`
-		ElapsedMS float64      `json:"elapsed_ms"`
-		Results   []eyeSummary `json:"results"`
-	}{Terrain: base.TerrainID, Count: len(results), ElapsedMS: float64(elapsed.Microseconds()) / 1000}
-	for i, qr := range results {
-		out.Results = append(out.Results, eyeSummary{
-			Eye:          [3]float64{eyes[i].X, eyes[i].Y, eyes[i].Z},
-			QuantizedEye: [3]float64{qr.Eye.X, qr.Eye.Y, qr.Eye.Z},
-			Cache:        qr.Cache,
-			K:            qr.Result.K(),
-		})
-	}
-	writeJSON(w, out)
-}
-
-// parseEye parses "x,y,z".
-func parseEye(s string) (terrainhsr.Point, error) {
-	parts := strings.Split(strings.TrimSpace(s), ",")
-	if len(parts) != 3 {
-		return terrainhsr.Point{}, fmt.Errorf("want x,y,z, got %q", s)
-	}
-	var vals [3]float64
-	for i, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return terrainhsr.Point{}, err
-		}
-		vals[i] = v
-	}
-	return terrainhsr.Point{X: vals[0], Y: vals[1], Z: vals[2]}, nil
-}
-
-// intParam parses an optional positive integer parameter.
-func intParam(s string, def int) int {
-	if s == "" {
-		return def
-	}
-	if v, err := strconv.Atoi(s); err == nil && v > 0 {
-		return v
-	}
-	return def
-}
-
-// httpErr writes a plain-text error response.
-func httpErr(w http.ResponseWriter, status int, format string, args ...any) {
-	http.Error(w, fmt.Sprintf(format, args...), status)
-}
-
-// queryStatus maps a Server.Query error to an HTTP status: unknown
-// terrains are 404, everything else (bad eyes, bad algorithms) 400.
-func queryStatus(err error) int {
-	if strings.Contains(err.Error(), "no terrain") {
-		return http.StatusNotFound
-	}
-	return http.StatusBadRequest
-}
-
-// writeJSON writes v as indented JSON.
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("hsrserved: encode: %v", err)
-	}
+	log.Fatal(http.ListenAndServe(*addr, serve.New(srv)))
 }

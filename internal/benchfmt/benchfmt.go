@@ -1,0 +1,58 @@
+// Package benchfmt is the machine-readable measurement format shared by
+// the benchmark tooling: cmd/hsrbench's experiments and cmd/hsrload's
+// traffic reports emit the same Record rows, so the BENCH_*.json
+// artifacts CI uploads — and the fleet acceptance gates that read them —
+// parse one shape regardless of which tool measured.
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// Record is one measurement row. Experiments identify themselves
+// (Experiment/Variant), report wall clock and optional memory columns,
+// and stash experiment-specific scalars (gains, rates, percentiles) in
+// Extra.
+type Record struct {
+	// Experiment is the experiment id (B1, T1, S1, ST1, F1, ...) and
+	// Variant the measured configuration inside it (e.g. "tiled",
+	// "cached", "fleet-3").
+	Experiment string `json:"experiment"`
+	Variant    string `json:"variant"`
+	// WallMS is the measured wall clock in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// PeakHeapMB is the sampled peak live heap in MB (0 when not sampled).
+	PeakHeapMB float64 `json:"peak_heap_mb,omitempty"`
+	// AllocMB is the total allocation volume in MB (0 when not measured).
+	AllocMB float64 `json:"alloc_mb,omitempty"`
+	// Workers is the worker budget the variant ran under.
+	Workers int `json:"workers"`
+	// Extra holds experiment-specific scalars (gains, rates, sizes,
+	// latency percentiles).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// WithDefaults fills unset fields that have environmental defaults
+// (Workers from GOMAXPROCS).
+func (r Record) WithDefaults() Record {
+	if r.Workers == 0 {
+		r.Workers = runtime.GOMAXPROCS(0)
+	}
+	return r
+}
+
+// Write writes the records to path as indented JSON (an empty array, not
+// null, when nothing was recorded).
+func Write(path string, records []Record) error {
+	if records == nil {
+		records = []Record{}
+	}
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}

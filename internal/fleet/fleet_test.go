@@ -1,0 +1,338 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	terrainhsr "terrainhsr"
+	"terrainhsr/internal/fleet"
+	"terrainhsr/internal/loadgen"
+	"terrainhsr/internal/serve"
+	"terrainhsr/internal/workload"
+)
+
+// testSpecs are the shared terrain specs every test replica registers —
+// small enough that solves are fast, two terrains so routing actually
+// spreads.
+var testSpecs = []string{
+	"id=alps,kind=ridge,rows=16,cols=16,seed=7",
+	"id=delta,kind=fractal,rows=14,cols=14,seed=3",
+}
+
+// newReplicaServer builds one serving replica: its own query server (own
+// cache) registering testSpecs, wrapped in the serve handler.
+func newReplicaServer(t *testing.T) http.Handler {
+	t.Helper()
+	srv := terrainhsr.NewServer(terrainhsr.ServerOptions{})
+	for _, spec := range testSpecs {
+		id, tr, err := serve.BuildTerrain(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Register(id, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return serve.New(srv)
+}
+
+// testTerrains regenerates the testSpecs terrains for eye derivation.
+func testTerrains(t *testing.T) []loadgen.NamedTerrain {
+	t.Helper()
+	var out []loadgen.NamedTerrain
+	for _, spec := range testSpecs {
+		id, p, err := workload.ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, loadgen.NamedTerrain{ID: id, T: tr})
+	}
+	return out
+}
+
+// get fetches a URL and returns the body, failing the test on transport
+// errors.
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestFleetIdentity is the fleet guarantee end to end: the same query
+// answered through the router and directly by each replica yields the
+// same bytes — for JSON after normalizing the two volatile fields, for
+// SVG exactly — across algorithms and across cached and uncached legs.
+func TestFleetIdentity(t *testing.T) {
+	var replicaURLs []string
+	for i := 0; i < 3; i++ {
+		s := httptest.NewServer(newReplicaServer(t))
+		defer s.Close()
+		replicaURLs = append(replicaURLs, s.URL)
+	}
+	rt, err := fleet.New(fleet.Options{
+		Replicas:      replicaURLs,
+		HedgeAfter:    -1, // deterministic: exactly one replica answers
+		ProbeInterval: -1,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+	router := httptest.NewServer(rt)
+	defer router.Close()
+
+	reqs, err := loadgen.Scenario(loadgen.ScenarioOptions{
+		BaseURL:  router.URL,
+		Terrains: testTerrains(t),
+		Count:    6,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algorithms := []string{"", "sequential", "brute-force"}
+	for _, algo := range algorithms {
+		for i, req := range reqs {
+			pathQuery := strings.TrimPrefix(req.URL, router.URL)
+			if algo != "" {
+				pathQuery += "&algorithm=" + algo
+			}
+			for _, leg := range []string{"", "&nocache=1"} {
+				// Two routed fetches: the second may be a cache hit on the
+				// owning replica; both must normalize identically.
+				status, routed := get(t, router.URL+pathQuery+leg)
+				if status != http.StatusOK {
+					t.Fatalf("routed %s: status %d: %s", pathQuery+leg, status, routed)
+				}
+				_, routedAgain := get(t, router.URL+pathQuery+leg)
+				normRouted := loadgen.NormalizeBody(routed)
+				if !bytes.Equal(normRouted, loadgen.NormalizeBody(routedAgain)) {
+					t.Fatalf("query %d algo %q leg %q: two routed answers differ", i, algo, leg)
+				}
+				for _, rep := range replicaURLs {
+					_, direct := get(t, rep+pathQuery+leg)
+					if !bytes.Equal(normRouted, loadgen.NormalizeBody(direct)) {
+						t.Fatalf("query %d algo %q leg %q: routed answer differs from replica %s\nrouted: %.200s\ndirect: %.200s",
+							i, algo, leg, rep, normRouted, loadgen.NormalizeBody(direct))
+					}
+				}
+			}
+			// SVG has no volatile fields at all: exact byte identity.
+			svgPath := pathQuery + "&format=svg"
+			status, routedSVG := get(t, router.URL+svgPath)
+			if status != http.StatusOK {
+				t.Fatalf("routed %s: status %d: %s", svgPath, status, routedSVG)
+			}
+			for _, rep := range replicaURLs {
+				_, directSVG := get(t, rep+svgPath)
+				if !bytes.Equal(routedSVG, directSVG) {
+					t.Fatalf("query %d algo %q: routed SVG differs from replica %s", i, algo, rep)
+				}
+			}
+		}
+	}
+}
+
+// restartableReplica is a replica on a fixed port that can be stopped and
+// restarted — the chaos test's victim.
+type restartableReplica struct {
+	t       *testing.T
+	handler http.Handler
+	addr    string
+
+	mu  sync.Mutex
+	srv *http.Server
+	ln  net.Listener
+}
+
+func startRestartable(t *testing.T, handler http.Handler) *restartableReplica {
+	r := &restartableReplica{t: t, handler: handler}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.addr = ln.Addr().String()
+	r.serveOn(ln)
+	return r
+}
+
+// serveOn starts an http.Server on the listener.
+func (r *restartableReplica) serveOn(ln net.Listener) {
+	r.mu.Lock()
+	r.ln = ln
+	r.srv = &http.Server{Handler: r.handler}
+	srv := r.srv
+	r.mu.Unlock()
+	go srv.Serve(ln)
+}
+
+// stop drains in-flight requests and stops accepting new ones.
+func (r *restartableReplica) stop() {
+	r.mu.Lock()
+	srv := r.srv
+	r.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		r.t.Logf("chaos shutdown: %v", err)
+	}
+}
+
+// restart listens on the replica's original address again.
+func (r *restartableReplica) restart() {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", r.addr)
+		if err == nil {
+			r.serveOn(ln)
+			return
+		}
+		if time.Now().After(deadline) {
+			r.t.Fatalf("chaos restart on %s: %v", r.addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetChaos kills a replica while load is running — the fleet must
+// absorb it with zero client-visible errors — and readmits it after a
+// restart.
+func TestFleetChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test runs real load")
+	}
+	victim := startRestartable(t, newReplicaServer(t))
+	defer victim.stop()
+	var replicaURLs = []string{"http://" + victim.addr}
+	for i := 0; i < 2; i++ {
+		s := httptest.NewServer(newReplicaServer(t))
+		defer s.Close()
+		replicaURLs = append(replicaURLs, s.URL)
+	}
+	rt, err := fleet.New(fleet.Options{
+		Replicas:      replicaURLs,
+		HedgeAfter:    500 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+		EjectAfter:    2,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+	router := httptest.NewServer(rt)
+	defer router.Close()
+
+	reqs, err := loadgen.Scenario(loadgen.ScenarioOptions{
+		BaseURL:  router.URL,
+		Terrains: testTerrains(t),
+		Count:    30,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 1: load with the replica dying mid-run.
+	done := make(chan loadgen.Report, 1)
+	go func() {
+		done <- loadgen.Run(loadgen.Options{Workers: 4, Repeats: 4, CheckBodies: true}, reqs)
+	}()
+	time.Sleep(150 * time.Millisecond)
+	victim.stop()
+	rep1 := <-done
+	if rep1.Errors > 0 {
+		t.Fatalf("killing a replica mid-load surfaced %d errors to clients: %v", rep1.Errors, rep1.ErrorSamples)
+	}
+	if rep1.Mismatches > 0 {
+		t.Fatalf("failover changed answers: %d mismatches", rep1.Mismatches)
+	}
+
+	// The prober must eject the dead replica.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ejected := false
+		for _, h := range rt.Snapshot() {
+			if h.Addr == "http://"+victim.addr && !h.Healthy {
+				ejected = true
+			}
+		}
+		if ejected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead replica never ejected: %+v", rt.Snapshot())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Leg 2: load against the degraded fleet — still zero errors.
+	rep2 := loadgen.Run(loadgen.Options{Workers: 4, Repeats: 2, CheckBodies: true}, reqs)
+	if rep2.Errors > 0 || rep2.Mismatches > 0 {
+		t.Fatalf("degraded fleet: %d errors %d mismatches: %v", rep2.Errors, rep2.Mismatches, rep2.ErrorSamples)
+	}
+
+	// Restart; the prober must readmit.
+	victim.restart()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for _, h := range rt.Snapshot() {
+			if !h.Healthy {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted replica never readmitted: %+v", rt.Snapshot())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Leg 3: the healed fleet answers identically to the pre-chaos legs.
+	rep3 := loadgen.Run(loadgen.Options{Workers: 4, Repeats: 2, CheckBodies: true}, reqs)
+	if rep3.Errors > 0 || rep3.Mismatches > 0 {
+		t.Fatalf("healed fleet: %d errors %d mismatches: %v", rep3.Errors, rep3.Mismatches, rep3.ErrorSamples)
+	}
+	for key, h := range rep1.Hashes {
+		if h2, ok := rep3.Hashes[key]; ok && h2 != h {
+			t.Fatalf("query %q answered differently before and after chaos", key)
+		}
+	}
+
+	// The fleet statsz still lists every replica and sums real traffic.
+	status, body := get(t, router.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("fleet statsz: %d", status)
+	}
+	for _, want := range []string{`"replicas"`, `"fleet"`, `"Hits"`, `"reporting"`} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("fleet statsz missing %s: %.300s", want, body)
+		}
+	}
+}

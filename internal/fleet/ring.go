@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over replica names. Each member owns
+// VNodes pseudo-random points on a 64-bit circle; a key is owned by the
+// first member point at or clockwise of the key's hash. Placement is
+// deterministic — it depends only on the member names, never on insertion
+// order — and incremental: a member's points are a pure function of its
+// own name, so adding or removing one member moves only the keys whose
+// nearest point changed (about K/n of K keys across n members), which is
+// the property that lets a fleet grow without a cache-invalidating
+// reshuffle. Safe for concurrent use.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	points  []ringPoint
+	members map[string]bool
+}
+
+// ringPoint is one virtual node: a position on the circle and its owner.
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// DefaultVNodes is the virtual-node count per member used when NewRing is
+// given n <= 0: enough for single-digit balance deviation at small fleet
+// sizes without making membership changes costly.
+const DefaultVNodes = 128
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member (n <= 0 selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// hash64 hashes a string to a point on the circle: FNV-1a (stable across
+// processes and runs, so router and tests agree on placement) followed by
+// a 64-bit avalanche finalizer. The finalizer matters: raw FNV-1a of
+// near-identical member strings — replica URLs differing only in a port
+// digit, vnode suffixes "#0".."#127" — leaves the high bits correlated,
+// and since arc ownership is decided by high-bit order, an unfinalized
+// ring can hand one replica most of the circle.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts members; adding an existing member is a no-op.
+func (r *Ring) Add(members ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range members {
+		if r.members[m] {
+			continue
+		}
+		r.members[m] = true
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash64(m + "#" + strconv.Itoa(i)), m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by owner name so placement
+		// stays independent of insertion order.
+		return r.points[i].owner < r.points[j].owner
+	})
+}
+
+// Remove deletes a member and its points; unknown members are a no-op.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.owner != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current members, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the member owning the key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if s := r.Successors(key, 1); len(s) > 0 {
+		return s[0]
+	}
+	return ""
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the key's owner — the hedge/failover preference order of the key. n <= 0
+// returns every member.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.owner] {
+			seen[p.owner] = true
+			out = append(out, p.owner)
+		}
+	}
+	return out
+}
+
+// ShardKey is the ring key of one query: the terrain ID alone for
+// ordinary terrains, or — when perLevel is set, the router's policy for
+// huge terrains — the ID qualified by the answering pyramid level, so one
+// massive terrain's levels (and their paging I/O) spread across the fleet
+// instead of concentrating on a single replica.
+func ShardKey(terrain string, level int, perLevel bool) string {
+	if !perLevel {
+		return terrain
+	}
+	return terrain + "#L" + strconv.Itoa(level)
+}

@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n distinct synthetic ring keys.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("terrain-%d", i)
+	}
+	return out
+}
+
+// owners maps every key to its current owner.
+func owners(r *Ring, ks []string) map[string]string {
+	out := make(map[string]string, len(ks))
+	for _, k := range ks {
+		out[k] = r.Lookup(k)
+	}
+	return out
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	cases := []struct {
+		name   string
+		vnodes int
+		orders [][]string // insertion orders of the same member set
+	}{
+		{"three members", 0, [][]string{
+			{"a", "b", "c"},
+			{"c", "a", "b"},
+			{"b", "c", "a"},
+		}},
+		{"five members few vnodes", 16, [][]string{
+			{"r1", "r2", "r3", "r4", "r5"},
+			{"r5", "r4", "r3", "r2", "r1"},
+		}},
+	}
+	ks := keys(200)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := NewRing(tc.vnodes)
+			ref.Add(tc.orders[0]...)
+			want := owners(ref, ks)
+			// Lookup must be stable across calls...
+			if got := owners(ref, ks); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatal("repeated lookups disagree")
+			}
+			// ...and across insertion orders.
+			for _, order := range tc.orders[1:] {
+				r := NewRing(tc.vnodes)
+				r.Add(order...)
+				for k, w := range want {
+					if got := r.Lookup(k); got != w {
+						t.Errorf("insertion order %v: key %q owned by %q, want %q", order, k, got, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a", "b", "c", "d")
+	for _, k := range keys(50) {
+		succ := r.Successors(k, 0)
+		if len(succ) != 4 {
+			t.Fatalf("key %q: %d successors, want 4", k, len(succ))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %q: duplicate successor %q in %v", k, s, succ)
+			}
+			seen[s] = true
+		}
+		if succ[0] != r.Lookup(k) {
+			t.Fatalf("key %q: successors start at %q, Lookup says %q", k, succ[0], r.Lookup(k))
+		}
+		if got := r.Successors(k, 2); len(got) != 2 || got[0] != succ[0] || got[1] != succ[1] {
+			t.Fatalf("key %q: Successors(2) = %v, want prefix of %v", k, got, succ)
+		}
+	}
+	if got := NewRing(0).Successors("x", 3); got != nil {
+		t.Fatalf("empty ring successors = %v, want nil", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// Both short names and realistic replica URLs — near-identical member
+	// strings differing in one port digit are exactly where a weak point
+	// hash collapses the balance.
+	memberSets := [][]string{
+		{"r1", "r2", "r3"},
+		{"http://127.0.0.1:34001", "http://127.0.0.1:34003", "http://127.0.0.1:34005"},
+	}
+	ks := keys(1000)
+	for _, members := range memberSets {
+		r := NewRing(0)
+		r.Add(members...)
+		counts := map[string]int{}
+		for _, k := range ks {
+			counts[r.Lookup(k)]++
+		}
+		// Perfect balance is ~333 each; 128 vnodes keeps every member within
+		// a loose band of fair share.
+		for _, m := range members {
+			if counts[m] < 150 || counts[m] > 550 {
+				t.Errorf("member %q owns %d of %d keys; want a fair-ish share (counts: %v)",
+					m, counts[m], len(ks), counts)
+			}
+		}
+	}
+}
+
+func TestRingMembershipMovesFewKeys(t *testing.T) {
+	ks := keys(1000)
+	t.Run("add", func(t *testing.T) {
+		r := NewRing(0)
+		r.Add("r1", "r2", "r3")
+		before := owners(r, ks)
+		r.Add("r4")
+		moved := 0
+		for _, k := range ks {
+			if got := r.Lookup(k); got != before[k] {
+				moved++
+				// Every moved key must move TO the new member: the old
+				// members' points did not change.
+				if got != "r4" {
+					t.Fatalf("key %q moved %q -> %q, not to the new member", k, before[k], got)
+				}
+			}
+		}
+		// Expected movement is K/n = 250; allow generous variance but catch
+		// a reshuffling ring (which would move ~750).
+		if moved == 0 || moved > 450 {
+			t.Errorf("adding a 4th member moved %d of %d keys; want ~250", moved, len(ks))
+		}
+	})
+	t.Run("remove", func(t *testing.T) {
+		r := NewRing(0)
+		r.Add("r1", "r2", "r3", "r4")
+		before := owners(r, ks)
+		r.Remove("r4")
+		for _, k := range ks {
+			got := r.Lookup(k)
+			if before[k] == "r4" {
+				if got == "r4" {
+					t.Fatalf("key %q still owned by removed member", k)
+				}
+			} else if got != before[k] {
+				// Keys not owned by the removed member must not move at all.
+				t.Fatalf("key %q moved %q -> %q on an unrelated removal", k, before[k], got)
+			}
+		}
+		if got := r.Members(); len(got) != 3 {
+			t.Fatalf("members after removal = %v", got)
+		}
+	})
+}
+
+func TestShardKey(t *testing.T) {
+	cases := []struct {
+		terrain  string
+		level    int
+		perLevel bool
+		want     string
+	}{
+		{"alps", 0, false, "alps"},
+		{"alps", 3, false, "alps"},
+		{"alps", 0, true, "alps#L0"},
+		{"alps", 3, true, "alps#L3"},
+	}
+	for _, tc := range cases {
+		if got := ShardKey(tc.terrain, tc.level, tc.perLevel); got != tc.want {
+			t.Errorf("ShardKey(%q, %d, %v) = %q, want %q", tc.terrain, tc.level, tc.perLevel, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,604 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Router. Replicas is the only required field.
+type Options struct {
+	// Replicas are the base URLs of the serving replicas, e.g.
+	// "http://127.0.0.1:8101". Order does not matter: placement comes from
+	// the consistent-hash ring, not the list.
+	Replicas []string
+	// HedgeAfter is how long the router waits on the primary replica's
+	// response header before launching the same query against the next
+	// successor (first response wins). Operators set it near the fleet's
+	// p99 so only tail-latency queries pay a duplicate solve. 0 selects
+	// 250ms; negative disables hedging (failover on error still happens).
+	HedgeAfter time.Duration
+	// ProbeInterval is the /healthz probing period. 0 selects 2s; negative
+	// disables active probing (passive ejection from proxy errors still
+	// happens).
+	ProbeInterval time.Duration
+	// EjectAfter is the number of consecutive failures (probe or proxy)
+	// after which a replica is ejected from routing preference; the first
+	// success readmits it. 0 selects 3.
+	EjectAfter int
+	// HugeVertices is the per-level sharding threshold: terrains whose
+	// finest level has at least this many vertices take level-qualified
+	// ring keys (ShardKey), spreading one massive terrain's LOD levels
+	// across the fleet. 0 selects 1<<20 (a ~1k x 1k grid); negative
+	// disables per-level sharding.
+	HugeVertices int
+	// VNodes is the ring's virtual-node count per replica (0 selects
+	// DefaultVNodes).
+	VNodes int
+	// Client issues the proxied requests. The default client has no
+	// timeout — responses stream, and slow queries are the hedge's job to
+	// cover, not a deadline's to kill.
+	Client *http.Client
+	// Logf receives router diagnostics (default log.Printf; tests silence
+	// it).
+	Logf func(format string, args ...any)
+}
+
+// replica is the router's view of one serving process.
+type replica struct {
+	addr    string // base URL
+	healthy atomic.Bool
+	fails   atomic.Int32 // consecutive failures (probe or proxy)
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+// note records one observed outcome against the replica's health,
+// ejecting after limit consecutive failures and readmitting on the first
+// success. It reports whether the healthy state flipped.
+func (r *replica) note(ok bool, limit int, err string) (flipped bool) {
+	if ok {
+		r.fails.Store(0)
+		return r.healthy.CompareAndSwap(false, true)
+	}
+	r.mu.Lock()
+	r.lastErr = err
+	r.mu.Unlock()
+	if int(r.fails.Add(1)) >= limit {
+		return r.healthy.CompareAndSwap(true, false)
+	}
+	return false
+}
+
+// terrainMeta is what the router learns about a terrain from /terrains:
+// enough to compute the ring key of a query (per-level sub-keys need the
+// level the error budget picks, and the huge-terrain policy needs the
+// finest level's size).
+type terrainMeta struct {
+	vertices  int
+	cellSizes []float64
+}
+
+// pickLevel mirrors the server's budget routing (engine.LevelSet.Pick):
+// the coarsest level whose cell size is at most the budget, or the finest
+// when the budget is unset or finer than every level. The router only
+// uses the pick for placement — the replica re-derives it authoritatively
+// — so agreement matters for locality, not correctness.
+func (m terrainMeta) pickLevel(budget float64) int {
+	pick := 0
+	if budget <= 0 {
+		return pick
+	}
+	for l, cell := range m.cellSizes {
+		if cell <= budget {
+			pick = l
+		}
+	}
+	return pick
+}
+
+// Router is the fleet front end: one http.Handler proxying the
+// internal/serve endpoints across the replicas. Construct with New, call
+// Start to begin health probing, Close to stop it.
+type Router struct {
+	opt    Options
+	ring   *Ring
+	client *http.Client
+	logf   func(string, ...any)
+
+	mu       sync.RWMutex
+	replicas map[string]*replica
+	order    []string // configured order, for stable reporting
+	terrains map[string]terrainMeta
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	routed    atomic.Int64
+	hedged    atomic.Int64
+	hedgeWins atomic.Int64
+	failovers atomic.Int64
+	ejections atomic.Int64
+}
+
+// New builds a router over the given replicas. Every replica starts
+// healthy; the first probe cycle (or proxy traffic) corrects that
+// optimism. Call Start to launch the prober.
+func New(opt Options) (*Router, error) {
+	if len(opt.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: router needs at least one replica")
+	}
+	if opt.HedgeAfter == 0 {
+		opt.HedgeAfter = 250 * time.Millisecond
+	}
+	if opt.ProbeInterval == 0 {
+		opt.ProbeInterval = 2 * time.Second
+	}
+	if opt.EjectAfter <= 0 {
+		opt.EjectAfter = 3
+	}
+	if opt.HugeVertices == 0 {
+		opt.HugeVertices = 1 << 20
+	}
+	rt := &Router{
+		opt:      opt,
+		ring:     NewRing(opt.VNodes),
+		client:   opt.Client,
+		logf:     opt.Logf,
+		replicas: make(map[string]*replica, len(opt.Replicas)),
+		terrains: make(map[string]terrainMeta),
+		stop:     make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	if rt.logf == nil {
+		rt.logf = log.Printf
+	}
+	for _, addr := range opt.Replicas {
+		if _, dup := rt.replicas[addr]; dup {
+			return nil, fmt.Errorf("fleet: duplicate replica %q", addr)
+		}
+		r := &replica{addr: addr}
+		r.healthy.Store(true)
+		rt.replicas[addr] = r
+		rt.order = append(rt.order, addr)
+		rt.ring.Add(addr)
+	}
+	return rt, nil
+}
+
+// Start launches the health prober (a no-op when probing is disabled).
+// It also primes the terrain metadata used for ring keys.
+func (rt *Router) Start() {
+	rt.refreshTerrains()
+	if rt.opt.ProbeInterval < 0 {
+		return
+	}
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		tick := time.NewTicker(rt.opt.ProbeInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-tick.C:
+				rt.probeOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the prober and waits for it.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// probeOnce probes every replica's /healthz concurrently.
+func (rt *Router) probeOnce() {
+	var wg sync.WaitGroup
+	for _, r := range rt.snapshotReplicas() {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.opt.ProbeInterval)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.addr+"/healthz", nil)
+			if err != nil {
+				rt.noteOutcome(r, false, "probe: "+err.Error())
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				rt.noteOutcome(r, false, "probe: "+err.Error())
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rt.noteOutcome(r, resp.StatusCode == http.StatusOK,
+				"probe: status "+resp.Status)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// noteOutcome feeds one observation into a replica's health state and
+// logs ejections and readmissions.
+func (rt *Router) noteOutcome(r *replica, ok bool, errMsg string) {
+	if r.note(ok, rt.opt.EjectAfter, errMsg) {
+		if ok {
+			rt.logf("fleet: replica %s readmitted", r.addr)
+		} else {
+			rt.ejections.Add(1)
+			rt.logf("fleet: replica %s ejected after %d consecutive failures (%s)",
+				r.addr, rt.opt.EjectAfter, errMsg)
+		}
+	}
+}
+
+// snapshotReplicas returns the replica set in configured order.
+func (rt *Router) snapshotReplicas() []*replica {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*replica, 0, len(rt.order))
+	for _, addr := range rt.order {
+		out = append(out, rt.replicas[addr])
+	}
+	return out
+}
+
+// refreshTerrains learns the terrain metadata (sizes, cell sizes) from
+// the first replica that answers /terrains. Failures are logged and left
+// for the next refresh: metadata only sharpens placement, it never gates
+// serving.
+func (rt *Router) refreshTerrains() {
+	for _, r := range rt.snapshotReplicas() {
+		resp, err := rt.client.Get(r.addr + "/terrains")
+		if err != nil {
+			continue
+		}
+		var body struct {
+			Terrains []struct {
+				ID        string    `json:"id"`
+				Vertices  int       `json:"vertices"`
+				CellSizes []float64 `json:"cell_sizes"`
+			} `json:"terrains"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			rt.logf("fleet: parse %s/terrains: %v", r.addr, err)
+			continue
+		}
+		meta := make(map[string]terrainMeta, len(body.Terrains))
+		for _, t := range body.Terrains {
+			meta[t.ID] = terrainMeta{vertices: t.Vertices, cellSizes: t.CellSizes}
+		}
+		rt.mu.Lock()
+		rt.terrains = meta
+		rt.mu.Unlock()
+		return
+	}
+	rt.logf("fleet: no replica answered /terrains; routing on terrain IDs only")
+}
+
+// shardKey computes the ring key of one /viewshed request: the terrain ID,
+// level-qualified for huge terrains (see ShardKey). Unknown terrains
+// trigger one metadata refresh — a replica may have learned a terrain
+// after the router started.
+func (rt *Router) shardKey(terrain string, budget float64) string {
+	rt.mu.RLock()
+	meta, ok := rt.terrains[terrain]
+	rt.mu.RUnlock()
+	if !ok {
+		rt.refreshTerrains()
+		rt.mu.RLock()
+		meta, ok = rt.terrains[terrain]
+		rt.mu.RUnlock()
+	}
+	if !ok || rt.opt.HugeVertices < 0 || meta.vertices < rt.opt.HugeVertices {
+		return ShardKey(terrain, 0, false)
+	}
+	return ShardKey(terrain, meta.pickLevel(budget), true)
+}
+
+// routeOrder returns the replicas to try for a key, in preference order:
+// the ring successors with healthy replicas first (ring order preserved
+// within each class). Ejected replicas stay at the tail rather than
+// vanishing — a fully ejected fleet still routes, it just expects errors.
+func (rt *Router) routeOrder(key string) []*replica {
+	succ := rt.ring.Successors(key, 0)
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*replica, 0, len(succ))
+	for _, addr := range succ {
+		if r := rt.replicas[addr]; r != nil && r.healthy.Load() {
+			out = append(out, r)
+		}
+	}
+	for _, addr := range succ {
+		if r := rt.replicas[addr]; r != nil && !r.healthy.Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ServeHTTP dispatches the fleet endpoints: /viewshed (hedged proxy),
+// /terrains (proxied from the first answering replica), /statsz
+// (fleet-wide aggregation), /healthz (fleet liveness: ok while any
+// replica is healthy) and /fleetz (router introspection).
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/viewshed":
+		rt.viewshed(w, r)
+	case "/terrains":
+		rt.proxyAny(w, r)
+	case "/statsz":
+		rt.statsz(w, r)
+	case "/healthz":
+		rt.healthz(w, r)
+	case "/fleetz":
+		rt.fleetz(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// healthz reports fleet liveness: 200 while at least one replica is
+// healthy, 503 otherwise.
+func (rt *Router) healthz(w http.ResponseWriter, _ *http.Request) {
+	for _, r := range rt.snapshotReplicas() {
+		if r.healthy.Load() {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+	}
+	http.Error(w, "no healthy replicas", http.StatusServiceUnavailable)
+}
+
+// viewshed routes one query: ring placement, then a hedged proxy across
+// the preference order.
+func (rt *Router) viewshed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "viewshed queries are GET", http.StatusMethodNotAllowed)
+		return
+	}
+	qv := r.URL.Query()
+	terrain := qv.Get("terrain")
+	budget := 0.0
+	if v := qv.Get("budget"); v != "" {
+		budget, _ = strconv.ParseFloat(v, 64)
+	}
+	// A missing terrain parameter is legal for single-terrain replicas;
+	// route it by the empty key so it still lands consistently.
+	order := rt.routeOrder(rt.shardKey(terrain, budget))
+	rt.routed.Add(1)
+	rt.proxyHedged(w, r, order)
+}
+
+// proxyAny forwards the request to the first replica that answers —
+// listing endpoints are identical on every replica.
+func (rt *Router) proxyAny(w http.ResponseWriter, r *http.Request) {
+	order := rt.routeOrder("")
+	rt.proxyHedged(w, r, order)
+}
+
+// attempt is one in-flight proxied request.
+type attempt struct {
+	r      *replica
+	resp   *http.Response
+	err    error
+	cancel context.CancelFunc
+}
+
+// proxyHedged issues the request against order[0], hedging to the next
+// successor each time HedgeAfter elapses without a response header, and
+// failing over immediately on transport errors and 5xx responses. The
+// first acceptable response streams to the client; every other attempt is
+// canceled and drained. Responses below 500 — including 4xx — are
+// authoritative: every replica answers a malformed query identically, so
+// retrying one would only double the error's cost.
+func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, order []*replica) {
+	if len(order) == 0 {
+		http.Error(w, "fleet: no replicas", http.StatusBadGateway)
+		return
+	}
+	results := make(chan attempt, len(order))
+	launched := 0
+	launch := func() {
+		rep := order[launched]
+		launched++
+		ctx, cancel := context.WithCancel(r.Context())
+		go func() {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.addr+r.URL.RequestURI(), nil)
+			if err != nil {
+				results <- attempt{r: rep, err: err, cancel: cancel}
+				return
+			}
+			req.Header = r.Header.Clone()
+			resp, err := rt.client.Do(req)
+			results <- attempt{r: rep, resp: resp, err: err, cancel: cancel}
+		}()
+	}
+	launch()
+	hedge := time.NewTimer(rt.hedgeDelay())
+	defer hedge.Stop()
+
+	var won *attempt
+	pending := 1
+	lastErr := "fleet: no attempt completed"
+	hedgesUsed := false
+	for won == nil && pending > 0 {
+		select {
+		case a := <-results:
+			pending--
+			if a.err != nil {
+				a.cancel()
+				// A canceled context means the client went away, not that
+				// the replica failed; don't charge the replica for it.
+				if r.Context().Err() == nil {
+					rt.noteOutcome(a.r, false, a.err.Error())
+				}
+				lastErr = a.err.Error()
+			} else if a.resp.StatusCode >= http.StatusInternalServerError {
+				lastErr = fmt.Sprintf("%s: %s", a.r.addr, a.resp.Status)
+				io.Copy(io.Discard, a.resp.Body)
+				a.resp.Body.Close()
+				a.cancel()
+				rt.noteOutcome(a.r, false, "proxy: "+a.resp.Status)
+			} else {
+				rt.noteOutcome(a.r, true, "")
+				won = &a
+				break
+			}
+			if launched < len(order) && r.Context().Err() == nil {
+				rt.failovers.Add(1)
+				launch()
+				pending++
+			}
+		case <-hedge.C:
+			if launched < len(order) {
+				rt.hedged.Add(1)
+				hedgesUsed = true
+				launch()
+				pending++
+				hedge.Reset(rt.hedgeDelay())
+			}
+		}
+	}
+	// Abandon the losers: cancel and drain them off the channel so their
+	// goroutines and bodies are released.
+	if pending > 0 {
+		go func(n int) {
+			for i := 0; i < n; i++ {
+				a := <-results
+				a.cancel()
+				if a.resp != nil {
+					a.resp.Body.Close()
+				}
+			}
+		}(pending)
+	}
+	if won == nil {
+		http.Error(w, "fleet: all replicas failed: "+lastErr, http.StatusBadGateway)
+		return
+	}
+	if hedgesUsed {
+		rt.hedgeWins.Add(1)
+	}
+	defer won.cancel()
+	defer won.resp.Body.Close()
+	for k, vs := range won.resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	// Name the serving replica so identity tests and operators can compare
+	// the routed answer against the replica's own.
+	w.Header().Set("X-HSR-Replica", won.r.addr)
+	w.WriteHeader(won.resp.StatusCode)
+	if _, err := io.Copy(w, won.resp.Body); err != nil {
+		rt.logf("fleet: stream from %s truncated: %v", won.r.addr, err)
+	}
+}
+
+// hedgeDelay returns the hedge timer duration — effectively infinite when
+// hedging is disabled, so only errors advance the attempt sequence.
+func (rt *Router) hedgeDelay() time.Duration {
+	if rt.opt.HedgeAfter < 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	return rt.opt.HedgeAfter
+}
+
+// ReplicaHealth is one replica's health as /fleetz and Snapshot report it.
+type ReplicaHealth struct {
+	// Addr is the replica's base URL.
+	Addr string `json:"addr"`
+	// Healthy is the routing eligibility (false = ejected).
+	Healthy bool `json:"healthy"`
+	// ConsecutiveFails counts failures since the last success.
+	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
+	// LastError is the most recent failure, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Snapshot reports every replica's health in configured order.
+func (rt *Router) Snapshot() []ReplicaHealth {
+	reps := rt.snapshotReplicas()
+	out := make([]ReplicaHealth, 0, len(reps))
+	for _, r := range reps {
+		r.mu.Lock()
+		lastErr := r.lastErr
+		r.mu.Unlock()
+		out = append(out, ReplicaHealth{
+			Addr:             r.addr,
+			Healthy:          r.healthy.Load(),
+			ConsecutiveFails: int(r.fails.Load()),
+			LastError:        lastErr,
+		})
+	}
+	return out
+}
+
+// RouterCounters are the router's own traffic counters (on /fleetz).
+type RouterCounters struct {
+	// Routed counts /viewshed requests accepted for routing.
+	Routed int64 `json:"routed"`
+	// Hedged counts hedge launches (a second attempt after HedgeAfter).
+	Hedged int64 `json:"hedged"`
+	// HedgeWins counts routed requests answered after at least one hedge
+	// launch (by either the primary or the hedge — the tail the hedge
+	// covered).
+	HedgeWins int64 `json:"hedge_wins"`
+	// Failovers counts immediate retries after errors or 5xx.
+	Failovers int64 `json:"failovers"`
+	// Ejections counts health ejections (readmissions are not counted).
+	Ejections int64 `json:"ejections"`
+}
+
+// Counters snapshots the router's traffic counters.
+func (rt *Router) Counters() RouterCounters {
+	return RouterCounters{
+		Routed:    rt.routed.Load(),
+		Hedged:    rt.hedged.Load(),
+		HedgeWins: rt.hedgeWins.Load(),
+		Failovers: rt.failovers.Load(),
+		Ejections: rt.ejections.Load(),
+	}
+}
+
+// fleetz serves the router's introspection: replica health, counters and
+// ring membership.
+func (rt *Router) fleetz(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Replicas []ReplicaHealth `json:"replicas"`
+		Counters RouterCounters  `json:"counters"`
+		Ring     []string        `json:"ring"`
+	}{rt.Snapshot(), rt.Counters(), rt.ring.Members()}
+	writeJSON(w, out)
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("fleet: encode: %v", err)
+	}
+}

@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"terrainhsr/internal/workload"
+)
+
+func TestNormalizeBody(t *testing.T) {
+	body := []byte(`{"terrain": "alps", "cache": "hit", "n": 12, "elapsed_ms": 3.25, "k": 4}`)
+	other := []byte(`{"terrain": "alps", "cache": "miss", "n": 12, "elapsed_ms": 810.007, "k": 4}`)
+	if string(NormalizeBody(body)) != string(NormalizeBody(other)) {
+		t.Fatalf("volatile fields survive normalization:\n%s\n%s", NormalizeBody(body), NormalizeBody(other))
+	}
+	changed := []byte(`{"terrain": "alps", "cache": "hit", "n": 13, "elapsed_ms": 3.25, "k": 4}`)
+	if string(NormalizeBody(body)) == string(NormalizeBody(changed)) {
+		t.Fatal("a changed answer normalized away")
+	}
+	if HashBody(NormalizeBody(body)) != HashBody(NormalizeBody(other)) {
+		t.Fatal("hashes of equal normalized bodies differ")
+	}
+}
+
+func TestScenarioDeterministicAndShaped(t *testing.T) {
+	tr, err := workload.Generate(workload.Params{Kind: workload.Ridge, Rows: 12, Cols: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	terrains := []NamedTerrain{{ID: "hot", T: tr}, {ID: "warm", T: tr}, {ID: "cold", T: tr}}
+	opts := ScenarioOptions{
+		BaseURL:   "http://x",
+		Terrains:  terrains,
+		Count:     200,
+		Seed:      9,
+		ZipfS:     1.4,
+		Algorithm: "sequential",
+	}
+	a, err := Scenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 200 {
+		t.Fatalf("drew %d requests, want 200", len(a))
+	}
+	counts := map[string]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs between same-seed draws:\n%v\n%v", i, a[i], b[i])
+		}
+		for _, nt := range terrains {
+			if len(a[i].URL) > 0 && containsParam(a[i].URL, "terrain="+nt.ID) {
+				counts[nt.ID]++
+			}
+		}
+	}
+	// Zipf: index 0 is the hot terrain and must dominate.
+	if counts["hot"] <= counts["warm"] || counts["hot"] <= counts["cold"] {
+		t.Fatalf("zipf skew missing: %v", counts)
+	}
+	if counts["hot"]+counts["warm"]+counts["cold"] != 200 {
+		t.Fatalf("terrain draws do not cover the stream: %v", counts)
+	}
+}
+
+// containsParam reports whether the URL's query carries the parameter.
+func containsParam(url, param string) bool {
+	for i := 0; i+len(param) <= len(url); i++ {
+		if url[i:i+len(param)] == param {
+			// match only at a parameter boundary
+			if (url[i-1] == '?' || url[i-1] == '&') &&
+				(i+len(param) == len(url) || url[i+len(param)] == '&') {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestRunCountsAndChecks(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.URL.Query().Get("boom") == "1" {
+			http.Error(w, "solver exploded", http.StatusInternalServerError)
+			return
+		}
+		// Deterministic body per path, volatile elapsed_ms per response.
+		fmt.Fprintf(w, `{"path": %q, "elapsed_ms": %d, "cache": "miss"}`, r.URL.Path, hits.Load())
+	}))
+	defer srv.Close()
+
+	reqs := []Request{
+		{URL: srv.URL + "/a", Key: "a"},
+		{URL: srv.URL + "/b", Key: "b"},
+		{URL: srv.URL + "/fail?boom=1", Key: "fail"},
+	}
+	rep := Run(Options{Workers: 2, Repeats: 3, CheckBodies: true}, reqs)
+	if rep.Requests != 9 {
+		t.Fatalf("Requests = %d, want 9", rep.Requests)
+	}
+	if rep.Errors != 3 {
+		t.Fatalf("Errors = %d, want 3 (one per repeat of the failing query)", rep.Errors)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("Mismatches = %d on a deterministic server", rep.Mismatches)
+	}
+	if len(rep.Hashes) != 2 {
+		t.Fatalf("Hashes tracked %d keys, want 2 (failing responses are not hashed)", len(rep.Hashes))
+	}
+	if rep.QPS <= 0 || rep.P50 <= 0 || rep.Max < rep.P99 || rep.P99 < rep.P50 {
+		t.Fatalf("latency summary inconsistent: %+v", rep)
+	}
+	if len(rep.ErrorSamples) == 0 {
+		t.Fatal("no error samples captured")
+	}
+
+	rec := rep.Record("F1", "unit", 2)
+	if rec.Experiment != "F1" || rec.Variant != "unit" || rec.Workers != 2 {
+		t.Fatalf("record header: %+v", rec)
+	}
+	if rec.Extra["requests"] != 9 || rec.Extra["errors"] != 3 {
+		t.Fatalf("record extras: %v", rec.Extra)
+	}
+	if rec.Extra["error_rate"] < 0.3 || rec.Extra["error_rate"] > 0.35 {
+		t.Fatalf("error_rate = %v, want 1/3", rec.Extra["error_rate"])
+	}
+}

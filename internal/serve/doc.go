@@ -1,0 +1,23 @@
+// Package serve is the HTTP surface of the viewshed query service: the
+// handler cmd/hsrserved mounts, factored out as a library so the fleet
+// tier (internal/fleet, cmd/hsrrouter), the load generator (cmd/hsrload)
+// and the in-process fleet experiments can spin up byte-identical replicas
+// without forking a binary. One replica = one terrainhsr.Server wrapped in
+// New; the fleet router proxies the same endpoints unchanged, so a
+// response body never depends on whether it traveled through a router —
+// the property the fleet identity tests pin down byte for byte.
+//
+// Endpoints (see cmd/hsrserved for the operator-facing documentation):
+//
+//	GET /healthz   liveness probe; responds "ok".
+//	GET /statsz    JSON terrainhsr.ServerStats snapshot.
+//	GET /terrains  JSON list of registered terrains and their sizes
+//	               (manifest-derived for stores; listing never pages tiles).
+//	GET /viewshed  answer a viewshed query (JSON, SVG or ASCII; single or
+//	               multi-eye batches; optional progressive coarse-then-exact
+//	               streaming; see cmd/hsrserved for the parameter list).
+//
+// The package also owns the -terrain / -store spec parsing (BuildTerrain,
+// ParseStoreSpec) so the serving binary, the load generator and the tests
+// agree on one spec syntax.
+package serve

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	terrainhsr "terrainhsr"
+	"terrainhsr/internal/workload"
+)
+
+// New returns the HTTP handler of one serving replica: the four service
+// endpoints wired to the given query server.
+func New(srv *terrainhsr.Server) http.Handler {
+	h := &handler{srv: srv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/statsz", h.statsz)
+	mux.HandleFunc("/terrains", h.terrains)
+	mux.HandleFunc("/viewshed", h.viewshed)
+	return mux
+}
+
+// BuildTerrain parses one -terrain spec (workload.ParseSpec's
+// comma-separated key=value syntax) and generates the terrain. Shared by
+// hsrserved (to register terrains) and hsrload (which regenerates the
+// same terrains locally via the same parser and derives eye points from
+// them).
+func BuildTerrain(spec string) (string, *terrainhsr.Terrain, error) {
+	id, p, err := workload.ParseSpec(spec)
+	if err != nil {
+		return "", nil, err
+	}
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{
+		Kind:        string(p.Kind),
+		Rows:        p.Rows,
+		Cols:        p.Cols,
+		Seed:        p.Seed,
+		Amplitude:   p.Amplitude,
+		RidgeHeight: p.RidgeHeight,
+		Slope:       p.Slope,
+		Shear:       p.Shear,
+	})
+	return id, tr, err
+}
+
+// ParseStoreSpec parses one -store spec: id=...,path=...
+func ParseStoreSpec(spec string) (id, path string, err error) {
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return "", "", fmt.Errorf("malformed entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "id":
+			id = v
+		case "path":
+			path = v
+		default:
+			return "", "", fmt.Errorf("unknown key %q", k)
+		}
+	}
+	if id == "" || path == "" {
+		return "", "", fmt.Errorf("spec needs id=... and path=...")
+	}
+	return id, path, nil
+}
+
+// handler serves the HTTP endpoints for one Server.
+type handler struct {
+	srv *terrainhsr.Server
+}
+
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *handler) statsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, h.srv.Stats())
+}
+
+// terrainInfo is one /terrains list entry.
+type terrainInfo struct {
+	ID        string    `json:"id"`
+	Edges     int       `json:"edges"`
+	Vertices  int       `json:"vertices"`
+	Triangles int       `json:"triangles"`
+	Levels    int       `json:"levels"`
+	CellSizes []float64 `json:"cell_sizes,omitempty"`
+	Store     string    `json:"store,omitempty"`
+}
+
+func (h *handler) terrains(w http.ResponseWriter, _ *http.Request) {
+	ids := h.srv.TerrainIDs()
+	out := struct {
+		Terrains   []terrainInfo `json:"terrains"`
+		Algorithms []string      `json:"algorithms"`
+	}{Terrains: []terrainInfo{}}
+	for _, id := range ids {
+		// Describe never pages store tiles, so listing stays cheap.
+		if info, ok := h.srv.Describe(id); ok {
+			out.Terrains = append(out.Terrains, terrainInfo{
+				ID: id, Edges: info.Edges, Vertices: info.Vertices, Triangles: info.Triangles,
+				Levels: info.Levels, CellSizes: info.CellSizes, Store: info.Store,
+			})
+		}
+	}
+	for _, a := range terrainhsr.Algorithms() {
+		out.Algorithms = append(out.Algorithms, string(a))
+	}
+	writeJSON(w, out)
+}
+
+// viewshedResponse is the JSON answer of a single-eye /viewshed query,
+// minus the pieces array, which is streamed after these fields through
+// Result.EachPiece rather than materialized (see writeViewshedJSON).
+type viewshedResponse struct {
+	Terrain      string     `json:"terrain"`
+	Eye          [3]float64 `json:"eye"`
+	QuantizedEye [3]float64 `json:"quantized_eye"`
+	Algorithm    string     `json:"algorithm"`
+	Cache        string     `json:"cache"`
+	Tiled        bool       `json:"tiled"`
+	Plan         string     `json:"plan"`
+	Level        int        `json:"level"`
+	Levels       int        `json:"levels"`
+	CellSize     float64    `json:"cell_size,omitempty"`
+	Final        *bool      `json:"final,omitempty"`
+	N            int        `json:"n"`
+	K            int        `json:"k"`
+	ElapsedMS    float64    `json:"elapsed_ms"`
+}
+
+// responseFor fills the shared header fields of one answered query.
+func responseFor(id string, eye terrainhsr.Point, qr *terrainhsr.QueryResult, elapsed time.Duration) viewshedResponse {
+	return viewshedResponse{
+		Terrain:      id,
+		Eye:          [3]float64{eye.X, eye.Y, eye.Z},
+		QuantizedEye: [3]float64{qr.Eye.X, qr.Eye.Y, qr.Eye.Z},
+		Algorithm:    string(qr.Result.Algorithm()),
+		Cache:        qr.Cache,
+		Tiled:        qr.Tiled,
+		Plan:         qr.Plan,
+		Level:        qr.Level,
+		Levels:       qr.Levels,
+		CellSize:     qr.LevelCellSize,
+		N:            qr.Result.N(),
+		K:            qr.Result.K(),
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+	}
+}
+
+// writeViewshedJSON writes the response header fields followed by a
+// "pieces" array streamed piece by piece, never holding the converted
+// slice.
+func writeViewshedJSON(w http.ResponseWriter, resp viewshedResponse, r *terrainhsr.Result) {
+	w.Header().Set("Content-Type", "application/json")
+	buf, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		log.Printf("serve: encode: %v", err)
+		return
+	}
+	// MarshalIndent ends with "\n}"; splice the streamed array in before
+	// the closing brace.
+	buf = bytes.TrimSuffix(buf, []byte("\n}"))
+	if _, err := w.Write(buf); err != nil {
+		return
+	}
+	if _, err := io.WriteString(w, ",\n  \"pieces\": ["); err != nil {
+		return
+	}
+	first := true
+	var streamErr error
+	r.EachPiece(func(p terrainhsr.Piece) bool {
+		sep := ",\n    "
+		if first {
+			sep, first = "\n    ", false
+		}
+		b, err := json.Marshal(p)
+		if err == nil {
+			if _, err = io.WriteString(w, sep); err == nil {
+				_, err = w.Write(b)
+			}
+		}
+		streamErr = err
+		return err == nil
+	})
+	if streamErr != nil {
+		// The status line is already sent; the best we can do is log that
+		// the streamed array was cut short rather than pretend it is whole.
+		log.Printf("serve: pieces stream truncated: %v", streamErr)
+		return
+	}
+	if first {
+		io.WriteString(w, "]\n}\n")
+		return
+	}
+	io.WriteString(w, "\n  ]\n}\n")
+}
+
+// viewshedProgressive answers one progressive query: a JSON object whose
+// "passes" array streams the coarse preview pass followed by the exact
+// finest pass, each with the usual response fields plus its own pieces
+// (streamed piece by piece, like the single-pass response). The JSON
+// prologue is written only once the first pass has solved, so errors that
+// precede any output — unknown terrains, bad algorithms, unreadable
+// stores — still get a proper error status instead of truncated JSON.
+func (h *handler) viewshedProgressive(w http.ResponseWriter, base terrainhsr.Query) {
+	firstPass, passOpen, pieceFirst := true, false, false
+	err := h.srv.QueryProgressive(base,
+		func(p terrainhsr.ProgressivePass) error {
+			// Per-pass timing comes from the server: the pass's own answer
+			// time, excluding the streaming of other passes' pieces.
+			resp := responseFor(base.TerrainID, base.Eye, p.Result, p.Elapsed)
+			final := p.Final
+			resp.Final = &final
+			buf, err := json.MarshalIndent(resp, "    ", "  ")
+			if err != nil {
+				return err
+			}
+			buf = bytes.TrimSuffix(buf, []byte("\n    }"))
+			sep := ",\n    "
+			if firstPass {
+				w.Header().Set("Content-Type", "application/json")
+				if _, err := fmt.Fprintf(w, "{\n  \"terrain\": %q,\n  \"passes\": [", base.TerrainID); err != nil {
+					return err
+				}
+				firstPass, sep = false, "\n    "
+			}
+			if passOpen {
+				if err := closePass(w, pieceFirst); err != nil {
+					return err
+				}
+			}
+			passOpen = true
+			if _, err := io.WriteString(w, sep); err != nil {
+				return err
+			}
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			_, err = io.WriteString(w, ",\n      \"pieces\": [")
+			pieceFirst = true
+			return err
+		},
+		func(p terrainhsr.Piece) error {
+			b, err := json.Marshal(p)
+			if err != nil {
+				return err
+			}
+			sep := ",\n        "
+			if pieceFirst {
+				sep, pieceFirst = "\n        ", false
+			}
+			if _, err := io.WriteString(w, sep); err != nil {
+				return err
+			}
+			_, err = w.Write(b)
+			return err
+		})
+	if err != nil {
+		if firstPass {
+			// Nothing was written yet: report the failure properly.
+			httpErr(w, queryStatus(err), "%v", err)
+			return
+		}
+		// The status line and part of the body are already out; log that the
+		// stream was cut short rather than pretend it is whole.
+		log.Printf("serve: progressive stream truncated: %v", err)
+		return
+	}
+	if passOpen {
+		if err := closePass(w, pieceFirst); err != nil {
+			return
+		}
+	}
+	io.WriteString(w, "\n  ]\n}\n")
+}
+
+// closePass terminates one pass object in a progressive response.
+func closePass(w io.Writer, pieceFirst bool) error {
+	if pieceFirst { // no pieces were streamed: close the empty array inline
+		_, err := io.WriteString(w, "]\n    }")
+		return err
+	}
+	_, err := io.WriteString(w, "\n      ]\n    }")
+	return err
+}
+
+// eyeSummary is one entry of a multi-eye /viewshed response.
+type eyeSummary struct {
+	Eye          [3]float64 `json:"eye"`
+	QuantizedEye [3]float64 `json:"quantized_eye"`
+	Cache        string     `json:"cache"`
+	K            int        `json:"k"`
+}
+
+func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	id := qv.Get("terrain")
+	if id == "" {
+		ids := h.srv.TerrainIDs()
+		if len(ids) != 1 {
+			httpErr(w, http.StatusBadRequest, "terrain parameter required (registered: %s)", strings.Join(ids, ", "))
+			return
+		}
+		id = ids[0]
+	}
+	algo := terrainhsr.Algorithm(qv.Get("algorithm"))
+	minDepth := 0.0
+	if v := qv.Get("mindepth"); v != "" {
+		var err error
+		if minDepth, err = strconv.ParseFloat(v, 64); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad mindepth %q", v)
+			return
+		}
+	}
+	budget := 0.0
+	if v := qv.Get("budget"); v != "" {
+		var err error
+		if budget, err = strconv.ParseFloat(v, 64); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad budget %q", v)
+			return
+		}
+	}
+	base := terrainhsr.Query{
+		TerrainID:   id,
+		Algorithm:   algo,
+		MinDepth:    minDepth,
+		ErrorBudget: budget,
+		NoCache:     qv.Get("nocache") == "1",
+	}
+
+	eyeParams := qv["eye"]
+	if len(eyeParams) == 0 {
+		httpErr(w, http.StatusBadRequest, "eye parameter required (x,y,z)")
+		return
+	}
+	if len(eyeParams) > 1 {
+		if qv.Get("progressive") == "1" {
+			httpErr(w, http.StatusBadRequest, "progressive responses answer a single eye")
+			return
+		}
+		h.viewshedMany(w, base, eyeParams)
+		return
+	}
+	eye, err := parseEye(eyeParams[0])
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "bad eye: %v", err)
+		return
+	}
+	base.Eye = eye
+	if qv.Get("progressive") == "1" {
+		if f := qv.Get("format"); f != "" && f != "json" {
+			httpErr(w, http.StatusBadRequest, "progressive responses are JSON only")
+			return
+		}
+		h.viewshedProgressive(w, base)
+		return
+	}
+	t0 := time.Now()
+	qr, err := h.srv.Query(base)
+	if err != nil {
+		httpErr(w, queryStatus(err), "%v", err)
+		return
+	}
+	elapsed := time.Since(t0)
+
+	switch format := qv.Get("format"); format {
+	case "", "json":
+		writeViewshedJSON(w, responseFor(id, eye, qr, elapsed), qr.Result)
+	case "svg":
+		// Render against the level that actually answered: the pieces came
+		// from that level's surface, and a coarse answer must not page the
+		// finest level's tiles just to draw a frame.
+		tr, err := h.srv.LevelTerrain(id, qr.Level)
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, "terrain for render: %v", err)
+			return
+		}
+		persp, err := tr.FromPerspective(qr.Eye, minDepth)
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, "perspective for render: %v", err)
+			return
+		}
+		width := intParam(qv.Get("width"), 800)
+		w.Header().Set("Content-Type", "image/svg+xml")
+		stream, err := terrainhsr.NewSVGStream(w, persp, terrainhsr.RenderOptions{
+			Width: width, ShowHidden: true,
+			Title: fmt.Sprintf("viewshed %s from %v,%v,%v", id, qr.Eye.X, qr.Eye.Y, qr.Eye.Z),
+		})
+		if err != nil {
+			log.Printf("serve: svg render: %v", err)
+			return
+		}
+		var streamErr error
+		qr.Result.EachPiece(func(p terrainhsr.Piece) bool {
+			streamErr = stream.Piece(p)
+			return streamErr == nil
+		})
+		if streamErr == nil {
+			streamErr = stream.Close()
+		}
+		if streamErr != nil {
+			log.Printf("serve: svg render: %v", streamErr)
+		}
+	case "ascii":
+		width := intParam(qv.Get("width"), 100)
+		height := intParam(qv.Get("height"), 30)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := terrainhsr.RenderASCII(w, qr.Result, width, height); err != nil {
+			log.Printf("serve: ascii render: %v", err)
+		}
+	default:
+		httpErr(w, http.StatusBadRequest, "unknown format %q (json, svg, ascii)", format)
+	}
+}
+
+// viewshedMany answers a multi-eye query with a JSON summary.
+func (h *handler) viewshedMany(w http.ResponseWriter, base terrainhsr.Query, eyeParams []string) {
+	var eyes []terrainhsr.Point
+	for _, part := range eyeParams {
+		eye, err := parseEye(part)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "bad eye entry %q: %v", part, err)
+			return
+		}
+		eyes = append(eyes, eye)
+	}
+	t0 := time.Now()
+	results, err := h.srv.QueryMany(base, eyes)
+	if err != nil {
+		httpErr(w, queryStatus(err), "%v", err)
+		return
+	}
+	elapsed := time.Since(t0)
+	out := struct {
+		Terrain   string       `json:"terrain"`
+		Count     int          `json:"count"`
+		ElapsedMS float64      `json:"elapsed_ms"`
+		Results   []eyeSummary `json:"results"`
+	}{Terrain: base.TerrainID, Count: len(results), ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+	for i, qr := range results {
+		out.Results = append(out.Results, eyeSummary{
+			Eye:          [3]float64{eyes[i].X, eyes[i].Y, eyes[i].Z},
+			QuantizedEye: [3]float64{qr.Eye.X, qr.Eye.Y, qr.Eye.Z},
+			Cache:        qr.Cache,
+			K:            qr.Result.K(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// parseEye parses "x,y,z".
+func parseEye(s string) (terrainhsr.Point, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 3 {
+		return terrainhsr.Point{}, fmt.Errorf("want x,y,z, got %q", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return terrainhsr.Point{}, err
+		}
+		vals[i] = v
+	}
+	return terrainhsr.Point{X: vals[0], Y: vals[1], Z: vals[2]}, nil
+}
+
+// intParam parses an optional positive integer parameter.
+func intParam(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	if v, err := strconv.Atoi(s); err == nil && v > 0 {
+		return v
+	}
+	return def
+}
+
+// httpErr writes a plain-text error response.
+func httpErr(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+// queryStatus maps a Server.Query error to an HTTP status: unknown
+// terrains are 404, everything else (bad eyes, bad algorithms) 400.
+func queryStatus(err error) int {
+	if strings.Contains(err.Error(), "no terrain") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("serve: encode: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a terrain spec string — the comma-separated key=value
+// syntax shared by hsrserved's -terrain flag, hsrload's workload
+// definitions and the fleet smoke tests — into the spec's id and
+// generator parameters. Keeping one parser here guarantees a load
+// generator pointed at a replica regenerates exactly the terrain the
+// replica serves, so eye points derived from the local copy aim at the
+// same surface.
+//
+// Keys: id (required), kind, rows, cols, seed, amplitude, ridge (ridge
+// height), slope, shear.
+func ParseSpec(spec string) (id string, p Params, err error) {
+	p = Params{Kind: Fractal, Rows: 48, Cols: 48}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return "", p, fmt.Errorf("malformed entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "id":
+			id = v
+		case "kind":
+			p.Kind = Kind(v)
+		case "rows":
+			p.Rows, err = strconv.Atoi(v)
+		case "cols":
+			p.Cols, err = strconv.Atoi(v)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "amplitude":
+			p.Amplitude, err = strconv.ParseFloat(v, 64)
+		case "ridge":
+			p.RidgeHeight, err = strconv.ParseFloat(v, 64)
+		case "slope":
+			p.Slope, err = strconv.ParseFloat(v, 64)
+		case "shear":
+			p.Shear, err = strconv.ParseFloat(v, 64)
+		default:
+			return "", p, fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return "", p, fmt.Errorf("bad value for %q: %v", k, err)
+		}
+	}
+	if id == "" {
+		return "", p, fmt.Errorf("spec needs an id=...")
+	}
+	return id, p, nil
+}

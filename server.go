@@ -202,6 +202,63 @@ type ServerStats struct {
 	PageIns map[string]int64
 }
 
+// Add accumulates another snapshot into s — the fleet aggregation behind
+// the router's /statsz (internal/fleet, cmd/hsrrouter): summing the
+// snapshots of every replica in a shared-nothing fleet yields the fleet's
+// own ServerStats. Counters (hits, misses, coalesced, evictions, solves,
+// cache entries) and the per-terrain ledgers (LevelQueries elementwise,
+// StoreBytes, ResidentBytes, PageIns) add; Terrains takes the maximum,
+// since replicas of one fleet register the same terrain set rather than
+// disjoint ones; Plans keeps the first non-empty explanation per terrain,
+// since every replica plans identically for identical flags. ServerStats
+// has no custom JSON marshalling — field names are the wire format of
+// /statsz — so a snapshot survives an HTTP round trip and Add composes
+// across processes.
+func (s *ServerStats) Add(o ServerStats) {
+	if o.Terrains > s.Terrains {
+		s.Terrains = o.Terrains
+	}
+	s.CacheEntries += o.CacheEntries
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Coalesced += o.Coalesced
+	s.Evictions += o.Evictions
+	s.Solves += o.Solves
+	s.TiledSolves += o.TiledSolves
+	for id, plan := range o.Plans {
+		if s.Plans == nil {
+			s.Plans = make(map[string]string)
+		}
+		if s.Plans[id] == "" {
+			s.Plans[id] = plan
+		}
+	}
+	for id, hits := range o.LevelQueries {
+		if s.LevelQueries == nil {
+			s.LevelQueries = make(map[string][]int64)
+		}
+		have := s.LevelQueries[id]
+		if len(hits) > len(have) {
+			have = append(have, make([]int64, len(hits)-len(have))...)
+		}
+		for l, n := range hits {
+			have[l] += n
+		}
+		s.LevelQueries[id] = have
+	}
+	addByID := func(dst *map[string]int64, src map[string]int64) {
+		for id, n := range src {
+			if *dst == nil {
+				*dst = make(map[string]int64)
+			}
+			(*dst)[id] += n
+		}
+	}
+	addByID(&s.StoreBytes, o.StoreBytes)
+	addByID(&s.ResidentBytes, o.ResidentBytes)
+	addByID(&s.PageIns, o.PageIns)
+}
+
 // serverTerrain is one registry slot: the terrain, its invalidation epoch,
 // the engine executor its queries run on, and the planner's routing
 // outcome for the ID (fixed at Register time: it depends only on the
