@@ -8,14 +8,17 @@
 // batched multi-viewpoint solving (B1), tiled solving of massive terrains
 // (T1), the cached viewshed query service (S1), streaming piece emission
 // (ST1), the level-of-detail store pyramid (L1), the out-of-core engine
-// (OC1), and the serving fleet (F1): routed 3-replica throughput and tail
+// (OC1), the serving fleet (F1): routed 3-replica throughput and tail
 // latency against a single replica at an equal total worker budget, with
-// byte-identical answers.
+// byte-identical answers, and fleet elasticity (E1): throughput and tail
+// latency before, during and after a scripted membership churn — a replica
+// joins through warm-up and another drains out mid-stream — with zero
+// client-visible errors and unchanged answers.
 //
 // Usage:
 //
-//	hsrbench [-exp all|TH1..TH5|LM1|LM6|FG1..FG3|A1|A2|B1|T1|S1|ST1|L1|OC1|F1|CHECK[,...]]
-//	         [-quick] [-json BENCH_PR7.json]
+//	hsrbench [-exp all|TH1..TH5|LM1|LM6|FG1..FG3|A1|A2|B1|T1|S1|ST1|L1|OC1|F1|E1|CHECK[,...]]
+//	         [-quick] [-json BENCH_PR8.json]
 //
 // -exp accepts a comma-separated list. -json writes the machine-readable
 // measurement records of the engine experiments (experiment id, wall
@@ -62,11 +65,12 @@ var experiments = []experiment{
 	{"L1", "LOD store — coarse-level speedup, finest exactness, conservative occluders", expL1},
 	{"OC1", "Out-of-core engine — paged solve exactness, bytes never read, peak heap", expOC1},
 	{"F1", "Serving fleet — routed 3-replica throughput vs one replica at equal total workers", expFleet},
+	{"E1", "Fleet elasticity — throughput before/during/after membership churn, zero errors", expElastic},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, FG1..FG3, A1, A2, B1, T1, S1, ST1, L1, OC1, F1, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, FG1..FG3, A1, A2, B1, T1, S1, ST1, L1, OC1, F1, E1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
 	jsonPath := flag.String("json", "", "write machine-readable measurement records to this file (e.g. BENCH_PR4.json)")
 	flag.Parse()

@@ -14,13 +14,26 @@
 // Every replica must serve the same terrain set (same -terrain/-store
 // flags): the router guarantees which replica answers never changes what
 // is answered. /fleetz reports the router's own view — per-replica
-// health, routing counters, and the hash ring.
+// health and membership state, routing counters, the hash ring, and the
+// per-key placement and serve counts.
+//
+// Membership is dynamic: with -admin-token set, POST /adminz/add and
+// /adminz/remove admit and drain replicas at runtime (warm-up before
+// traffic, drain-before-remove; see docs/API.md for the contract), and
+// GET /adminz/membership reports the member table. -replicate terrain=R
+// spreads a hot terrain's keys across its first R ring successors:
+//
+//	hsrrouter -addr :8100 -replica http://127.0.0.1:8101 ... \
+//	    -admin-token s3cret -replicate alps=2 -drain-timeout 10s
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,6 +52,36 @@ func (r *replicaList) Set(v string) error {
 	return nil
 }
 
+// replicationMap collects repeatable -replicate terrain=R flags.
+type replicationMap map[string]int
+
+// String renders the map for flag's usage output.
+func (m *replicationMap) String() string {
+	var parts []string
+	for t, r := range *m {
+		parts = append(parts, fmt.Sprintf("%s=%d", t, r))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "; ")
+}
+
+// Set parses one terrain=R pair.
+func (m *replicationMap) Set(v string) error {
+	terrain, rStr, ok := strings.Cut(v, "=")
+	if !ok || terrain == "" {
+		return fmt.Errorf("replication %q: want terrain=R", v)
+	}
+	r, err := strconv.Atoi(rStr)
+	if err != nil || r < 1 {
+		return fmt.Errorf("replication %q: factor must be an integer >= 1", v)
+	}
+	if *m == nil {
+		*m = make(map[string]int)
+	}
+	(*m)[terrain] = r
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hsrrouter: ")
@@ -50,19 +93,28 @@ func main() {
 	ejectAfter := flag.Int("eject-after", 3, "consecutive failures before a replica is ejected")
 	hugeVertices := flag.Int("huge-vertices", 1<<20, "finest-level vertex count above which a terrain shards per level band (negative disables)")
 	vnodes := flag.Int("vnodes", fleet.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	adminToken := flag.String("admin-token", "", "token authenticating /adminz membership changes (empty disables the admin surface)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long /adminz/remove waits for a draining replica's in-flight requests")
+	warmupRequests := flag.Int("warmup-requests", 64, "max recorded hot queries replayed to warm a joining replica (negative disables warm-up)")
+	var replication replicationMap
+	flag.Var(&replication, "replicate", "terrain=R replication factor (repeatable): spread the terrain's keys across its first R ring successors")
 	flag.Parse()
 
 	if len(replicas) == 0 {
 		log.Fatal("at least one -replica is required")
 	}
 	rt, err := fleet.New(fleet.Options{
-		Replicas:      replicas,
-		HedgeAfter:    *hedgeAfter,
-		ProbeInterval: *probeInterval,
-		EjectAfter:    *ejectAfter,
-		HugeVertices:  *hugeVertices,
-		VNodes:        *vnodes,
-		Logf:          log.Printf,
+		Replicas:       replicas,
+		HedgeAfter:     *hedgeAfter,
+		ProbeInterval:  *probeInterval,
+		EjectAfter:     *ejectAfter,
+		HugeVertices:   *hugeVertices,
+		VNodes:         *vnodes,
+		AdminToken:     *adminToken,
+		DrainTimeout:   *drainTimeout,
+		WarmupRequests: *warmupRequests,
+		Replication:    replication,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,459 @@
+package fleet
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// The /adminz surface drives fleet membership at runtime. Every endpoint
+// requires the configured admin token; membership changes are serialized
+// (one add or remove at a time) so the drain and warm-up state machines
+// never interleave.
+//
+//	POST /adminz/add?replica=URL     warm up and admit a replica
+//	POST /adminz/remove?replica=URL  drain and drop a replica
+//	GET  /adminz/membership          the member table, states and ring
+//
+// A replica leaves through the drain state machine:
+//
+//	active --(remove)--> draining --(inflight==0 | timeout)--> gone
+//
+// Draining removes the member from the ring first, so no new primaries
+// and no hedges reach it, then waits for the router's in-flight attempts
+// against it (primaries and hedge losers alike) to finish before the
+// member is dropped — zero client-visible errors by construction. A
+// replica joins through the inverse machine:
+//
+//	(add)--> warming --(warm-up burst verified)--> active
+//
+// Warming replays the router's recorded hot queries for every key the
+// joining member will own (computed against a cloned ring) directly at
+// the replica, then verifies via the replica's /statsz cache counters
+// that the burst actually landed, and only then inserts the member into
+// the ring.
+
+// AdminWarmup describes the warm-up burst /adminz/add ran before
+// admitting a replica, including the /statsz cache counters that verify
+// the burst landed.
+type AdminWarmup struct {
+	// Keys is the number of ring keys the joining replica will serve
+	// (own or hold as a replication successor) that had recorded traffic.
+	Keys int `json:"keys"`
+	// Requests and Errors count the warm-up replays and their failures.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// CacheEntriesBefore/After and SolvesBefore/After are the replica's
+	// own /statsz cache counters around the burst — the warmth proof.
+	CacheEntriesBefore int   `json:"cache_entries_before"`
+	CacheEntriesAfter  int   `json:"cache_entries_after"`
+	SolvesBefore       int64 `json:"solves_before"`
+	SolvesAfter        int64 `json:"solves_after"`
+	// Verified is true when the counters moved consistently with the
+	// burst (or the burst was empty/disabled, which is trivially warm).
+	Verified bool `json:"verified"`
+}
+
+// AddResult is /adminz/add's response body.
+type AddResult struct {
+	Replica string      `json:"replica"`
+	Members []string    `json:"members"`
+	Warmup  AdminWarmup `json:"warmup"`
+}
+
+// RemoveResult is /adminz/remove's response body.
+type RemoveResult struct {
+	Replica string `json:"replica"`
+	// Drained is true when every in-flight attempt finished before the
+	// drain timeout; false means the member was dropped with requests
+	// still running (they complete normally — removal never cancels).
+	Drained bool `json:"drained"`
+	// WaitedMS is how long the drain barrier was held.
+	WaitedMS float64 `json:"waited_ms"`
+	// InflightAtDrop is the in-flight count when the member was dropped
+	// (0 unless the timeout fired).
+	InflightAtDrop int64    `json:"inflight_at_drop"`
+	Members        []string `json:"members"`
+}
+
+// MemberInfo is one row of /adminz/membership.
+type MemberInfo struct {
+	Addr     string `json:"addr"`
+	State    string `json:"state"`
+	Healthy  bool   `json:"healthy"`
+	Inflight int64  `json:"inflight"`
+	InRing   bool   `json:"in_ring"`
+}
+
+// Membership is /adminz/membership's response body.
+type Membership struct {
+	Members     []MemberInfo   `json:"members"`
+	Ring        []string       `json:"ring"`
+	Replication map[string]int `json:"replication,omitempty"`
+}
+
+// adminAuthorized checks the request's admin token. An empty configured
+// token disables the surface entirely.
+func (rt *Router) adminAuthorized(r *http.Request) bool {
+	if rt.opt.AdminToken == "" {
+		return false
+	}
+	got := r.Header.Get("X-HSR-Admin-Token")
+	if got == "" {
+		got = strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(rt.opt.AdminToken)) == 1
+}
+
+// adminz dispatches the membership endpoints.
+func (rt *Router) adminz(w http.ResponseWriter, r *http.Request) {
+	if !rt.adminAuthorized(r) {
+		if rt.opt.AdminToken == "" {
+			http.Error(w, "fleet: admin surface disabled (no admin token configured)", http.StatusForbidden)
+		} else {
+			http.Error(w, "fleet: admin token missing or wrong", http.StatusForbidden)
+		}
+		return
+	}
+	switch r.URL.Path {
+	case "/adminz/add":
+		rt.adminAdd(w, r)
+	case "/adminz/remove":
+		rt.adminRemove(w, r)
+	case "/adminz/membership":
+		rt.adminMembership(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// adminReplicaParam validates and normalizes the ?replica= parameter.
+func adminReplicaParam(r *http.Request) (string, error) {
+	raw := r.URL.Query().Get("replica")
+	if raw == "" {
+		return "", fmt.Errorf("missing replica parameter")
+	}
+	addr := strings.TrimRight(raw, "/")
+	u, err := url.Parse(addr)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("replica %q is not an http(s) base URL", raw)
+	}
+	return addr, nil
+}
+
+// adminAdd admits a replica: preflight /healthz, join as warming, run the
+// warm-up burst, then enter the ring as active.
+func (rt *Router) adminAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "adminz/add is POST", http.StatusMethodNotAllowed)
+		return
+	}
+	addr, err := adminReplicaParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rt.adminMu.Lock()
+	defer rt.adminMu.Unlock()
+	rt.mu.RLock()
+	_, dup := rt.replicas[addr]
+	rt.mu.RUnlock()
+	if dup {
+		http.Error(w, fmt.Sprintf("replica %s is already a member", addr), http.StatusConflict)
+		return
+	}
+	// Preflight: a replica that cannot answer /healthz must not join —
+	// admitting it would convert an operator typo into client errors.
+	if err := rt.preflight(addr); err != nil {
+		http.Error(w, fmt.Sprintf("replica %s failed preflight: %v", addr, err), http.StatusBadGateway)
+		return
+	}
+	rep := &replica{addr: addr}
+	rep.healthy.Store(true)
+	rep.state.Store(stateWarming)
+	rt.mu.Lock()
+	rt.replicas[addr] = rep
+	rt.order = append(rt.order, addr)
+	rt.mu.Unlock()
+
+	warm := rt.warmup(rep)
+
+	// Only now does the member take live traffic.
+	rt.ring.Add(addr)
+	rep.state.Store(stateActive)
+	rt.adds.Add(1)
+	rt.logf("fleet: replica %s admitted (warm-up: %d keys, %d requests, %d errors, verified=%v)",
+		addr, warm.Keys, warm.Requests, warm.Errors, warm.Verified)
+	writeJSON(w, AddResult{Replica: addr, Members: rt.ring.Members(), Warmup: warm})
+}
+
+// preflight checks a joining replica's /healthz.
+func (rt *Router) preflight(addr string) error {
+	resp, err := rt.client.Get(addr + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %s", resp.Status)
+	}
+	return nil
+}
+
+// warmup replays the recorded hot queries of every key the joining
+// replica will serve — computed against a clone of the ring with the
+// member added, so the live ring is untouched until the burst is done —
+// directly at the replica, and verifies via its /statsz cache counters
+// that the cache actually warmed. Warm-up requests carry X-HSR-Warmup: 1
+// so replicas and tests can tell them from live traffic.
+func (rt *Router) warmup(rep *replica) AdminWarmup {
+	if rt.opt.WarmupRequests < 0 {
+		return AdminWarmup{Verified: true}
+	}
+	hypo := rt.ring.Clone()
+	hypo.Add(rep.addr)
+	rt.mu.RLock()
+	var uris []string
+	keys := 0
+	for key, recorded := range rt.hot {
+		serves := false
+		for _, m := range hypo.Successors(key, rt.replicationFor(terrainOfKey(key))) {
+			if m == rep.addr {
+				serves = true
+				break
+			}
+		}
+		if !serves {
+			continue
+		}
+		keys++
+		uris = append(uris, recorded...)
+	}
+	rt.mu.RUnlock()
+	if len(uris) > rt.opt.WarmupRequests {
+		uris = uris[:rt.opt.WarmupRequests]
+	}
+
+	before, beforeOK := rt.cacheCounters(rep)
+	warm := AdminWarmup{Keys: keys, CacheEntriesBefore: before.entries, SolvesBefore: before.solves}
+	for _, uri := range uris {
+		req, err := http.NewRequest(http.MethodGet, rep.addr+uri, nil)
+		if err != nil {
+			warm.Errors++
+			continue
+		}
+		req.Header.Set("X-HSR-Warmup", "1")
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			warm.Errors++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		warm.Requests++
+		if resp.StatusCode/100 != 2 {
+			warm.Errors++
+		}
+	}
+	after, afterOK := rt.cacheCounters(rep)
+	warm.CacheEntriesAfter = after.entries
+	warm.SolvesAfter = after.solves
+	// Warmth is verified when the replica's cache grew (or there was
+	// nothing to replay — an idle fleet has no working set to prime).
+	// Counters that could not be read leave the burst unverified rather
+	// than guessed at.
+	switch {
+	case warm.Requests == 0 && warm.Errors == 0:
+		warm.Verified = true
+	case beforeOK && afterOK:
+		warm.Verified = after.entries > before.entries || after.solves > before.solves
+	}
+	return warm
+}
+
+// cacheCounters reads the replica's own /statsz cache counters.
+func (rt *Router) cacheCounters(rep *replica) (c struct {
+	entries int
+	solves  int64
+}, ok bool) {
+	st := rt.fetchOneStats(rep)
+	if !st.Healthy || st.Stats == nil {
+		return c, false
+	}
+	c.entries = st.Stats.CacheEntries
+	c.solves = st.Stats.Solves
+	return c, true
+}
+
+// adminRemove drains and drops a replica: out of the ring immediately (no
+// new primaries, no hedges), then the drain barrier, then gone.
+func (rt *Router) adminRemove(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "adminz/remove is POST", http.StatusMethodNotAllowed)
+		return
+	}
+	addr, err := adminReplicaParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rt.adminMu.Lock()
+	defer rt.adminMu.Unlock()
+	rt.mu.RLock()
+	rep := rt.replicas[addr]
+	active := 0
+	for _, other := range rt.replicas {
+		if other.state.Load() == stateActive {
+			active++
+		}
+	}
+	rt.mu.RUnlock()
+	if rep == nil {
+		http.Error(w, fmt.Sprintf("replica %s is not a member", addr), http.StatusNotFound)
+		return
+	}
+	if rep.state.Load() == stateActive && active <= 1 {
+		http.Error(w, "refusing to remove the last active replica", http.StatusConflict)
+		return
+	}
+
+	// Drain: leave the ring first, so route orders computed from now on
+	// never include the member, and launches re-check state so orders
+	// computed before this line skip it too.
+	rep.state.Store(stateDraining)
+	rt.ring.Remove(addr)
+	t0 := time.Now()
+	drained := rt.waitDrained(rep, rt.opt.DrainTimeout)
+	waited := time.Since(t0)
+
+	rt.mu.Lock()
+	delete(rt.replicas, addr)
+	kept := rt.order[:0]
+	for _, a := range rt.order {
+		if a != addr {
+			kept = append(kept, a)
+		}
+	}
+	rt.order = kept
+	rt.mu.Unlock()
+	rt.removes.Add(1)
+	left := rep.inflight.Load()
+	if drained {
+		rt.logf("fleet: replica %s drained and removed (%v)", addr, waited.Round(time.Millisecond))
+	} else {
+		rt.logf("fleet: replica %s removed after drain timeout with %d in flight", addr, left)
+	}
+	writeJSON(w, RemoveResult{
+		Replica: addr, Drained: drained,
+		WaitedMS:       float64(waited.Microseconds()) / 1000,
+		InflightAtDrop: left,
+		Members:        rt.ring.Members(),
+	})
+}
+
+// waitDrained blocks until the replica's in-flight count reaches zero or
+// the timeout fires.
+func (rt *Router) waitDrained(rep *replica, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for rep.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
+}
+
+// adminMembership reports the member table and ring.
+func (rt *Router) adminMembership(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "adminz/membership is GET", http.StatusMethodNotAllowed)
+		return
+	}
+	inRing := make(map[string]bool)
+	for _, m := range rt.ring.Members() {
+		inRing[m] = true
+	}
+	var members []MemberInfo
+	for _, rep := range rt.snapshotReplicas() {
+		members = append(members, MemberInfo{
+			Addr:     rep.addr,
+			State:    stateName(rep.state.Load()),
+			Healthy:  rep.healthy.Load(),
+			Inflight: rep.inflight.Load(),
+			InRing:   inRing[rep.addr],
+		})
+	}
+	writeJSON(w, Membership{Members: members, Ring: rt.ring.Members(), Replication: rt.opt.Replication})
+}
+
+// decodeAdmin parses an admin response body into out, for clients (the
+// load harness, tests) driving the surface programmatically.
+func decodeAdmin(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// AdminClient drives a router's /adminz surface over HTTP — the shared
+// client for hsrload's churn script, the soak tests and operators'
+// tooling.
+type AdminClient struct {
+	// BaseURL is the router, e.g. "http://127.0.0.1:8100".
+	BaseURL string
+	// Token is the router's admin token.
+	Token string
+	// HTTPClient issues the requests (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// do issues one authenticated admin request.
+func (c *AdminClient) do(method, path string, out any) error {
+	req, err := http.NewRequest(method, strings.TrimRight(c.BaseURL, "/")+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-HSR-Admin-Token", c.Token)
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeAdmin(resp, out)
+}
+
+// Add admits a replica (POST /adminz/add).
+func (c *AdminClient) Add(replica string) (AddResult, error) {
+	var out AddResult
+	err := c.do(http.MethodPost, "/adminz/add?replica="+url.QueryEscape(replica), &out)
+	return out, err
+}
+
+// Remove drains and drops a replica (POST /adminz/remove).
+func (c *AdminClient) Remove(replica string) (RemoveResult, error) {
+	var out RemoveResult
+	err := c.do(http.MethodPost, "/adminz/remove?replica="+url.QueryEscape(replica), &out)
+	return out, err
+}
+
+// Membership fetches the member table (GET /adminz/membership).
+func (c *AdminClient) Membership() (Membership, error) {
+	var out Membership
+	err := c.do(http.MethodGet, "/adminz/membership", &out)
+	return out, err
+}

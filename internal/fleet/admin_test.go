@@ -1,0 +1,481 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	terrainhsr "terrainhsr"
+)
+
+// gateServer is a replica stub whose /viewshed can be held open (gated)
+// to keep router attempts in flight, and which counts live vs warm-up
+// traffic separately. Its /statsz returns real ServerStats JSON whose
+// CacheEntries tracks the warm-up count, so the router's warmth
+// verification has honest counters to read.
+type gateServer struct {
+	marker   string
+	srv      *httptest.Server
+	viewshed atomic.Int64 // live /viewshed requests received
+	warmups  atomic.Int64 // /viewshed requests carrying X-HSR-Warmup
+	gated    atomic.Bool  // when true, /viewshed blocks on gate
+	gate     chan struct{}
+}
+
+func newGateServer(marker string) *gateServer {
+	g := &gateServer{marker: marker, gate: make(chan struct{})}
+	g.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.Write([]byte("ok\n"))
+			return
+		case "/statsz":
+			st := terrainhsr.ServerStats{CacheEntries: int(g.warmups.Load())}
+			json.NewEncoder(w).Encode(st)
+			return
+		case "/terrains":
+			// Valid but empty metadata: the router falls back to routing
+			// on terrain IDs, and the refresh is never gated or counted.
+			w.Write([]byte(`{"terrains":[]}`))
+			return
+		}
+		warm := r.Header.Get("X-HSR-Warmup") != ""
+		if warm {
+			g.warmups.Add(1)
+		} else {
+			g.viewshed.Add(1)
+		}
+		if g.gated.Load() {
+			select {
+			case <-g.gate:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Write([]byte(g.marker))
+	}))
+	return g
+}
+
+// release opens the gate for every held request.
+func (g *gateServer) release() { close(g.gate) }
+
+// adminReq drives one /adminz endpoint directly against the router
+// handler and returns the status code and body.
+func adminReq(rt *Router, method, path, token string) (int, string) {
+	req := httptest.NewRequest(method, path, nil)
+	if token != "" {
+		req.Header.Set("X-HSR-Admin-Token", token)
+	}
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestAdminAuth(t *testing.T) {
+	a := newGateServer("A")
+	defer a.srv.Close()
+
+	// No token configured: the surface is disabled outright.
+	rt, err := New(Options{Replicas: []string{a.srv.URL}, ProbeInterval: -1, HedgeAfter: -1, Logf: silent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if code, body := adminReq(rt, http.MethodGet, "/adminz/membership", ""); code != http.StatusForbidden {
+		t.Fatalf("disabled admin surface answered %d: %s", code, body)
+	}
+	if code, _ := adminReq(rt, http.MethodGet, "/adminz/membership", "guess"); code != http.StatusForbidden {
+		t.Fatalf("disabled admin surface accepted a guessed token: %d", code)
+	}
+
+	// Token configured: wrong and missing tokens are rejected, the right
+	// one (via either header form) is accepted.
+	rt2, err := New(Options{Replicas: []string{a.srv.URL}, ProbeInterval: -1, HedgeAfter: -1,
+		AdminToken: "s3cret", Logf: silent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	if code, _ := adminReq(rt2, http.MethodGet, "/adminz/membership", ""); code != http.StatusForbidden {
+		t.Fatalf("missing token accepted: %d", code)
+	}
+	if code, _ := adminReq(rt2, http.MethodGet, "/adminz/membership", "wrong"); code != http.StatusForbidden {
+		t.Fatalf("wrong token accepted: %d", code)
+	}
+	if code, body := adminReq(rt2, http.MethodGet, "/adminz/membership", "s3cret"); code != http.StatusOK {
+		t.Fatalf("right token rejected: %d %s", code, body)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/adminz/membership", nil)
+	req.Header.Set("Authorization", "Bearer s3cret")
+	rec := httptest.NewRecorder()
+	rt2.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bearer token rejected: %d", rec.Code)
+	}
+	// Wrong methods on the mutation endpoints.
+	if code, _ := adminReq(rt2, http.MethodGet, "/adminz/add?replica="+a.srv.URL, "s3cret"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET adminz/add = %d, want 405", code)
+	}
+	if code, _ := adminReq(rt2, http.MethodPost, "/adminz/add?replica=not-a-url", "s3cret"); code != http.StatusBadRequest {
+		t.Fatalf("bad replica URL = %d, want 400", code)
+	}
+	if code, _ := adminReq(rt2, http.MethodPost, "/adminz/remove?replica=http://nobody:1", "s3cret"); code != http.StatusNotFound {
+		t.Fatalf("remove unknown member = %d, want 404", code)
+	}
+	if code, _ := adminReq(rt2, http.MethodPost, "/adminz/remove?replica="+a.srv.URL, "s3cret"); code != http.StatusConflict {
+		t.Fatalf("removing the last active replica = %d, want 409", code)
+	}
+}
+
+// TestDrainFinishesInflight holds a request open on the draining replica
+// and asserts the drain barrier: no new primaries while draining, the
+// in-flight request finishes normally (zero client-visible errors), and
+// /adminz/remove returns only after the in-flight count reaches zero.
+func TestDrainFinishesInflight(t *testing.T) {
+	a, b := newGateServer("A"), newGateServer("B")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	rt, err := New(Options{
+		Replicas:      []string{a.srv.URL, b.srv.URL},
+		HedgeAfter:    -1,
+		ProbeInterval: -1,
+		AdminToken:    "tok",
+		DrainTimeout:  10 * time.Second,
+		Logf:          silent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	key := rt.shardKey("alps", 0)
+	order := rt.routeOrder(key, 1)
+	byURL := map[string]*gateServer{a.srv.URL: a, b.srv.URL: b}
+	primary, backup := byURL[order[0].addr], byURL[order[1].addr]
+	primary.gated.Store(true)
+
+	// One in-flight request held open on the primary.
+	type result struct {
+		code int
+		body string
+	}
+	inflightDone := make(chan result, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/viewshed?terrain=alps", nil))
+		inflightDone <- result{rec.Code, rec.Body.String()}
+	}()
+	waitFor(t, "primary received the request", func() bool { return primary.viewshed.Load() == 1 })
+
+	// Drain the primary while its request is still open.
+	removeDone := make(chan result, 1)
+	go func() {
+		code, body := adminReq(rt, http.MethodPost, "/adminz/remove?replica="+primary.srv.URL, "tok")
+		removeDone <- result{code, body}
+	}()
+	// While draining: the membership endpoint reports the state, and new
+	// requests for the drained member's keys go elsewhere (no new
+	// primaries).
+	waitFor(t, "member reports draining", func() bool {
+		_, body := adminReq(rt, http.MethodGet, "/adminz/membership", "tok")
+		return strings.Contains(body, `"draining"`)
+	})
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/viewshed?terrain=alps", nil))
+		if rec.Code != http.StatusOK || rec.Body.String() != backup.marker {
+			t.Fatalf("request during drain: %d %q, want 200 from %q", rec.Code, rec.Body.String(), backup.marker)
+		}
+	}
+	if got := primary.viewshed.Load(); got != 1 {
+		t.Fatalf("draining replica received %d live requests, want only the original 1", got)
+	}
+	select {
+	case r := <-removeDone:
+		t.Fatalf("remove returned before the in-flight request finished: %d %s", r.code, r.body)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Release the held request: it must complete successfully from the
+	// draining replica, and only then does the drain finish.
+	primary.release()
+	r := <-inflightDone
+	if r.code != http.StatusOK || r.body != primary.marker {
+		t.Fatalf("in-flight request during drain: %d %q, want 200 %q", r.code, r.body, primary.marker)
+	}
+	rem := <-removeDone
+	if rem.code != http.StatusOK || !strings.Contains(rem.body, `"drained": true`) {
+		t.Fatalf("remove after drain: %d %s", rem.code, rem.body)
+	}
+	_, body := adminReq(rt, http.MethodGet, "/adminz/membership", "tok")
+	if strings.Contains(body, primary.srv.URL) {
+		t.Fatalf("removed member still listed: %s", body)
+	}
+}
+
+// TestHedgeSkipsDrainingMember computes a route order, starts draining
+// the hedge target before the hedge timer fires, and asserts the hedge
+// lands on the next member instead — hedges never target a draining
+// member, even when the order was computed before the drain began.
+func TestHedgeSkipsDrainingMember(t *testing.T) {
+	a, b, c := newGateServer("A"), newGateServer("B"), newGateServer("C")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	defer c.srv.Close()
+	rt, err := New(Options{
+		Replicas:      []string{a.srv.URL, b.srv.URL, c.srv.URL},
+		HedgeAfter:    150 * time.Millisecond,
+		ProbeInterval: -1,
+		AdminToken:    "tok",
+		Logf:          silent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	key := rt.shardKey("alps", 0)
+	order := rt.routeOrder(key, 1)
+	byURL := map[string]*gateServer{a.srv.URL: a, b.srv.URL: b, c.srv.URL: c}
+	primary, second, third := byURL[order[0].addr], byURL[order[1].addr], byURL[order[2].addr]
+	primary.gated.Store(true) // slow primary: the hedge will fire
+
+	done := make(chan string, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/viewshed?terrain=alps", nil))
+		done <- rec.Body.String()
+	}()
+	waitFor(t, "primary received the request", func() bool { return primary.viewshed.Load() == 1 })
+	// Drain the would-be hedge target before the hedge timer fires. It
+	// has no in-flight requests, so the drain completes immediately.
+	if code, body := adminReq(rt, http.MethodPost, "/adminz/remove?replica="+second.srv.URL, "tok"); code != http.StatusOK {
+		t.Fatalf("drain of idle member: %d %s", code, body)
+	}
+	got := <-done
+	if got != third.marker {
+		t.Fatalf("hedged answer came from %q, want the post-drain successor %q", got, third.marker)
+	}
+	if n := second.viewshed.Load(); n != 0 {
+		t.Fatalf("draining member received %d hedge requests, want 0", n)
+	}
+	primary.release()
+}
+
+// TestAddWarmsBeforeServing gates the joining replica's responses so the
+// warm-up burst blocks, and asserts the member stays out of the ring —
+// warming, taking no live traffic — until the burst completes; then that
+// live traffic reaches it only after warm-up, and that the warmth was
+// verified against its cache counters. Re-adding a removed member takes
+// the same path: readmission goes through warm-up first.
+func TestAddWarmsBeforeServing(t *testing.T) {
+	a, b, c := newGateServer("A"), newGateServer("B"), newGateServer("C")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	defer c.srv.Close()
+	rt, err := New(Options{
+		Replicas:      []string{a.srv.URL, b.srv.URL},
+		HedgeAfter:    -1,
+		ProbeInterval: -1,
+		AdminToken:    "tok",
+		Logf:          silent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Record some traffic so warm-up has fuel: enough distinct keys that
+	// the joining member is all but guaranteed to own a few hypothetically
+	// ((2/3)^40 chance of owning none).
+	const nTerrains = 40
+	for i := 0; i < nTerrains; i++ {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+			fmt.Sprintf("/viewshed?terrain=t%d&eye=1,2,%d", i, i), nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("traffic request %d: %d", i, rec.Code)
+		}
+	}
+
+	// Gate the joining member: its warm-up replays will block.
+	c.gated.Store(true)
+	addDone := make(chan string, 1)
+	go func() {
+		_, body := adminReq(rt, http.MethodPost, "/adminz/add?replica="+c.srv.URL, "tok")
+		addDone <- body
+	}()
+	waitFor(t, "warm-up burst reached the joining replica", func() bool { return c.warmups.Load() > 0 })
+
+	// Mid-warm-up: the member is warming, out of the ring, serving no
+	// live traffic.
+	_, memBody := adminReq(rt, http.MethodGet, "/adminz/membership", "tok")
+	if !strings.Contains(memBody, `"warming"`) {
+		t.Fatalf("joining member not reported warming: %s", memBody)
+	}
+	var mem Membership
+	if err := json.Unmarshal([]byte(memBody), &mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mem.Ring {
+		if m == c.srv.URL {
+			t.Fatal("warming member already in the ring")
+		}
+	}
+	for i := 0; i < nTerrains; i++ {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+			fmt.Sprintf("/viewshed?terrain=t%d&eye=1,2,%d", i, i), nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request during warm-up: %d", rec.Code)
+		}
+	}
+	if n := c.viewshed.Load(); n != 0 {
+		t.Fatalf("warming member served %d live requests, want 0", n)
+	}
+
+	// Release the gate: the add completes with verified warmth, and the
+	// member now takes live traffic for its keys.
+	c.release()
+	addBody := <-addDone
+	var added AddResult
+	if err := json.Unmarshal([]byte(addBody), &added); err != nil {
+		t.Fatalf("add response: %v: %s", err, addBody)
+	}
+	if added.Warmup.Requests == 0 || !added.Warmup.Verified {
+		t.Fatalf("warm-up did not run or verify: %+v", added.Warmup)
+	}
+	if added.Warmup.CacheEntriesAfter <= added.Warmup.CacheEntriesBefore {
+		t.Fatalf("warmth not visible in cache counters: %+v", added.Warmup)
+	}
+	// Drive every key again; the new member must now serve the ones it
+	// owns (its warm-up keys are exactly those).
+	for round := 0; round < 2; round++ {
+		for i := 0; i < nTerrains; i++ {
+			rec := httptest.NewRecorder()
+			rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+				fmt.Sprintf("/viewshed?terrain=t%d&eye=1,2,%d", i, i), nil))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("post-add request: %d", rec.Code)
+			}
+		}
+	}
+	owns := 0
+	for i := 0; i < nTerrains; i++ {
+		if rt.ring.Lookup(rt.shardKey(fmt.Sprintf("t%d", i), 0)) == c.srv.URL {
+			owns++
+		}
+	}
+	if owns > 0 && c.viewshed.Load() == 0 {
+		t.Fatalf("admitted member owns %d keys but served no live traffic", owns)
+	}
+	if added.Warmup.Keys < owns {
+		t.Fatalf("warm-up covered %d keys, member owns %d", added.Warmup.Keys, owns)
+	}
+
+	// Readmission after remove goes through warm-up again.
+	warmupsBefore := c.warmups.Load()
+	if code, body := adminReq(rt, http.MethodPost, "/adminz/remove?replica="+c.srv.URL, "tok"); code != http.StatusOK {
+		t.Fatalf("remove for readmission: %d %s", code, body)
+	}
+	_, readdBody := adminReq(rt, http.MethodPost, "/adminz/add?replica="+c.srv.URL, "tok")
+	var readded AddResult
+	if err := json.Unmarshal([]byte(readdBody), &readded); err != nil {
+		t.Fatalf("re-add response: %v: %s", err, readdBody)
+	}
+	if c.warmups.Load() <= warmupsBefore {
+		t.Fatal("readmission skipped warm-up")
+	}
+	if !readded.Warmup.Verified {
+		t.Fatalf("readmission warm-up not verified: %+v", readded.Warmup)
+	}
+}
+
+// TestReplicationSpreadsPrimaries routes a replicated terrain repeatedly
+// and asserts the primaries round-robin across the key's first R
+// successors — and never reach the third — while single-homed terrains
+// stay on one member.
+func TestReplicationSpreadsPrimaries(t *testing.T) {
+	a, b, c := newGateServer("A"), newGateServer("B"), newGateServer("C")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	defer c.srv.Close()
+	rt, err := New(Options{
+		Replicas:      []string{a.srv.URL, b.srv.URL, c.srv.URL},
+		HedgeAfter:    -1,
+		ProbeInterval: -1,
+		Replication:   map[string]int{"hot": 2},
+		Logf:          silent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	byURL := map[string]*gateServer{a.srv.URL: a, b.srv.URL: b, c.srv.URL: c}
+	succ := rt.ring.Successors(rt.shardKey("hot", 0), 3)
+
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/viewshed?terrain=hot&eye=0,0,9", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("replicated query %d: %d", i, rec.Code)
+		}
+	}
+	first, second, third := byURL[succ[0]], byURL[succ[1]], byURL[succ[2]]
+	if first.viewshed.Load() == 0 || second.viewshed.Load() == 0 {
+		t.Fatalf("replicated terrain did not spread: successor serves %d/%d",
+			first.viewshed.Load(), second.viewshed.Load())
+	}
+	if first.viewshed.Load()+second.viewshed.Load() != rounds {
+		t.Fatalf("replica group served %d+%d of %d", first.viewshed.Load(), second.viewshed.Load(), rounds)
+	}
+	if third.viewshed.Load() != 0 {
+		t.Fatalf("third successor served %d requests of an R=2 terrain", third.viewshed.Load())
+	}
+
+	// The serve ledger and placement agree: both successors are serving.
+	serves := rt.KeyServes()["hot"]
+	if len(serves) != 2 || serves[succ[0]] == 0 || serves[succ[1]] == 0 {
+		t.Fatalf("key_serves for the replicated key: %v", serves)
+	}
+	placement := rt.Placement()["hot"]
+	if len(placement) != 2 || placement[0] != succ[0] || placement[1] != succ[1] {
+		t.Fatalf("placement = %v, want first two successors %v", placement, succ[:2])
+	}
+
+	// A single-homed terrain stays put.
+	before := [3]int64{a.viewshed.Load(), b.viewshed.Load(), c.viewshed.Load()}
+	for i := 0; i < rounds; i++ {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/viewshed?terrain=cold&eye=0,0,9", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("cold query %d: %d", i, rec.Code)
+		}
+	}
+	movedTo := 0
+	for i, g := range []*gateServer{a, b, c} {
+		if g.viewshed.Load() != before[i] {
+			movedTo++
+		}
+	}
+	if movedTo != 1 {
+		t.Fatalf("single-homed terrain served by %d members, want exactly 1", movedTo)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

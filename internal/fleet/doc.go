@@ -48,5 +48,25 @@
 // snapshot via terrainhsr.ServerStats.Add, reporting each replica's
 // health and error alongside; a down replica is reported, never silently
 // dropped. The router's own counters (routed, hedged, hedge wins,
-// failovers, ejections) ride along on /fleetz.
+// failovers, ejections, adds, removes) ride along on /fleetz, with the
+// per-key placement and serve ledger.
+//
+// Membership. The fleet is elastic at runtime: with AdminToken set, the
+// authenticated /adminz surface admits and removes replicas while
+// traffic flows (see admin.go for the add → warming → active and
+// active → draining → gone state machines, and AdminClient for the
+// programmatic surface). Removal is drain-before-remove — out of the
+// ring first, then every in-flight attempt finishes — so membership
+// changes are invisible to clients; admission is warm-up-before-traffic,
+// replaying recorded hot queries for the joiner's keys and verifying
+// warmth against its cache counters. Health is orthogonal to
+// membership: the prober ejects and readmits members, /adminz changes
+// who the members are.
+//
+// Replication. Options.Replication serves a hot terrain's keys from its
+// first R ring successors instead of one owner, rotating the primary per
+// request; hedges escalate beyond the group. Identity is unchanged —
+// every group member answers byte-identically — so replication trades R
+// caches holding the working set for R replicas' throughput on a
+// scorching terrain.
 package fleet

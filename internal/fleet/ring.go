@@ -103,6 +103,21 @@ func (r *Ring) Remove(member string) {
 	r.points = kept
 }
 
+// Clone returns an independent copy of the ring — same members, same
+// vnode count, same placement. The router's warm-up uses a clone to ask
+// "which keys would a joining member own?" without mutating the live
+// ring before the member is ready for traffic.
+func (r *Ring) Clone() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := &Ring{vnodes: r.vnodes, members: make(map[string]bool, len(r.members))}
+	for m := range r.members {
+		c.members[m] = true
+	}
+	c.points = append([]ringPoint(nil), r.points...)
+	return c
+}
+
 // Members returns the current members, sorted.
 func (r *Ring) Members() []string {
 	r.mu.RLock()

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -161,6 +162,153 @@ func TestRingMembershipMovesFewKeys(t *testing.T) {
 			t.Fatalf("members after removal = %v", got)
 		}
 	})
+}
+
+// TestRingChurnProperties drives random add/remove sequences — including
+// removing members that were never added and removing down to an empty
+// ring — and asserts the invariants elasticity leans on: lookups are a
+// deterministic function of the member set, Successors(key, R) returns
+// min(R, n) distinct live members starting at the owner, and each step
+// moves at most the departing/joining member's share of keys (the ~K/n
+// bound), so the cumulative movement over a whole churn sequence is the
+// sum of the per-step bounds rather than repeated reshuffles.
+func TestRingChurnProperties(t *testing.T) {
+	ks := keys(400)
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			r := NewRing(32)
+			live := map[string]bool{}
+			pool := make([]string, 12)
+			for i := range pool {
+				pool[i] = fmt.Sprintf("replica-%d", i)
+			}
+			prev := owners(r, ks)
+			for step := 0; step < 60; step++ {
+				m := pool[rng.Intn(len(pool))]
+				if rng.Intn(2) == 0 {
+					r.Add(m)
+					live[m] = true
+				} else {
+					// Half the removals target members that may not be
+					// present — remove-nonexistent must be a clean no-op,
+					// and repeated removals drive the ring to empty.
+					r.Remove(m)
+					delete(live, m)
+				}
+				if got := len(r.Members()); got != len(live) {
+					t.Fatalf("step %d: %d members, want %d", step, got, len(live))
+				}
+				cur := owners(r, ks)
+				// Determinism: a fresh ring over the same member set
+				// places every key identically.
+				fresh := NewRing(32)
+				for mm := range live {
+					fresh.Add(mm)
+				}
+				for _, k := range ks[:40] {
+					if cur[k] != fresh.Lookup(k) {
+						t.Fatalf("step %d: key %q owner %q differs from fresh ring %q",
+							step, k, cur[k], fresh.Lookup(k))
+					}
+				}
+				// Per-step movement bound: only keys whose owner was the
+				// removed member (or that moved TO the added member) change.
+				moved := 0
+				for _, k := range ks {
+					if cur[k] != prev[k] {
+						moved++
+						if live[m] && cur[k] != m {
+							t.Fatalf("step %d: key %q moved %q -> %q on adding %q", step, k, prev[k], cur[k], m)
+						}
+						if !live[m] && prev[k] != m {
+							t.Fatalf("step %d: key %q moved %q -> %q on removing %q", step, k, prev[k], cur[k], m)
+						}
+					}
+				}
+				// A single membership change may move at most the touched
+				// member's share; with 32 vnodes allow a loose 3x of fair.
+				if n := len(live); n > 1 && moved > 3*len(ks)/n {
+					t.Fatalf("step %d: %d of %d keys moved with %d members (bound ~K/n)", step, moved, len(ks), n)
+				}
+				// Successor properties on the live ring.
+				for _, k := range ks[:25] {
+					for _, want := range []int{1, 2, 3, len(live)} {
+						succ := r.Successors(k, want)
+						wantLen := want
+						if wantLen > len(live) {
+							wantLen = len(live)
+						}
+						if len(succ) != wantLen {
+							t.Fatalf("step %d: Successors(%q, %d) returned %d members of %d live",
+								step, k, want, len(succ), len(live))
+						}
+						seen := map[string]bool{}
+						for _, s := range succ {
+							if !live[s] {
+								t.Fatalf("step %d: successor %q of %q is not live", step, s, k)
+							}
+							if seen[s] {
+								t.Fatalf("step %d: duplicate successor %q for %q", step, s, k)
+							}
+							seen[s] = true
+						}
+						if len(succ) > 0 && succ[0] != cur[k] {
+							t.Fatalf("step %d: successors of %q start at %q, owner is %q", step, k, succ[0], cur[k])
+						}
+					}
+				}
+				prev = cur
+			}
+			// Drain to empty: remove everything, including repeats.
+			for _, m := range pool {
+				r.Remove(m)
+				r.Remove(m)
+			}
+			if got := r.Members(); len(got) != 0 {
+				t.Fatalf("ring not empty after removing all: %v", got)
+			}
+			if got := r.Lookup("anything"); got != "" {
+				t.Fatalf("empty ring lookup = %q, want \"\"", got)
+			}
+			if got := r.Successors("anything", 2); got != nil {
+				t.Fatalf("empty ring successors = %v, want nil", got)
+			}
+		})
+	}
+}
+
+// TestRingClone asserts a clone places keys identically and diverges
+// independently after mutation — the property warm-up's hypothetical
+// placement depends on.
+func TestRingClone(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a", "b", "c")
+	c := r.Clone()
+	ks := keys(100)
+	for _, k := range ks {
+		if r.Lookup(k) != c.Lookup(k) {
+			t.Fatalf("clone places %q differently", k)
+		}
+	}
+	c.Add("d")
+	if len(r.Members()) != 3 || len(c.Members()) != 4 {
+		t.Fatalf("clone mutation leaked: ring %v clone %v", r.Members(), c.Members())
+	}
+	movedToD := 0
+	for _, k := range ks {
+		if c.Lookup(k) == "d" {
+			movedToD++
+			continue
+		}
+		if r.Lookup(k) != c.Lookup(k) {
+			t.Fatalf("key %q changed owner on the clone without moving to the new member", k)
+		}
+	}
+	if movedToD == 0 {
+		t.Fatal("no keys moved to the cloned ring's new member")
+	}
 }
 
 func TestShardKey(t *testing.T) {

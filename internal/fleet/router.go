@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,29 @@ type Options struct {
 	// VNodes is the ring's virtual-node count per replica (0 selects
 	// DefaultVNodes).
 	VNodes int
+	// AdminToken authenticates the /adminz membership endpoints: requests
+	// must carry it as "Authorization: Bearer <token>" (or the
+	// X-HSR-Admin-Token header). Empty disables the admin surface — every
+	// /adminz request answers 403 — so an unconfigured router cannot have
+	// its membership driven by anonymous traffic.
+	AdminToken string
+	// DrainTimeout bounds how long /adminz/remove waits for a draining
+	// replica's in-flight requests (primaries and hedge losers) to finish
+	// before dropping it anyway. 0 selects 10s. Requests still in flight
+	// at the timeout keep running — removal never cancels them — but the
+	// response reports the drain as incomplete.
+	DrainTimeout time.Duration
+	// WarmupRequests caps how many recorded hot queries /adminz/add
+	// replays against a joining replica before it takes live traffic.
+	// 0 selects 64; negative disables warm-up (the replica is added
+	// cold).
+	WarmupRequests int
+	// Replication maps terrain IDs to their replication factor: a terrain
+	// with factor R spreads its keys across the first R ring successors,
+	// and the router round-robins primaries among them. Unlisted terrains
+	// (and factors < 2) stay single-homed — the consistent-hash default.
+	// Hot terrains want R > 1; cold ones should not pay R caches.
+	Replication map[string]int
 	// Client issues the proxied requests. The default client has no
 	// timeout — responses stream, and slow queries are the hedge's job to
 	// cover, not a deadline's to kill.
@@ -51,11 +75,37 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
+// Membership states of a replica. A replica is born stateWarming (unless
+// it was configured at startup, which skips warm-up), serves traffic only
+// while stateActive, and leaves through stateDraining: out of the ring —
+// so it receives no new primaries and no hedges — but kept in the member
+// table until its in-flight requests finish. Health (ejection) is
+// orthogonal: an ejected replica is still a member, just routed last.
+const (
+	stateActive int32 = iota
+	stateWarming
+	stateDraining
+)
+
+// stateName renders a membership state for /adminz/membership and logs.
+func stateName(s int32) string {
+	switch s {
+	case stateWarming:
+		return "warming"
+	case stateDraining:
+		return "draining"
+	default:
+		return "active"
+	}
+}
+
 // replica is the router's view of one serving process.
 type replica struct {
-	addr    string // base URL
-	healthy atomic.Bool
-	fails   atomic.Int32 // consecutive failures (probe or proxy)
+	addr     string // base URL
+	healthy  atomic.Bool
+	fails    atomic.Int32 // consecutive failures (probe or proxy)
+	state    atomic.Int32 // membership state (stateActive/Warming/Draining)
+	inflight atomic.Int64 // attempts launched and not yet disposed of
 
 	mu      sync.Mutex
 	lastErr string
@@ -118,6 +168,10 @@ type Router struct {
 	replicas map[string]*replica
 	order    []string // configured order, for stable reporting
 	terrains map[string]terrainMeta
+	hot      map[string][]string         // ring key -> recent request URIs (warm-up fuel)
+	serves   map[string]map[string]int64 // ring key -> replica -> answers served
+
+	adminMu sync.Mutex // serializes membership changes (add/remove)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -128,6 +182,9 @@ type Router struct {
 	hedgeWins atomic.Int64
 	failovers atomic.Int64
 	ejections atomic.Int64
+	adds      atomic.Int64
+	removes   atomic.Int64
+	rr        atomic.Int64 // round-robin cursor over replicated primaries
 }
 
 // New builds a router over the given replicas. Every replica starts
@@ -149,6 +206,12 @@ func New(opt Options) (*Router, error) {
 	if opt.HugeVertices == 0 {
 		opt.HugeVertices = 1 << 20
 	}
+	if opt.DrainTimeout == 0 {
+		opt.DrainTimeout = 10 * time.Second
+	}
+	if opt.WarmupRequests == 0 {
+		opt.WarmupRequests = 64
+	}
 	rt := &Router{
 		opt:      opt,
 		ring:     NewRing(opt.VNodes),
@@ -156,6 +219,8 @@ func New(opt Options) (*Router, error) {
 		logf:     opt.Logf,
 		replicas: make(map[string]*replica, len(opt.Replicas)),
 		terrains: make(map[string]terrainMeta),
+		hot:      make(map[string][]string),
+		serves:   make(map[string]map[string]int64),
 		stop:     make(chan struct{}),
 	}
 	if rt.client == nil {
@@ -314,26 +379,61 @@ func (rt *Router) shardKey(terrain string, budget float64) string {
 	return ShardKey(terrain, meta.pickLevel(budget), true)
 }
 
-// routeOrder returns the replicas to try for a key, in preference order:
-// the ring successors with healthy replicas first (ring order preserved
-// within each class). Ejected replicas stay at the tail rather than
-// vanishing — a fully ejected fleet still routes, it just expects errors.
-func (rt *Router) routeOrder(key string) []*replica {
+// replicationFor returns a terrain's replication factor (>= 1). Keys of
+// per-level shards inherit the factor of their terrain.
+func (rt *Router) replicationFor(terrain string) int {
+	if rf := rt.opt.Replication[terrain]; rf > 1 {
+		return rf
+	}
+	return 1
+}
+
+// terrainOfKey strips the per-level qualifier off a ring key, recovering
+// the terrain ID that ShardKey embedded.
+func terrainOfKey(key string) string {
+	if i := strings.LastIndex(key, "#L"); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// routeOrder returns the replicas to try for a key, in preference order.
+// The ring only holds active members, so warming and draining replicas
+// never appear — no new primaries and no hedges reach them. The first rf
+// healthy successors are the key's replica group: the router round-robins
+// the primary among them (this is how a replication factor > 1 turns into
+// load spreading), keeps the rest of the group next (they likely hold the
+// key warm), then the remaining healthy successors, then ejected members
+// at the tail rather than vanishing — a fully ejected fleet still routes,
+// it just expects errors.
+func (rt *Router) routeOrder(key string, rf int) []*replica {
 	succ := rt.ring.Successors(key, 0)
+	if rf < 1 {
+		rf = 1
+	}
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	out := make([]*replica, 0, len(succ))
-	for _, addr := range succ {
-		if r := rt.replicas[addr]; r != nil && r.healthy.Load() {
-			out = append(out, r)
+	var group, rest, tail []*replica
+	for i, addr := range succ {
+		r := rt.replicas[addr]
+		if r == nil || r.state.Load() != stateActive {
+			continue
+		}
+		switch {
+		case !r.healthy.Load():
+			tail = append(tail, r)
+		case i < rf:
+			group = append(group, r)
+		default:
+			rest = append(rest, r)
 		}
 	}
-	for _, addr := range succ {
-		if r := rt.replicas[addr]; r != nil && !r.healthy.Load() {
-			out = append(out, r)
-		}
+	if len(group) > 1 {
+		k := int(rt.rr.Add(1)-1) % len(group)
+		group = append(append(make([]*replica, 0, len(group)), group[k:]...), group[:k]...)
 	}
-	return out
+	out := append(group, rest...)
+	return append(out, tail...)
 }
 
 // ServeHTTP dispatches the fleet endpoints: /viewshed (hedged proxy),
@@ -353,15 +453,20 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/fleetz":
 		rt.fleetz(w, r)
 	default:
+		if strings.HasPrefix(r.URL.Path, "/adminz/") {
+			rt.adminz(w, r)
+			return
+		}
 		http.NotFound(w, r)
 	}
 }
 
-// healthz reports fleet liveness: 200 while at least one replica is
-// healthy, 503 otherwise.
+// healthz reports fleet liveness: 200 while at least one active replica
+// is healthy, 503 otherwise (warming and draining members cannot take
+// traffic, so they don't count).
 func (rt *Router) healthz(w http.ResponseWriter, _ *http.Request) {
 	for _, r := range rt.snapshotReplicas() {
-		if r.healthy.Load() {
+		if r.healthy.Load() && r.state.Load() == stateActive {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			fmt.Fprintln(w, "ok")
 			return
@@ -385,16 +490,57 @@ func (rt *Router) viewshed(w http.ResponseWriter, r *http.Request) {
 	}
 	// A missing terrain parameter is legal for single-terrain replicas;
 	// route it by the empty key so it still lands consistently.
-	order := rt.routeOrder(rt.shardKey(terrain, budget))
+	key := rt.shardKey(terrain, budget)
+	rt.recordQuery(key, r.URL.RequestURI())
+	order := rt.routeOrder(key, rt.replicationFor(terrain))
 	rt.routed.Add(1)
-	rt.proxyHedged(w, r, order)
+	rt.proxyHedged(w, r, key, order)
+}
+
+// hotQueriesPerKey bounds the per-key warm-up fuel: enough distinct eyes
+// to prime a joining replica's cache for the key's working set, small
+// enough that recording costs nothing per request.
+const hotQueriesPerKey = 16
+
+// recordQuery remembers a request URI as warm-up fuel for its ring key:
+// the most recent distinct URIs, capped per key. Key count is bounded by
+// the terrain set (plus level qualifiers), so the table cannot grow with
+// traffic.
+func (rt *Router) recordQuery(key, uri string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	uris := rt.hot[key]
+	for _, u := range uris {
+		if u == uri {
+			return
+		}
+	}
+	if len(uris) >= hotQueriesPerKey {
+		uris = append(uris[:0], uris[1:]...)
+	}
+	rt.hot[key] = append(uris, uri)
+}
+
+// recordServe credits one answered query to the replica that served it —
+// the per-key share ledger behind /fleetz's key_serves, which is how an
+// operator (and the E1 experiment) verifies a replicated terrain's load
+// actually spreads.
+func (rt *Router) recordServe(key, addr string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m := rt.serves[key]
+	if m == nil {
+		m = make(map[string]int64)
+		rt.serves[key] = m
+	}
+	m[addr]++
 }
 
 // proxyAny forwards the request to the first replica that answers —
 // listing endpoints are identical on every replica.
 func (rt *Router) proxyAny(w http.ResponseWriter, r *http.Request) {
-	order := rt.routeOrder("")
-	rt.proxyHedged(w, r, order)
+	order := rt.routeOrder("", 1)
+	rt.proxyHedged(w, r, "", order)
 }
 
 // attempt is one in-flight proxied request.
@@ -405,36 +551,59 @@ type attempt struct {
 	cancel context.CancelFunc
 }
 
+// finish disposes of one attempt: cancels it, releases its body, and
+// returns its in-flight slot — the count a draining replica waits on.
+// Every launched attempt passes through finish exactly once (loser,
+// error, or winner after its body streamed), so inflight reaching zero
+// really means the replica has no router traffic left.
+func (a attempt) finish() {
+	a.cancel()
+	if a.resp != nil {
+		a.resp.Body.Close()
+	}
+	a.r.inflight.Add(-1)
+}
+
 // proxyHedged issues the request against order[0], hedging to the next
 // successor each time HedgeAfter elapses without a response header, and
 // failing over immediately on transport errors and 5xx responses. The
 // first acceptable response streams to the client; every other attempt is
 // canceled and drained. Responses below 500 — including 4xx — are
 // authoritative: every replica answers a malformed query identically, so
-// retrying one would only double the error's cost.
-func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, order []*replica) {
-	if len(order) == 0 {
+// retrying one would only double the error's cost. Replicas that started
+// draining after the order was computed are skipped at launch time, and
+// every launched attempt holds the replica's in-flight count until it is
+// fully disposed of — the drain barrier /adminz/remove waits behind.
+func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, key string, order []*replica) {
+	results := make(chan attempt, len(order))
+	launched := 0
+	launch := func() bool {
+		for launched < len(order) {
+			rep := order[launched]
+			launched++
+			if rep.state.Load() != stateActive {
+				continue // started draining/leaving after the order was computed
+			}
+			rep.inflight.Add(1)
+			ctx, cancel := context.WithCancel(r.Context())
+			go func() {
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.addr+r.URL.RequestURI(), nil)
+				if err != nil {
+					results <- attempt{r: rep, err: err, cancel: cancel}
+					return
+				}
+				req.Header = r.Header.Clone()
+				resp, err := rt.client.Do(req)
+				results <- attempt{r: rep, resp: resp, err: err, cancel: cancel}
+			}()
+			return true
+		}
+		return false
+	}
+	if !launch() {
 		http.Error(w, "fleet: no replicas", http.StatusBadGateway)
 		return
 	}
-	results := make(chan attempt, len(order))
-	launched := 0
-	launch := func() {
-		rep := order[launched]
-		launched++
-		ctx, cancel := context.WithCancel(r.Context())
-		go func() {
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.addr+r.URL.RequestURI(), nil)
-			if err != nil {
-				results <- attempt{r: rep, err: err, cancel: cancel}
-				return
-			}
-			req.Header = r.Header.Clone()
-			resp, err := rt.client.Do(req)
-			results <- attempt{r: rep, resp: resp, err: err, cancel: cancel}
-		}()
-	}
-	launch()
 	hedge := time.NewTimer(rt.hedgeDelay())
 	defer hedge.Stop()
 
@@ -447,49 +616,45 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, order []*r
 		case a := <-results:
 			pending--
 			if a.err != nil {
-				a.cancel()
 				// A canceled context means the client went away, not that
 				// the replica failed; don't charge the replica for it.
 				if r.Context().Err() == nil {
 					rt.noteOutcome(a.r, false, a.err.Error())
 				}
 				lastErr = a.err.Error()
+				a.finish()
 			} else if a.resp.StatusCode >= http.StatusInternalServerError {
 				lastErr = fmt.Sprintf("%s: %s", a.r.addr, a.resp.Status)
 				io.Copy(io.Discard, a.resp.Body)
-				a.resp.Body.Close()
-				a.cancel()
 				rt.noteOutcome(a.r, false, "proxy: "+a.resp.Status)
+				a.finish()
 			} else {
 				rt.noteOutcome(a.r, true, "")
 				won = &a
 				break
 			}
-			if launched < len(order) && r.Context().Err() == nil {
-				rt.failovers.Add(1)
-				launch()
-				pending++
+			if r.Context().Err() == nil {
+				if launch() {
+					rt.failovers.Add(1)
+					pending++
+				}
 			}
 		case <-hedge.C:
-			if launched < len(order) {
+			if launch() {
 				rt.hedged.Add(1)
 				hedgesUsed = true
-				launch()
 				pending++
 				hedge.Reset(rt.hedgeDelay())
 			}
 		}
 	}
 	// Abandon the losers: cancel and drain them off the channel so their
-	// goroutines and bodies are released.
+	// goroutines, bodies and in-flight slots are released.
 	if pending > 0 {
 		go func(n int) {
 			for i := 0; i < n; i++ {
 				a := <-results
-				a.cancel()
-				if a.resp != nil {
-					a.resp.Body.Close()
-				}
+				a.finish()
 			}
 		}(pending)
 	}
@@ -500,8 +665,10 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, order []*r
 	if hedgesUsed {
 		rt.hedgeWins.Add(1)
 	}
-	defer won.cancel()
-	defer won.resp.Body.Close()
+	defer won.finish()
+	if key != "" {
+		rt.recordServe(key, won.r.addr)
+	}
 	for k, vs := range won.resp.Header {
 		for _, v := range vs {
 			w.Header().Add(k, v)
@@ -529,8 +696,13 @@ func (rt *Router) hedgeDelay() time.Duration {
 type ReplicaHealth struct {
 	// Addr is the replica's base URL.
 	Addr string `json:"addr"`
+	// State is the membership state: "active", "warming" or "draining".
+	State string `json:"state"`
 	// Healthy is the routing eligibility (false = ejected).
 	Healthy bool `json:"healthy"`
+	// Inflight counts attempts the router has in flight against this
+	// replica — what a drain waits to reach zero.
+	Inflight int64 `json:"inflight,omitempty"`
 	// ConsecutiveFails counts failures since the last success.
 	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
 	// LastError is the most recent failure, if any.
@@ -547,7 +719,9 @@ func (rt *Router) Snapshot() []ReplicaHealth {
 		r.mu.Unlock()
 		out = append(out, ReplicaHealth{
 			Addr:             r.addr,
+			State:            stateName(r.state.Load()),
 			Healthy:          r.healthy.Load(),
+			Inflight:         r.inflight.Load(),
 			ConsecutiveFails: int(r.fails.Load()),
 			LastError:        lastErr,
 		})
@@ -569,6 +743,10 @@ type RouterCounters struct {
 	Failovers int64 `json:"failovers"`
 	// Ejections counts health ejections (readmissions are not counted).
 	Ejections int64 `json:"ejections"`
+	// Adds and Removes count runtime membership changes accepted on
+	// /adminz (startup replicas are not counted).
+	Adds    int64 `json:"adds"`
+	Removes int64 `json:"removes"`
 }
 
 // Counters snapshots the router's traffic counters.
@@ -579,17 +757,59 @@ func (rt *Router) Counters() RouterCounters {
 		HedgeWins: rt.hedgeWins.Load(),
 		Failovers: rt.failovers.Load(),
 		Ejections: rt.ejections.Load(),
+		Adds:      rt.adds.Load(),
+		Removes:   rt.removes.Load(),
 	}
 }
 
-// fleetz serves the router's introspection: replica health, counters and
-// ring membership.
+// Placement reports which replicas currently serve each routed key (the
+// key's first R ring successors, R = the terrain's replication factor)
+// and how many answers each has served. Keys appear once traffic has
+// routed them or their terrain is known from /terrains.
+func (rt *Router) Placement() map[string][]string {
+	rt.mu.RLock()
+	keys := make(map[string]bool, len(rt.serves)+len(rt.terrains))
+	for k := range rt.serves {
+		keys[k] = true
+	}
+	for id := range rt.terrains {
+		keys[ShardKey(id, 0, false)] = true
+	}
+	rt.mu.RUnlock()
+	out := make(map[string][]string, len(keys))
+	for k := range keys {
+		out[k] = rt.ring.Successors(k, rt.replicationFor(terrainOfKey(k)))
+	}
+	return out
+}
+
+// KeyServes snapshots the per-key, per-replica answer counts.
+func (rt *Router) KeyServes() map[string]map[string]int64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make(map[string]map[string]int64, len(rt.serves))
+	for k, m := range rt.serves {
+		c := make(map[string]int64, len(m))
+		for addr, n := range m {
+			c[addr] = n
+		}
+		out[k] = c
+	}
+	return out
+}
+
+// fleetz serves the router's introspection: replica health, counters,
+// ring membership, per-key placement (which replicas serve each key under
+// its replication factor) and per-key serve counts.
 func (rt *Router) fleetz(w http.ResponseWriter, _ *http.Request) {
 	out := struct {
-		Replicas []ReplicaHealth `json:"replicas"`
-		Counters RouterCounters  `json:"counters"`
-		Ring     []string        `json:"ring"`
-	}{rt.Snapshot(), rt.Counters(), rt.ring.Members()}
+		Replicas    []ReplicaHealth             `json:"replicas"`
+		Counters    RouterCounters              `json:"counters"`
+		Ring        []string                    `json:"ring"`
+		Replication map[string]int              `json:"replication,omitempty"`
+		Placement   map[string][]string         `json:"placement,omitempty"`
+		KeyServes   map[string]map[string]int64 `json:"key_serves,omitempty"`
+	}{rt.Snapshot(), rt.Counters(), rt.ring.Members(), rt.opt.Replication, rt.Placement(), rt.KeyServes()}
 	writeJSON(w, out)
 }
 

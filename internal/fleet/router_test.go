@@ -163,7 +163,7 @@ func TestHedgingCoversSlowPrimary(t *testing.T) {
 	}
 	defer rt.Close()
 	// Slow down whichever replica the ring makes primary for this key.
-	order := rt.routeOrder(rt.shardKey("alps", 0))
+	order := rt.routeOrder(rt.shardKey("alps", 0), 1)
 	byURL := map[string]*markedServer{a.srv.URL: a, b.srv.URL: b}
 	primary, backup := byURL[order[0].addr], byURL[order[1].addr]
 	primary.slow.Store(true)
@@ -220,7 +220,7 @@ func TestFailoverEjectionReadmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	order := rt.routeOrder(rt.shardKey("alps", 0))
+	order := rt.routeOrder(rt.shardKey("alps", 0), 1)
 	byURL := map[string]*markedServer{a.srv.URL: a, b.srv.URL: b}
 	primary, backup := byURL[order[0].addr], byURL[order[1].addr]
 	primary.failing.Store(true)

@@ -100,6 +100,12 @@ func (prep *Prepared) ParallelOS(opt OSOptions) (*Result, error) {
 			o := ops[w]
 			ctr := &perWorker[w]
 			node := nodes[i]
+			// Treap priorities are a function of the PCT node, not of the
+			// worker that happens to process it: dynamic scheduling and
+			// recycled pool arenas then cannot change the built trees, so
+			// the solve's output bytes are identical for any worker count
+			// and any pool history (the identity the fleet tests assert).
+			o.Arena.Reseed(0x5eed ^ (uint64(node)+1)*0x9e3779b97f4a7c15)
 			P := prefix[node]
 			var taskCost int64
 			var layerMerge, layerCross, layerHeld, layerAlloc int64

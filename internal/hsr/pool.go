@@ -19,6 +19,13 @@ import (
 // baked into an Ops at construction. The pool is safe for concurrent use;
 // the Ops it hands out are each confined to one goroutine for the duration
 // of a solve, as usual.
+//
+// A pooled Ops arrives with whatever priority-stream state its creation
+// seed left behind, and which Ops a solve receives depends on what else is
+// in flight. Solvers therefore Reseed the arena from their own task
+// identity before building trees — treap shape feeds back into the solved
+// bytes through epsilon-close query pruning, and answers must not vary
+// with pool history or concurrency.
 type OpsPool struct {
 	mu   sync.Mutex
 	free [2][]*profiletree.Ops

@@ -46,6 +46,10 @@ func (prep *Prepared) sequentialTree(withHulls bool, pool *OpsPool) (*Result, er
 		ops := pool.acquire(1, withHulls)
 		defer pool.release(ops)
 		o = ops[0]
+		// Match the unpooled arena's priority stream: a pooled solve must
+		// produce the same bytes as a fresh one, whatever arena history the
+		// pool hands over.
+		o.Arena.Reseed(0xfeed)
 	} else {
 		o = profiletree.NewOps(persist.NewArena(0xfeed), withHulls)
 	}

@@ -157,6 +157,22 @@ type Options struct {
 	CheckBodies bool
 	// Client issues the requests (default: a fresh client with Timeout).
 	Client *http.Client
+	// Actions are scripted mid-run hooks — the soak harness's churn
+	// script. Each fires exactly once, in the worker that completes the
+	// AfterRequest-th request; the hook runs synchronously there (one
+	// worker pauses, the others keep the load up), which is exactly the
+	// shape of an operator driving membership changes under live traffic.
+	Actions []Action
+}
+
+// Action is one scripted mid-run hook (see Options.Actions).
+type Action struct {
+	// AfterRequest is how many requests must have completed before the
+	// hook fires (0 fires before the first completion is even possible,
+	// i.e. on the first completion).
+	AfterRequest int
+	// Run is the hook. It may block; load continues on the other workers.
+	Run func()
 }
 
 // Report is the outcome of one Run.
@@ -234,7 +250,17 @@ func Run(o Options, reqs []Request) Report {
 	mismatches := 0
 	var samples []string
 
-	var next atomic.Int64
+	type pendingAction struct {
+		after int64
+		once  sync.Once
+		run   func()
+	}
+	actions := make([]*pendingAction, len(o.Actions))
+	for i, a := range o.Actions {
+		actions[i] = &pendingAction{after: int64(a.AfterRequest), run: a.Run}
+	}
+
+	var next, completed atomic.Int64
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for w := 0; w < o.Workers; w++ {
@@ -277,6 +303,12 @@ func Run(o Options, reqs []Request) Report {
 				latencies[i] = time.Since(q0)
 				if err != nil {
 					errs[i] = err
+				}
+				done := completed.Add(1)
+				for _, a := range actions {
+					if done >= a.after {
+						a.once.Do(a.run)
+					}
 				}
 			}
 		}()

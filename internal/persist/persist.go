@@ -11,8 +11,12 @@ type Arena struct {
 	Allocs int64
 }
 
-// NewArena creates an arena with the given seed (must differ across
-// concurrent workers only for balance, not correctness).
+// NewArena creates an arena with the given seed. Distinct seeds across
+// concurrent workers keep independent treaps balanced; note that treap
+// shape leaks into solve output at float-rounding granularity (pruning and
+// piece-splitting order follow the tree), so builds that must be
+// reproducible fix their priority stream with Reseed rather than relying
+// on whichever arena they were handed.
 func NewArena(seed uint64) *Arena {
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
@@ -27,6 +31,21 @@ func NewArena(seed uint64) *Arena {
 func (a *Arena) Reset() {
 	a.rng = a.seed
 	a.Allocs = 0
+}
+
+// Reseed restarts the priority stream from the given seed without touching
+// the allocation counter. Callers that need bit-identical treaps across
+// runs — regardless of which worker or recycled arena performs a build —
+// reseed with a value derived from the task's identity, making every
+// priority a pure function of (task, allocation index) instead of the
+// arena's history. Treap shape decides tie-breaking traversal order in
+// epsilon-close geometry queries, so this is what makes solve output
+// deterministic, not just balanced.
+func (a *Arena) Reseed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	a.rng = seed
 }
 
 func (a *Arena) nextPrio() uint64 {
