@@ -13,12 +13,15 @@
 // byte-identical answers, and fleet elasticity (E1): throughput and tail
 // latency before, during and after a scripted membership churn — a replica
 // joins through warm-up and another drains out mid-stream — with zero
-// client-visible errors and unchanged answers.
+// client-visible errors and unchanged answers, and frame-coherent sessions
+// (FC1): a sessioned flyover (replay on dwelling eyes, cone-verified tile
+// verdict reuse on moving ones) against independent per-frame solves of the
+// same path, with every frame byte-identical between the legs.
 //
 // Usage:
 //
-//	hsrbench [-exp all|TH1..TH5|LM1|LM6|FG1..FG3|A1|A2|B1|T1|S1|ST1|L1|OC1|F1|E1|CHECK[,...]]
-//	         [-quick] [-json BENCH_PR8.json]
+//	hsrbench [-exp all|TH1..TH5|LM1|LM6|FG1..FG3|A1|A2|B1|T1|S1|ST1|L1|OC1|F1|E1|FC1|CHECK[,...]]
+//	         [-quick] [-json BENCH_PR9.json]
 //
 // -exp accepts a comma-separated list. -json writes the machine-readable
 // measurement records of the engine experiments (experiment id, wall
@@ -66,11 +69,12 @@ var experiments = []experiment{
 	{"OC1", "Out-of-core engine — paged solve exactness, bytes never read, peak heap", expOC1},
 	{"F1", "Serving fleet — routed 3-replica throughput vs one replica at equal total workers", expFleet},
 	{"E1", "Fleet elasticity — throughput before/during/after membership churn, zero errors", expElastic},
+	{"FC1", "Frame-coherent sessions — sessioned vs independent flyover frames, byte-identical", expFC1},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, FG1..FG3, A1, A2, B1, T1, S1, ST1, L1, OC1, F1, E1, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, FG1..FG3, A1, A2, B1, T1, S1, ST1, L1, OC1, F1, E1, FC1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
 	jsonPath := flag.String("json", "", "write machine-readable measurement records to this file (e.g. BENCH_PR4.json)")
 	flag.Parse()

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	terrainhsr "terrainhsr"
+	"terrainhsr/internal/metrics"
+)
+
+// expFC1: frame-coherent flyover sessions against independent per-frame
+// solves on the ST1 workload — the massive 512x512 terrain, 32x32 tiles,
+// the same approach path. Two legs answer the same frame sequence:
+//
+//   - independent: TiledSolver.SolveStreamFrom solves every frame cold,
+//     exactly as a sessionless server would.
+//   - sessioned: TiledSolver.NewSession + NextFrame warm-start each frame
+//     from the one before. Frames whose eye repeats (a viewer dwelling or a
+//     client polling) replay the recorded stream without solving; moving
+//     frames re-solve, reusing the previous frame's tile verdicts where the
+//     conservative cone check confirms them.
+//
+// The sequence dwells: each of the path's waypoints is held for several
+// frames, the flyover shape real render traffic has (cameras pause; clients
+// re-request). Reuse must never change output — every frame's piece
+// checksum (order-independent XOR over raw float bits, exact) is compared
+// between the legs, and the acceptance target is byte-identity plus a >= 2x
+// sessioned frames/sec advantage at full size.
+//
+// A second, low-altitude pair of legs flies a grazing moving path (every
+// eye distinct, so replay never fires): there the advantage comes only from
+// cone-verified verdict reuse, and the recorded reuse_rate — reused tiles
+// over all tile outcomes — must be positive.
+func expFC1(quick bool) {
+	size, dwell := 512, 3
+	if quick {
+		size, dwell = 192, 2
+	}
+	const waypoints = 6
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{Kind: "massive", Rows: size, Cols: size, Seed: 17})
+	if err != nil {
+		log.Fatalf("hsrbench: generate: %v", err)
+	}
+	ext := float64(size)
+	bopt := terrainhsr.BatchOptions{MinDepth: 1}
+	topt := terrainhsr.TileOptions{TileRows: 32, TileCols: 32}
+
+	// The ST1 approach path, each waypoint held for dwell frames.
+	approach := terrainhsr.LinePath(
+		terrainhsr.Point{X: -0.7 * ext, Y: 0.5*ext + 0.37, Z: 0.35 * ext},
+		terrainhsr.Point{X: -0.4 * ext, Y: 0.5*ext + 0.37, Z: 0.3 * ext},
+		waypoints).Viewpoints()
+	var dwellPath []terrainhsr.Point
+	for _, eye := range approach {
+		for d := 0; d < dwell; d++ {
+			dwellPath = append(dwellPath, eye)
+		}
+	}
+	// A grazing pass low over the relief: every eye distinct, the regime
+	// where only verdict reuse (not replay) can save work.
+	grazing := terrainhsr.LinePath(
+		terrainhsr.Point{X: -0.7 * ext, Y: 0.5*ext + 0.37, Z: 0.078 * ext},
+		terrainhsr.Point{X: -0.4 * ext, Y: 0.5*ext + 0.37, Z: 0.068 * ext},
+		waypoints).Viewpoints()
+
+	fmt.Printf("massive terrain %dx%d (n=%d edges), tiled 32x32, workers=%d\n",
+		size, size, tr.NumEdges(), runtime.GOMAXPROCS(0))
+	fmt.Printf("dwell flyover: %d waypoints x %d frames each = %d frames; grazing flyover: %d moving frames\n\n",
+		waypoints, dwell, len(dwellPath), len(grazing))
+
+	runLegs := func(label string, path []terrainhsr.Point) (indWall, sesWall time.Duration, reuse terrainhsr.ReuseStats, replays, totalK int) {
+		frames := len(path)
+		indSums := make([]uint64, frames)
+		indKs := make([]int, frames)
+		ind, err := terrainhsr.NewTiledSolver(tr, topt)
+		if err != nil {
+			log.Fatalf("hsrbench: %v", err)
+		}
+		t0 := time.Now()
+		for i, eye := range path {
+			info, err := ind.SolveStreamFrom(eye, bopt, func(p terrainhsr.Piece) error {
+				indSums[i] ^= pieceBits(p)
+				return nil
+			})
+			if err != nil {
+				log.Fatalf("hsrbench: independent frame %d: %v", i, err)
+			}
+			indKs[i] = info.K
+		}
+		indWall = time.Since(t0)
+
+		sesSums := make([]uint64, frames)
+		sesKs := make([]int, frames)
+		ts, err := terrainhsr.NewTiledSolver(tr, topt)
+		if err != nil {
+			log.Fatalf("hsrbench: %v", err)
+		}
+		sn, err := ts.NewSession(bopt)
+		if err != nil {
+			log.Fatalf("hsrbench: session: %v", err)
+		}
+		t0 = time.Now()
+		for i, eye := range path {
+			info, err := sn.NextFrame(eye, func(p terrainhsr.Piece) error {
+				sesSums[i] ^= pieceBits(p)
+				return nil
+			})
+			if err != nil {
+				log.Fatalf("hsrbench: session frame %d: %v", i, err)
+			}
+			sesKs[i] = info.K
+			if info.Reuse.Replayed {
+				replays++
+			}
+			reuse.TilesReused += info.Reuse.TilesReused
+			reuse.TilesReverified += info.Reuse.TilesReverified
+			reuse.TilesResolved += info.Reuse.TilesResolved
+			reuse.VerifyFailures += info.Reuse.VerifyFailures
+		}
+		sesWall = time.Since(t0)
+
+		identical := "yes"
+		for i := range path {
+			totalK += indKs[i]
+			if indKs[i] != sesKs[i] || indSums[i] != sesSums[i] {
+				identical = fmt.Sprintf("NO (frame %d: K %d vs %d, checksum %x vs %x)",
+					i, indKs[i], sesKs[i], indSums[i], sesSums[i])
+			}
+		}
+		fmt.Printf("%s: pieces identical per frame: %s\n", label, identical)
+		return
+	}
+
+	dwellInd, dwellSes, dwellReuse, dwellReplays, dwellK := runLegs("dwell", dwellPath)
+	grazeInd, grazeSes, grazeReuse, grazeReplays, grazeK := runLegs("grazing", grazing)
+
+	fps := func(frames int, w time.Duration) float64 {
+		if w <= 0 {
+			return 0
+		}
+		return float64(frames) / w.Seconds()
+	}
+	rate := func(r terrainhsr.ReuseStats) float64 {
+		total := r.TilesReused + r.TilesReverified + r.TilesResolved
+		if total == 0 {
+			return 0
+		}
+		return float64(r.TilesReused) / float64(total)
+	}
+	dwellSpeedup := float64(dwellInd) / float64(dwellSes)
+	grazeSpeedup := float64(grazeInd) / float64(grazeSes)
+
+	tb := metrics.NewTable("leg", "wall", "frames/sec", "speedup", "replays", "reused", "reverified", "resolved", "reuse rate")
+	tb.AddRow("dwell independent", dwellInd.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.2f", fps(len(dwellPath), dwellInd)), "1.00x", "0", "-", "-", "-", "-")
+	tb.AddRow("dwell sessioned", dwellSes.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.2f", fps(len(dwellPath), dwellSes)), fmt.Sprintf("%.2fx", dwellSpeedup),
+		fmt.Sprint(dwellReplays), fmt.Sprint(dwellReuse.TilesReused), fmt.Sprint(dwellReuse.TilesReverified),
+		fmt.Sprint(dwellReuse.TilesResolved), fmt.Sprintf("%.3f", rate(dwellReuse)))
+	tb.AddRow("grazing independent", grazeInd.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.2f", fps(len(grazing), grazeInd)), "1.00x", "0", "-", "-", "-", "-")
+	tb.AddRow("grazing sessioned", grazeSes.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.2f", fps(len(grazing), grazeSes)), fmt.Sprintf("%.2fx", grazeSpeedup),
+		fmt.Sprint(grazeReplays), fmt.Sprint(grazeReuse.TilesReused), fmt.Sprint(grazeReuse.TilesReverified),
+		fmt.Sprint(grazeReuse.TilesResolved), fmt.Sprintf("%.3f", rate(grazeReuse)))
+	tb.Render(os.Stdout)
+
+	fmt.Printf("\ndwell sessioned speedup: %.2fx (acceptance target >= 2x at full size; %d of %d frames replayed)\n",
+		dwellSpeedup, dwellReplays, len(dwellPath))
+	fmt.Printf("grazing verdict reuse rate: %.3f (must be > 0: cone checks confirm prior culled/hidden verdicts)\n",
+		rate(grazeReuse))
+	fmt.Println("Reuse is verified and conservative: every frame above was byte-identical to its")
+	fmt.Println("independent solve; sessions only decide who computes, never what is computed.")
+	if dwellSpeedup < 2 {
+		fmt.Println("WARNING: sessioned dwell leg not >= 2x faster on this machine/size")
+	}
+	if rate(grazeReuse) <= 0 {
+		fmt.Println("WARNING: grazing leg confirmed no verdicts; cone reuse inert")
+	}
+
+	record(benchRecord{Experiment: "FC1", Variant: "dwell-independent", WallMS: ms(dwellInd),
+		Extra: map[string]float64{"frames": float64(len(dwellPath)), "total_k": float64(dwellK),
+			"frames_per_sec": fps(len(dwellPath), dwellInd)}})
+	record(benchRecord{Experiment: "FC1", Variant: "dwell-sessioned", WallMS: ms(dwellSes),
+		Extra: map[string]float64{"frames": float64(len(dwellPath)), "total_k": float64(dwellK),
+			"frames_per_sec": fps(len(dwellPath), dwellSes), "speedup": dwellSpeedup,
+			"replays": float64(dwellReplays), "reuse_rate": rate(dwellReuse)}})
+	record(benchRecord{Experiment: "FC1", Variant: "grazing-independent", WallMS: ms(grazeInd),
+		Extra: map[string]float64{"frames": float64(len(grazing)), "total_k": float64(grazeK),
+			"frames_per_sec": fps(len(grazing), grazeInd)}})
+	record(benchRecord{Experiment: "FC1", Variant: "grazing-sessioned", WallMS: ms(grazeSes),
+		Extra: map[string]float64{"frames": float64(len(grazing)), "total_k": float64(grazeK),
+			"frames_per_sec": fps(len(grazing), grazeSes), "speedup": grazeSpeedup,
+			"replays":        float64(grazeReplays),
+			"tiles_reused":   float64(grazeReuse.TilesReused),
+			"tiles_resolved": float64(grazeReuse.TilesResolved),
+			"reuse_rate":     rate(grazeReuse)}})
+}

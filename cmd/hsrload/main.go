@@ -14,10 +14,13 @@
 // and MUST match the specs the target replicas were started with:
 // hsrload regenerates the terrains locally to derive eye points (the
 // observer grid and flyover path live above the terrain surface), so a
-// mismatched spec aims queries at the wrong surface. With -check every
-// response body is normalized (elapsed_ms and cache outcome zeroed) and
-// hashed per query; repeats of the same query must answer identically —
-// the load-level form of the fleet identity guarantee.
+// mismatched spec aims queries at the wrong surface. The "session"
+// scenario replays short frame-coherent /flyover legs instead of per-eye
+// /viewshed queries, exercising the server's session reuse machinery
+// under load. With -check every response body is normalized (elapsed_ms,
+// cache outcome, and the session reuse ledger zeroed) and hashed per
+// query; repeats of the same query must answer identically — the
+// load-level form of the fleet identity guarantee.
 //
 // Soak runs can script membership churn against a router's /adminz
 // surface mid-run with repeatable -churn flags ("add:URL@N" admits a
@@ -105,7 +108,7 @@ func main() {
 	var specs terrainSpecs
 	target := flag.String("target", "http://127.0.0.1:8100", "base URL of the replica or router under load")
 	flag.Var(&specs, "terrain", "terrain spec (repeatable), same syntax and values as hsrserved -terrain")
-	scenario := flag.String("scenario", "mixed", "traffic shape: grid, flyover, or mixed")
+	scenario := flag.String("scenario", "mixed", "traffic shape: grid, flyover, session, or mixed")
 	zipfS := flag.Float64("zipf", 1.2, "terrain-popularity zipf exponent (>1; higher = more skew)")
 	requests := flag.Int("requests", 256, "distinct queries drawn for the scenario")
 	repeats := flag.Int("repeats", 1, "times the query sequence is replayed (steady-state loop)")

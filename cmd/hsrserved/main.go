@@ -44,6 +44,8 @@
 //	GET /terrains  JSON list of registered terrains and their sizes
 //	               (manifest-derived for stores; listing never pages tiles).
 //	GET /viewshed  answer a viewshed query; parameters below.
+//	GET /flyover   answer a camera path as one frame-coherent session;
+//	               parameters below.
 //
 // /viewshed parameters:
 //
@@ -70,6 +72,29 @@
 // JSON through Result.EachPiece and SVG through the library's SVGStream —
 // so even a massive scene is written without materializing a second copy
 // of it. ASCII renders through the same display backend as before.
+//
+// /flyover parameters:
+//
+//	terrain      terrain ID (may be omitted when exactly one is registered)
+//	eye          "x,y,z" waypoint (required; repeat for a multi-leg path)
+//	frames       interpolate the waypoints to this many frames (a single
+//	             eye dwells in place — the replay fast path); omitted, the
+//	             waypoints are flown as given
+//	algorithm    solver name (default "parallel")
+//	mindepth     minimum eye-to-vertex depth (default the library default)
+//	budget       resolution error budget, as for /viewshed
+//	format       json (default) streams every frame: eye, pieces, then the
+//	             frame's reuse ledger (replayed, tiles_reused,
+//	             tiles_reverified, tiles_resolved, verify_failures) and
+//	             timing; svg flies the path and renders the final frame
+//	width        SVG pixel width (default 800)
+//
+// Flyover frames answer through Server.QuerySession: consecutive frames
+// warm-start from each other (identical eyes replay the recorded stream;
+// moving eyes re-solve only tiles whose previous verdict the conservative
+// cone check cannot confirm), and every frame's pieces stay byte-identical
+// to an independent /viewshed of the same eye. Session reuse totals appear
+// on /statsz (SessionFrames, SessionReplays and the tile reuse counters).
 package main
 
 import (

@@ -42,6 +42,10 @@ type Executor struct {
 	part     *tile.Partition
 	idx      *tile.EdgeIndex
 	tileErr  error
+
+	boundsOnce sync.Once
+	bounds     []tile.WorldBox
+	boundsErr  error
 }
 
 // New builds an executor (and its planner) for a terrain.

@@ -30,6 +30,11 @@ const (
 	// are never read. Chosen when a level's estimated resident bytes exceed
 	// the configured residency budget (see NewLevelSet).
 	ModeOutOfCore Mode = "out-of-core"
+	// ModeCoherent runs frames of a flyover session through one of the
+	// pipelines above, warm-started from the previous frame: a bitwise
+	// identical eye replays the recorded stream, and tiled frames verify
+	// and reuse the prior frame's tile verdicts (see PlanSession).
+	ModeCoherent Mode = "coherent"
 )
 
 // Force restricts the planner's engine choice. The zero value plans

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/session"
+	"terrainhsr/internal/terrain"
+	"terrainhsr/internal/tile"
+)
+
+// This file wires flyover sessions (internal/session) into the executor:
+// planning a session's frames, building the frame-invariant per-tile world
+// bounds once, and running each frame through the pipeline the plan chose
+// with the session's coherence state attached.
+
+// PlanSession plans the frames of a flyover session. The request must
+// describe a single perspective frame (any eye — the plan depends only on
+// shape); the returned plan routes every frame of the session and is stamped
+// ModeCoherent over the underlying pipeline it explains.
+func (pl *Planner) PlanSession(req Request) (*Plan, error) {
+	if !req.Perspective || len(req.Eyes) != 1 {
+		return nil, fmt.Errorf("terrainhsr: a session plans one perspective frame at a time, got %d eyes", len(req.Eyes))
+	}
+	p, err := pl.Plan(req)
+	if err != nil {
+		return nil, err
+	}
+	base := p.Mode
+	p.Mode = ModeCoherent
+	p.addReason("flyover session over %s frames: identical eyes replay the recorded stream, moving eyes verify-then-reuse the prior frame's tile verdicts", base)
+	return p, nil
+}
+
+// PlanSession asks the executor's planner for a session plan.
+func (e *Executor) PlanSession(req Request) (*Plan, error) { return e.planner.PlanSession(req) }
+
+// tileBounds builds (once) the frame-invariant world bounding box of every
+// tile, the input to the session cone checks. It requires EnsureTiles.
+func (e *Executor) tileBounds() ([]tile.WorldBox, error) {
+	e.boundsOnce.Do(func() {
+		if e.paged != nil {
+			e.bounds = e.paged.TileBounds(e.part)
+			return
+		}
+		e.bounds, e.boundsErr = tile.TileBounds(e.t, e.part)
+	})
+	return e.bounds, e.boundsErr
+}
+
+// NewSessionState builds the warm state for a flyover session under plan.
+// Tiled plans get per-tile bounds and verdict reuse; monolithic plans get a
+// replay-only session (identical eyes still skip the solve entirely).
+func (e *Executor) NewSessionState(plan *Plan, req Request) (*session.State, error) {
+	if !plan.Tiled {
+		return session.New(0, nil, req.MinDepth), nil
+	}
+	if err := e.EnsureTiles(); err != nil {
+		return nil, err
+	}
+	bounds, err := e.tileBounds()
+	if err != nil {
+		return nil, err
+	}
+	return session.New(e.part.NumTiles(), bounds, req.MinDepth), nil
+}
+
+// RunSessionFrame produces one session frame at req.Eyes[0], streaming its
+// pieces to sink: a replay when the eye matches the previous frame exactly,
+// otherwise a clean solve of the plan's pipeline warm-started from the
+// session state. Output is byte-identical to RunStream of the same frame.
+func (e *Executor) RunSessionFrame(plan *Plan, req Request, st *session.State, sink Sink) (*session.FrameInfo, error) {
+	if !plan.Perspective || len(req.Eyes) != 1 {
+		return nil, fmt.Errorf("terrainhsr: a session frame solves a single eye, got %d", len(req.Eyes))
+	}
+	eye := req.Eyes[0]
+	solve := func(co *tile.Coherence, emit func(hsr.VisiblePiece) error) (int, int64, tile.Stats, error) {
+		if e.paged != nil {
+			g := *e.paged
+			g.View = &geom.PerspectiveTransform{Eye: eye, MinDepth: req.MinDepth}
+			solveFn := func(sub *terrain.Terrain, w int) (*hsr.Result, error) {
+				return Dispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, req.Algorithm, w, e.pool)
+			}
+			res, ts, err := tile.SolvePaged(&g, e.part, solveFn, tile.Options{
+				Workers: plan.WorkersPerFrame, NoCull: e.cfg.NoCull, Emit: emit, Coherence: co,
+			})
+			if err != nil {
+				return 0, 0, tile.Stats{}, err
+			}
+			return res.N, res.Crossings, ts, nil
+		}
+		tt, err := e.frameTerrain(eye, req.MinDepth)
+		if err != nil {
+			return 0, 0, tile.Stats{}, err
+		}
+		if plan.Tiled {
+			solveFn := func(sub *terrain.Terrain, w int) (*hsr.Result, error) {
+				return Dispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, req.Algorithm, w, e.pool)
+			}
+			res, ts, err := tile.Solve(tt, e.part, e.idx, solveFn, tile.Options{
+				Workers: plan.WorkersPerFrame, NoCull: e.cfg.NoCull, Emit: emit, Coherence: co,
+			})
+			if err != nil {
+				return 0, 0, tile.Stats{}, err
+			}
+			return res.N, res.Crossings, ts, nil
+		}
+		res, err := Dispatch(tt, func() (*hsr.Prepared, error) { return hsr.Prepare(tt) }, req.Algorithm, plan.WorkersPerFrame, e.pool)
+		if err != nil {
+			return 0, 0, tile.Stats{}, err
+		}
+		for _, p := range res.Pieces {
+			if err := emit(p); err != nil {
+				return 0, 0, tile.Stats{}, err
+			}
+		}
+		return res.N, res.Crossings, tile.Stats{}, nil
+	}
+	return st.NextFrame(eye, solve, func(p hsr.VisiblePiece) error { return sink(p) })
+}

@@ -28,6 +28,10 @@ type PerspectiveTransform struct {
 	MinDepth float64
 }
 
+// DefaultMinDepth is the depth floor Apply enforces when MinDepth is unset
+// (zero or negative).
+const DefaultMinDepth = 1e-6
+
 // ErrBehindEye is returned when a vertex is at or behind the eye plane.
 var ErrBehindEye = errors.New("geom: terrain vertex at or behind the eye plane")
 
@@ -37,7 +41,7 @@ func (t PerspectiveTransform) Apply(p Pt3) (Pt3, error) {
 	d := p.X - t.Eye.X
 	minD := t.MinDepth
 	if minD <= 0 {
-		minD = 1e-6
+		minD = DefaultMinDepth
 	}
 	if d < minD {
 		return Pt3{}, ErrBehindEye

@@ -45,8 +45,11 @@ type ScenarioOptions struct {
 	// FlyoverFrames is the per-terrain flyover path length (default 8).
 	FlyoverFrames int
 	// Mix selects the stream shape: "grid" (observer-grid stream),
-	// "flyover" (session walking the path in order), or "mixed" (default:
-	// 70% grid draws, 30% flyover steps).
+	// "flyover" (per-eye /viewshed queries walking the path in order),
+	// "session" (short frame-coherent /flyover legs: each draw flies the
+	// terrain's next two waypoints interpolated to four frames, so the
+	// server's session machinery carries state between frames), or "mixed"
+	// (default: 70% grid draws, 30% flyover steps).
 	Mix string
 	// ZipfS is the terrain-popularity skew exponent (> 1; default 1.2).
 	// Higher values concentrate traffic on fewer hot terrains.
@@ -111,6 +114,25 @@ func Scenario(o ScenarioOptions) ([]Request, error) {
 	for q := 0; q < o.Count; q++ {
 		ti := int(zipf.Uint64())
 		p := &pools[ti]
+		id := o.Terrains[ti].ID
+		if o.Mix == "session" {
+			// One short frame-coherent leg: the terrain's next two waypoints
+			// flown as four interpolated frames through /flyover. The leg is
+			// its own session on the server side, so repeats of the same leg
+			// hit the replay fast path while the answer bytes stay fixed.
+			a := p.fly[p.cursor%len(p.fly)]
+			b := p.fly[(p.cursor+1)%len(p.fly)]
+			p.cursor++
+			url := o.BaseURL + "/flyover?terrain=" + id +
+				"&eye=" + fmtEye(a) + "&eye=" + fmtEye(b) + "&frames=4"
+			key := id + "|fly|" + fmtEye(a) + "|" + fmtEye(b)
+			if o.Algorithm != "" {
+				url += "&algorithm=" + o.Algorithm
+				key += "|" + o.Algorithm
+			}
+			out = append(out, Request{URL: url, Key: key})
+			continue
+		}
 		var eye geom.Pt3
 		switch {
 		case o.Mix == "grid" || (o.Mix == "mixed" && r.Float64() < 0.7):
@@ -119,7 +141,6 @@ func Scenario(o ScenarioOptions) ([]Request, error) {
 			eye = p.fly[p.cursor%len(p.fly)]
 			p.cursor++
 		}
-		id := o.Terrains[ti].ID
 		url := o.BaseURL + "/viewshed?terrain=" + id + "&eye=" + fmtEye(eye)
 		key := id + "|" + fmtEye(eye)
 		if o.Algorithm != "" {
@@ -198,17 +219,22 @@ type Report struct {
 	ErrorSamples []string
 }
 
-// volatileFields matches the two response fields that legitimately vary
-// between byte-identical answers: the serving wall clock and the cache
-// outcome (hit vs miss vs coalesced vs bypass). Everything else —
-// terrain, eyes, plan, level, n, k, and every piece byte — must be
-// stable, and the identity check hashes it.
-var volatileFields = regexp.MustCompile(`"(elapsed_ms)": [0-9.eE+-]+|"(cache)": "[a-z]+"`)
+// volatileFields matches the response fields that legitimately vary
+// between byte-identical answers: the serving wall clock, the cache
+// outcome (hit vs miss vs coalesced vs bypass vs session), and a flyover
+// frame's reuse ledger (whether a frame replayed or how many tile verdicts
+// it reused depends on what the serving session happened to remember —
+// never on the pieces it answered). Everything else — terrain, eyes, plan,
+// level, n, k, and every piece byte — must be stable, and the identity
+// check hashes it.
+var volatileFields = regexp.MustCompile(
+	`"(elapsed_ms)": [0-9.eE+-]+|"(cache)": "[a-z]+"|"(replayed)": (?:true|false)` +
+		`|"(tiles_reused|tiles_reverified|tiles_resolved|verify_failures)": [0-9]+`)
 
 // NormalizeBody zeroes the volatile response fields; the rest of the body
 // is the query's identity.
 func NormalizeBody(b []byte) []byte {
-	return volatileFields.ReplaceAll(b, []byte(`"$1$2": 0`))
+	return volatileFields.ReplaceAll(b, []byte(`"$1$2$3$4": 0`))
 }
 
 // HashBody hashes a normalized body (FNV-1a).

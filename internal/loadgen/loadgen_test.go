@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"sync/atomic"
 	"testing"
 
@@ -131,5 +132,58 @@ func TestRunCountsAndChecks(t *testing.T) {
 	}
 	if rec.Extra["error_rate"] < 0.3 || rec.Extra["error_rate"] > 0.35 {
 		t.Fatalf("error_rate = %v, want 1/3", rec.Extra["error_rate"])
+	}
+}
+
+func TestNormalizeBodySessionFields(t *testing.T) {
+	cold := []byte(`{"pieces": [1], "cache": "session", "replayed": false, "tiles_reused": 0, "tiles_reverified": 2, "tiles_resolved": 14, "verify_failures": 2, "k": 7, "elapsed_ms": 3.1}`)
+	warm := []byte(`{"pieces": [1], "cache": "session", "replayed": true, "tiles_reused": 9, "tiles_reverified": 0, "tiles_resolved": 5, "verify_failures": 0, "k": 7, "elapsed_ms": 0.2}`)
+	if string(NormalizeBody(cold)) != string(NormalizeBody(warm)) {
+		t.Fatalf("session reuse ledger survives normalization:\n%s\n%s", NormalizeBody(cold), NormalizeBody(warm))
+	}
+	changed := []byte(`{"pieces": [2], "cache": "session", "replayed": false, "tiles_reused": 0, "tiles_reverified": 2, "tiles_resolved": 14, "verify_failures": 2, "k": 7, "elapsed_ms": 3.1}`)
+	if string(NormalizeBody(cold)) == string(NormalizeBody(changed)) {
+		t.Fatal("a changed piece normalized away")
+	}
+}
+
+func TestScenarioSessionMix(t *testing.T) {
+	tr, err := workload.Generate(workload.Params{Kind: workload.Ridge, Rows: 12, Cols: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ScenarioOptions{
+		BaseURL:  "http://x",
+		Terrains: []NamedTerrain{{ID: "alps", T: tr}},
+		Mix:      "session",
+		Count:    12,
+	}
+	a, err := Scenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scenario(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs between same-seed draws", i)
+		}
+		url := a[i].URL
+		if !containsParam(url, "terrain=alps") || !containsParam(url, "frames=4") {
+			t.Fatalf("session request %d malformed: %s", i, url)
+		}
+		if got := len(regexp.MustCompile(`[?&]eye=`).FindAllString(url, -1)); got != 2 {
+			t.Fatalf("session request %d has %d eye waypoints, want 2: %s", i, got, url)
+		}
+		if !regexp.MustCompile(`^http://x/flyover\?`).MatchString(url) {
+			t.Fatalf("session request %d does not target /flyover: %s", i, url)
+		}
+	}
+	// Consecutive legs walk the flyover path: the second leg starts where
+	// the first ended.
+	if a[0].URL == a[1].URL {
+		t.Fatal("session cursor did not advance between draws")
 	}
 }

@@ -16,6 +16,10 @@
 //	GET /viewshed  answer a viewshed query (JSON, SVG or ASCII; single or
 //	               multi-eye batches; optional progressive coarse-then-exact
 //	               streaming; see cmd/hsrserved for the parameter list).
+//	GET /flyover   answer a camera path as a frame-coherent session
+//	               (Server.QuerySession): frames warm-start from each other
+//	               and stream as framed JSON, or render the final frame as
+//	               SVG; see cmd/hsrserved for the parameter list.
 //
 // The package also owns the -terrain / -store spec parsing (BuildTerrain,
 // ParseStoreSpec) so the serving binary, the load generator and the tests

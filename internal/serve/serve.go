@@ -24,6 +24,7 @@ func New(srv *terrainhsr.Server) http.Handler {
 	mux.HandleFunc("/statsz", h.statsz)
 	mux.HandleFunc("/terrains", h.terrains)
 	mux.HandleFunc("/viewshed", h.viewshed)
+	mux.HandleFunc("/flyover", h.flyover)
 	return mux
 }
 
@@ -456,6 +457,271 @@ func (h *handler) viewshedMany(w http.ResponseWriter, base terrainhsr.Query, eye
 		})
 	}
 	writeJSON(w, out)
+}
+
+// maxFlyoverFrames bounds the frames parameter of one /flyover request.
+const maxFlyoverFrames = 4096
+
+// flyover answers a camera path as one frame-coherent session
+// (Server.QuerySession): each frame warm-starts from the one before —
+// identical eyes replay, moving eyes reuse verified tile verdicts — and the
+// pieces of every frame are byte-identical to an independent /viewshed of
+// the same eye. Parameters: terrain, eye (repeated waypoints), frames
+// (optional: interpolate the waypoints to this many frames, or dwell a
+// single eye), algorithm, mindepth, budget, format (json streams every
+// frame; svg flies the whole path and renders the final frame).
+func (h *handler) flyover(w http.ResponseWriter, r *http.Request) {
+	qv := r.URL.Query()
+	id := qv.Get("terrain")
+	if id == "" {
+		ids := h.srv.TerrainIDs()
+		if len(ids) != 1 {
+			httpErr(w, http.StatusBadRequest, "terrain parameter required (registered: %s)", strings.Join(ids, ", "))
+			return
+		}
+		id = ids[0]
+	}
+	minDepth := 0.0
+	if v := qv.Get("mindepth"); v != "" {
+		var err error
+		if minDepth, err = strconv.ParseFloat(v, 64); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad mindepth %q", v)
+			return
+		}
+	}
+	budget := 0.0
+	if v := qv.Get("budget"); v != "" {
+		var err error
+		if budget, err = strconv.ParseFloat(v, 64); err != nil {
+			httpErr(w, http.StatusBadRequest, "bad budget %q", v)
+			return
+		}
+	}
+	base := terrainhsr.Query{
+		TerrainID:   id,
+		Algorithm:   terrainhsr.Algorithm(qv.Get("algorithm")),
+		MinDepth:    minDepth,
+		ErrorBudget: budget,
+	}
+	var eyes []terrainhsr.Point
+	for _, part := range qv["eye"] {
+		eye, err := parseEye(part)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "bad eye entry %q: %v", part, err)
+			return
+		}
+		eyes = append(eyes, eye)
+	}
+	if len(eyes) == 0 {
+		httpErr(w, http.StatusBadRequest, "eye parameter required (x,y,z; repeat for waypoints)")
+		return
+	}
+	frames := intParam(qv.Get("frames"), 0)
+	if frames > maxFlyoverFrames {
+		httpErr(w, http.StatusBadRequest, "frames %d exceeds the limit %d", frames, maxFlyoverFrames)
+		return
+	}
+	path := flyoverPath(eyes, frames)
+	switch format := qv.Get("format"); format {
+	case "", "json":
+		h.flyoverJSON(w, base, path)
+	case "svg":
+		h.flyoverSVG(w, base, path, intParam(qv.Get("width"), 800))
+	default:
+		httpErr(w, http.StatusBadRequest, "unknown format %q (json, svg)", format)
+	}
+}
+
+// flyoverPath expands the eye waypoints into the flown path: no frames
+// parameter flies the waypoints as given, a single eye dwells in place for
+// frames frames (the replay fast path), and several eyes interpolate along
+// the piecewise-linear route (WaypointPath's arc-length parameterization).
+func flyoverPath(eyes []terrainhsr.Point, frames int) []terrainhsr.Point {
+	if frames <= 0 || frames == len(eyes) {
+		return eyes
+	}
+	if len(eyes) == 1 {
+		out := make([]terrainhsr.Point, frames)
+		for i := range out {
+			out[i] = eyes[0]
+		}
+		return out
+	}
+	return terrainhsr.WaypointPath(eyes, frames).Viewpoints()
+}
+
+// flyoverFrameMeta is the trailing field block of one /flyover JSON frame —
+// everything known only after the frame solved; the frame's pieces stream
+// before it, so nothing is buffered per frame.
+type flyoverFrameMeta struct {
+	QuantizedEye    [3]float64 `json:"quantized_eye"`
+	Cache           string     `json:"cache"`
+	Replayed        bool       `json:"replayed"`
+	TilesReused     int        `json:"tiles_reused"`
+	TilesReverified int        `json:"tiles_reverified"`
+	TilesResolved   int        `json:"tiles_resolved"`
+	VerifyFailures  int        `json:"verify_failures"`
+	Tiled           bool       `json:"tiled"`
+	Level           int        `json:"level"`
+	K               int        `json:"k"`
+	ElapsedMS       float64    `json:"elapsed_ms"`
+}
+
+// flyoverJSON streams the session's frames as one JSON object: a "frames"
+// array whose entries open with the requested eye, stream their pieces, and
+// close with the frame's metadata (reuse ledger, timing). The prologue is
+// written only once the first frame produces output, so a failing first
+// frame still gets a proper error status.
+func (h *handler) flyoverJSON(w http.ResponseWriter, base terrainhsr.Query, path []terrainhsr.Point) {
+	wrote := false
+	k := 0
+	openFrame := func(i int, eye terrainhsr.Point) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/json")
+			if _, err := fmt.Fprintf(w, "{\n  \"terrain\": %q,\n  \"frames\": [", base.TerrainID); err != nil {
+				return err
+			}
+			wrote = true
+		}
+		sep := ",\n    "
+		if i == 0 {
+			sep = "\n    "
+		}
+		eb, err := json.Marshal([3]float64{eye.X, eye.Y, eye.Z})
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s{\n      \"eye\": %s,\n      \"pieces\": [", sep, eb)
+		return err
+	}
+	for i, eye := range path {
+		q := base
+		q.Eye = eye
+		opened, pieceFirst := false, true
+		t0 := time.Now()
+		qr, err := h.srv.QuerySession(q, func(p terrainhsr.Piece) error {
+			if !opened {
+				if err := openFrame(i, eye); err != nil {
+					return err
+				}
+				opened = true
+			}
+			b, err := json.Marshal(p)
+			if err != nil {
+				return err
+			}
+			sep := ",\n        "
+			if pieceFirst {
+				sep, pieceFirst = "\n        ", false
+			}
+			if _, err := io.WriteString(w, sep); err != nil {
+				return err
+			}
+			k++
+			_, err = w.Write(b)
+			return err
+		})
+		if err != nil {
+			if !wrote {
+				httpErr(w, queryStatus(err), "%v", err)
+				return
+			}
+			log.Printf("serve: flyover stream truncated: %v", err)
+			return
+		}
+		if !opened { // a frame with no visible pieces still appears
+			if err := openFrame(i, eye); err != nil {
+				return
+			}
+		}
+		meta := flyoverFrameMeta{
+			QuantizedEye: [3]float64{qr.Eye.X, qr.Eye.Y, qr.Eye.Z},
+			Cache:        qr.Cache,
+			Tiled:        qr.Tiled,
+			Level:        qr.Level,
+			K:            k,
+			ElapsedMS:    float64(time.Since(t0).Microseconds()) / 1000,
+		}
+		k = 0
+		if qr.Reuse != nil {
+			meta.Replayed = qr.Reuse.Replayed
+			meta.TilesReused = qr.Reuse.TilesReused
+			meta.TilesReverified = qr.Reuse.TilesReverified
+			meta.TilesResolved = qr.Reuse.TilesResolved
+			meta.VerifyFailures = qr.Reuse.VerifyFailures
+		}
+		mb, err := json.MarshalIndent(meta, "    ", "  ")
+		if err != nil {
+			log.Printf("serve: encode: %v", err)
+			return
+		}
+		// Close the pieces array and splice the metadata fields into the
+		// still-open frame object (MarshalIndent's closing brace ends it).
+		closer := "\n      ],"
+		if pieceFirst {
+			closer = "],"
+		}
+		if _, err := io.WriteString(w, closer); err != nil {
+			return
+		}
+		if _, err := w.Write(bytes.TrimPrefix(mb, []byte("{"))); err != nil {
+			return
+		}
+	}
+	io.WriteString(w, "\n  ]\n}\n")
+}
+
+// flyoverSVG flies the whole path through the session and renders the final
+// frame as SVG — the "what do I see when I get there" form. Earlier frames
+// still run (and warm the session); only their pieces are discarded.
+func (h *handler) flyoverSVG(w http.ResponseWriter, base terrainhsr.Query, path []terrainhsr.Point, width int) {
+	var qr *terrainhsr.QueryResult
+	var pieces []terrainhsr.Piece
+	for i, eye := range path {
+		q := base
+		q.Eye = eye
+		sink := func(terrainhsr.Piece) error { return nil }
+		if i == len(path)-1 {
+			sink = func(p terrainhsr.Piece) error { pieces = append(pieces, p); return nil }
+		}
+		var err error
+		if qr, err = h.srv.QuerySession(q, sink); err != nil {
+			httpErr(w, queryStatus(err), "%v", err)
+			return
+		}
+	}
+	tr, err := h.srv.LevelTerrain(base.TerrainID, qr.Level)
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, "terrain for render: %v", err)
+		return
+	}
+	persp, err := tr.FromPerspective(qr.Eye, base.MinDepth)
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, "perspective for render: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	stream, err := terrainhsr.NewSVGStream(w, persp, terrainhsr.RenderOptions{
+		Width: width, ShowHidden: true,
+		Title: fmt.Sprintf("flyover %s, frame %d of %d at %v,%v,%v",
+			base.TerrainID, len(path), len(path), qr.Eye.X, qr.Eye.Y, qr.Eye.Z),
+	})
+	if err != nil {
+		log.Printf("serve: svg render: %v", err)
+		return
+	}
+	streamErr := error(nil)
+	for _, p := range pieces {
+		if streamErr = stream.Piece(p); streamErr != nil {
+			break
+		}
+	}
+	if streamErr == nil {
+		streamErr = stream.Close()
+	}
+	if streamErr != nil {
+		log.Printf("serve: svg render: %v", streamErr)
+	}
 }
 
 // parseEye parses "x,y,z".

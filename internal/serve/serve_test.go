@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	terrainhsr "terrainhsr"
+	"terrainhsr/internal/loadgen"
+	"terrainhsr/internal/workload"
+)
+
+// newTestHandler registers one small tiled-routed terrain and returns the
+// HTTP handler over it.
+func newTestHandler(t *testing.T) http.Handler {
+	t.Helper()
+	tr, err := terrainhsr.Generate(terrainhsr.GenParams{Kind: "massive", Rows: 48, Cols: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := terrainhsr.NewServer(terrainhsr.ServerOptions{TileCells: 1024})
+	if err := srv.Register("demo", tr); err != nil {
+		t.Fatal(err)
+	}
+	return New(srv)
+}
+
+// flyoverFrameJSON mirrors one /flyover frame for decoding in tests.
+type flyoverFrameJSON struct {
+	Eye          [3]float64        `json:"eye"`
+	QuantizedEye [3]float64        `json:"quantized_eye"`
+	Pieces       []json.RawMessage `json:"pieces"`
+	Cache        string            `json:"cache"`
+	Replayed     bool              `json:"replayed"`
+	TilesReused  int               `json:"tiles_reused"`
+	K            int               `json:"k"`
+}
+
+func getFlyover(t *testing.T, h http.Handler, url string) ([]byte, int) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec.Body.Bytes(), rec.Code
+}
+
+func TestFlyoverJSONStreamsFrames(t *testing.T) {
+	h := newTestHandler(t)
+	// Two waypoints interpolated to 4 frames, then the hand-built JSON must
+	// parse and each frame must report k == len(pieces).
+	body, code := getFlyover(t, h,
+		"/flyover?terrain=demo&eye=-34,24.4,8&eye=-20,24.4,7&frames=4&mindepth=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Terrain string             `json:"terrain"`
+		Frames  []flyoverFrameJSON `json:"frames"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("response is not valid JSON: %v\n%s", err, body)
+	}
+	if resp.Terrain != "demo" || len(resp.Frames) != 4 {
+		t.Fatalf("terrain %q with %d frames, want demo with 4", resp.Terrain, len(resp.Frames))
+	}
+	for i, f := range resp.Frames {
+		if f.Cache != "session" {
+			t.Fatalf("frame %d cache %q, want session", i, f.Cache)
+		}
+		if f.K != len(f.Pieces) {
+			t.Fatalf("frame %d reports k=%d but streamed %d pieces", i, f.K, len(f.Pieces))
+		}
+		if f.Replayed {
+			t.Fatalf("frame %d of a moving path claims a replay", i)
+		}
+	}
+}
+
+func TestFlyoverDwellReplays(t *testing.T) {
+	h := newTestHandler(t)
+	body, code := getFlyover(t, h, "/flyover?terrain=demo&eye=-34,24.4,8&frames=3&mindepth=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp struct {
+		Frames []flyoverFrameJSON `json:"frames"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("response is not valid JSON: %v\n%s", err, body)
+	}
+	if len(resp.Frames) != 3 {
+		t.Fatalf("%d frames, want 3", len(resp.Frames))
+	}
+	if resp.Frames[0].Replayed {
+		t.Fatal("first frame replayed")
+	}
+	for i, f := range resp.Frames[1:] {
+		if !f.Replayed {
+			t.Fatalf("dwell frame %d did not replay", i+1)
+		}
+		if len(f.Pieces) != len(resp.Frames[0].Pieces) {
+			t.Fatalf("replayed frame %d has %d pieces, first frame %d",
+				i+1, len(f.Pieces), len(resp.Frames[0].Pieces))
+		}
+	}
+}
+
+func TestFlyoverSVGRendersFinalFrame(t *testing.T) {
+	h := newTestHandler(t)
+	body, code := getFlyover(t, h,
+		"/flyover?terrain=demo&eye=-34,24.4,8&eye=-30,24.4,7.5&format=svg&mindepth=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	s := string(body)
+	if !strings.Contains(s, "<svg") || !strings.Contains(s, "</svg>") {
+		t.Fatalf("response is not an SVG document:\n%.200s", s)
+	}
+	if !strings.Contains(s, "frame 2 of 2") {
+		t.Fatalf("SVG title does not name the final frame:\n%.300s", s)
+	}
+}
+
+func TestFlyoverErrors(t *testing.T) {
+	h := newTestHandler(t)
+	for _, tc := range []struct {
+		url  string
+		code int
+	}{
+		{"/flyover?terrain=nope&eye=-34,24.4,8", http.StatusNotFound},
+		{"/flyover?terrain=demo", http.StatusBadRequest},
+		{"/flyover?terrain=demo&eye=bogus", http.StatusBadRequest},
+		{"/flyover?terrain=demo&eye=-34,24.4,8&frames=99999", http.StatusBadRequest},
+		{"/flyover?terrain=demo&eye=-34,24.4,8&format=ascii", http.StatusBadRequest},
+	} {
+		if _, code := getFlyover(t, h, tc.url); code != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.url, code, tc.code)
+		}
+	}
+}
+
+// TestFlyoverSessionLoadIdentity drives the session scenario end to end:
+// loadgen's /flyover legs replayed several times over concurrent workers
+// against a real handler must normalize to identical bodies — the reuse
+// ledger varies with what the serving session remembers, the pieces never
+// do.
+func TestFlyoverSessionLoadIdentity(t *testing.T) {
+	spec := "id=demo,kind=massive,rows=48,cols=48,seed=7"
+	id, tr, err := BuildTerrain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := terrainhsr.NewServer(terrainhsr.ServerOptions{TileCells: 1024})
+	if err := srv.Register(id, tr); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(New(srv))
+	defer hs.Close()
+
+	_, p, err := workload.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := loadgen.Scenario(loadgen.ScenarioOptions{
+		BaseURL:  hs.URL,
+		Terrains: []loadgen.NamedTerrain{{ID: id, T: wt}},
+		Mix:      "session",
+		Count:    6,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.Run(loadgen.Options{Workers: 2, Repeats: 3, CheckBodies: true}, reqs)
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors: %v", rep.Errors, rep.ErrorSamples)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d identity mismatches across session repeats", rep.Mismatches)
+	}
+	if st := srv.Stats(); st.SessionFrames == 0 {
+		t.Fatalf("no session frames counted: %+v", st)
+	}
+}

@@ -1,0 +1,125 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/tile"
+)
+
+// fakeSolve returns a SolveFrameFunc that emits pieces derived from the
+// call count, so replays (which bypass it) are distinguishable from solves.
+func fakeSolve(calls *int) SolveFrameFunc {
+	return func(co *tile.Coherence, emit func(hsr.VisiblePiece) error) (int, int64, tile.Stats, error) {
+		*calls++
+		for i := 0; i < 3; i++ {
+			pc := hsr.VisiblePiece{Edge: int32(*calls*10 + i)}
+			if err := emit(pc); err != nil {
+				return 0, 0, tile.Stats{}, err
+			}
+		}
+		return 7, int64(*calls), tile.Stats{}, nil
+	}
+}
+
+func TestReplayOnlyProtocol(t *testing.T) {
+	s := New(0, nil, 0)
+	if s.Warm() {
+		t.Fatal("fresh session claims warm state")
+	}
+	calls := 0
+	solve := fakeSolve(&calls)
+	collect := func(dst *[]hsr.VisiblePiece) func(hsr.VisiblePiece) error {
+		return func(p hsr.VisiblePiece) error { *dst = append(*dst, p); return nil }
+	}
+
+	eyeA := geom.Pt3{X: -5, Y: 1, Z: 2}
+	var first []hsr.VisiblePiece
+	fi, err := s.NextFrame(eyeA, solve, collect(&first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Replayed || calls != 1 || fi.K != 3 || fi.N != 7 {
+		t.Fatalf("first frame: %+v after %d solves", fi, calls)
+	}
+
+	// Same eye: replayed, solve not called, pieces identical.
+	var again []hsr.VisiblePiece
+	fi, err = s.NextFrame(eyeA, solve, collect(&again))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.Replayed || calls != 1 {
+		t.Fatalf("replay frame: %+v after %d solves", fi, calls)
+	}
+	if len(again) != len(first) {
+		t.Fatalf("replayed %d pieces, recorded %d", len(again), len(first))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("replayed piece %d differs", i)
+		}
+	}
+
+	// Moving eye: a fresh solve, new recording.
+	eyeB := geom.Pt3{X: -4, Y: 1, Z: 2}
+	var moved []hsr.VisiblePiece
+	fi, err = s.NextFrame(eyeB, solve, collect(&moved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Replayed || calls != 2 || moved[0].Edge != 20 {
+		t.Fatalf("moving frame: %+v, calls=%d, first edge %d", fi, calls, moved[0].Edge)
+	}
+
+	tot := s.Totals()
+	if tot.Frames != 3 || tot.Replays != 1 {
+		t.Fatalf("totals %+v, want 3 frames / 1 replay", tot)
+	}
+}
+
+func TestErrorInvalidatesWarmState(t *testing.T) {
+	s := New(0, nil, 0)
+	calls := 0
+	solve := fakeSolve(&calls)
+	eye := geom.Pt3{X: -5}
+	if _, err := s.NextFrame(eye, solve, func(hsr.VisiblePiece) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Warm() {
+		t.Fatal("session cold after a committed frame")
+	}
+	boom := fmt.Errorf("emit failed")
+	failing := func(co *tile.Coherence, emit func(hsr.VisiblePiece) error) (int, int64, tile.Stats, error) {
+		return 0, 0, tile.Stats{}, boom
+	}
+	if _, err := s.NextFrame(geom.Pt3{X: -4}, failing, func(hsr.VisiblePiece) error { return nil }); err == nil {
+		t.Fatal("solve error swallowed")
+	}
+	if s.Warm() {
+		t.Fatal("warm state survived a failed solve")
+	}
+	// The eye of the failed frame must not replay afterwards.
+	fi, err := s.NextFrame(geom.Pt3{X: -4}, solve, func(hsr.VisiblePiece) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Replayed {
+		t.Fatal("frame after a failure replayed a dropped recording")
+	}
+}
+
+func TestMismatchedBoundsDisableReuse(t *testing.T) {
+	// New guards against a tiles/bounds mismatch by degrading to
+	// replay-only instead of indexing out of range later.
+	s := New(9, make([]tile.WorldBox, 4), 1)
+	calls := 0
+	if _, err := s.NextFrame(geom.Pt3{X: -5}, fakeSolve(&calls), func(hsr.VisiblePiece) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Totals().Reuse; got != (tile.ReuseStats{}) {
+		t.Fatalf("mismatched bounds still produced reuse stats: %+v", got)
+	}
+}

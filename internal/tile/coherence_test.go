@@ -1,0 +1,307 @@
+package tile
+
+import (
+	"math"
+	"testing"
+
+	"terrainhsr/internal/envelope"
+	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/workload"
+)
+
+// grazingEyes is a low flyover across a size x size terrain: low enough
+// that the front silhouette hides many tiles, so cone checks and verdict
+// reuse have work to do.
+func grazingEyes(size, frames int, z0, z1 float64) []geom.Pt3 {
+	ext := float64(size)
+	return geom.LinePts(
+		geom.Pt3{X: -0.7 * ext, Y: 0.5*ext + 0.37, Z: z0},
+		geom.Pt3{X: -0.4 * ext, Y: 0.5*ext + 0.37, Z: z1},
+		frames)
+}
+
+// TestConeCheckSoundness is the identity-preserving direction of the cone
+// check: whenever Cone passes against a front envelope, the exact per-tile
+// cull check (over the transformed extent) must pass too. It walks real
+// flyover frames, compares both checks against the true solve front at
+// every band, and fails on any tile the cone would cull but the exact check
+// keeps. It also demands the cone confirms a decent share of the exact
+// culls — a sound check that never passes would be useless.
+func TestConeCheckSoundness(t *testing.T) {
+	size := 128
+	tr := genGrid(t, workload.Massive, size, size, 17)
+	p, err := NewPartition(size, size, Spec{TileRows: 16, TileCols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes, err := TileBounds(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewEdgeIndex(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactTotal, coneTotal := 0, 0
+	for f, eye := range grazingEyes(size, 4, 11, 9) {
+		pt := geom.PerspectiveTransform{Eye: eye, MinDepth: 1}
+		tt, err := tr.TransformShared(pt.Apply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := &bandState{}
+		var stats Stats
+		for b := 0; b < p.NumBands; b++ {
+			r0, r1 := p.BandRows(b)
+			ivs := cellIntervals(tt, r0, r1)
+			outcomes := make([]*tileOutcome, p.NumCols)
+			for c := 0; c < p.NumCols; c++ {
+				_, _, c0, c1 := p.TileCells(b, c)
+				owned, maxZ := ownedExtent(tt, r0, r1, c0, c1)
+				exact := bs.front.CoversAbove(owned.lo, owned.hi, maxZ)
+				lo, hi, zc, ok := boxes[b*p.NumCols+c].Cone(eye, 1)
+				cone := ok && bs.front.CoversAbove(lo, hi, zc)
+				if cone && !exact {
+					t.Fatalf("frame %d band %d col %d: cone check culls a tile the exact check keeps", f, b, c)
+				}
+				if exact {
+					exactTotal++
+					if cone {
+						coneTotal++
+					}
+					outcomes[c] = &tileOutcome{culled: true}
+					continue
+				}
+				oc, err := solveTile(tt, p, idx, b, c, r0, r1, ivs, bs.front, seqSolve, 1, false, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				outcomes[c] = oc
+			}
+			if err := bs.finishBand(b, outcomes, &stats); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if exactTotal == 0 {
+		t.Fatal("grazing flyover culled no tiles; workload too easy to test anything")
+	}
+	if coneTotal*2 < exactTotal {
+		t.Fatalf("cone confirmed only %d of %d exact culls; too conservative to be useful", coneTotal, exactTotal)
+	}
+}
+
+// TestSeedNilIsNoOp pins that a nil seed leaves the solve untouched:
+// byte-identical pieces and stats with and without the field set.
+func TestSeedNilIsNoOp(t *testing.T) {
+	tr := genGrid(t, workload.Massive, 40, 40, 3)
+	p, err := NewPartition(40, 40, Spec{TileRows: 10, TileCols: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, sa, err := Solve(tr, p, nil, seqSolve, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := Solve(tr, p, nil, seqSolve, Options{Workers: 1, Seed: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pieces) != len(b.Pieces) || sa != sb {
+		t.Fatalf("nil seed changed the solve: %d vs %d pieces, %+v vs %+v", len(a.Pieces), len(b.Pieces), sa, sb)
+	}
+	for i := range a.Pieces {
+		if a.Pieces[i] != b.Pieces[i] {
+			t.Fatalf("piece %d differs under nil seed", i)
+		}
+	}
+}
+
+// TestSeedClipsLikeFront checks the seed semantics: solving with a seed
+// envelope equals solving without it and then clipping every piece against
+// the seed — pointwise, sampled along each piece (the envelope's byte
+// representation is not merge-order-associative, so byte comparison would
+// overconstrain; visibility is what the seed contract promises).
+func TestSeedClipsLikeFront(t *testing.T) {
+	tr := genGrid(t, workload.Massive, 40, 40, 5)
+	p, err := NewPartition(40, 40, Spec{TileRows: 10, TileCols: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A seed profile covering the left half of the image at a height that
+	// hides part of the terrain.
+	seed := envelope.BuildUpperEnvelope([]geom.Seg2{
+		{A: geom.Pt2{X: -100, Z: 3}, B: geom.Pt2{X: 20, Z: 3}},
+	}, envelope.NoEdge)
+
+	plain, _, err := Solve(tr, p, nil, seqSolve, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, sst, err := Solve(tr, p, nil, seqSolve, Options{Workers: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: clip the plain result's pieces against the seed.
+	var want []hsr.VisiblePiece
+	for _, pc := range plain.Pieces {
+		want, _ = appendClipped(want, pc, seed)
+	}
+	sortVisible(want)
+	if len(want) != len(seeded.Pieces) {
+		t.Fatalf("seeded solve has %d pieces, clip-after reference %d", len(seeded.Pieces), len(want))
+	}
+	for i := range want {
+		a, b := want[i], seeded.Pieces[i]
+		if a.Edge != b.Edge {
+			t.Fatalf("piece %d: edge %d vs %d", i, a.Edge, b.Edge)
+		}
+		if math.Abs(a.Span.X1-b.Span.X1) > 1e-9 || math.Abs(a.Span.X2-b.Span.X2) > 1e-9 ||
+			math.Abs(a.Span.Z1-b.Span.Z1) > 1e-9 || math.Abs(a.Span.Z2-b.Span.Z2) > 1e-9 {
+			t.Fatalf("piece %d: %+v vs %+v", i, a.Span, b.Span)
+		}
+	}
+	if sst.EnvelopeSize == 0 {
+		t.Fatal("seeded solve reports empty final envelope")
+	}
+
+	// A seed covering everything suppresses all output and all solving.
+	total := envelope.BuildUpperEnvelope([]geom.Seg2{
+		{A: geom.Pt2{X: -1e6, Z: 1e6}, B: geom.Pt2{X: 1e6, Z: 1e6}},
+	}, envelope.NoEdge)
+	none, nst, err := Solve(tr, p, nil, seqSolve, Options{Workers: 1, Seed: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none.Pieces) != 0 || nst.TilesSolved != 0 {
+		t.Fatalf("total seed left %d pieces, %d solved tiles", len(none.Pieces), nst.TilesSolved)
+	}
+}
+
+// TestCoherentSolveIdenticalAndVerdictsRecorded runs a flyover through
+// Solve with Coherence and checks (a) byte-identity against the plain solve
+// at every frame, (b) verdicts recorded for every tile, and (c) counters
+// consistent: reused + reverified + resolved + plain culls account for all
+// tiles, and reuse happens.
+func TestCoherentSolveIdenticalAndVerdictsRecorded(t *testing.T) {
+	size := 96
+	tr := genGrid(t, workload.Massive, size, size, 17)
+	p, err := NewPartition(size, size, Spec{TileRows: 16, TileCols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewEdgeIndex(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes, err := TileBounds(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []Verdict
+	totalReused := 0
+	for f, eye := range grazingEyes(size, 4, 9, 7) {
+		pt := geom.PerspectiveTransform{Eye: eye, MinDepth: 1}
+		tt, err := tr.TransformShared(pt.Apply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, pst, err := Solve(tt, p, idx, seqSolve, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		co := &Coherence{Bounds: boxes, Eye: eye, MinDepth: 1, Prev: prev}
+		coh, cst, err := Solve(tt, p, idx, seqSolve, Options{Workers: 1, Coherence: co})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain.Pieces) != len(coh.Pieces) {
+			t.Fatalf("frame %d: %d vs %d pieces", f, len(plain.Pieces), len(coh.Pieces))
+		}
+		for i := range plain.Pieces {
+			if plain.Pieces[i] != coh.Pieces[i] {
+				t.Fatalf("frame %d piece %d: %+v vs %+v", f, i, plain.Pieces[i], coh.Pieces[i])
+			}
+		}
+		if pst != cst {
+			t.Fatalf("frame %d: stats diverge: %+v vs %+v", f, pst, cst)
+		}
+		for ti, v := range co.Out {
+			if v == VerdictNone {
+				t.Fatalf("frame %d: tile %d has no verdict", f, ti)
+			}
+		}
+		if co.Stats.TilesResolved != cst.TilesSolved {
+			t.Fatalf("frame %d: %d resolved vs %d solved", f, co.Stats.TilesResolved, cst.TilesSolved)
+		}
+		if got := co.Final.Size(); got != cst.EnvelopeSize {
+			t.Fatalf("frame %d: Final has %d pieces, stats say %d", f, got, cst.EnvelopeSize)
+		}
+		if f > 0 && co.Stats.TilesReused+co.Stats.VerifyFailures == 0 {
+			t.Fatalf("frame %d: no verification attempted despite prior verdicts", f)
+		}
+		totalReused += co.Stats.TilesReused
+		prev = co.Out
+	}
+	if totalReused == 0 {
+		t.Fatal("no tile verdict was ever reused over the grazing flyover")
+	}
+}
+
+// TestPagedCoherentSolveIdentical mirrors the coherent-identity check on
+// the paged path: SolvePaged with Coherence and bounds from
+// PagedGrid.TileBounds stays byte-identical to the plain paged solve.
+func TestPagedCoherentSolveIdentical(t *testing.T) {
+	rows, cols := 48, 48
+	p, err := NewPartition(rows, cols, Spec{TileRows: 16, TileCols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := PagedGrid{Rows: rows, Cols: cols, Cell: 1,
+		Src: newMemSource(rows+1, cols+1, testHeights)}
+	boxes := base.TileBounds(p)
+	for _, wb := range boxes {
+		if !wb.Valid {
+			t.Fatal("memSource bounds every rectangle; TileBounds dropped one")
+		}
+	}
+
+	var prev []Verdict
+	reused := 0
+	eyes := []geom.Pt3{
+		{X: -20, Y: 24.3, Z: 12},
+		{X: -18, Y: 24.3, Z: 11},
+		{X: -16, Y: 24.3, Z: 10},
+	}
+	for f, eye := range eyes {
+		view := &geom.PerspectiveTransform{Eye: eye, MinDepth: 1}
+		g := base
+		g.View = view
+		plain, pst, err := SolvePaged(&g, p, seqSolve, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		co := &Coherence{Bounds: boxes, Eye: eye, MinDepth: 1, Prev: prev}
+		g2 := base
+		g2.View = view
+		coh, cst, err := SolvePaged(&g2, p, seqSolve, Options{Workers: 1, Coherence: co})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain.Pieces) != len(coh.Pieces) || pst != cst {
+			t.Fatalf("frame %d: paged coherent solve diverges (%d vs %d pieces)", f, len(plain.Pieces), len(coh.Pieces))
+		}
+		for i := range plain.Pieces {
+			if plain.Pieces[i] != coh.Pieces[i] {
+				t.Fatalf("frame %d piece %d differs", f, i)
+			}
+		}
+		reused += co.Stats.TilesReused
+		prev = co.Out
+	}
+	if reused == 0 {
+		t.Fatal("paged flyover reused no verdicts")
+	}
+}

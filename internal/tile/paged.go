@@ -185,7 +185,11 @@ func SolvePaged(g *PagedGrid, p *Partition, solve SolveFunc, opt Options) (*hsr.
 
 	stats.Bands, stats.Tiles = p.NumBands, p.NumTiles()
 
-	bs := &bandState{emit: opt.Emit}
+	co := opt.Coherence
+	if co != nil {
+		co.prepare(p.NumTiles())
+	}
+	bs := &bandState{emit: opt.Emit, front: opt.Seed, co: co, cols: p.NumCols}
 	for b := 0; b < p.NumBands; b++ {
 		r0, r1 := p.BandRows(b)
 		ys, err := g.vertexYs(r0, r1)
@@ -201,7 +205,7 @@ func SolvePaged(g *PagedGrid, p *Partition, solve SolveFunc, opt Options) (*hsr.
 			if failed.Load() {
 				return
 			}
-			oc, err := solvePagedTile(g, p, b, c, r0, r1, ys, ivs, bs.front, solve, subWorkers, opt.NoCull)
+			oc, err := solvePagedTile(g, p, b, c, r0, r1, ys, ivs, bs.front, solve, subWorkers, opt.NoCull, co)
 			if err != nil {
 				errs[c] = err
 				failed.Store(true)
@@ -214,7 +218,7 @@ func SolvePaged(g *PagedGrid, p *Partition, solve SolveFunc, opt Options) (*hsr.
 				return nil, stats, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
 			}
 		}
-		if err := bs.finishBand(outcomes, &stats); err != nil {
+		if err := bs.finishBand(b, outcomes, &stats); err != nil {
 			return nil, stats, err
 		}
 		// The band's silhouette is merged; rows in front of r1 can no longer
@@ -226,14 +230,24 @@ func SolvePaged(g *PagedGrid, p *Partition, solve SolveFunc, opt Options) (*hsr.
 
 // solvePagedTile runs one tile of the paged solve. The cull check uses only
 // the Y table and the source's height bound; heights are requested (and
-// counted by the source) only when the tile survives.
-func solvePagedTile(g *PagedGrid, p *Partition, b, c, r0, r1 int, ys [][]float64, ivs [][]yiv, front envelope.Profile, solve SolveFunc, workers int, noCull bool) (*tileOutcome, error) {
+// counted by the source) only when the tile survives. With coherence active,
+// a tile with a reusable prior verdict first tries the cone check against
+// its frame-invariant world box — built from the same grid geometry and the
+// same MaxHeight bound — which costs no paging either.
+func solvePagedTile(g *PagedGrid, p *Partition, b, c, r0, r1 int, ys [][]float64, ivs [][]yiv, front envelope.Profile, solve SolveFunc, workers int, noCull bool, co *Coherence) (*tileOutcome, error) {
 	_, _, c0, c1 := p.TileCells(b, c)
+	verifyFailed := false
+	if co != nil && !noCull && co.reusable(b*p.NumCols+c) {
+		if lo, hi, z, ok := co.Bounds[b*p.NumCols+c].Cone(co.Eye, co.MinDepth); ok && front.CoversAbove(lo, hi, z) {
+			return &tileOutcome{culled: true, reused: true}, nil
+		}
+		verifyFailed = true
+	}
 	owned := pagedOwnedIV(ys, r0, r1, c0, c1)
 	if !noCull {
 		if maxH, ok := g.Src.MaxHeight(r0, r1, c0, c1); ok {
 			if front.CoversAbove(owned.lo, owned.hi, g.zUpper(r0, r1, maxH)) {
-				return &tileOutcome{culled: true}, nil
+				return &tileOutcome{culled: true, verifyFailed: verifyFailed}, nil
 			}
 		}
 	}
@@ -245,7 +259,7 @@ func solvePagedTile(g *PagedGrid, p *Partition, b, c, r0, r1 int, ys [][]float64
 	if err != nil {
 		return nil, err
 	}
-	oc := &tileOutcome{counters: res.Counters, crossings: res.Crossings}
+	oc := &tileOutcome{counters: res.Counters, crossings: res.Crossings, verifyFailed: verifyFailed}
 	for _, pc := range res.Pieces {
 		if !sub.owned[pc.Edge] {
 			continue // a halo edge: some other tile owns and reports it

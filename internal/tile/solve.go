@@ -38,6 +38,16 @@ type Options struct {
 	// canonically yields exactly the pieces a materializing solve returns.
 	// An Emit error aborts the solve.
 	Emit func(p hsr.VisiblePiece) error
+	// Seed, when non-empty, initializes the front envelope: the solve
+	// behaves as if an occluder with this silhouette stood in front of the
+	// whole terrain, culling and clipping against it exactly as against
+	// earlier bands. Callers that already hold the profile of terrain in
+	// front (a flyover session, a stacked solve) pass it here instead of
+	// re-deriving it. The seed is read, never mutated.
+	Seed envelope.Profile
+	// Coherence, when non-nil, activates frame-coherent verify-then-reuse
+	// and verdict recording; see the Coherence type.
+	Coherence *Coherence
 }
 
 // Stats reports how a tiled solve spent its effort.
@@ -61,6 +71,10 @@ type tileOutcome struct {
 	counters  metrics.Counters
 	crossings int64
 	culled    bool
+	// reused marks a cull decided by a passed cone check (no extent scan);
+	// verifyFailed marks a tile whose cone check ran and failed.
+	reused       bool
+	verifyFailed bool
 }
 
 // Solve computes the visible scene of a grid terrain by solving row×col
@@ -109,7 +123,11 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 
 	stats.Bands, stats.Tiles = p.NumBands, p.NumTiles()
 
-	bs := &bandState{emit: opt.Emit}
+	co := opt.Coherence
+	if co != nil {
+		co.prepare(p.NumTiles())
+	}
+	bs := &bandState{emit: opt.Emit, front: opt.Seed, co: co, cols: p.NumCols}
 	for b := 0; b < p.NumBands; b++ {
 		r0, r1 := p.BandRows(b)
 		ivs := cellIntervals(t, r0, r1)
@@ -121,7 +139,7 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 			if failed.Load() {
 				return
 			}
-			oc, err := solveTile(t, p, idx, b, c, r0, r1, ivs, bs.front, solve, subWorkers, opt.NoCull)
+			oc, err := solveTile(t, p, idx, b, c, r0, r1, ivs, bs.front, solve, subWorkers, opt.NoCull, co)
 			if err != nil {
 				errs[c] = err
 				failed.Store(true)
@@ -134,7 +152,7 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 				return nil, stats, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
 			}
 		}
-		if err := bs.finishBand(outcomes, &stats); err != nil {
+		if err := bs.finishBand(b, outcomes, &stats); err != nil {
 			return nil, stats, err
 		}
 	}
@@ -151,23 +169,30 @@ type bandState struct {
 	counters  metrics.Counters
 	crossings int64
 	emit      func(p hsr.VisiblePiece) error
+	co        *Coherence // verdict recording + reuse counters; may be nil
+	cols      int        // tile columns per band, for verdict indexing
 }
 
 // finishBand is the band barrier: clip each tile's owned pieces against the
 // front envelope (sequentially, in column order, for determinism), collect
 // the band's own silhouette segments, flush the band when streaming, and
-// merge the band silhouette into the accumulated front.
-func (bs *bandState) finishBand(outcomes []*tileOutcome, stats *Stats) error {
+// merge the band silhouette into the accumulated front. With coherence
+// active it also classifies every tile — culled, hidden (solved but every
+// owned piece clipped away), or visible — and sums the reuse counters, all
+// on this single sequential path so no atomics are needed.
+func (bs *bandState) finishBand(b int, outcomes []*tileOutcome, stats *Stats) error {
 	var bandSegs []geom.Seg2
-	for _, oc := range outcomes {
+	for c, oc := range outcomes {
 		if oc.culled {
 			stats.TilesCulled++
+			bs.recordVerdict(b, c, VerdictCulled, oc)
 			continue
 		}
 		stats.TilesSolved++
 		bs.counters.Add(oc.counters)
 		bs.crossings += oc.crossings
 		stats.LocalPieces += len(oc.pieces)
+		before := len(bs.out)
 		for _, pc := range oc.pieces {
 			n := int64(0)
 			bs.out, n = appendClipped(bs.out, pc, bs.front)
@@ -178,6 +203,11 @@ func (bs *bandState) finishBand(outcomes []*tileOutcome, stats *Stats) error {
 					B: geom.Pt2{X: pc.Span.X2, Z: pc.Span.Z2},
 				})
 			}
+		}
+		if len(bs.out) == before {
+			bs.recordVerdict(b, c, VerdictHidden, oc)
+		} else {
+			bs.recordVerdict(b, c, VerdictVisible, oc)
 		}
 	}
 	if bs.emit != nil {
@@ -203,9 +233,34 @@ func (bs *bandState) finishBand(outcomes []*tileOutcome, stats *Stats) error {
 	return nil
 }
 
+// recordVerdict stores tile (b, c)'s verdict and sums the reuse counters.
+func (bs *bandState) recordVerdict(b, c int, v Verdict, oc *tileOutcome) {
+	co := bs.co
+	if co == nil {
+		return
+	}
+	co.Out[b*bs.cols+c] = v
+	switch {
+	case oc.reused:
+		co.Stats.TilesReused++
+	case oc.culled && oc.verifyFailed:
+		co.Stats.TilesReverified++
+		co.Stats.VerifyFailures++
+	case oc.culled:
+	default:
+		co.Stats.TilesResolved++
+		if oc.verifyFailed {
+			co.Stats.VerifyFailures++
+		}
+	}
+}
+
 // result finalizes the accumulated scene after the last band.
 func (bs *bandState) result(numEdges int, stats *Stats) *hsr.Result {
 	stats.EnvelopeSize = bs.front.Size()
+	if bs.co != nil {
+		bs.co.Final = bs.front
+	}
 	out := bs.out
 	if bs.emit != nil {
 		out = nil
@@ -235,16 +290,28 @@ func sortVisible(ps []hsr.VisiblePiece) {
 	})
 }
 
-// solveTile runs one tile: cull check, sub-terrain extraction, local solve,
-// and translation of the owned pieces to global edge ids. front is read-only
-// here (it is only rewritten between bands, after the band barrier).
-func solveTile(t *terrain.Terrain, p *Partition, idx *EdgeIndex, b, c, r0, r1 int, ivs [][]yiv, front envelope.Profile, solve SolveFunc, workers int, noCull bool) (*tileOutcome, error) {
+// solveTile runs one tile: verify-then-reuse (when coherent), cull check,
+// sub-terrain extraction, local solve, and translation of the owned pieces
+// to global edge ids. front is read-only here (it is only rewritten between
+// bands, after the band barrier).
+func solveTile(t *terrain.Terrain, p *Partition, idx *EdgeIndex, b, c, r0, r1 int, ivs [][]yiv, front envelope.Profile, solve SolveFunc, workers int, noCull bool, co *Coherence) (*tileOutcome, error) {
 	_, _, c0, c1 := p.TileCells(b, c)
+	verifyFailed := false
+	if co != nil && !noCull && co.reusable(b*p.NumCols+c) {
+		// The previous frame culled or hid this tile; if the conservative
+		// cone check confirms the front still covers its world box from the
+		// new eye, skip even the extent scan. A cone pass implies the exact
+		// check below passes too, so the outcome is identical either way.
+		if lo, hi, z, ok := co.Bounds[b*p.NumCols+c].Cone(co.Eye, co.MinDepth); ok && front.CoversAbove(lo, hi, z) {
+			return &tileOutcome{culled: true, reused: true}, nil
+		}
+		verifyFailed = true
+	}
 	owned, maxZ := ownedExtent(t, r0, r1, c0, c1)
 	if !noCull && front.CoversAbove(owned.lo, owned.hi, maxZ) {
 		// Everything the tile could contribute lies on or below the
 		// silhouette of the terrain in front of it: skip the solve entirely.
-		return &tileOutcome{culled: true}, nil
+		return &tileOutcome{culled: true, verifyFailed: verifyFailed}, nil
 	}
 	sub, err := extract(t, p, idx, b, c, r0, r1, haloRanges(ivs, owned))
 	if err != nil {
@@ -254,7 +321,7 @@ func solveTile(t *terrain.Terrain, p *Partition, idx *EdgeIndex, b, c, r0, r1 in
 	if err != nil {
 		return nil, err
 	}
-	oc := &tileOutcome{counters: res.Counters, crossings: res.Crossings}
+	oc := &tileOutcome{counters: res.Counters, crossings: res.Crossings, verifyFailed: verifyFailed}
 	for _, pc := range res.Pieces {
 		if !sub.owned[pc.Edge] {
 			continue // a halo edge: some other tile owns and reports it

@@ -13,6 +13,8 @@ import (
 	"terrainhsr/internal/dem"
 	"terrainhsr/internal/engine"
 	"terrainhsr/internal/geom"
+	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/session"
 	"terrainhsr/internal/store"
 	"terrainhsr/internal/terrain"
 	"terrainhsr/internal/tile"
@@ -155,6 +157,10 @@ type QueryResult struct {
 	// (0 for plain terrains).
 	Level, Levels int
 	LevelCellSize float64
+	// Reuse reports how a session frame was warm-started from the previous
+	// frame; nil outside QuerySession. Session frames stream their pieces
+	// to the sink instead of filling Result.
+	Reuse *ReuseStats
 }
 
 // ServerStats is a point-in-time snapshot of the server's counters.
@@ -175,6 +181,15 @@ type ServerStats struct {
 	// TiledSolves counts the subset of Solves routed through the tiled
 	// engine.
 	TiledSolves int64
+	// SessionFrames counts frames answered by QuerySession, and
+	// SessionReplays the subset served by replaying the previous frame's
+	// recorded stream (bitwise-identical eye) without solving at all.
+	SessionFrames, SessionReplays int64
+	// TilesReused, TilesReverified, TilesResolved and VerifyFailures
+	// aggregate the per-frame reuse ledger of every session frame solved so
+	// far (see ReuseStats for the per-frame meaning): how much of the fleet's
+	// flyover traffic the verify-then-reuse machinery actually saved.
+	TilesReused, TilesReverified, TilesResolved, VerifyFailures int64
 	// Plans maps every registered terrain ID to the explained engine plan
 	// its queries route through — the operator-facing answer to "which
 	// engine does this terrain's traffic actually take, and why". Exposed
@@ -225,6 +240,12 @@ func (s *ServerStats) Add(o ServerStats) {
 	s.Evictions += o.Evictions
 	s.Solves += o.Solves
 	s.TiledSolves += o.TiledSolves
+	s.SessionFrames += o.SessionFrames
+	s.SessionReplays += o.SessionReplays
+	s.TilesReused += o.TilesReused
+	s.TilesReverified += o.TilesReverified
+	s.TilesResolved += o.TilesResolved
+	s.VerifyFailures += o.VerifyFailures
 	for id, plan := range o.Plans {
 		if s.Plans == nil {
 			s.Plans = make(map[string]string)
@@ -338,6 +359,34 @@ type Server struct {
 
 	solves      atomic.Int64
 	tiledSolves atomic.Int64
+
+	sessionFrames, sessionReplays                               atomic.Int64
+	tilesReused, tilesReverified, tilesResolved, verifyFailures atomic.Int64
+
+	// sessions is the flyover session registry, keyed like the result cache
+	// minus the eye (sessionKey); bounded by maxServerSessions with
+	// least-recently-used eviction. Guarded by sessMu; sessSeq is the LRU
+	// clock.
+	sessMu   sync.Mutex
+	sessions map[string]*serverSession
+	sessSeq  int64
+}
+
+// maxServerSessions bounds the number of live flyover sessions a server
+// retains; the least recently used session is dropped beyond it (a dropped
+// session is not an error — its next frame simply solves cold again under a
+// fresh session).
+const maxServerSessions = 64
+
+// serverSession is one live flyover session: the executor and plan its
+// frames run on and the warm state carried between frames. Frames of one
+// session serialize on mu; distinct sessions run concurrently.
+type serverSession struct {
+	mu       sync.Mutex
+	eng      *engine.Executor
+	plan     *engine.Plan
+	state    *session.State
+	lastUsed int64 // sessSeq at last use, under Server.sessMu
 }
 
 // NewServer builds a query server; see ServerOptions for defaults.
@@ -352,6 +401,7 @@ func NewServer(opt ServerOptions) *Server {
 		opt:       opt,
 		terrains:  make(map[string]*serverTerrain),
 		lastEpoch: make(map[string]uint64),
+		sessions:  make(map[string]*serverSession),
 	}
 	if opt.CacheCapacity > 0 {
 		s.cache = cache.New(opt.CacheCapacity, opt.CacheShards)
@@ -793,6 +843,151 @@ func (s *Server) key(id string, e *serverTerrain, eye Point, algo Algorithm, min
 	return b.String()
 }
 
+// sessionKey builds the flyover session registry key: the cache key's
+// fingerprint minus the eye — terrain identity and epoch, algorithm,
+// MinDepth, and the answering LOD level. Consecutive frames of one flyover
+// differ only in their eye, so they land on the same session and warm-start
+// from each other; an epoch bump on re-registration orphans the old
+// terrain's sessions exactly as it orphans its cached answers (they age out
+// under the session cap rather than being purged eagerly).
+func (s *Server) sessionKey(id string, e *serverTerrain, algo Algorithm, minDepth float64, level int) string {
+	var b strings.Builder
+	b.Grow(len(id) + 48)
+	b.WriteString(strconv.Quote(id))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(e.epoch, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(math.Float64bits(minDepth), 16))
+	b.WriteByte('|')
+	b.WriteString(string(algo))
+	if e.isStore() {
+		b.WriteString("|L")
+		b.WriteString(strconv.Itoa(level))
+	}
+	return b.String()
+}
+
+// session returns the live session under key, creating (and capping) it if
+// needed. Planning and bounds construction run outside the registry lock;
+// when two first frames race, one session wins and both frames use it.
+func (s *Server) session(key string, exec *engine.Executor, req engine.Request) (*serverSession, error) {
+	s.sessMu.Lock()
+	if ss, ok := s.sessions[key]; ok {
+		s.sessSeq++
+		ss.lastUsed = s.sessSeq
+		s.sessMu.Unlock()
+		return ss, nil
+	}
+	s.sessMu.Unlock()
+
+	plan, err := exec.PlanSession(req)
+	if err != nil {
+		return nil, err
+	}
+	state, err := exec.NewSessionState(plan, req)
+	if err != nil {
+		return nil, err
+	}
+	ss := &serverSession{eng: exec, plan: plan, state: state}
+
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	s.sessSeq++
+	if have, ok := s.sessions[key]; ok {
+		have.lastUsed = s.sessSeq // a concurrent first frame built it already
+		return have, nil
+	}
+	ss.lastUsed = s.sessSeq
+	s.sessions[key] = ss
+	if len(s.sessions) > maxServerSessions {
+		var coldest string
+		oldest := int64(math.MaxInt64)
+		for k, v := range s.sessions {
+			if v.lastUsed < oldest {
+				coldest, oldest = k, v.lastUsed
+			}
+		}
+		delete(s.sessions, coldest)
+	}
+	return ss, nil
+}
+
+// QuerySession answers one frame of a flyover: like Query, but warm-started
+// from the previous frame of the same flyover instead of solved cold. The
+// server keys sessions by everything in the cache key except the eye, so
+// consecutive frames against one terrain with the same options share a
+// session automatically — no session handle crosses the API. The frame's
+// pieces stream to sink (QueryResult.Result stays nil) and are
+// byte-identical to what Query would compute for the same quantized eye: a
+// bitwise-repeated eye replays the previous frame's recorded stream without
+// solving, and a moving eye on a tiled plan re-solves only the tiles whose
+// previous verdict the conservative cone check cannot confirm.
+// QueryResult.Cache reports "session" and QueryResult.Reuse the frame's
+// reuse ledger. The result cache is not consulted (frames are ordered and
+// rarely collide with point queries); sessions are capped at 64 with LRU
+// eviction, and an evicted flyover's next frame simply solves cold again.
+func (s *Server) QuerySession(q Query, sink PieceSink) (*QueryResult, error) {
+	s.mu.RLock()
+	e, ok := s.terrains[q.TerrainID]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("terrainhsr: no terrain %q registered", q.TerrainID)
+	}
+	exec := e.eng
+	level, levels, cell := 0, 1, 0.0
+	if e.isStore() {
+		level, _ = e.levels.Pick(q.ErrorBudget)
+		levels, cell = e.levels.NumLevels(), e.levels.CellSize(level)
+		var err error
+		exec, err = e.levels.Executor(level)
+		if err != nil {
+			return nil, err
+		}
+	}
+	algo := resolveAlgo(q.Algorithm)
+	eye := s.QuantizeEye(q.Eye)
+	req := s.request(q, []geom.Pt3{pt3(eye)}, s.opt.Workers)
+	ss, err := s.session(s.sessionKey(q.TerrainID, e, algo, q.MinDepth, level), exec, req)
+	if err != nil {
+		return nil, err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	fi, err := ss.eng.RunSessionFrame(ss.plan, req, ss.state, func(p hsr.VisiblePiece) error {
+		return sink(toPiece(p))
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sessionFrames.Add(1)
+	if fi.Replayed {
+		s.sessionReplays.Add(1)
+	} else {
+		s.solves.Add(1)
+		if ss.plan.Tiled {
+			s.tiledSolves.Add(1)
+		}
+	}
+	s.tilesReused.Add(int64(fi.Reuse.TilesReused))
+	s.tilesReverified.Add(int64(fi.Reuse.TilesReverified))
+	s.tilesResolved.Add(int64(fi.Reuse.TilesResolved))
+	s.verifyFailures.Add(int64(fi.Reuse.VerifyFailures))
+	if e.isStore() {
+		atomic.AddInt64(&e.levelHits[level], 1)
+	}
+	return &QueryResult{
+		Eye: eye, Cache: "session", Tiled: ss.plan.Tiled, Plan: ss.plan.Explain(),
+		Level: level, Levels: levels, LevelCellSize: cell,
+		Reuse: &ReuseStats{
+			Replayed:        fi.Replayed,
+			TilesReused:     fi.Reuse.TilesReused,
+			TilesReverified: fi.Reuse.TilesReverified,
+			TilesResolved:   fi.Reuse.TilesResolved,
+			VerifyFailures:  fi.Reuse.VerifyFailures,
+		},
+	}, nil
+}
+
 // QueryMany answers one query template from many eye points — the
 // many-observer viewshed workload — under the engine's worker budget
 // policy (engine.SplitBudget): up to min(eyes, Workers) eyes are in flight
@@ -947,14 +1142,20 @@ func (s *Server) Stats() ServerStats {
 	}
 	s.mu.RUnlock()
 	st := ServerStats{
-		Terrains:      terrains,
-		Solves:        s.solves.Load(),
-		TiledSolves:   s.tiledSolves.Load(),
-		Plans:         plans,
-		LevelQueries:  levelQueries,
-		StoreBytes:    storeBytes,
-		ResidentBytes: residentBytes,
-		PageIns:       pageIns,
+		Terrains:        terrains,
+		Solves:          s.solves.Load(),
+		TiledSolves:     s.tiledSolves.Load(),
+		SessionFrames:   s.sessionFrames.Load(),
+		SessionReplays:  s.sessionReplays.Load(),
+		TilesReused:     s.tilesReused.Load(),
+		TilesReverified: s.tilesReverified.Load(),
+		TilesResolved:   s.tilesResolved.Load(),
+		VerifyFailures:  s.verifyFailures.Load(),
+		Plans:           plans,
+		LevelQueries:    levelQueries,
+		StoreBytes:      storeBytes,
+		ResidentBytes:   residentBytes,
+		PageIns:         pageIns,
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

@@ -444,3 +444,63 @@ func TestServerPlanExplain(t *testing.T) {
 		t.Fatalf("cache-hit plan %q (outcome %s), want %q", hit.Plan, hit.Cache, qr.Plan)
 	}
 }
+
+func TestServerQuerySession(t *testing.T) {
+	tr := genTest(t, "massive", 64, 64, 17)
+	s := NewServer(ServerOptions{TileCells: 1024}) // 64x64 = 4096: routed tiled
+	if err := s.Register("fly", tr); err != nil {
+		t.Fatal(err)
+	}
+	base := sessionPath(64, 4, 8, 7)
+	path := []Point{base[0], base[1], base[2], base[3], base[3]} // dwell at the end
+	for f, eye := range path {
+		var got []Piece
+		qr, err := s.QuerySession(Query{TerrainID: "fly", Eye: eye, MinDepth: 1},
+			func(p Piece) error { got = append(got, p); return nil })
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if qr.Cache != "session" || qr.Reuse == nil || qr.Result != nil {
+			t.Fatalf("frame %d: cache=%q reuse=%v result=%v; want a streamed session answer",
+				f, qr.Cache, qr.Reuse, qr.Result)
+		}
+		if !qr.Tiled {
+			t.Fatalf("frame %d routed monolithically: %s", f, qr.Plan)
+		}
+		if wantReplay := f == 4; qr.Reuse.Replayed != wantReplay {
+			t.Fatalf("frame %d: replayed=%v, want %v", f, qr.Reuse.Replayed, wantReplay)
+		}
+		ind, err := s.Query(Query{TerrainID: "fly", Eye: eye, MinDepth: 1, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ind.Result.Pieces()
+		sortCanonical(got)
+		sortCanonical(want)
+		piecesEqual(t, fmt.Sprintf("session frame %d vs independent query", f), want, got)
+	}
+	st := s.Stats()
+	if st.SessionFrames != 5 || st.SessionReplays != 1 {
+		t.Fatalf("stats report %d session frames / %d replays, want 5 / 1", st.SessionFrames, st.SessionReplays)
+	}
+	if st.TilesResolved == 0 {
+		t.Fatalf("no tiles resolved across session frames: %+v", st)
+	}
+	if st.TilesReused+st.TilesReverified == 0 {
+		t.Fatalf("grazing flyover confirmed no verdicts at all: %+v", st)
+	}
+
+	// Re-registering the terrain bumps the epoch and orphans the session:
+	// the same eye must solve cold, not replay the stale recording.
+	if err := s.Register("fly", tr); err != nil {
+		t.Fatal(err)
+	}
+	qr, err := s.QuerySession(Query{TerrainID: "fly", Eye: path[4], MinDepth: 1},
+		func(Piece) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Reuse.Replayed {
+		t.Fatal("epoch bump did not orphan the session: stale recording replayed")
+	}
+}

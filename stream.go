@@ -2,9 +2,11 @@ package terrainhsr
 
 import (
 	"fmt"
+	"sync"
 
 	"terrainhsr/internal/engine"
 	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/session"
 )
 
 // This file is the streaming result surface: instead of materializing a
@@ -38,6 +40,28 @@ type StreamInfo struct {
 	// and TileStats its effort report when it did.
 	Tiled     bool
 	TileStats TileStats
+	// Reuse reports how a session frame was warm-started; nil outside
+	// sessions (see Session.NextFrame).
+	Reuse *ReuseStats
+}
+
+// ReuseStats reports how one session frame reused the previous frame's
+// work. All reuse is verified and conservative: the frame's pieces are
+// byte-identical to an independent solve of the same eye.
+type ReuseStats struct {
+	// Replayed is true when the eye was bitwise identical to the previous
+	// frame's and the recorded stream was re-emitted without solving.
+	Replayed bool
+	// TilesReused counts tiles skipped because the previous frame's culled
+	// or hidden verdict still held under the conservative cone check;
+	// TilesReverified counts tiles whose cone check failed but whose exact
+	// cull check culled them anyway; TilesResolved counts tiles that ran a
+	// clean solve; VerifyFailures counts cone checks that could not confirm
+	// the prior verdict. All zero for replayed frames and untiled plans.
+	TilesReused     int
+	TilesReverified int
+	TilesResolved   int
+	VerifyFailures  int
 }
 
 // runStream plans and executes a single-view streaming request.
@@ -100,4 +124,91 @@ func (s *Solver) SolveStreamFrom(eye Point, opt BatchOptions, sink PieceSink) (*
 // pipeline; see Solver.SolveStreamFrom.
 func (ts *TiledSolver) SolveStreamFrom(eye Point, opt BatchOptions, sink PieceSink) (*StreamInfo, error) {
 	return runStream(ts.eng, batchRequest(opt, []Point{eye}, engine.ForceTiled), opt.Algorithm, sink)
+}
+
+// Session streams the frames of one flyover coherently: each frame is
+// warm-started from the one before. A frame whose eye is bitwise identical
+// to the previous frame's replays the recorded piece stream without solving
+// — the dwell/poll fast path — and a moving frame on a tiled plan re-solves
+// only the tiles whose previous-frame verdict a conservative cone check
+// cannot confirm (see the "Frame coherence" section of ALGORITHM.md). Every
+// frame's pieces are byte-identical to an independent SolveStreamFrom of the
+// same eye; reuse can only save time, never change output.
+//
+// A Session is safe for concurrent use, but frames are inherently ordered —
+// calls serialize, and each frame's verdicts seed the next. The options
+// (algorithm, workers, min depth) are fixed at creation.
+type Session struct {
+	mu    sync.Mutex
+	eng   *engine.Executor
+	plan  *engine.Plan
+	state *session.State
+	opt   BatchOptions
+	force engine.Force
+}
+
+// newSession plans a session and builds its warm state. The plan depends
+// only on the terrain's shape, so it is made once with a placeholder eye.
+func newSession(eng *engine.Executor, opt BatchOptions, force engine.Force) (*Session, error) {
+	req := batchRequest(opt, []Point{{}}, force)
+	plan, err := eng.PlanSession(req)
+	if err != nil {
+		return nil, err
+	}
+	state, err := eng.NewSessionState(plan, req)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{eng: eng, plan: plan, state: state, opt: opt, force: force}, nil
+}
+
+// SolveSession opens a flyover session over a terrain with automatic engine
+// planning (the same routing as SolveStream). Prefer Solver.NewSession or
+// TiledSolver.NewSession when solving several flyovers of one terrain, so
+// the per-terrain state is shared.
+func SolveSession(t *Terrain, opt BatchOptions) (*Session, error) {
+	if t == nil || t.t == nil {
+		return nil, fmt.Errorf("terrainhsr: nil terrain")
+	}
+	return newSession(engine.New(t.t, engine.Config{}), opt, engine.Auto)
+}
+
+// NewSession opens a flyover session with automatic engine planning,
+// reusing the solver's cached per-terrain state.
+func (s *Solver) NewSession(opt BatchOptions) (*Session, error) {
+	return newSession(s.eng, opt, engine.Auto)
+}
+
+// NewSession opens a flyover session through the tiled pipeline, reusing
+// the solver's partition and edge index. Tiled sessions get the full
+// verify-then-reuse machinery; monolithic ones replay identical eyes only.
+func (ts *TiledSolver) NewSession(opt BatchOptions) (*Session, error) {
+	return newSession(ts.eng, opt, engine.ForceTiled)
+}
+
+// NextFrame produces the session's next frame at eye, streaming its pieces
+// to sink. The pieces are byte-identical to SolveStreamFrom(eye, ...) with
+// the session's options; StreamInfo.Reuse reports what was reused.
+func (sn *Session) NextFrame(eye Point, sink PieceSink) (*StreamInfo, error) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	req := batchRequest(sn.opt, []Point{eye}, sn.force)
+	fi, err := sn.eng.RunSessionFrame(sn.plan, req, sn.state, func(p hsr.VisiblePiece) error {
+		return sink(toPiece(p))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamInfo{
+		N: fi.N, K: fi.K, Crossings: fi.Crossings,
+		Algorithm: resolveAlgo(sn.opt.Algorithm), Plan: sn.plan.Explain(),
+		Tiled: sn.plan.Tiled, TileStats: publicTileStats(fi.Tile),
+		Reuse: &ReuseStats{
+			Replayed:        fi.Replayed,
+			TilesReused:     fi.Reuse.TilesReused,
+			TilesReverified: fi.Reuse.TilesReverified,
+			TilesResolved:   fi.Reuse.TilesResolved,
+			VerifyFailures:  fi.Reuse.VerifyFailures,
+		},
+	}, nil
 }
