@@ -63,11 +63,11 @@ func expElastic(quick bool) {
 	const fleetSize = 3
 	var urls []string
 	for i := 0; i < fleetSize; i++ {
-		srv := httptest.NewServer(serve.New(newReplica()))
+		srv := httptest.NewServer(serve.New(newReplica(), serve.Options{}))
 		defer srv.Close()
 		urls = append(urls, srv.URL)
 	}
-	joiner := httptest.NewServer(serve.New(newReplica()))
+	joiner := httptest.NewServer(serve.New(newReplica(), serve.Options{}))
 	defer joiner.Close()
 
 	rt, err := fleet.New(fleet.Options{

@@ -113,7 +113,7 @@ func expFleet(quick bool) {
 	// gets a cache big enough for the largest shard, no bigger.
 	cacheCap := maxShard
 	for i := range handlers {
-		handlers[i].h.Store(serve.New(newReplica(cacheCap)))
+		handlers[i].h.Store(serve.New(newReplica(cacheCap), serve.Options{}))
 	}
 	rt, err := fleet.New(fleet.Options{
 		Replicas:      urls,
@@ -131,7 +131,7 @@ func expFleet(quick bool) {
 
 	// Single leg: one replica with the same per-replica cache capacity and
 	// the whole worker budget.
-	singleSrv := httptest.NewServer(serve.New(newReplica(cacheCap)))
+	singleSrv := httptest.NewServer(serve.New(newReplica(cacheCap), serve.Options{}))
 	defer singleSrv.Close()
 
 	fmt.Printf("%d terrains (%dx%d) x %d eyes = %d distinct queries; per-replica cache %d (largest shard; shards %v)\n",

@@ -16,12 +16,15 @@
 // client-visible errors and unchanged answers, and frame-coherent sessions
 // (FC1): a sessioned flyover (replay on dwelling eyes, cone-verified tile
 // verdict reuse on moving ones) against independent per-frame solves of the
-// same path, with every frame byte-identical between the legs.
+// same path, with every frame byte-identical between the legs, and
+// observability overhead (OB1): the S1 warm-cache stream traced at a 1-in-16
+// sampling rate with per-stage histograms against the identical untraced
+// stream — asserting <= 5% overhead and byte-identical answers.
 //
 // Usage:
 //
-//	hsrbench [-exp all|TH1..TH5|LM1|LM6|FG1..FG3|A1|A2|B1|T1|S1|ST1|L1|OC1|F1|E1|FC1|CHECK[,...]]
-//	         [-quick] [-json BENCH_PR9.json]
+//	hsrbench [-exp all|TH1..TH5|LM1|LM6|FG1..FG3|A1|A2|B1|T1|S1|ST1|L1|OC1|F1|E1|FC1|OB1|CHECK[,...]]
+//	         [-quick] [-json BENCH_PR10.json]
 //
 // -exp accepts a comma-separated list. -json writes the machine-readable
 // measurement records of the engine experiments (experiment id, wall
@@ -70,11 +73,12 @@ var experiments = []experiment{
 	{"F1", "Serving fleet — routed 3-replica throughput vs one replica at equal total workers", expFleet},
 	{"E1", "Fleet elasticity — throughput before/during/after membership churn, zero errors", expElastic},
 	{"FC1", "Frame-coherent sessions — sessioned vs independent flyover frames, byte-identical", expFC1},
+	{"OB1", "Observability overhead — traced vs untraced warm-cache stream, byte-identical", expOB1},
 	{"CHECK", "Automated reproduction gate — asserts every claim's shape", expCheck},
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, FG1..FG3, A1, A2, B1, T1, S1, ST1, L1, OC1, F1, E1, FC1, CHECK) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (TH1..TH5, LM1, LM6, FG1..FG3, A1, A2, B1, T1, S1, ST1, L1, OC1, F1, E1, FC1, OB1, CHECK) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast pass")
 	jsonPath := flag.String("json", "", "write machine-readable measurement records to this file (e.g. BENCH_PR4.json)")
 	flag.Parse()

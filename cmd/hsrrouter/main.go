@@ -25,19 +25,33 @@
 //
 //	hsrrouter -addr :8100 -replica http://127.0.0.1:8101 ... \
 //	    -admin-token s3cret -replicate alps=2 -drain-timeout 10s
+//
+// The router is also the fleet's observability head (see
+// docs/OBSERVABILITY.md): -trace-sample N traces one routed query in
+// every N — the trace ID propagates to every attempted replica, each
+// hedge attempt becomes a child span with winner/loser attribution, and
+// the winning replica's own spans are grafted in — served on GET /tracez.
+// GET /metricsz merges every replica's latency histograms with the
+// router's own (request and attempt series) into one Prometheus text
+// exposition. Hedge-loser latencies appear on /fleetz under
+// attempt_latency. -pprof-addr starts net/http/pprof on a separate
+// private listener; -log-level sets the slog level.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers the pprof handlers on DefaultServeMux, served only on -pprof-addr
+	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"terrainhsr/internal/fleet"
+	"terrainhsr/internal/obs"
 )
 
 // replicaList collects repeatable -replica flags.
@@ -82,9 +96,31 @@ func (m *replicationMap) Set(v string) error {
 	return nil
 }
 
+// newLogger builds the process logger at the requested level.
+func newLogger(level string) *slog.Logger {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		lv = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
+// startPprof serves net/http/pprof on its own listener when addr is set,
+// keeping profiling off the routed service port.
+func startPprof(addr string, lg *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		lg.Info("pprof listening", slog.String("addr", addr))
+		// pprof registered itself on http.DefaultServeMux at import.
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			lg.Error("pprof listener failed", slog.Any("err", err))
+		}
+	}()
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hsrrouter: ")
 	var replicas replicaList
 	addr := flag.String("addr", ":8100", "listen address")
 	flag.Var(&replicas, "replica", "replica base URL (repeatable), e.g. http://127.0.0.1:8101")
@@ -96,12 +132,18 @@ func main() {
 	adminToken := flag.String("admin-token", "", "token authenticating /adminz membership changes (empty disables the admin surface)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long /adminz/remove waits for a draining replica's in-flight requests")
 	warmupRequests := flag.Int("warmup-requests", 64, "max recorded hot queries replayed to warm a joining replica (negative disables warm-up)")
+	traceSample := flag.Int("trace-sample", 0, "trace one routed query in every N, propagating the ID to the replicas (0 = only client-propagated X-HSR-Trace requests)")
+	traceRing := flag.Int("trace-ring", 64, "finished traces kept for /tracez")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error")
 	var replication replicationMap
 	flag.Var(&replication, "replicate", "terrain=R replication factor (repeatable): spread the terrain's keys across its first R ring successors")
 	flag.Parse()
 
+	lg := newLogger(*logLevel).With(slog.String("component", "hsrrouter"))
 	if len(replicas) == 0 {
-		log.Fatal("at least one -replica is required")
+		lg.Error("at least one -replica is required")
+		os.Exit(1)
 	}
 	rt, err := fleet.New(fleet.Options{
 		Replicas:       replicas,
@@ -114,13 +156,23 @@ func main() {
 		DrainTimeout:   *drainTimeout,
 		WarmupRequests: *warmupRequests,
 		Replication:    replication,
-		Logf:           log.Printf,
+		Tracer:         obs.NewTracer(*traceSample, *traceRing),
+		Metrics:        obs.NewRegistry(),
+		Logf: func(format string, args ...any) {
+			lg.Info(fmt.Sprintf(format, args...))
+		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("router construction failed", slog.Any("err", err))
+		os.Exit(1)
 	}
 	rt.Start()
 	defer rt.Close()
-	log.Printf("routing %d replicas on %s (hedge after %v)", len(replicas), *addr, *hedgeAfter)
-	log.Fatal(http.ListenAndServe(*addr, rt))
+	startPprof(*pprofAddr, lg)
+	lg.Info("routing", slog.Int("replicas", len(replicas)),
+		slog.String("addr", *addr), slog.Duration("hedge_after", *hedgeAfter))
+	if err := http.ListenAndServe(*addr, rt); err != nil {
+		lg.Error("listener failed", slog.Any("err", err))
+		os.Exit(1)
+	}
 }

@@ -12,6 +12,8 @@
 //	hsrserved [-addr :8080] [-terrain spec]... [-store spec]...
 //	          [-resolution 0.25] [-cache 1024] [-shards 16] [-workers 0]
 //	          [-tile-cells 262144] [-residency-budget 0]
+//	          [-trace-sample 0] [-trace-ring 64] [-slow-query 0]
+//	          [-pprof-addr ""] [-log-level info]
 //
 // Each -terrain flag registers one synthetic terrain; the spec is a
 // comma-separated key=value list with the keys of terrainhsr.GenParams:
@@ -46,6 +48,21 @@
 //	GET /viewshed  answer a viewshed query; parameters below.
 //	GET /flyover   answer a camera path as one frame-coherent session;
 //	               parameters below.
+//	GET /tracez    JSON ring of sampled query traces. -trace-sample
+//	               enables local sampling; requests arriving with an
+//	               X-HSR-Trace header are always traced. Filters:
+//	               terrain=, id=, min_ms=, limit=.
+//	GET /metricsz  per-stage, per-plan-mode latency histograms: Prometheus
+//	               text by default, the JSON snapshot with ?format=json
+//	               (what a router aggregates). See docs/OBSERVABILITY.md.
+//
+// Observability flags: -trace-sample N traces one query in every N (0
+// only honors propagated trace IDs), -trace-ring caps the /tracez ring,
+// -slow-query D logs queries at least D slow at Warn level with their plan
+// and cost ledger, -pprof-addr starts net/http/pprof on a separate
+// listener (off by default; keep it private), and -log-level sets the
+// slog level (debug logs every query). Tracing and metrics never change
+// answers: solve bytes are byte-identical with them on or off.
 //
 // /viewshed parameters:
 //
@@ -99,13 +116,41 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers the pprof handlers on DefaultServeMux, served only on -pprof-addr
+	"os"
 	"strings"
 
 	terrainhsr "terrainhsr"
+	"terrainhsr/internal/obs"
 	"terrainhsr/internal/serve"
 )
+
+// newLogger builds the process logger at the requested level.
+func newLogger(level string) *slog.Logger {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		lv = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+}
+
+// startPprof serves net/http/pprof on its own listener when addr is set:
+// profiling stays off the service port, so exposing /viewshed never
+// exposes heap dumps.
+func startPprof(addr string, lg *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		lg.Info("pprof listening", slog.String("addr", addr))
+		// pprof registered itself on http.DefaultServeMux at import.
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			lg.Error("pprof listener failed", slog.Any("err", err))
+		}
+	}()
+}
 
 // terrainSpecs collects repeatable -terrain flags.
 type terrainSpecs []string
@@ -125,9 +170,20 @@ func main() {
 	workers := flag.Int("workers", 0, "worker budget per query (0 = all CPUs)")
 	tileCells := flag.Int("tile-cells", 262144, "route grids with >= this many cells through the tiled engine (negative disables)")
 	residencyMiB := flag.Int64("residency-budget", 0, "solve store levels estimated above this many MiB out-of-core, paging tile files band by band (0 disables)")
+	traceSample := flag.Int("trace-sample", 0, "trace one query in every N (0 = only propagated X-HSR-Trace requests)")
+	traceRing := flag.Int("trace-ring", 64, "finished traces kept for /tracez")
+	slowQuery := flag.Duration("slow-query", 0, "log queries at least this slow at Warn with plan and cost ledger (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, error (debug logs every query)")
 	flag.Var(&specs, "terrain", "terrain spec id=...,kind=...,rows=...,cols=...,seed=... (repeatable)")
 	flag.Var(&storeSpecs, "store", "LOD store spec id=...,path=... (repeatable; directories built by hsrstore)")
 	flag.Parse()
+
+	lg := newLogger(*logLevel).With(slog.String("component", "hsrserved"))
+	fatal := func(msg string, attrs ...any) {
+		lg.Error(msg, attrs...)
+		os.Exit(1)
+	}
 
 	srv := terrainhsr.NewServer(terrainhsr.ServerOptions{
 		Resolution:      *resolution,
@@ -143,26 +199,41 @@ func main() {
 	for _, spec := range specs {
 		id, tr, err := serve.BuildTerrain(spec)
 		if err != nil {
-			log.Fatalf("hsrserved: -terrain %q: %v", spec, err)
+			fatal("bad -terrain flag", slog.String("spec", spec), slog.Any("err", err))
 		}
 		if err := srv.Register(id, tr); err != nil {
-			log.Fatalf("hsrserved: -terrain %q: %v", spec, err)
+			fatal("terrain registration failed", slog.String("spec", spec), slog.Any("err", err))
 		}
-		log.Printf("hsrserved: registered terrain %q (%d edges)", id, tr.NumEdges())
+		lg.Info("registered terrain", slog.String("terrain", id), slog.Int("edges", tr.NumEdges()))
 	}
 	for _, spec := range storeSpecs {
 		id, path, err := serve.ParseStoreSpec(spec)
 		if err != nil {
-			log.Fatalf("hsrserved: -store %q: %v", spec, err)
+			fatal("bad -store flag", slog.String("spec", spec), slog.Any("err", err))
 		}
 		if err := srv.RegisterStore(id, path); err != nil {
-			log.Fatalf("hsrserved: -store %q: %v", spec, err)
+			fatal("store registration failed", slog.String("spec", spec), slog.Any("err", err))
 		}
 		info, _ := srv.Describe(id)
-		log.Printf("hsrserved: registered store %q (%d levels, cells %v, %d edges at finest)",
-			id, info.Levels, info.CellSizes, info.Edges)
+		lg.Info("registered store", slog.String("terrain", id),
+			slog.Int("levels", info.Levels), slog.Any("cells", info.CellSizes),
+			slog.Int("finest_edges", info.Edges))
 	}
 
-	log.Printf("hsrserved: listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, serve.New(srv)))
+	// A zero sampling rate still builds a tracer: propagated X-HSR-Trace
+	// requests (the router sampled them) are always traced and land in the
+	// ring. The metrics registry is always on — Observe is a few atomic
+	// adds — so /metricsz works out of the box.
+	opt := serve.Options{
+		Tracer:    obs.NewTracer(*traceSample, *traceRing),
+		Metrics:   obs.NewRegistry(),
+		Logger:    lg,
+		SlowQuery: *slowQuery,
+	}
+	startPprof(*pprofAddr, lg)
+
+	lg.Info("listening", slog.String("addr", *addr))
+	if err := http.ListenAndServe(*addr, serve.New(srv, opt)); err != nil {
+		fatal("listener failed", slog.Any("err", err))
+	}
 }

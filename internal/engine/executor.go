@@ -202,7 +202,7 @@ func (e *Executor) solvePagedView(view *geom.PerspectiveTransform, req Request, 
 		return Dispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, req.Algorithm, w, e.pool)
 	}
 	res, st, err := tile.SolvePaged(&g, e.part, solve, tile.Options{
-		Workers: workers, NoCull: e.cfg.NoCull, Emit: emit,
+		Workers: workers, NoCull: e.cfg.NoCull, Emit: emit, Trace: req.Trace,
 	})
 	if err != nil {
 		return Outcome{}, err
@@ -229,7 +229,7 @@ func (e *Executor) solveView(tt *terrain.Terrain, plan *Plan, req Request, worke
 			return Dispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, req.Algorithm, w, e.pool)
 		}
 		res, st, err := tile.Solve(tt, e.part, e.idx, solve, tile.Options{
-			Workers: workers, NoCull: e.cfg.NoCull, Emit: emit,
+			Workers: workers, NoCull: e.cfg.NoCull, Emit: emit, Trace: req.Trace,
 		})
 		if err != nil {
 			return Outcome{}, err

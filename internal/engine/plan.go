@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"terrainhsr/internal/geom"
+	"terrainhsr/internal/obs"
 	"terrainhsr/internal/parallel"
 	"terrainhsr/internal/terrain"
 	"terrainhsr/internal/tile"
@@ -86,6 +87,10 @@ type Request struct {
 	// finest level. Only LevelSet planning reads it; plans for terrains
 	// without a pyramid ignore it silently.
 	ErrorBudget float64
+	// Trace, when sampled, receives per-band spans from the tiled solvers
+	// the plan routes to. Nil (the unsampled case) costs nothing. Tracing
+	// never affects planning or solve bytes.
+	Trace *obs.Trace
 }
 
 // Plan is the explainable outcome of planning one Request: which pipeline

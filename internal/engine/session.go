@@ -83,7 +83,7 @@ func (e *Executor) RunSessionFrame(plan *Plan, req Request, st *session.State, s
 				return Dispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, req.Algorithm, w, e.pool)
 			}
 			res, ts, err := tile.SolvePaged(&g, e.part, solveFn, tile.Options{
-				Workers: plan.WorkersPerFrame, NoCull: e.cfg.NoCull, Emit: emit, Coherence: co,
+				Workers: plan.WorkersPerFrame, NoCull: e.cfg.NoCull, Emit: emit, Coherence: co, Trace: req.Trace,
 			})
 			if err != nil {
 				return 0, 0, tile.Stats{}, err
@@ -99,7 +99,7 @@ func (e *Executor) RunSessionFrame(plan *Plan, req Request, st *session.State, s
 				return Dispatch(sub, func() (*hsr.Prepared, error) { return hsr.Prepare(sub) }, req.Algorithm, w, e.pool)
 			}
 			res, ts, err := tile.Solve(tt, e.part, e.idx, solveFn, tile.Options{
-				Workers: plan.WorkersPerFrame, NoCull: e.cfg.NoCull, Emit: emit, Coherence: co,
+				Workers: plan.WorkersPerFrame, NoCull: e.cfg.NoCull, Emit: emit, Coherence: co, Trace: req.Trace,
 			})
 			if err != nil {
 				return 0, 0, tile.Stats{}, err

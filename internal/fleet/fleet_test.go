@@ -43,7 +43,7 @@ func newReplicaServer(t *testing.T) http.Handler {
 			t.Fatal(err)
 		}
 	}
-	return serve.New(srv)
+	return serve.New(srv, serve.Options{})
 }
 
 // testTerrains regenerates the testSpecs terrains for eye derivation.

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"terrainhsr/internal/obs"
 )
 
 // Options configures a Router. Replicas is the only required field.
@@ -70,6 +72,19 @@ type Options struct {
 	// timeout — responses stream, and slow queries are the hedge's job to
 	// cover, not a deadline's to kill.
 	Client *http.Client
+	// Tracer samples routed queries for the router's /tracez. The router
+	// is the head of the fleet, so this is where trace IDs are minted: a
+	// sampled query's ID propagates to every attempted replica via
+	// X-HSR-Trace, each attempt becomes a child span (winner and losers
+	// attributed), and the winning replica's own spans are grafted under
+	// its attempt. nil disables router tracing entirely — propagated
+	// client IDs still flow through to the replicas untouched.
+	Tracer *obs.Tracer
+	// Metrics collects the router's own latency series — whole routed
+	// requests plus per-attempt winner/loser latencies — and is merged
+	// with the replicas' histograms on /metricsz. nil drops the router's
+	// local series; /metricsz still aggregates the replicas.
+	Metrics *obs.Registry
 	// Logf receives router diagnostics (default log.Printf; tests silence
 	// it).
 	Logf func(format string, args ...any)
@@ -159,10 +174,21 @@ func (m terrainMeta) pickLevel(budget float64) int {
 // internal/serve endpoints across the replicas. Construct with New, call
 // Start to begin health probing, Close to stop it.
 type Router struct {
-	opt    Options
-	ring   *Ring
-	client *http.Client
-	logf   func(string, ...any)
+	opt     Options
+	ring    *Ring
+	client  *http.Client
+	logf    func(string, ...any)
+	tracer  *obs.Tracer
+	metrics *obs.Registry
+
+	// winners and losers histogram time-to-response-header per attempt
+	// outcome. Losers are the attempts abandoned because another attempt
+	// answered first — the latencies hedging hides from every other
+	// metric (only the winner's response ever reaches a client-visible
+	// histogram). Surfaced on /fleetz and as attempt-stage series on
+	// /metricsz.
+	winners obs.Histogram
+	losers  obs.Histogram
 
 	mu       sync.RWMutex
 	replicas map[string]*replica
@@ -177,14 +203,15 @@ type Router struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	routed    atomic.Int64
-	hedged    atomic.Int64
-	hedgeWins atomic.Int64
-	failovers atomic.Int64
-	ejections atomic.Int64
-	adds      atomic.Int64
-	removes   atomic.Int64
-	rr        atomic.Int64 // round-robin cursor over replicated primaries
+	routed      atomic.Int64
+	hedged      atomic.Int64
+	hedgeWins   atomic.Int64
+	hedgeLosers atomic.Int64
+	failovers   atomic.Int64
+	ejections   atomic.Int64
+	adds        atomic.Int64
+	removes     atomic.Int64
+	rr          atomic.Int64 // round-robin cursor over replicated primaries
 }
 
 // New builds a router over the given replicas. Every replica starts
@@ -217,6 +244,8 @@ func New(opt Options) (*Router, error) {
 		ring:     NewRing(opt.VNodes),
 		client:   opt.Client,
 		logf:     opt.Logf,
+		tracer:   opt.Tracer,
+		metrics:  opt.Metrics,
 		replicas: make(map[string]*replica, len(opt.Replicas)),
 		terrains: make(map[string]terrainMeta),
 		hot:      make(map[string][]string),
@@ -438,8 +467,9 @@ func (rt *Router) routeOrder(key string, rf int) []*replica {
 
 // ServeHTTP dispatches the fleet endpoints: /viewshed (hedged proxy),
 // /terrains (proxied from the first answering replica), /statsz
-// (fleet-wide aggregation), /healthz (fleet liveness: ok while any
-// replica is healthy) and /fleetz (router introspection).
+// (fleet-wide aggregation), /metricsz (fleet-wide histogram aggregation),
+// /tracez (the router's sampled traces), /healthz (fleet liveness: ok
+// while any replica is healthy) and /fleetz (router introspection).
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/viewshed":
@@ -448,6 +478,10 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rt.proxyAny(w, r)
 	case "/statsz":
 		rt.statsz(w, r)
+	case "/metricsz":
+		rt.metricsz(w, r)
+	case "/tracez":
+		rt.tracer.ServeHTTP(w, r) // nil tracer answers 404 itself
 	case "/healthz":
 		rt.healthz(w, r)
 	case "/fleetz":
@@ -476,7 +510,9 @@ func (rt *Router) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // viewshed routes one query: ring placement, then a hedged proxy across
-// the preference order.
+// the preference order. This is where a trace begins: the router either
+// adopts the client's propagated X-HSR-Trace ID or mints one by sampling,
+// and finishes the trace after the winning response has streamed.
 func (rt *Router) viewshed(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "viewshed queries are GET", http.StatusMethodNotAllowed)
@@ -488,13 +524,27 @@ func (rt *Router) viewshed(w http.ResponseWriter, r *http.Request) {
 	if v := qv.Get("budget"); v != "" {
 		budget, _ = strconv.ParseFloat(v, 64)
 	}
+	tr := rt.tracer.StartIf(r.Header.Get(obs.TraceHeader))
+	if tr.Sampled() {
+		tr.SetTerrain(terrain)
+		// Name the trace before any write: error responses carry the ID
+		// too, so a failed routed query is still findable on /tracez.
+		w.Header().Set(obs.TraceHeader, tr.ID())
+	}
+	reqTok := tr.StartSpan(obs.StageRequest)
+	t0 := time.Now()
 	// A missing terrain parameter is legal for single-terrain replicas;
 	// route it by the empty key so it still lands consistently.
 	key := rt.shardKey(terrain, budget)
 	rt.recordQuery(key, r.URL.RequestURI())
 	order := rt.routeOrder(key, rt.replicationFor(terrain))
 	rt.routed.Add(1)
-	rt.proxyHedged(w, r, key, order)
+	rt.proxyHedged(w, r, key, order, tr, reqTok)
+	rt.metrics.Observe(obs.StageRequest, "router", time.Since(t0))
+	if tr.Sampled() {
+		tr.EndSpanAttrs(reqTok, obs.AttrStr("key", key))
+	}
+	rt.tracer.Finish(tr)
 }
 
 // hotQueriesPerKey bounds the per-key warm-up fuel: enough distinct eyes
@@ -540,7 +590,7 @@ func (rt *Router) recordServe(key, addr string) {
 // listing endpoints are identical on every replica.
 func (rt *Router) proxyAny(w http.ResponseWriter, r *http.Request) {
 	order := rt.routeOrder("", 1)
-	rt.proxyHedged(w, r, "", order)
+	rt.proxyHedged(w, r, "", order, nil, obs.SpanToken{})
 }
 
 // attempt is one in-flight proxied request.
@@ -549,6 +599,10 @@ type attempt struct {
 	resp   *http.Response
 	err    error
 	cancel context.CancelFunc
+	idx    int           // launch index, to match settled results
+	kind   string        // "primary", "hedge" or "failover"
+	start  time.Time     // launch time, for attempt latency
+	span   obs.SpanToken // the attempt's span (inert when unsampled)
 }
 
 // finish disposes of one attempt: cancels it, releases its body, and
@@ -564,6 +618,38 @@ func (a attempt) finish() {
 	a.r.inflight.Add(-1)
 }
 
+// Canonical forms of the obs headers, for matching keys of a parsed
+// http.Header (whose keys are canonicalized).
+var (
+	canonTraceHeader = http.CanonicalHeaderKey(obs.TraceHeader)
+	canonSpansHeader = http.CanonicalHeaderKey(obs.SpansHeader)
+)
+
+// endAttemptSpan closes one attempt's span with its outcome and replica
+// attribution. It must run on the request's own goroutine, before the
+// trace seals; loser latencies are recorded separately (observeLoser) at
+// the moment the loser's response header actually arrives.
+func (rt *Router) endAttemptSpan(tr *obs.Trace, a attempt, outcome string) {
+	if !tr.Sampled() {
+		return
+	}
+	tr.EndSpanAttrs(a.span,
+		obs.AttrStr("replica", a.r.addr),
+		obs.AttrStr("kind", a.kind),
+		obs.AttrStr("outcome", outcome),
+		obs.AttrInt("latency_us", time.Since(a.start).Microseconds()))
+}
+
+// observeLoser records one losing attempt's true time-to-header — the
+// satellite point of the loser histogram: a hedge loser's latency never
+// reaches any client-visible metric, because only the winner's response
+// streams.
+func (rt *Router) observeLoser(lat time.Duration) {
+	rt.hedgeLosers.Add(1)
+	rt.losers.Observe(lat)
+	rt.metrics.Observe(obs.StageAttempt, "loser", lat)
+}
+
 // proxyHedged issues the request against order[0], hedging to the next
 // successor each time HedgeAfter elapses without a response header, and
 // failing over immediately on transport errors and 5xx responses. The
@@ -574,10 +660,25 @@ func (a attempt) finish() {
 // draining after the order was computed are skipped at launch time, and
 // every launched attempt holds the replica's in-flight count until it is
 // fully disposed of — the drain barrier /adminz/remove waits behind.
-func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, key string, order []*replica) {
+//
+// When tr is sampled, every launch opens a StageAttempt child span under
+// reqTok, the trace ID is forwarded upstream via X-HSR-Trace (so the
+// replica traces the query and returns its spans), and the winner's
+// X-HSR-Spans are grafted under its attempt span — one trace then covers
+// the route, every attempt, and the winning replica's internal stages.
+// Loser spans close when the loser's response header finally arrives,
+// which may be after the trace is sealed; late spans are dropped, their
+// latencies still land in the loser histogram.
+func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, key string, order []*replica, tr *obs.Trace, reqTok obs.SpanToken) {
 	results := make(chan attempt, len(order))
 	launched := 0
-	launch := func() bool {
+	// open records every launched attempt (settled[i] flips when its
+	// result arrives), so the race's end can close the spans of losers
+	// that are still in flight — their results arrive only after the
+	// trace has sealed.
+	var open []attempt
+	var settled []bool
+	launch := func(kind string) bool {
 		for launched < len(order) {
 			rep := order[launched]
 			launched++
@@ -585,22 +686,36 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, key string
 				continue // started draining/leaving after the order was computed
 			}
 			rep.inflight.Add(1)
+			a := attempt{
+				r:     rep,
+				idx:   len(open),
+				kind:  kind,
+				start: time.Now(),
+				span:  tr.StartChild(reqTok, obs.StageAttempt),
+			}
+			open = append(open, a)
+			settled = append(settled, false)
 			ctx, cancel := context.WithCancel(r.Context())
 			go func() {
-				req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.addr+r.URL.RequestURI(), nil)
+				a.cancel = cancel
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, a.r.addr+r.URL.RequestURI(), nil)
 				if err != nil {
-					results <- attempt{r: rep, err: err, cancel: cancel}
+					a.err = err
+					results <- a
 					return
 				}
 				req.Header = r.Header.Clone()
-				resp, err := rt.client.Do(req)
-				results <- attempt{r: rep, resp: resp, err: err, cancel: cancel}
+				if tr.Sampled() {
+					req.Header.Set(obs.TraceHeader, tr.ID())
+				}
+				a.resp, a.err = rt.client.Do(req)
+				results <- a
 			}()
 			return true
 		}
 		return false
 	}
-	if !launch() {
+	if !launch("primary") {
 		http.Error(w, "fleet: no replicas", http.StatusBadGateway)
 		return
 	}
@@ -615,6 +730,7 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, key string
 		select {
 		case a := <-results:
 			pending--
+			settled[a.idx] = true
 			if a.err != nil {
 				// A canceled context means the client went away, not that
 				// the replica failed; don't charge the replica for it.
@@ -622,11 +738,13 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, key string
 					rt.noteOutcome(a.r, false, a.err.Error())
 				}
 				lastErr = a.err.Error()
+				rt.endAttemptSpan(tr, a, "error")
 				a.finish()
 			} else if a.resp.StatusCode >= http.StatusInternalServerError {
 				lastErr = fmt.Sprintf("%s: %s", a.r.addr, a.resp.Status)
 				io.Copy(io.Discard, a.resp.Body)
 				rt.noteOutcome(a.r, false, "proxy: "+a.resp.Status)
+				rt.endAttemptSpan(tr, a, "error")
 				a.finish()
 			} else {
 				rt.noteOutcome(a.r, true, "")
@@ -634,13 +752,13 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, key string
 				break
 			}
 			if r.Context().Err() == nil {
-				if launch() {
+				if launch("failover") {
 					rt.failovers.Add(1)
 					pending++
 				}
 			}
 		case <-hedge.C:
-			if launch() {
+			if launch("hedge") {
 				rt.hedged.Add(1)
 				hedgesUsed = true
 				pending++
@@ -648,12 +766,31 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, key string
 			}
 		}
 	}
-	// Abandon the losers: cancel and drain them off the channel so their
-	// goroutines, bodies and in-flight slots are released.
+	// Close the spans of attempts that lost while still in flight — now,
+	// on this goroutine, so they land in the trace before it seals. Their
+	// span duration is the time they raced; their true time-to-header is
+	// recorded below when their response finally arrives.
+	if tr.Sampled() {
+		for i, a := range open {
+			if !settled[i] {
+				rt.endAttemptSpan(tr, a, "lost")
+			}
+		}
+	}
+	// Abandon the losers: drain them off the channel so their goroutines,
+	// bodies and in-flight slots are released. Each loser is only canceled
+	// once its response header has arrived (finish cancels), so the
+	// latency observed here is the loser's genuine time-to-header — the
+	// number the loser histogram exists to make visible. A loser whose
+	// transport errored (including the client going away) is disposed of
+	// without an observation.
 	if pending > 0 {
 		go func(n int) {
 			for i := 0; i < n; i++ {
 				a := <-results
+				if a.err == nil {
+					rt.observeLoser(time.Since(a.start))
+				}
 				a.finish()
 			}
 		}(pending)
@@ -665,11 +802,27 @@ func (rt *Router) proxyHedged(w http.ResponseWriter, r *http.Request, key string
 	if hedgesUsed {
 		rt.hedgeWins.Add(1)
 	}
+	winLat := time.Since(won.start)
+	rt.winners.Observe(winLat)
+	rt.metrics.Observe(obs.StageAttempt, "winner", winLat)
+	if tr.Sampled() {
+		tr.Graft(won.span, obs.ParseSpans(won.resp.Header.Get(obs.SpansHeader)))
+	}
+	rt.endAttemptSpan(tr, *won, "winner")
 	defer won.finish()
 	if key != "" {
 		rt.recordServe(key, won.r.addr)
 	}
 	for k, vs := range won.resp.Header {
+		// When the router owns the trace, the replica's span export was
+		// grafted above — forwarding it raw would hand the client half a
+		// trace in a replica-local ID space — and the trace header is
+		// already set by viewshed (router's ID == replica's echoed ID).
+		// Unsampled, the router stays a transparent proxy and both
+		// headers pass through untouched.
+		if tr.Sampled() && (k == canonSpansHeader || k == canonTraceHeader) {
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -739,6 +892,11 @@ type RouterCounters struct {
 	// launch (by either the primary or the hedge — the tail the hedge
 	// covered).
 	HedgeWins int64 `json:"hedge_wins"`
+	// HedgeLosers counts attempts that completed a response after another
+	// attempt had already won the race (hedges and failovers alike).
+	// Their latencies are in /fleetz attempt_latency.loser — otherwise
+	// they would be invisible, since only winners' responses stream.
+	HedgeLosers int64 `json:"hedge_losers"`
 	// Failovers counts immediate retries after errors or 5xx.
 	Failovers int64 `json:"failovers"`
 	// Ejections counts health ejections (readmissions are not counted).
@@ -752,13 +910,14 @@ type RouterCounters struct {
 // Counters snapshots the router's traffic counters.
 func (rt *Router) Counters() RouterCounters {
 	return RouterCounters{
-		Routed:    rt.routed.Load(),
-		Hedged:    rt.hedged.Load(),
-		HedgeWins: rt.hedgeWins.Load(),
-		Failovers: rt.failovers.Load(),
-		Ejections: rt.ejections.Load(),
-		Adds:      rt.adds.Load(),
-		Removes:   rt.removes.Load(),
+		Routed:      rt.routed.Load(),
+		Hedged:      rt.hedged.Load(),
+		HedgeWins:   rt.hedgeWins.Load(),
+		HedgeLosers: rt.hedgeLosers.Load(),
+		Failovers:   rt.failovers.Load(),
+		Ejections:   rt.ejections.Load(),
+		Adds:        rt.adds.Load(),
+		Removes:     rt.removes.Load(),
 	}
 }
 
@@ -798,18 +957,62 @@ func (rt *Router) KeyServes() map[string]map[string]int64 {
 	return out
 }
 
+// AttemptLatency summarizes one attempt-outcome latency histogram for
+// /fleetz: quantiles are bucket-interpolated (see obs.HistSnapshot), so
+// they carry at most a factor-of-two error.
+type AttemptLatency struct {
+	// Count is the number of attempts with this outcome.
+	Count uint64 `json:"count"`
+	// MeanUS, P50US and P99US are the mean and quantile latencies from
+	// launch to response header, in microseconds.
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P99US  int64 `json:"p99_us"`
+}
+
+// summarizeLatency reduces a histogram snapshot to the /fleetz summary.
+func summarizeLatency(s obs.HistSnapshot) AttemptLatency {
+	return AttemptLatency{
+		Count:  s.Count,
+		MeanUS: s.Mean().Microseconds(),
+		P50US:  s.Quantile(0.5).Microseconds(),
+		P99US:  s.Quantile(0.99).Microseconds(),
+	}
+}
+
+// AttemptLatencies reports winner and loser attempt latencies side by
+// side. A loser p50 close to the winner p50 means the hedge is mostly
+// racing healthy replicas (tighten HedgeAfter); a loser tail far beyond
+// the winners means it is covering genuine stragglers.
+type AttemptLatencies struct {
+	// Winner summarizes attempts whose response streamed to the client.
+	Winner AttemptLatency `json:"winner"`
+	// Loser summarizes attempts that completed after losing the race.
+	Loser AttemptLatency `json:"loser"`
+}
+
+// AttemptLatencies snapshots the router's attempt latency histograms.
+func (rt *Router) AttemptLatencies() AttemptLatencies {
+	return AttemptLatencies{
+		Winner: summarizeLatency(rt.winners.Snapshot()),
+		Loser:  summarizeLatency(rt.losers.Snapshot()),
+	}
+}
+
 // fleetz serves the router's introspection: replica health, counters,
-// ring membership, per-key placement (which replicas serve each key under
-// its replication factor) and per-key serve counts.
+// attempt latencies (winner vs hedge-loser), ring membership, per-key
+// placement (which replicas serve each key under its replication factor)
+// and per-key serve counts.
 func (rt *Router) fleetz(w http.ResponseWriter, _ *http.Request) {
 	out := struct {
 		Replicas    []ReplicaHealth             `json:"replicas"`
 		Counters    RouterCounters              `json:"counters"`
+		Attempts    AttemptLatencies            `json:"attempt_latency"`
 		Ring        []string                    `json:"ring"`
 		Replication map[string]int              `json:"replication,omitempty"`
 		Placement   map[string][]string         `json:"placement,omitempty"`
 		KeyServes   map[string]map[string]int64 `json:"key_serves,omitempty"`
-	}{rt.Snapshot(), rt.Counters(), rt.ring.Members(), rt.opt.Replication, rt.Placement(), rt.KeyServes()}
+	}{rt.Snapshot(), rt.Counters(), rt.AttemptLatencies(), rt.ring.Members(), rt.opt.Replication, rt.Placement(), rt.KeyServes()}
 	writeJSON(w, out)
 }
 

@@ -221,20 +221,24 @@ type Report struct {
 
 // volatileFields matches the response fields that legitimately vary
 // between byte-identical answers: the serving wall clock, the cache
-// outcome (hit vs miss vs coalesced vs bypass vs session), and a flyover
+// outcome (hit vs miss vs coalesced vs bypass vs session), the per-query
+// cost ledger (a hit's ledger has no solve time, a miss's does — where the
+// time went is per answer, never part of what was answered), and a flyover
 // frame's reuse ledger (whether a frame replayed or how many tile verdicts
 // it reused depends on what the serving session happened to remember —
 // never on the pieces it answered). Everything else — terrain, eyes, plan,
 // level, n, k, and every piece byte — must be stable, and the identity
-// check hashes it.
+// check hashes it. The cost object never nests further objects, so the
+// brace match is safe.
 var volatileFields = regexp.MustCompile(
 	`"(elapsed_ms)": [0-9.eE+-]+|"(cache)": "[a-z]+"|"(replayed)": (?:true|false)` +
-		`|"(tiles_reused|tiles_reverified|tiles_resolved|verify_failures)": [0-9]+`)
+		`|"(tiles_reused|tiles_reverified|tiles_resolved|verify_failures)": [0-9]+` +
+		`|"(cost)": \{[^{}]*\}`)
 
 // NormalizeBody zeroes the volatile response fields; the rest of the body
 // is the query's identity.
 func NormalizeBody(b []byte) []byte {
-	return volatileFields.ReplaceAll(b, []byte(`"$1$2$3$4": 0`))
+	return volatileFields.ReplaceAll(b, []byte(`"$1$2$3$4$5": 0`))
 }
 
 // HashBody hashes a normalized body (FNV-1a).

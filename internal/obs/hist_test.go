@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-bucket map: bucket 0 is sub-µs, bucket
+// i covers [2^(i-1), 2^i) µs, and everything past the last finite bound
+// lands in the overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{1500 * time.Nanosecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{time.Millisecond, 10},         // 1000µs ∈ [2^9, 2^10)µs
+		{time.Second, 20},              // 1e6µs ∈ [2^19, 2^20)µs
+		{10 * time.Minute, NumBuckets}, // past every finite bound
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Exhaustive consistency: each bucket's observations sit below its
+	// upper bound and at or above the previous bound.
+	for i := 1; i < NumBuckets; i++ {
+		lo, hi := BucketUpper(i-1), BucketUpper(i)
+		if got := bucketOf(lo); got != i {
+			t.Errorf("lower edge %v of bucket %d mapped to %d", lo, i, got)
+		}
+		if got := bucketOf(hi - time.Microsecond); got != i && hi-time.Microsecond >= lo {
+			t.Errorf("upper edge %v of bucket %d mapped to %d", hi-time.Microsecond, i, got)
+		}
+	}
+}
+
+// TestHistogramMerge checks that merging snapshots is exact element-wise
+// addition of buckets, counts and sums.
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := a.Snapshot()
+	merged.Merge(sb)
+	if merged.Count != sa.Count+sb.Count {
+		t.Fatalf("merged count %d, want %d", merged.Count, sa.Count+sb.Count)
+	}
+	if merged.SumNS != sa.SumNS+sb.SumNS {
+		t.Fatalf("merged sum %d, want %d", merged.SumNS, sa.SumNS+sb.SumNS)
+	}
+	for i := range merged.Buckets {
+		if merged.Buckets[i] != sa.Buckets[i]+sb.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, want %d", i, merged.Buckets[i], sa.Buckets[i]+sb.Buckets[i])
+		}
+	}
+}
+
+// TestQuantile checks the interpolated quantile estimate stays within the
+// log-bucket's factor-of-two bound of the true quantile.
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond) // uniform 1µs..10ms
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := s.Quantile(q)
+		want := time.Duration(q*n) * time.Microsecond
+		lo, hi := want/2, want*2
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", q, got, lo, hi)
+		}
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if got := s.Quantile(1.0); got < s.Quantile(0.99) {
+		t.Errorf("q1.0 %v < q0.99 %v", got, s.Quantile(0.99))
+	}
+}
+
+// TestQuantileOverflow checks observations past the finite range still
+// produce a (clamped) estimate, not a panic.
+func TestQuantileOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Minute)
+	if got := h.Snapshot().Quantile(0.5); got < BucketUpper(NumBuckets-1) {
+		t.Errorf("overflow quantile %v below last finite bound", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; the
+// race detector validates the lock-free claim and the totals must balance.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+// TestObserveAllocationFree pins the hot-path contract: Observe never
+// allocates, on live or nil histograms, and Registry.Hist lookups of an
+// existing series never allocate.
+func TestObserveAllocationFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(200, func() { h.Observe(3 * time.Millisecond) }); n != 0 {
+		t.Errorf("Observe allocates %v per run", n)
+	}
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(200, func() { nilH.Observe(time.Millisecond) }); n != 0 {
+		t.Errorf("nil Observe allocates %v per run", n)
+	}
+	r := NewRegistry()
+	r.Observe(StageSolve, "tiled", time.Millisecond) // create the series
+	if n := testing.AllocsPerRun(200, func() { r.Observe(StageSolve, "tiled", time.Millisecond) }); n != 0 {
+		t.Errorf("Registry.Observe allocates %v per run", n)
+	}
+}
+
+// TestRegistryMerge checks the router-style aggregation: shared series
+// sum, disjoint series union, order stays (stage, mode) sorted.
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Observe(StageSolve, "tiled", time.Millisecond)
+	a.Observe(StagePlan, "tiled", time.Microsecond)
+	b.Observe(StageSolve, "tiled", 2*time.Millisecond)
+	b.Observe(StageSolve, "out-of-core", 5*time.Millisecond)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if len(s.Hists) != 3 {
+		t.Fatalf("merged series = %d, want 3", len(s.Hists))
+	}
+	for i := 1; i < len(s.Hists); i++ {
+		p, q := s.Hists[i-1], s.Hists[i]
+		if p.Stage > q.Stage || (p.Stage == q.Stage && p.Mode > q.Mode) {
+			t.Fatalf("snapshot not sorted at %d: %+v then %+v", i, p, q)
+		}
+	}
+	for _, e := range s.Hists {
+		want := uint64(1)
+		if e.Stage == StageSolve && e.Mode == "tiled" {
+			want = 2
+		}
+		if e.Hist.Count != want {
+			t.Errorf("series (%s,%s) count %d, want %d", e.Stage, e.Mode, e.Hist.Count, want)
+		}
+	}
+}
+
+// TestPrometheusFormat parses the rendered exposition text: cumulative
+// monotone buckets, a final +Inf equal to _count, and parseable le bounds.
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 50; i++ {
+		r.Observe(StageSolve, "tiled", time.Duration(i)*time.Millisecond)
+	}
+	var sb strings.Builder
+	r.Snapshot().WritePrometheus(&sb, MetricFamily, AttrStr("tier", "replica"))
+	text := sb.String()
+
+	if !strings.Contains(text, "# TYPE "+MetricFamily+" histogram") {
+		t.Fatalf("missing TYPE line in:\n%s", text)
+	}
+	var last uint64
+	var infSeen bool
+	var count uint64
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, `tier="replica"`) {
+			t.Fatalf("line missing const label: %s", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed line: %q", line)
+		}
+		switch {
+		case strings.HasPrefix(line, MetricFamily+"_bucket"):
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", fields[1], err)
+			}
+			if v < last {
+				t.Fatalf("non-cumulative bucket: %d after %d in %q", v, last, line)
+			}
+			last = v
+			if strings.Contains(line, `le="+Inf"`) {
+				infSeen = true
+			} else {
+				le := line[strings.Index(line, `le="`)+4:]
+				le = le[:strings.Index(le, `"`)]
+				if _, err := strconv.ParseFloat(le, 64); err != nil {
+					t.Fatalf("unparseable le %q: %v", le, err)
+				}
+			}
+		case strings.HasPrefix(line, MetricFamily+"_count"):
+			count, _ = strconv.ParseUint(fields[1], 10, 64)
+		case strings.HasPrefix(line, MetricFamily+"_sum"):
+			if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+				t.Fatalf("unparseable sum %q: %v", fields[1], err)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket rendered")
+	}
+	if count != 50 || last != count {
+		t.Fatalf("count %d, +Inf cumulative %d, want both 50", count, last)
+	}
+}
+
+// TestBucketUpperMonotone sanity-checks the bound table used by both the
+// renderer and the quantile estimator.
+func TestBucketUpperMonotone(t *testing.T) {
+	for i := 1; i <= NumBuckets; i++ {
+		if BucketUpper(i) != 2*BucketUpper(i-1) {
+			t.Fatalf("BucketUpper(%d)=%v not double BucketUpper(%d)=%v", i, BucketUpper(i), i-1, BucketUpper(i-1))
+		}
+	}
+	if math.IsInf(BucketUpper(NumBuckets).Seconds(), 0) {
+		t.Fatal("finite bound overflowed")
+	}
+}
+
+// TestMean covers the small Mean helper.
+func TestMean(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if got := h.Snapshot().Mean(); got != 2*time.Millisecond {
+		t.Fatalf("mean %v, want 2ms", got)
+	}
+	if got := (HistSnapshot{}).Mean(); got != 0 {
+		t.Fatalf("empty mean %v, want 0", got)
+	}
+}
+
+// ExampleRegistry_Snapshot demonstrates the replica→router merge path.
+func ExampleRegistry_Snapshot() {
+	replica1, replica2 := NewRegistry(), NewRegistry()
+	replica1.Observe(StageSolve, "tiled", 2*time.Millisecond)
+	replica2.Observe(StageSolve, "tiled", 8*time.Millisecond)
+	merged := replica1.Snapshot()
+	merged.Merge(replica2.Snapshot())
+	fmt.Println(merged.Hists[0].Stage, merged.Hists[0].Hist.Count)
+	// Output: solve 2
+}

@@ -1,0 +1,477 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP request header that carries a trace ID across
+// tiers. A request arriving with this header is always traced — the
+// sampling decision was made at the head of the fleet and propagates —
+// and responses echo the ID back in the same header.
+const TraceHeader = "X-HSR-Trace"
+
+// SpansHeader is the HTTP response header in which a replica returns its
+// finished spans (compact JSON, see Trace.SpansJSON) to the router, which
+// grafts them under the hedge attempt that won. Spans fit in a response
+// header because a viewshed solve completes before the body is written.
+const SpansHeader = "X-HSR-Spans"
+
+// Stage names shared across tiers, so the serve layer, the router, and the
+// histograms label the same work the same way.
+const (
+	// StageRequest covers one whole request at the tier that observed it.
+	StageRequest = "request"
+	// StagePlan covers engine planning plus the LOD level pick.
+	StagePlan = "plan"
+	// StageCache covers the result-cache lookup (and, on a miss, wraps the
+	// solve it coalesced into).
+	StageCache = "cache"
+	// StageSolve covers one full solve (all bands).
+	StageSolve = "solve"
+	// StageBand covers one depth band of a tiled solve: its tile solves,
+	// cull checks, and the band barrier.
+	StageBand = "band"
+	// StageMerge covers the envelope merge + clip inside a band barrier.
+	StageMerge = "merge"
+	// StagePageWait covers time blocked waiting for tile pages from disk.
+	StagePageWait = "page_wait"
+	// StageSession covers one frame of a flyover session (replay, verify
+	// or re-solve).
+	StageSession = "session"
+	// StageAttempt covers one routed attempt at a replica (primary, hedge
+	// or failover), recorded by the router.
+	StageAttempt = "attempt"
+)
+
+// Attr is one key/value attribute on a span. Values are strings so spans
+// marshal compactly and never retain solver state.
+type Attr struct {
+	// K is the attribute key.
+	K string `json:"k"`
+	// V is the attribute value.
+	V string `json:"v"`
+}
+
+// AttrInt builds an integer-valued attribute.
+func AttrInt(k string, v int64) Attr { return Attr{K: k, V: strconv.FormatInt(v, 10)} }
+
+// AttrStr builds a string-valued attribute.
+func AttrStr(k, v string) Attr { return Attr{K: k, V: v} }
+
+// Span is one finished, timed region of a trace. Offsets are microseconds
+// from the start of the trace that owns the span; Parent is the ID of the
+// enclosing span, 0 for a root span.
+type Span struct {
+	// ID numbers the span within its trace, starting at 1.
+	ID int32 `json:"id"`
+	// Parent is the enclosing span's ID, 0 for roots.
+	Parent int32 `json:"parent,omitempty"`
+	// Stage names the work the span covers (see the Stage constants).
+	Stage string `json:"stage"`
+	// StartUS is the span's start offset in microseconds from trace start.
+	StartUS int64 `json:"start_us"`
+	// DurUS is the span's duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// Attrs carries the span's attributes, if any.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// SpanToken identifies an in-progress span between StartSpan and EndSpan.
+// The zero token is the unsampled no-op and is safe to End.
+type SpanToken struct {
+	id      int32
+	parent  int32
+	startNS int64
+	stage   string
+}
+
+// maxSpansDefault bounds spans per trace so a pathological solve (hundreds
+// of bands) cannot grow a trace without bound; extras are counted, not kept.
+const maxSpansDefault = 512
+
+// Trace accumulates the spans of one sampled query. A nil *Trace is the
+// unsampled case: every method is a nil-safe no-op, so hot paths hold a
+// possibly-nil *Trace and instrument unconditionally without allocating.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu      sync.Mutex
+	terrain string
+	spans   []Span
+	next    int32
+	dropped int
+	cost    any
+}
+
+// Sampled reports whether the trace is live. Callers use it to guard
+// attribute construction that would otherwise allocate on unsampled paths.
+func (tr *Trace) Sampled() bool { return tr != nil }
+
+// ID returns the trace ID, "" for a nil trace.
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// SetTerrain records the terrain the traced query addressed, for /tracez
+// filtering.
+func (tr *Trace) SetTerrain(t string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.terrain = t
+	tr.mu.Unlock()
+}
+
+// SetCost attaches the query's cost ledger to the trace; it is marshaled
+// verbatim into the /tracez JSON.
+func (tr *Trace) SetCost(c any) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.cost = c
+	tr.mu.Unlock()
+}
+
+// StartSpan opens a root span. The returned token is passed to EndSpan;
+// on a nil trace the token is inert.
+func (tr *Trace) StartSpan(stage string) SpanToken {
+	return tr.StartChild(SpanToken{}, stage)
+}
+
+// StartChild opens a span under parent (a zero parent token makes a root
+// span).
+func (tr *Trace) StartChild(parent SpanToken, stage string) SpanToken {
+	if tr == nil {
+		return SpanToken{}
+	}
+	tr.mu.Lock()
+	tr.next++
+	id := tr.next
+	tr.mu.Unlock()
+	return SpanToken{id: id, parent: parent.id, startNS: time.Since(tr.start).Nanoseconds(), stage: stage}
+}
+
+// EndSpan closes a span with no attributes.
+func (tr *Trace) EndSpan(tok SpanToken) {
+	if tr == nil || tok.id == 0 {
+		return
+	}
+	tr.endSpan(tok, nil)
+}
+
+// EndSpanAttrs closes a span with attributes. Hot paths must guard calls
+// with Sampled so the variadic slice is never built for unsampled queries.
+func (tr *Trace) EndSpanAttrs(tok SpanToken, attrs ...Attr) {
+	if tr == nil || tok.id == 0 {
+		return
+	}
+	tr.endSpan(tok, attrs)
+}
+
+func (tr *Trace) endSpan(tok SpanToken, attrs []Attr) {
+	dur := time.Since(tr.start).Nanoseconds() - tok.startNS
+	tr.push(Span{
+		ID:      tok.id,
+		Parent:  tok.parent,
+		Stage:   tok.stage,
+		StartUS: tok.startNS / 1e3,
+		DurUS:   dur / 1e3,
+		Attrs:   attrs,
+	})
+}
+
+// AddSpan records a span in retrospect: a region that was timed with plain
+// clock reads (for example the accumulated page-in wait of a solve) rather
+// than bracketed by Start/End calls. start is the wall-clock start of the
+// region; durations shorter than a microsecond round to zero.
+func (tr *Trace) AddSpan(parent SpanToken, stage string, start time.Time, d time.Duration, attrs ...Attr) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.next++
+	id := tr.next
+	tr.mu.Unlock()
+	tr.push(Span{
+		ID:      id,
+		Parent:  parent.id,
+		Stage:   stage,
+		StartUS: start.Sub(tr.start).Nanoseconds() / 1e3,
+		DurUS:   d.Nanoseconds() / 1e3,
+		Attrs:   attrs,
+	})
+}
+
+func (tr *Trace) push(s Span) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.spans) >= maxSpansDefault {
+		tr.dropped++
+		return
+	}
+	tr.spans = append(tr.spans, s)
+}
+
+// Graft splices spans recorded by another process (a replica, exported
+// through SpansHeader) into this trace as descendants of parent. Span IDs
+// are renumbered into this trace's space; offsets are rebased so the
+// remote trace's start aligns with the parent span's start — the two
+// clocks are different machines', so sub-span alignment is approximate.
+func (tr *Trace) Graft(parent SpanToken, spans []Span) {
+	if tr == nil || len(spans) == 0 {
+		return
+	}
+	tr.mu.Lock()
+	base := tr.next
+	tr.next += int32(len(spans))
+	tr.mu.Unlock()
+	shift := tok2us(parent)
+	for _, s := range spans {
+		old := s
+		s.ID = base + old.ID
+		if old.Parent == 0 {
+			s.Parent = parent.id
+		} else {
+			s.Parent = base + old.Parent
+		}
+		s.StartUS = old.StartUS + shift
+		tr.push(s)
+	}
+}
+
+func tok2us(tok SpanToken) int64 { return tok.startNS / 1e3 }
+
+// SpansJSON snapshots up to max finished spans as compact JSON, suitable
+// for the SpansHeader response header. Returns "" for a nil or empty trace.
+func (tr *Trace) SpansJSON(max int) string {
+	if tr == nil {
+		return ""
+	}
+	tr.mu.Lock()
+	spans := make([]Span, len(tr.spans))
+	copy(spans, tr.spans)
+	tr.mu.Unlock()
+	if len(spans) == 0 {
+		return ""
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUS < spans[j].StartUS })
+	if max > 0 && len(spans) > max {
+		spans = spans[:max]
+	}
+	b, err := json.Marshal(spans)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// ParseSpans decodes a SpansHeader value back into spans. A malformed
+// header yields nil: observability must never fail a query.
+func ParseSpans(s string) []Span {
+	if s == "" {
+		return nil
+	}
+	var spans []Span
+	if err := json.Unmarshal([]byte(s), &spans); err != nil {
+		return nil
+	}
+	return spans
+}
+
+// FinishedTrace is one completed trace in the ring, as served on /tracez.
+type FinishedTrace struct {
+	// ID is the trace ID (minted locally or received via TraceHeader).
+	ID string `json:"id"`
+	// Terrain is the terrain the query addressed, when known.
+	Terrain string `json:"terrain,omitempty"`
+	// Start is the wall-clock start of the trace.
+	Start time.Time `json:"start"`
+	// DurUS is the whole trace's duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// DroppedSpans counts spans discarded past the per-trace cap.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// Cost is the query's cost ledger, when one was attached.
+	Cost any `json:"cost,omitempty"`
+	// Spans are the trace's spans, sorted by start offset.
+	Spans []Span `json:"spans"`
+}
+
+// processStamp distinguishes trace IDs minted by different processes.
+var processStamp = fmt.Sprintf("%x-%x", os.Getpid(), time.Now().UnixNano()&0xffffff)
+
+// Tracer decides which queries to trace and keeps a bounded ring of
+// finished traces. A nil *Tracer never samples. The zero sampling rate
+// never samples locally but still honors propagated TraceHeader IDs.
+type Tracer struct {
+	every   int64
+	ringCap int
+
+	n   atomic.Int64
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []*FinishedTrace
+	next  int
+	total uint64
+}
+
+// NewTracer builds a tracer sampling one query in every sampleEvery
+// (sampleEvery <= 0 disables local sampling; 1 samples everything), with a
+// ring of ringCap finished traces (defaulted when <= 0).
+func NewTracer(sampleEvery, ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = 64
+	}
+	return &Tracer{every: int64(sampleEvery), ringCap: ringCap}
+}
+
+// StartIf begins a trace when the query should be traced: always when it
+// arrived with a propagated trace ID, otherwise when the head-based
+// sampler picks it. Returns nil — the no-op trace — for unsampled
+// queries; the unsampled path performs one atomic add and no allocation.
+func (t *Tracer) StartIf(incoming string) *Trace {
+	if t == nil {
+		return nil
+	}
+	if incoming == "" {
+		if t.every <= 0 {
+			return nil
+		}
+		if t.n.Add(1)%t.every != 0 {
+			return nil
+		}
+		incoming = t.mint()
+	}
+	return &Trace{id: incoming, start: time.Now()}
+}
+
+// Start unconditionally begins a trace with a freshly minted ID.
+func (t *Tracer) Start() *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{id: t.mint(), start: time.Now()}
+}
+
+func (t *Tracer) mint() string {
+	return fmt.Sprintf("hsr-%s-%06x", processStamp, t.seq.Add(1))
+}
+
+// Finish seals a trace and adds it to the ring, evicting the oldest entry
+// when full. Finishing a nil trace (the unsampled case) is a no-op.
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	dur := time.Since(tr.start)
+	tr.mu.Lock()
+	spans := make([]Span, len(tr.spans))
+	copy(spans, tr.spans)
+	ft := &FinishedTrace{
+		ID:           tr.id,
+		Terrain:      tr.terrain,
+		Start:        tr.start,
+		DurUS:        dur.Nanoseconds() / 1e3,
+		DroppedSpans: tr.dropped,
+		Cost:         tr.cost,
+		Spans:        spans,
+	}
+	tr.mu.Unlock()
+	sort.SliceStable(ft.Spans, func(i, j int) bool { return ft.Spans[i].StartUS < ft.Spans[j].StartUS })
+
+	t.mu.Lock()
+	if len(t.ring) < t.ringCap {
+		t.ring = append(t.ring, ft)
+	} else {
+		t.ring[t.next] = ft
+		t.next = (t.next + 1) % t.ringCap
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Traces returns the ring's finished traces, newest first.
+func (t *Tracer) Traces() []*FinishedTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*FinishedTrace, 0, len(t.ring))
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		out = append(out, t.ring[(t.next+i)%len(t.ring)])
+	}
+	return out
+}
+
+// TotalFinished reports how many traces have ever been finished (including
+// ones the ring has since evicted).
+func (t *Tracer) TotalFinished() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// tracezResponse is the /tracez JSON shape.
+type tracezResponse struct {
+	// Total counts traces ever finished by this process.
+	Total uint64 `json:"total"`
+	// Count is the number of traces returned after filtering.
+	Count int `json:"count"`
+	// Traces lists the matching traces, newest first.
+	Traces []*FinishedTrace `json:"traces"`
+}
+
+// ServeHTTP serves the trace ring as JSON (the /tracez endpoint). Filters:
+// terrain=<id> keeps traces of one terrain, min_ms=<n> keeps traces at
+// least that long, id=<trace-id> keeps one trace, limit=<n> caps the count.
+func (t *Tracer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if t == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	terrain := q.Get("terrain")
+	id := q.Get("id")
+	minMS, _ := strconv.ParseFloat(q.Get("min_ms"), 64)
+	limit, _ := strconv.Atoi(q.Get("limit"))
+
+	resp := tracezResponse{Total: t.TotalFinished(), Traces: []*FinishedTrace{}}
+	for _, ft := range t.Traces() {
+		if terrain != "" && ft.Terrain != terrain {
+			continue
+		}
+		if id != "" && ft.ID != id {
+			continue
+		}
+		if minMS > 0 && float64(ft.DurUS)/1e3 < minMS {
+			continue
+		}
+		resp.Traces = append(resp.Traces, ft)
+		if limit > 0 && len(resp.Traces) >= limit {
+			break
+		}
+	}
+	resp.Count = len(resp.Traces)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}

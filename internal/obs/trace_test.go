@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTraceNoOps pins the unsampled contract: every method of a nil
+// *Trace and a nil *Tracer is a safe no-op and the whole span sequence of
+// an unsampled query allocates nothing.
+func TestNilTraceNoOps(t *testing.T) {
+	var tr *Trace
+	if tr.Sampled() || tr.ID() != "" {
+		t.Fatal("nil trace claims to be sampled")
+	}
+	tok := tr.StartSpan(StageSolve)
+	tr.EndSpan(tok)
+	tr.SetTerrain("alps")
+	tr.SetCost(nil)
+	tr.Graft(tok, nil)
+	if got := tr.SpansJSON(10); got != "" {
+		t.Fatalf("nil SpansJSON = %q", got)
+	}
+
+	var tc *Tracer
+	if tc.StartIf("") != nil || tc.StartIf("forced") != nil || tc.Start() != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	tc.Finish(nil)
+	if tc.Traces() != nil || tc.TotalFinished() != 0 {
+		t.Fatal("nil tracer has traces")
+	}
+}
+
+// TestUnsampledAllocationFree is the zero-allocation fast path: a tracer
+// that never fires locally plus the full span sequence on the resulting
+// nil trace must not allocate at all.
+func TestUnsampledAllocationFree(t *testing.T) {
+	tc := NewTracer(0, 8) // local sampling disabled
+	n := testing.AllocsPerRun(500, func() {
+		tr := tc.StartIf("")
+		tok := tr.StartSpan(StageRequest)
+		child := tr.StartChild(tok, StageCache)
+		tr.EndSpan(child)
+		tr.SetTerrain("alps")
+		if tr.Sampled() {
+			tr.EndSpanAttrs(tok, AttrInt("k", 42))
+		} else {
+			tr.EndSpan(tok)
+		}
+		tc.Finish(tr)
+	})
+	if n != 0 {
+		t.Fatalf("unsampled trace path allocates %v per run, want 0", n)
+	}
+}
+
+// TestHeadSampling checks the 1-in-N head sampler and that a propagated
+// ID always wins regardless of the sampler.
+func TestHeadSampling(t *testing.T) {
+	tc := NewTracer(4, 64)
+	var sampled int
+	for i := 0; i < 100; i++ {
+		if tr := tc.StartIf(""); tr != nil {
+			sampled++
+			tc.Finish(tr)
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("1-in-4 sampler fired %d/100 times", sampled)
+	}
+	if tr := NewTracer(0, 8).StartIf("prop-1"); tr == nil || tr.ID() != "prop-1" {
+		t.Fatal("propagated ID not honored with sampling disabled")
+	}
+}
+
+// TestSpanTreeAndRing builds a small trace, checks parentage, stage
+// names, monotone offsets, and ring eviction order.
+func TestSpanTreeAndRing(t *testing.T) {
+	tc := NewTracer(1, 2)
+	tr := tc.Start()
+	root := tr.StartSpan(StageRequest)
+	plan := tr.StartChild(root, StagePlan)
+	tr.EndSpan(plan)
+	solve := tr.StartChild(root, StageSolve)
+	tr.EndSpanAttrs(solve, AttrInt("pieces", 7), AttrStr("algorithm", "parallel"))
+	tr.SetTerrain("alps")
+	tr.EndSpan(root)
+	tc.Finish(tr)
+
+	fts := tc.Traces()
+	if len(fts) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(fts))
+	}
+	ft := fts[0]
+	if ft.Terrain != "alps" || len(ft.Spans) != 3 {
+		t.Fatalf("trace %+v", ft)
+	}
+	byStage := map[string]Span{}
+	for _, s := range ft.Spans {
+		byStage[s.Stage] = s
+	}
+	if byStage[StagePlan].Parent != byStage[StageRequest].ID {
+		t.Fatal("plan span not a child of request")
+	}
+	if got := byStage[StageSolve].Attrs; len(got) != 2 || got[0].V != "7" {
+		t.Fatalf("solve attrs %+v", got)
+	}
+
+	// Ring of 2: finish three more, the earliest must be evicted.
+	for i := 0; i < 3; i++ {
+		tc.Finish(tc.Start())
+	}
+	fts = tc.Traces()
+	if len(fts) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(fts))
+	}
+	for _, f := range fts {
+		if f.ID == ft.ID {
+			t.Fatal("oldest trace not evicted")
+		}
+	}
+	if tc.TotalFinished() != 4 {
+		t.Fatalf("total finished %d, want 4", tc.TotalFinished())
+	}
+}
+
+// TestSpanCap checks the per-trace span bound: extras are counted as
+// dropped, never appended.
+func TestSpanCap(t *testing.T) {
+	tc := NewTracer(1, 1)
+	tr := tc.Start()
+	for i := 0; i < maxSpansDefault+25; i++ {
+		tr.EndSpan(tr.StartSpan(StageBand))
+	}
+	tc.Finish(tr)
+	ft := tc.Traces()[0]
+	if len(ft.Spans) != maxSpansDefault || ft.DroppedSpans != 25 {
+		t.Fatalf("spans=%d dropped=%d, want %d and 25", len(ft.Spans), ft.DroppedSpans, maxSpansDefault)
+	}
+}
+
+// TestGraftRebasesRemoteSpans covers the cross-process splice: remote span
+// IDs renumber into the local trace, remote roots hang off the graft
+// parent, and offsets shift by the parent's start.
+func TestGraftRebasesRemoteSpans(t *testing.T) {
+	// Remote (replica) trace with a root and a child.
+	remote := []Span{
+		{ID: 1, Stage: StageRequest, StartUS: 0, DurUS: 900},
+		{ID: 2, Parent: 1, Stage: StageSolve, StartUS: 100, DurUS: 700},
+	}
+	raw, _ := json.Marshal(remote)
+	parsed := ParseSpans(string(raw))
+	if len(parsed) != 2 {
+		t.Fatalf("round-trip lost spans: %+v", parsed)
+	}
+	if ParseSpans("{not json") != nil || ParseSpans("") != nil {
+		t.Fatal("malformed header must parse to nil")
+	}
+
+	tc := NewTracer(1, 1)
+	tr := tc.Start()
+	attempt := tr.StartSpan(StageAttempt)
+	time.Sleep(2 * time.Millisecond) // give the attempt a visible offset base
+	tr.Graft(attempt, parsed)
+	tr.EndSpan(attempt)
+	tc.Finish(tr)
+
+	ft := tc.Traces()[0]
+	if len(ft.Spans) != 3 {
+		t.Fatalf("grafted trace has %d spans, want 3", len(ft.Spans))
+	}
+	var att, req, solve Span
+	for _, s := range ft.Spans {
+		switch s.Stage {
+		case StageAttempt:
+			att = s
+		case StageRequest:
+			req = s
+		case StageSolve:
+			solve = s
+		}
+	}
+	if req.Parent != att.ID {
+		t.Fatalf("remote root's parent = %d, want attempt %d", req.Parent, att.ID)
+	}
+	if solve.Parent != req.ID {
+		t.Fatalf("remote child's parent = %d, want remote root %d", solve.Parent, req.ID)
+	}
+	if req.StartUS < att.StartUS {
+		t.Fatalf("grafted root offset %d before attempt start %d", req.StartUS, att.StartUS)
+	}
+	if solve.StartUS != req.StartUS+100 {
+		t.Fatalf("grafted child offset %d, want root+100=%d", solve.StartUS, req.StartUS+100)
+	}
+}
+
+// TestSpansJSONHeaderShape checks the header export: sorted, capped,
+// compact (single-line) JSON.
+func TestSpansJSONHeaderShape(t *testing.T) {
+	tc := NewTracer(1, 1)
+	tr := tc.Start()
+	a := tr.StartSpan(StagePlan)
+	time.Sleep(200 * time.Microsecond) // distinct start offsets so the sort is deterministic
+	b := tr.StartSpan(StageSolve)
+	tr.EndSpan(b)
+	tr.EndSpan(a)
+	s := tr.SpansJSON(1)
+	if strings.Contains(s, "\n") {
+		t.Fatal("header JSON is not single-line")
+	}
+	spans := ParseSpans(s)
+	if len(spans) != 1 || spans[0].Stage != StagePlan {
+		t.Fatalf("cap/sort wrong: %+v", spans)
+	}
+}
+
+// TestTracezHandler drives the /tracez handler through its filters.
+func TestTracezHandler(t *testing.T) {
+	tc := NewTracer(1, 8)
+	for _, terrain := range []string{"alps", "alps", "mars"} {
+		tr := tc.Start()
+		tr.SetTerrain(terrain)
+		tr.EndSpan(tr.StartSpan(StageRequest))
+		tc.Finish(tr)
+	}
+	slow := tc.Start()
+	slow.SetTerrain("alps")
+	time.Sleep(12 * time.Millisecond)
+	tc.Finish(slow)
+
+	get := func(url string) tracezResponse {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		tc.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+		var resp tracezResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("tracez not JSON: %v\n%s", err, rec.Body.String())
+		}
+		return resp
+	}
+
+	if resp := get("/tracez"); resp.Count != 4 || resp.Total != 4 {
+		t.Fatalf("unfiltered count=%d total=%d, want 4/4", resp.Count, resp.Total)
+	}
+	if resp := get("/tracez?terrain=mars"); resp.Count != 1 || resp.Traces[0].Terrain != "mars" {
+		t.Fatalf("terrain filter: %+v", resp)
+	}
+	if resp := get("/tracez?min_ms=10"); resp.Count != 1 || resp.Traces[0].ID != slow.ID() {
+		t.Fatalf("min_ms filter: count=%d", resp.Count)
+	}
+	if resp := get("/tracez?limit=2"); resp.Count != 2 {
+		t.Fatalf("limit filter: count=%d", resp.Count)
+	}
+	if resp := get("/tracez?id=" + slow.ID()); resp.Count != 1 {
+		t.Fatalf("id filter: count=%d", resp.Count)
+	}
+
+	rec := httptest.NewRecorder()
+	var nilT *Tracer
+	nilT.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil tracer handler status %d", rec.Code)
+	}
+}
+
+// TestAddSpanRetro covers retro span recording (used for page-wait
+// aggregates timed by plain clock reads).
+func TestAddSpanRetro(t *testing.T) {
+	tc := NewTracer(1, 1)
+	tr := tc.Start()
+	root := tr.StartSpan(StageSolve)
+	start := time.Now()
+	tr.AddSpan(root, StagePageWait, start, 3*time.Millisecond, AttrInt("bytes", 4096))
+	tr.EndSpan(root)
+	tc.Finish(tr)
+	ft := tc.Traces()[0]
+	var pw Span
+	for _, s := range ft.Spans {
+		if s.Stage == StagePageWait {
+			pw = s
+		}
+	}
+	if pw.ID == 0 || pw.DurUS != 3000 || len(pw.Attrs) != 1 {
+		t.Fatalf("retro span %+v", pw)
+	}
+}

@@ -5,26 +5,59 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	terrainhsr "terrainhsr"
+	"terrainhsr/internal/obs"
 	"terrainhsr/internal/workload"
 )
 
-// New returns the HTTP handler of one serving replica: the four service
-// endpoints wired to the given query server.
-func New(srv *terrainhsr.Server) http.Handler {
-	h := &handler{srv: srv}
+// Options is the observability configuration of one replica handler. The
+// zero value serves exactly as before observability existed: no tracing
+// (/tracez answers 404), no histograms (/metricsz answers 404), structured
+// logs through slog.Default, no slow-query reporting.
+type Options struct {
+	// Tracer samples queries for /tracez. Requests arriving with the
+	// obs.TraceHeader header are always traced (the router made the
+	// sampling decision); sampled responses echo the trace ID in the same
+	// header and return their spans in obs.SpansHeader for the router to
+	// graft. Nil disables tracing.
+	Tracer *obs.Tracer
+	// Metrics receives per-stage, per-plan-mode latency histograms from
+	// every answered query and serves them on /metricsz (Prometheus text,
+	// or the JSON snapshot with ?format=json). Nil disables histograms.
+	Metrics *obs.Registry
+	// Logger receives the handler's structured logs (errors, slow queries,
+	// per-query debug lines). Nil selects slog.Default().
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs any query at least this slow at Warn
+	// level with its plan explanation and cost ledger attached.
+	SlowQuery time.Duration
+}
+
+// New returns the HTTP handler of one serving replica: the service
+// endpoints wired to the given query server, plus the observability
+// endpoints the options enable. Tracing and metrics never change answers:
+// solve bytes are identical with them on or off.
+func New(srv *terrainhsr.Server, opt Options) http.Handler {
+	if opt.Logger == nil {
+		opt.Logger = slog.Default()
+	}
+	h := &handler{srv: srv, opt: opt}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", h.healthz)
 	mux.HandleFunc("/statsz", h.statsz)
 	mux.HandleFunc("/terrains", h.terrains)
 	mux.HandleFunc("/viewshed", h.viewshed)
 	mux.HandleFunc("/flyover", h.flyover)
+	// A nil Tracer or Registry serves 404 from its own ServeHTTP, so the
+	// routes exist unconditionally and report their feature as disabled.
+	mux.Handle("/tracez", opt.Tracer)
+	mux.Handle("/metricsz", opt.Metrics)
 	return mux
 }
 
@@ -76,6 +109,100 @@ func ParseStoreSpec(spec string) (id, path string, err error) {
 // handler serves the HTTP endpoints for one Server.
 type handler struct {
 	srv *terrainhsr.Server
+	opt Options
+}
+
+// startTrace begins (or declines) a trace for one request and opens its
+// request span. Propagated trace IDs always trace; otherwise the tracer's
+// head-based sampler decides. The unsampled path allocates nothing.
+func (h *handler) startTrace(r *http.Request) (*obs.Trace, obs.SpanToken) {
+	tr := h.opt.Tracer.StartIf(r.Header.Get(obs.TraceHeader))
+	return tr, tr.StartSpan(obs.StageRequest)
+}
+
+// maxHeaderSpans caps the spans exported in one obs.SpansHeader response
+// header, keeping the header well under proxy size limits.
+const maxHeaderSpans = 64
+
+// finishTrace closes the request span and seals the trace into the
+// tracer's ring. When the response headers are still open (headersOpen),
+// it also echoes the trace ID in obs.TraceHeader and exports the finished
+// spans in obs.SpansHeader for an upstream router to graft; streaming
+// endpoints whose body is already in flight pass headersOpen=false and
+// keep their spans local.
+func (h *handler) finishTrace(w http.ResponseWriter, tr *obs.Trace, tok obs.SpanToken, headersOpen bool) {
+	if !tr.Sampled() {
+		return
+	}
+	tr.EndSpan(tok)
+	if headersOpen {
+		w.Header().Set(obs.TraceHeader, tr.ID())
+		if spans := tr.SpansJSON(maxHeaderSpans); spans != "" {
+			w.Header().Set(obs.SpansHeader, spans)
+		}
+	}
+	h.opt.Tracer.Finish(tr)
+}
+
+// observe records one answered query into the stage latency histograms,
+// labeled by the engine plan mode that produced the answer.
+func (h *handler) observe(qr *terrainhsr.QueryResult, elapsed time.Duration) {
+	m := h.opt.Metrics
+	if m == nil || qr == nil {
+		return
+	}
+	mode := qr.Mode
+	if mode == "" {
+		mode = "unknown"
+	}
+	m.Observe(obs.StageRequest, mode, elapsed)
+	c := qr.Cost
+	if c == nil {
+		return
+	}
+	for _, st := range [...]struct {
+		stage string
+		us    int64
+	}{
+		{obs.StagePlan, c.PlanUS},
+		{obs.StageCache, c.CacheUS},
+		{obs.StageSolve, c.SolveUS},
+		{obs.StageMerge, c.MergeUS},
+		{obs.StagePageWait, c.PageWaitUS},
+	} {
+		if st.us > 0 {
+			m.Observe(st.stage, mode, time.Duration(st.us)*time.Microsecond)
+		}
+	}
+}
+
+// logQuery emits the structured per-query log line: Debug for ordinary
+// queries, Warn with the plan explanation and cost ledger for queries at
+// or past the slow-query threshold.
+func (h *handler) logQuery(tr *obs.Trace, qr *terrainhsr.QueryResult, terrain string, elapsed time.Duration) {
+	slow := h.opt.SlowQuery > 0 && elapsed >= h.opt.SlowQuery
+	lg := h.opt.Logger
+	if !slow && !lg.Enabled(nil, slog.LevelDebug) {
+		return
+	}
+	attrs := []any{
+		slog.String("terrain", terrain),
+		slog.String("cache", qr.Cache),
+		slog.String("mode", qr.Mode),
+		slog.Duration("elapsed", elapsed),
+	}
+	if id := tr.ID(); id != "" {
+		attrs = append(attrs, slog.String("trace", id))
+	}
+	if !slow {
+		lg.Debug("query", attrs...)
+		return
+	}
+	attrs = append(attrs, slog.String("plan", qr.Plan))
+	if qr.Cost != nil {
+		attrs = append(attrs, slog.Any("cost", *qr.Cost))
+	}
+	lg.Warn("slow query", attrs...)
 }
 
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -84,7 +211,7 @@ func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (h *handler) statsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, h.srv.Stats())
+	h.writeJSON(w, h.srv.Stats())
 }
 
 // terrainInfo is one /terrains list entry.
@@ -116,27 +243,29 @@ func (h *handler) terrains(w http.ResponseWriter, _ *http.Request) {
 	for _, a := range terrainhsr.Algorithms() {
 		out.Algorithms = append(out.Algorithms, string(a))
 	}
-	writeJSON(w, out)
+	h.writeJSON(w, out)
 }
 
 // viewshedResponse is the JSON answer of a single-eye /viewshed query,
 // minus the pieces array, which is streamed after these fields through
 // Result.EachPiece rather than materialized (see writeViewshedJSON).
 type viewshedResponse struct {
-	Terrain      string     `json:"terrain"`
-	Eye          [3]float64 `json:"eye"`
-	QuantizedEye [3]float64 `json:"quantized_eye"`
-	Algorithm    string     `json:"algorithm"`
-	Cache        string     `json:"cache"`
-	Tiled        bool       `json:"tiled"`
-	Plan         string     `json:"plan"`
-	Level        int        `json:"level"`
-	Levels       int        `json:"levels"`
-	CellSize     float64    `json:"cell_size,omitempty"`
-	Final        *bool      `json:"final,omitempty"`
-	N            int        `json:"n"`
-	K            int        `json:"k"`
-	ElapsedMS    float64    `json:"elapsed_ms"`
+	Terrain      string                 `json:"terrain"`
+	Eye          [3]float64             `json:"eye"`
+	QuantizedEye [3]float64             `json:"quantized_eye"`
+	Algorithm    string                 `json:"algorithm"`
+	Cache        string                 `json:"cache"`
+	Tiled        bool                   `json:"tiled"`
+	Plan         string                 `json:"plan"`
+	Mode         string                 `json:"mode,omitempty"`
+	Level        int                    `json:"level"`
+	Levels       int                    `json:"levels"`
+	CellSize     float64                `json:"cell_size,omitempty"`
+	Final        *bool                  `json:"final,omitempty"`
+	N            int                    `json:"n"`
+	K            int                    `json:"k"`
+	ElapsedMS    float64                `json:"elapsed_ms"`
+	Cost         *terrainhsr.CostLedger `json:"cost,omitempty"`
 }
 
 // responseFor fills the shared header fields of one answered query.
@@ -149,23 +278,25 @@ func responseFor(id string, eye terrainhsr.Point, qr *terrainhsr.QueryResult, el
 		Cache:        qr.Cache,
 		Tiled:        qr.Tiled,
 		Plan:         qr.Plan,
+		Mode:         qr.Mode,
 		Level:        qr.Level,
 		Levels:       qr.Levels,
 		CellSize:     qr.LevelCellSize,
 		N:            qr.Result.N(),
 		K:            qr.Result.K(),
 		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+		Cost:         qr.Cost,
 	}
 }
 
 // writeViewshedJSON writes the response header fields followed by a
 // "pieces" array streamed piece by piece, never holding the converted
 // slice.
-func writeViewshedJSON(w http.ResponseWriter, resp viewshedResponse, r *terrainhsr.Result) {
+func (h *handler) writeViewshedJSON(w http.ResponseWriter, resp viewshedResponse, r *terrainhsr.Result) {
 	w.Header().Set("Content-Type", "application/json")
 	buf, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {
-		log.Printf("serve: encode: %v", err)
+		h.opt.Logger.Error("encode failed", slog.String("endpoint", "viewshed"), slog.Any("err", err))
 		return
 	}
 	// MarshalIndent ends with "\n}"; splice the streamed array in before
@@ -196,7 +327,8 @@ func writeViewshedJSON(w http.ResponseWriter, resp viewshedResponse, r *terrainh
 	if streamErr != nil {
 		// The status line is already sent; the best we can do is log that
 		// the streamed array was cut short rather than pretend it is whole.
-		log.Printf("serve: pieces stream truncated: %v", streamErr)
+		h.opt.Logger.Warn("pieces stream truncated",
+			slog.String("terrain", resp.Terrain), slog.Any("err", streamErr))
 		return
 	}
 	if first {
@@ -217,6 +349,8 @@ func (h *handler) viewshedProgressive(w http.ResponseWriter, base terrainhsr.Que
 	firstPass, passOpen, pieceFirst := true, false, false
 	err := h.srv.QueryProgressive(base,
 		func(p terrainhsr.ProgressivePass) error {
+			h.observe(p.Result, p.Elapsed)
+			h.logQuery(base.Trace, p.Result, base.TerrainID, p.Elapsed)
 			// Per-pass timing comes from the server: the pass's own answer
 			// time, excluding the streaming of other passes' pieces.
 			resp := responseFor(base.TerrainID, base.Eye, p.Result, p.Elapsed)
@@ -274,7 +408,8 @@ func (h *handler) viewshedProgressive(w http.ResponseWriter, base terrainhsr.Que
 		}
 		// The status line and part of the body are already out; log that the
 		// stream was cut short rather than pretend it is whole.
-		log.Printf("serve: progressive stream truncated: %v", err)
+		h.opt.Logger.Warn("progressive stream truncated",
+			slog.String("terrain", base.TerrainID), slog.Any("err", err))
 		return
 	}
 	if passOpen {
@@ -344,12 +479,14 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "eye parameter required (x,y,z)")
 		return
 	}
+	tr, reqTok := h.startTrace(r)
+	base.Trace = tr
 	if len(eyeParams) > 1 {
 		if qv.Get("progressive") == "1" {
 			httpErr(w, http.StatusBadRequest, "progressive responses answer a single eye")
 			return
 		}
-		h.viewshedMany(w, base, eyeParams)
+		h.viewshedMany(w, base, eyeParams, reqTok)
 		return
 	}
 	eye, err := parseEye(eyeParams[0])
@@ -363,20 +500,30 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 			httpErr(w, http.StatusBadRequest, "progressive responses are JSON only")
 			return
 		}
+		// The body streams, so the spans header cannot wait for the end;
+		// echo the trace ID up front and keep the spans in the local ring.
+		if tr.Sampled() {
+			w.Header().Set(obs.TraceHeader, tr.ID())
+		}
 		h.viewshedProgressive(w, base)
+		h.finishTrace(w, tr, reqTok, false)
 		return
 	}
 	t0 := time.Now()
 	qr, err := h.srv.Query(base)
 	if err != nil {
+		h.finishTrace(w, tr, reqTok, true)
 		httpErr(w, queryStatus(err), "%v", err)
 		return
 	}
 	elapsed := time.Since(t0)
+	h.observe(qr, elapsed)
+	h.logQuery(tr, qr, id, elapsed)
+	h.finishTrace(w, tr, reqTok, true)
 
 	switch format := qv.Get("format"); format {
 	case "", "json":
-		writeViewshedJSON(w, responseFor(id, eye, qr, elapsed), qr.Result)
+		h.writeViewshedJSON(w, responseFor(id, eye, qr, elapsed), qr.Result)
 	case "svg":
 		// Render against the level that actually answered: the pieces came
 		// from that level's surface, and a coarse answer must not page the
@@ -398,7 +545,7 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 			Title: fmt.Sprintf("viewshed %s from %v,%v,%v", id, qr.Eye.X, qr.Eye.Y, qr.Eye.Z),
 		})
 		if err != nil {
-			log.Printf("serve: svg render: %v", err)
+			h.opt.Logger.Error("svg render failed", slog.String("terrain", id), slog.Any("err", err))
 			return
 		}
 		var streamErr error
@@ -410,22 +557,24 @@ func (h *handler) viewshed(w http.ResponseWriter, r *http.Request) {
 			streamErr = stream.Close()
 		}
 		if streamErr != nil {
-			log.Printf("serve: svg render: %v", streamErr)
+			h.opt.Logger.Error("svg render failed", slog.String("terrain", id), slog.Any("err", streamErr))
 		}
 	case "ascii":
 		width := intParam(qv.Get("width"), 100)
 		height := intParam(qv.Get("height"), 30)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := terrainhsr.RenderASCII(w, qr.Result, width, height); err != nil {
-			log.Printf("serve: ascii render: %v", err)
+			h.opt.Logger.Error("ascii render failed", slog.String("terrain", id), slog.Any("err", err))
 		}
 	default:
 		httpErr(w, http.StatusBadRequest, "unknown format %q (json, svg, ascii)", format)
 	}
 }
 
-// viewshedMany answers a multi-eye query with a JSON summary.
-func (h *handler) viewshedMany(w http.ResponseWriter, base terrainhsr.Query, eyeParams []string) {
+// viewshedMany answers a multi-eye query with a JSON summary. A sampled
+// trace covers all eyes: their plan/solve spans interleave under one
+// request span.
+func (h *handler) viewshedMany(w http.ResponseWriter, base terrainhsr.Query, eyeParams []string, reqTok obs.SpanToken) {
 	var eyes []terrainhsr.Point
 	for _, part := range eyeParams {
 		eye, err := parseEye(part)
@@ -438,10 +587,15 @@ func (h *handler) viewshedMany(w http.ResponseWriter, base terrainhsr.Query, eye
 	t0 := time.Now()
 	results, err := h.srv.QueryMany(base, eyes)
 	if err != nil {
+		h.finishTrace(w, base.Trace, reqTok, true)
 		httpErr(w, queryStatus(err), "%v", err)
 		return
 	}
 	elapsed := time.Since(t0)
+	for _, qr := range results {
+		h.observe(qr, elapsed/time.Duration(len(results)))
+	}
+	h.finishTrace(w, base.Trace, reqTok, true)
 	out := struct {
 		Terrain   string       `json:"terrain"`
 		Count     int          `json:"count"`
@@ -456,7 +610,7 @@ func (h *handler) viewshedMany(w http.ResponseWriter, base terrainhsr.Query, eye
 			K:            qr.Result.K(),
 		})
 	}
-	writeJSON(w, out)
+	h.writeJSON(w, out)
 }
 
 // maxFlyoverFrames bounds the frames parameter of one /flyover request.
@@ -522,11 +676,20 @@ func (h *handler) flyover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	path := flyoverPath(eyes, frames)
+	tr, reqTok := h.startTrace(r)
+	base.Trace = tr
 	switch format := qv.Get("format"); format {
 	case "", "json":
+		// The body streams frame by frame; echo the trace ID up front and
+		// keep the spans in the local ring (see viewshed's progressive path).
+		if tr.Sampled() {
+			w.Header().Set(obs.TraceHeader, tr.ID())
+		}
 		h.flyoverJSON(w, base, path)
+		h.finishTrace(w, tr, reqTok, false)
 	case "svg":
 		h.flyoverSVG(w, base, path, intParam(qv.Get("width"), 800))
+		h.finishTrace(w, tr, reqTok, false)
 	default:
 		httpErr(w, http.StatusBadRequest, "unknown format %q (json, svg)", format)
 	}
@@ -626,9 +789,13 @@ func (h *handler) flyoverJSON(w http.ResponseWriter, base terrainhsr.Query, path
 				httpErr(w, queryStatus(err), "%v", err)
 				return
 			}
-			log.Printf("serve: flyover stream truncated: %v", err)
+			h.opt.Logger.Warn("flyover stream truncated",
+				slog.String("terrain", base.TerrainID), slog.Any("err", err))
 			return
 		}
+		frameElapsed := time.Since(t0)
+		h.observe(qr, frameElapsed)
+		h.logQuery(base.Trace, qr, base.TerrainID, frameElapsed)
 		if !opened { // a frame with no visible pieces still appears
 			if err := openFrame(i, eye); err != nil {
 				return
@@ -640,7 +807,7 @@ func (h *handler) flyoverJSON(w http.ResponseWriter, base terrainhsr.Query, path
 			Tiled:        qr.Tiled,
 			Level:        qr.Level,
 			K:            k,
-			ElapsedMS:    float64(time.Since(t0).Microseconds()) / 1000,
+			ElapsedMS:    float64(frameElapsed.Microseconds()) / 1000,
 		}
 		k = 0
 		if qr.Reuse != nil {
@@ -652,7 +819,7 @@ func (h *handler) flyoverJSON(w http.ResponseWriter, base terrainhsr.Query, path
 		}
 		mb, err := json.MarshalIndent(meta, "    ", "  ")
 		if err != nil {
-			log.Printf("serve: encode: %v", err)
+			h.opt.Logger.Error("encode failed", slog.String("endpoint", "flyover"), slog.Any("err", err))
 			return
 		}
 		// Close the pieces array and splice the metadata fields into the
@@ -707,7 +874,7 @@ func (h *handler) flyoverSVG(w http.ResponseWriter, base terrainhsr.Query, path 
 			base.TerrainID, len(path), len(path), qr.Eye.X, qr.Eye.Y, qr.Eye.Z),
 	})
 	if err != nil {
-		log.Printf("serve: svg render: %v", err)
+		h.opt.Logger.Error("svg render failed", slog.String("terrain", base.TerrainID), slog.Any("err", err))
 		return
 	}
 	streamErr := error(nil)
@@ -720,7 +887,7 @@ func (h *handler) flyoverSVG(w http.ResponseWriter, base terrainhsr.Query, path 
 		streamErr = stream.Close()
 	}
 	if streamErr != nil {
-		log.Printf("serve: svg render: %v", streamErr)
+		h.opt.Logger.Error("svg render failed", slog.String("terrain", base.TerrainID), slog.Any("err", streamErr))
 	}
 }
 
@@ -767,11 +934,11 @@ func queryStatus(err error) int {
 }
 
 // writeJSON writes v as indented JSON.
-func writeJSON(w http.ResponseWriter, v any) {
+func (h *handler) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("serve: encode: %v", err)
+		h.opt.Logger.Error("encode failed", slog.Any("err", err))
 	}
 }

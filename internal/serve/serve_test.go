@@ -24,7 +24,7 @@ func newTestHandler(t *testing.T) http.Handler {
 	if err := srv.Register("demo", tr); err != nil {
 		t.Fatal(err)
 	}
-	return New(srv)
+	return New(srv, Options{})
 }
 
 // flyoverFrameJSON mirrors one /flyover frame for decoding in tests.
@@ -155,7 +155,7 @@ func TestFlyoverSessionLoadIdentity(t *testing.T) {
 	if err := srv.Register(id, tr); err != nil {
 		t.Fatal(err)
 	}
-	hs := httptest.NewServer(New(srv))
+	hs := httptest.NewServer(New(srv, Options{}))
 	defer hs.Close()
 
 	_, p, err := workload.ParseSpec(spec)

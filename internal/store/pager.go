@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the out-of-core access path: a Pager serves per-tile height
@@ -70,6 +71,8 @@ type Pager struct {
 	wg       sync.WaitGroup
 
 	pageIns atomic.Int64
+	bytesIn atomic.Int64
+	waitNS  atomic.Int64
 }
 
 // NewPager builds a pager over level l. It reads nothing: blocks page in on
@@ -100,6 +103,19 @@ func (p *Pager) ResidentBytes() int64 {
 // PageIns returns how many tile files this pager has read (demand and
 // read-ahead alike; re-reads after eviction count again).
 func (p *Pager) PageIns() int64 { return p.pageIns.Load() }
+
+// BytesRead returns the cumulative height bytes this pager has read from
+// tile files (demand and read-ahead alike; re-reads count again). Unlike
+// ResidentBytes it never decreases — it is the "bytes moved" term of the
+// cost ledger.
+func (p *Pager) BytesRead() int64 { return p.bytesIn.Load() }
+
+// WaitNanos returns the cumulative nanoseconds demand requests have spent
+// blocked on page-ins: synchronous tile reads plus waits for reads already
+// in flight. Read-ahead that completes before the solver needs the block
+// contributes nothing, so this is exactly the paging time the solve could
+// not hide. Callers attribute a query's wait by differencing around it.
+func (p *Pager) WaitNanos() int64 { return p.waitNS.Load() }
 
 // Rect pages in every block overlapping the inclusive sample rectangle
 // [r0, r1] x [c0, c1] and returns an accessor for its samples. The accessor
@@ -182,7 +198,18 @@ func (p *Pager) ensurePage(ti, tj int, prefetch bool) (*page, error) {
 			pg.retired = false // back in use: no longer an eviction candidate
 		}
 		p.mu.Unlock()
-		<-pg.ready
+		select {
+		case <-pg.ready:
+		default:
+			// The block is mid-read; a demand request is now blocked on it.
+			if prefetch {
+				<-pg.ready
+			} else {
+				t0 := time.Now()
+				<-pg.ready
+				p.waitNS.Add(time.Since(t0).Nanoseconds())
+			}
+		}
 		if pg.err != nil {
 			return nil, pg.err
 		}
@@ -199,7 +226,14 @@ func (p *Pager) ensurePage(ti, tj int, prefetch bool) (*page, error) {
 	p.pages[key] = pg
 	p.mu.Unlock()
 
+	var t0 time.Time
+	if !prefetch {
+		t0 = time.Now()
+	}
 	rows, cols, heights, err := p.s.readTile(p.level, ti, tj)
+	if !prefetch {
+		p.waitNS.Add(time.Since(t0).Nanoseconds())
+	}
 	if err == nil && (rows != pg.rows || cols != pg.cols) {
 		err = fmt.Errorf("store: level %d tile (%d,%d) is %dx%d, manifest wants %dx%d",
 			p.level, ti, tj, rows, cols, pg.rows, pg.cols)
@@ -213,6 +247,7 @@ func (p *Pager) ensurePage(ti, tj int, prefetch bool) (*page, error) {
 		p.resident += pg.bytes()
 		p.s.resident.Add(pg.bytes())
 		p.pageIns.Add(1)
+		p.bytesIn.Add(pg.bytes())
 		p.evictLocked()
 	}
 	p.mu.Unlock()

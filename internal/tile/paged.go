@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"terrainhsr/internal/envelope"
 	"terrainhsr/internal/geom"
@@ -27,6 +28,30 @@ import (
 // floating-point expressions (see vertex below), sub-terrains replicate
 // extract's cell and vertex discovery order exactly, and the band barrier is
 // the very same bandState used by Solve.
+
+// pagerMeter is the optional cost-accounting face of a HeightSource.
+// store.Pager satisfies it; sources that do not are simply not metered.
+// Readings are cumulative, so a solve attributes its own share by
+// differencing around itself (approximate when solves share a source).
+type pagerMeter interface {
+	// WaitNanos is cumulative time demand requests spent blocked on reads.
+	WaitNanos() int64
+	// BytesRead is cumulative height bytes read from tile files.
+	BytesRead() int64
+	// PageIns is cumulative tile files read.
+	PageIns() int64
+}
+
+// meterReading is one snapshot of a pagerMeter (zero when unmetered).
+type meterReading struct{ waitNS, bytes, ins int64 }
+
+// readMeter snapshots src's meter when it has one.
+func readMeter(src HeightSource) meterReading {
+	if m, ok := src.(pagerMeter); ok {
+		return meterReading{waitNS: m.WaitNanos(), bytes: m.BytesRead(), ins: m.PageIns()}
+	}
+	return meterReading{}
+}
 
 // HeightSource serves height samples of a grid terrain on demand.
 // store.Pager satisfies it structurally; tests substitute recorders. All
@@ -190,7 +215,10 @@ func SolvePaged(g *PagedGrid, p *Partition, solve SolveFunc, opt Options) (*hsr.
 		co.prepare(p.NumTiles())
 	}
 	bs := &bandState{emit: opt.Emit, front: opt.Seed, co: co, cols: p.NumCols}
+	solveStart := readMeter(g.Src)
+	bandStart := solveStart
 	for b := 0; b < p.NumBands; b++ {
+		bsp := beginBand(opt.Trace, &stats)
 		r0, r1 := p.BandRows(b)
 		ys, err := g.vertexYs(r0, r1)
 		if err != nil {
@@ -218,13 +246,23 @@ func SolvePaged(g *PagedGrid, p *Partition, solve SolveFunc, opt Options) (*hsr.
 				return nil, stats, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
 			}
 		}
+		mt0 := time.Now()
 		if err := bs.finishBand(b, outcomes, &stats); err != nil {
 			return nil, stats, err
 		}
+		mergeDur := time.Since(mt0)
+		stats.MergeNS += mergeDur.Nanoseconds()
 		// The band's silhouette is merged; rows in front of r1 can no longer
 		// influence anything (row r1 itself is shared with the next band).
 		g.Src.Retire(r1)
+		bandEnd := readMeter(g.Src)
+		bsp.end(b, &stats, mt0, mergeDur, bandEnd.waitNS-bandStart.waitNS, bandEnd.bytes-bandStart.bytes)
+		bandStart = bandEnd
 	}
+	solveEnd := readMeter(g.Src)
+	stats.PageWaitNS = solveEnd.waitNS - solveStart.waitNS
+	stats.BytesPaged = solveEnd.bytes - solveStart.bytes
+	stats.PageIns = solveEnd.ins - solveStart.ins
 	return bs.result(terrain.EdgeCountForGrid(g.Rows, g.Cols), &stats), stats, nil
 }
 

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"terrainhsr/internal/envelope"
 	"terrainhsr/internal/geom"
 	"terrainhsr/internal/hsr"
 	"terrainhsr/internal/metrics"
+	"terrainhsr/internal/obs"
 	"terrainhsr/internal/parallel"
 	"terrainhsr/internal/terrain"
 )
@@ -48,6 +50,12 @@ type Options struct {
 	// Coherence, when non-nil, activates frame-coherent verify-then-reuse
 	// and verdict recording; see the Coherence type.
 	Coherence *Coherence
+	// Trace, when sampled, receives one span per depth band (tiles
+	// solved/culled/reused, band-barrier merge time, page-in wait when
+	// paged). A nil Trace — the unsampled case — costs nothing on the
+	// solve path. Tracing never influences the solve: results are
+	// byte-identical with it on or off.
+	Trace *obs.Trace
 }
 
 // Stats reports how a tiled solve spent its effort.
@@ -63,6 +71,16 @@ type Stats struct {
 	LocalPieces int
 	// EnvelopeSize is the final accumulated silhouette's piece count.
 	EnvelopeSize int
+	// MergeNS is the total time (ns) spent in band barriers: clipping owned
+	// pieces against the front envelope and merging band silhouettes.
+	MergeNS int64
+	// PageWaitNS is the total time (ns) a paged solve spent blocked on
+	// page-ins (zero for resident solves). With concurrent solves sharing
+	// one pager the attribution is approximate.
+	PageWaitNS int64
+	// BytesPaged and PageIns are the bytes and tile files a paged solve
+	// read (zero for resident solves; same sharing caveat as PageWaitNS).
+	BytesPaged, PageIns int64
 }
 
 // tileOutcome is one tile's contribution, in global edge numbering.
@@ -129,6 +147,7 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 	}
 	bs := &bandState{emit: opt.Emit, front: opt.Seed, co: co, cols: p.NumCols}
 	for b := 0; b < p.NumBands; b++ {
+		bsp := beginBand(opt.Trace, &stats)
 		r0, r1 := p.BandRows(b)
 		ivs := cellIntervals(t, r0, r1)
 
@@ -152,11 +171,56 @@ func Solve(t *terrain.Terrain, p *Partition, idx *EdgeIndex, solve SolveFunc, op
 				return nil, stats, fmt.Errorf("tile: band %d col %d: %w", b, c, err)
 			}
 		}
+		mt0 := time.Now()
 		if err := bs.finishBand(b, outcomes, &stats); err != nil {
 			return nil, stats, err
 		}
+		mergeDur := time.Since(mt0)
+		stats.MergeNS += mergeDur.Nanoseconds()
+		bsp.end(b, &stats, mt0, mergeDur, 0, 0)
 	}
 	return bs.result(t.NumEdges(), &stats), stats, nil
+}
+
+// bandSpan brackets one depth band of a solve for tracing. On an unsampled
+// trace every method is free; on a sampled one, end records the band span
+// with its tile outcomes plus child spans for the band-barrier merge and
+// (when paged) the band's page-in wait.
+type bandSpan struct {
+	tr        *obs.Trace
+	tok       obs.SpanToken
+	preSolved int
+	preCulled int
+	start     time.Time
+}
+
+// beginBand opens the band span (a no-op on an unsampled trace).
+func beginBand(tr *obs.Trace, stats *Stats) bandSpan {
+	bsp := bandSpan{tr: tr}
+	if tr.Sampled() {
+		bsp.tok = tr.StartSpan(obs.StageBand)
+		bsp.preSolved, bsp.preCulled = stats.TilesSolved, stats.TilesCulled
+		bsp.start = time.Now()
+	}
+	return bsp
+}
+
+// end closes the band span. mergeStart/mergeDur time the band barrier;
+// waitNS and bytesPaged are the band's page-in deltas (zero when resident).
+func (bsp bandSpan) end(b int, stats *Stats, mergeStart time.Time, mergeDur time.Duration, waitNS, bytesPaged int64) {
+	if !bsp.tr.Sampled() {
+		return
+	}
+	bsp.tr.AddSpan(bsp.tok, obs.StageMerge, mergeStart, mergeDur)
+	if waitNS > 0 {
+		bsp.tr.AddSpan(bsp.tok, obs.StagePageWait, bsp.start, time.Duration(waitNS),
+			obs.AttrInt("bytes", bytesPaged))
+	}
+	bsp.tr.EndSpanAttrs(bsp.tok,
+		obs.AttrInt("band", int64(b)),
+		obs.AttrInt("tiles_solved", int64(stats.TilesSolved-bsp.preSolved)),
+		obs.AttrInt("tiles_culled", int64(stats.TilesCulled-bsp.preCulled)),
+	)
 }
 
 // bandState carries the cross-band accumulator of a tiled solve — the front

@@ -14,6 +14,7 @@ import (
 	"terrainhsr/internal/engine"
 	"terrainhsr/internal/geom"
 	"terrainhsr/internal/hsr"
+	"terrainhsr/internal/obs"
 	"terrainhsr/internal/session"
 	"terrainhsr/internal/store"
 	"terrainhsr/internal/terrain"
@@ -131,6 +132,12 @@ type Query struct {
 	// NoCache bypasses the result cache for this query: no lookup, no
 	// fill, no coalescing. The solve itself is unchanged.
 	NoCache bool
+	// Trace, when sampled, receives the query's stage spans (plan, cache,
+	// solve, per-band merge and page-in wait) and its cost ledger; the
+	// serve layer sets it from the tier's Tracer. Nil — the zero value and
+	// the unsampled case — costs nothing and is always safe. Tracing never
+	// changes the answer.
+	Trace *obs.Trace
 }
 
 // QueryResult is one answered query.
@@ -151,6 +158,14 @@ type QueryResult struct {
 	// on first use for store-backed ones; see Plan.Explain in
 	// internal/engine). Cached answers report it without re-planning.
 	Plan string
+	// Mode is the engine pipeline the terrain's queries execute
+	// ("monolithic", "tiled", "out-of-core", "coherent", ...): the plan
+	// mode recorded when the terrain (or level) first solved, also the
+	// mode label of the serve tier's latency histograms.
+	Mode string
+	// Cost itemizes this query's own time and charged work (see
+	// CostLedger); it is per answer, never shared, even when Result is.
+	Cost *CostLedger
 	// Level is the LOD pyramid level that answered (0 = finest or a plain
 	// terrain), Levels the number of levels the terrain has (1 for plain
 	// terrains), and LevelCellSize the answering level's sample spacing
@@ -293,6 +308,7 @@ type serverTerrain struct {
 	eng   *engine.Executor
 	tiled bool
 	plan  string
+	mode  string // the registration plan's engine.Mode, for QueryResult.Mode
 
 	// Store-backed registrations only:
 	st        *store.Store
@@ -304,6 +320,7 @@ type serverTerrain struct {
 	mu         sync.Mutex
 	levelPlan  []string // first solving plan's explanation, per level
 	levelTiled []bool
+	levelMode  []string
 }
 
 // isStore reports whether the slot is store-backed (multi-level).
@@ -315,16 +332,17 @@ func (e *serverTerrain) recordPlan(level int, plan *engine.Plan) {
 	if e.levelPlan[level] == "" {
 		e.levelPlan[level] = plan.Explain()
 		e.levelTiled[level] = plan.Tiled
+		e.levelMode[level] = string(plan.Mode)
 	}
 	e.mu.Unlock()
 }
 
-// planFor returns the recorded plan and tiled flag of a level ("" before
-// the level's first solve).
-func (e *serverTerrain) planFor(level int) (string, bool) {
+// planFor returns the recorded plan, tiled flag and mode of a level (""
+// before the level's first solve).
+func (e *serverTerrain) planFor(level int) (string, bool, string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.levelPlan[level], e.levelTiled[level]
+	return e.levelPlan[level], e.levelTiled[level], e.levelMode[level]
 }
 
 // finestTerrain returns the finest-level terrain, loading it if needed. An
@@ -434,7 +452,7 @@ func (s *Server) Register(id string, t *Terrain) error {
 			return fmt.Errorf("terrainhsr: register %q: %w", id, err)
 		}
 	}
-	entry := &serverTerrain{t: t, eng: eng, tiled: plan.Tiled, plan: plan.Explain()}
+	entry := &serverTerrain{t: t, eng: eng, tiled: plan.Tiled, plan: plan.Explain(), mode: string(plan.Mode)}
 	s.install(id, entry)
 	return nil
 }
@@ -481,6 +499,7 @@ func (s *Server) RegisterStore(id string, dir string) error {
 		levelHits:  make([]int64, n),
 		levelPlan:  make([]string, n),
 		levelTiled: make([]bool, n),
+		levelMode:  make([]string, n),
 	}
 	budget := s.opt.ResidencyBudget
 	entry.levels, err = engine.NewLevelSet(descs, budget, func(l int, outOfCore bool) (*engine.Executor, error) {
@@ -698,6 +717,7 @@ func (s *Server) request(q Query, eyes []geom.Pt3, workers int) engine.Request {
 		MinDepth:    q.MinDepth,
 		TileCells:   s.opt.TileCells,
 		ErrorBudget: q.ErrorBudget,
+		Trace:       q.Trace,
 	}
 }
 
@@ -718,14 +738,20 @@ func (s *Server) query(q Query, workers int) (*QueryResult, error) {
 	}
 	algo := resolveAlgo(q.Algorithm)
 	eye := s.QuantizeEye(q.Eye)
+	q.Trace.SetTerrain(q.TerrainID)
 	// The routing outcome and its explanation are fixed per terrain at
 	// Register time, so cache hits answer without touching the planner;
 	// only actual solves plan (with this query's worker budget).
-	qr := &QueryResult{Eye: eye, Tiled: e.tiled, Plan: e.plan, Levels: 1}
+	qr := &QueryResult{Eye: eye, Tiled: e.tiled, Plan: e.plan, Mode: e.mode, Levels: 1}
 
+	cost := &CostLedger{}
 	solve := func() (any, error) {
 		req := s.request(q, []geom.Pt3{pt3(eye)}, workers)
+		tok := q.Trace.StartSpan(obs.StagePlan)
+		t0 := time.Now()
 		plan, err := e.eng.Plan(req)
+		cost.PlanUS = usOf(time.Since(t0))
+		q.Trace.EndSpan(tok)
 		if err != nil {
 			return nil, err
 		}
@@ -733,13 +759,33 @@ func (s *Server) query(q Query, workers int) (*QueryResult, error) {
 		if plan.Tiled {
 			s.tiledSolves.Add(1)
 		}
+		tok = q.Trace.StartSpan(obs.StageSolve)
+		t0 = time.Now()
 		outs, err := e.eng.Run(plan, req)
+		cost.SolveUS = usOf(time.Since(t0))
 		if err != nil {
+			q.Trace.EndSpan(tok)
 			return nil, err
 		}
+		cost.noteTile(outs[0].Tile)
+		cost.noteResult(outs[0].Res)
+		endSolveSpan(q.Trace, tok, plan, cost)
 		return newResult(outs[0].Res, algo), nil
 	}
-	return s.answer(qr, e, q, eye, algo, 0, solve)
+	return s.answer(qr, e, q, eye, algo, 0, solve, cost)
+}
+
+// endSolveSpan closes a solve span, attributing the plan mode and the
+// output size. The attribute build is guarded so unsampled queries never
+// allocate.
+func endSolveSpan(tr *obs.Trace, tok obs.SpanToken, plan *engine.Plan, cost *CostLedger) {
+	if !tr.Sampled() {
+		return
+	}
+	tr.EndSpanAttrs(tok,
+		obs.AttrStr("mode", string(plan.Mode)),
+		obs.AttrInt("k", int64(cost.K)),
+		obs.AttrInt("work", cost.Work))
 }
 
 // queryLevel answers one query on one pyramid level of a store-backed
@@ -750,12 +796,14 @@ func (s *Server) query(q Query, workers int) (*QueryResult, error) {
 func (s *Server) queryLevel(q Query, e *serverTerrain, workers, level int, forced bool) (*QueryResult, error) {
 	algo := resolveAlgo(q.Algorithm)
 	eye := s.QuantizeEye(q.Eye)
+	q.Trace.SetTerrain(q.TerrainID)
 	qr := &QueryResult{
 		Eye: eye, Level: level,
 		Levels: e.levels.NumLevels(), LevelCellSize: e.levels.CellSize(level),
 	}
 
-	var solvedPlan string
+	cost := &CostLedger{}
+	var solvedPlan, solvedMode string
 	var solvedTiled bool
 	solve := func() (any, error) {
 		req := s.request(q, []geom.Pt3{pt3(eye)}, workers)
@@ -763,57 +811,93 @@ func (s *Server) queryLevel(q Query, e *serverTerrain, workers, level int, force
 		if !forced {
 			pin = -1 // let PlanLevel re-pick from the budget, keeping its reason
 		}
+		tok := q.Trace.StartSpan(obs.StagePlan)
+		t0 := time.Now()
 		plan, exec, err := e.levels.PlanLevel(req, pin)
+		cost.PlanUS = usOf(time.Since(t0))
+		q.Trace.EndSpan(tok)
 		if err != nil {
 			return nil, err
 		}
-		solvedPlan, solvedTiled = plan.Explain(), plan.Tiled
+		solvedPlan, solvedTiled, solvedMode = plan.Explain(), plan.Tiled, string(plan.Mode)
 		e.recordPlan(level, plan)
 		s.solves.Add(1)
 		if plan.Tiled {
 			s.tiledSolves.Add(1)
 		}
+		tok = q.Trace.StartSpan(obs.StageSolve)
+		t0 = time.Now()
 		outs, err := exec.Run(plan, req)
+		cost.SolveUS = usOf(time.Since(t0))
 		if err != nil {
+			q.Trace.EndSpan(tok)
 			return nil, err
 		}
+		cost.noteTile(outs[0].Tile)
+		cost.noteResult(outs[0].Res)
+		endSolveSpan(q.Trace, tok, plan, cost)
 		return newResult(outs[0].Res, algo), nil
 	}
-	qr, err := s.answer(qr, e, q, eye, algo, level, solve)
+	qr, err := s.answer(qr, e, q, eye, algo, level, solve, cost)
 	if err != nil {
 		return nil, err
 	}
 	if solvedPlan != "" {
 		// This query ran the solve: report the plan that actually executed,
 		// budget reason and all.
-		qr.Plan, qr.Tiled = solvedPlan, solvedTiled
+		qr.Plan, qr.Tiled, qr.Mode = solvedPlan, solvedTiled, solvedMode
 	} else {
 		// A cached or coalesced answer implies a prior solve of this level
 		// under the same epoch, so a recorded plan exists; its reason tail
 		// may phrase the level pick differently than this query's budget.
-		qr.Plan, qr.Tiled = e.planFor(level)
+		qr.Plan, qr.Tiled, qr.Mode = e.planFor(level)
 	}
 	atomic.AddInt64(&e.levelHits[level], 1)
 	return qr, nil
 }
 
 // answer runs the cache protocol around one solve: bypass for NoCache
-// queries and cache-disabled servers, GetOrCompute otherwise.
-func (s *Server) answer(qr *QueryResult, e *serverTerrain, q Query, eye Point, algo Algorithm, level int, solve func() (any, error)) (*QueryResult, error) {
+// queries and cache-disabled servers, GetOrCompute otherwise. It also
+// finishes the query's cost ledger — cache overhead, size terms for shared
+// answers — and attaches it to the result and the trace.
+func (s *Server) answer(qr *QueryResult, e *serverTerrain, q Query, eye Point, algo Algorithm, level int, solve func() (any, error), cost *CostLedger) (*QueryResult, error) {
 	if s.cache == nil || q.NoCache {
 		v, err := solve()
 		if err != nil {
 			return nil, err
 		}
 		qr.Result, qr.Cache = v.(*Result), "bypass"
-		return qr, nil
+		return s.finishAnswer(qr, q.Trace, cost), nil
 	}
+	// The cache span covers the whole GetOrCompute — on a miss the nested
+	// plan and solve spans sit inside its time range — while the ledger's
+	// CacheUS is the protocol overhead alone (the span minus this query's
+	// own plan+solve time).
+	tok := q.Trace.StartSpan(obs.StageCache)
+	t0 := time.Now()
 	v, outcome, err := s.cache.GetOrCompute(s.key(q.TerrainID, e, eye, algo, q.MinDepth, level), solve)
 	if err != nil {
+		q.Trace.EndSpan(tok)
 		return nil, err
 	}
 	qr.Result, qr.Cache = v.(*Result), outcome.String()
-	return qr, nil
+	if cu := usOf(time.Since(t0)) - cost.PlanUS - cost.SolveUS; cu > 0 {
+		cost.CacheUS = cu
+	}
+	if q.Trace.Sampled() {
+		q.Trace.EndSpanAttrs(tok, obs.AttrStr("outcome", qr.Cache))
+	}
+	return s.finishAnswer(qr, q.Trace, cost), nil
+}
+
+// finishAnswer seals the ledger of an answered query: shared (hit or
+// coalesced) answers still report their size terms, and the ledger lands
+// on the result and the sampled trace.
+func (s *Server) finishAnswer(qr *QueryResult, tr *obs.Trace, cost *CostLedger) *QueryResult {
+	cost.noteShared(qr.Result)
+	qr.Cost = cost
+	tr.SetCost(cost)
+	return qr
 }
 
 // key builds the cache key: terrain identity and epoch, the quantized eye
@@ -946,6 +1030,7 @@ func (s *Server) QuerySession(q Query, sink PieceSink) (*QueryResult, error) {
 	}
 	algo := resolveAlgo(q.Algorithm)
 	eye := s.QuantizeEye(q.Eye)
+	q.Trace.SetTerrain(q.TerrainID)
 	req := s.request(q, []geom.Pt3{pt3(eye)}, s.opt.Workers)
 	ss, err := s.session(s.sessionKey(q.TerrainID, e, algo, q.MinDepth, level), exec, req)
 	if err != nil {
@@ -953,10 +1038,14 @@ func (s *Server) QuerySession(q Query, sink PieceSink) (*QueryResult, error) {
 	}
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	tok := q.Trace.StartSpan(obs.StageSession)
+	t0 := time.Now()
 	fi, err := ss.eng.RunSessionFrame(ss.plan, req, ss.state, func(p hsr.VisiblePiece) error {
 		return sink(toPiece(p))
 	})
+	frameDur := time.Since(t0)
 	if err != nil {
+		q.Trace.EndSpan(tok)
 		return nil, err
 	}
 	s.sessionFrames.Add(1)
@@ -975,8 +1064,27 @@ func (s *Server) QuerySession(q Query, sink PieceSink) (*QueryResult, error) {
 	if e.isStore() {
 		atomic.AddInt64(&e.levelHits[level], 1)
 	}
+	// The frame's ledger: production time counts as solve time even for
+	// replays (a replay's "solve" is re-emitting the recording); the work
+	// breakdown stays zero because session frames stream without keeping an
+	// hsr.Result.
+	cost := &CostLedger{SolveUS: usOf(frameDur), N: fi.N, K: fi.K, Crossings: fi.Crossings}
+	cost.noteTile(fi.Tile)
+	cost.TilesReused = fi.Reuse.TilesReused
+	if q.Trace.Sampled() {
+		replayed := "false"
+		if fi.Replayed {
+			replayed = "true"
+		}
+		q.Trace.EndSpanAttrs(tok,
+			obs.AttrStr("replayed", replayed),
+			obs.AttrInt("tiles_reused", int64(fi.Reuse.TilesReused)),
+			obs.AttrInt("k", int64(fi.K)))
+	}
+	q.Trace.SetCost(cost)
 	return &QueryResult{
 		Eye: eye, Cache: "session", Tiled: ss.plan.Tiled, Plan: ss.plan.Explain(),
+		Mode: string(ss.plan.Mode), Cost: cost,
 		Level: level, Levels: levels, LevelCellSize: cell,
 		Reuse: &ReuseStats{
 			Replayed:        fi.Replayed,
@@ -1130,7 +1238,7 @@ func (s *Server) Stats() ServerStats {
 		// stay described by the registration summary.
 		var parts []string
 		for l := range hits {
-			if p, _ := e.planFor(l); p != "" {
+			if p, _, _ := e.planFor(l); p != "" {
 				parts = append(parts, fmt.Sprintf("level %d: %s", l, p))
 			}
 		}
